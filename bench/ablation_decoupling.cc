@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: the Figure 3 design-point evolution on the Medium and
+ * Large join kernels.
+ *
+ *  (a) baseline: one combined hash+walk context;
+ *  (b) parallel walkers: N combined contexts (no decoupling);
+ *  (c) decoupled: N walkers, each fed by its own hashing unit;
+ *  (d) shared dispatcher: N walkers fed by one dispatcher (Widx).
+ *
+ * Paper motivation (Section 3.1): decoupling key hashing from the
+ * walk takes hashing off the critical path — reducing time per
+ * traversal by 29% on average — and one dispatcher suffices for four
+ * walkers, saving hardware versus per-walker hashing units.
+ */
+
+#include <cstdio>
+
+#include "accel/engine.hh"
+#include "common/table_printer.hh"
+#include "workload/join_kernel.hh"
+
+using namespace widx;
+
+namespace {
+
+double
+cyclesPerTuple(const wl::KernelDataset &data, unsigned walkers,
+               bool shared, bool combined)
+{
+    accel::OffloadSpec spec;
+    spec.index = data.index.get();
+    spec.probeKeys = data.probeKeys.get();
+    spec.outBase = data.outBase();
+    accel::EngineConfig cfg;
+    cfg.numWalkers = walkers;
+    cfg.sharedDispatcher = shared;
+    accel::Engine engine(spec, cfg);
+    accel::EngineResult r =
+        combined ? engine.runCombined(walkers) : engine.run();
+    return r.cyclesPerTuple;
+}
+
+} // namespace
+
+int
+main()
+{
+    TablePrinter tbl("Figure 3 design points: cycles/tuple "
+                     "(join kernel)");
+    tbl.header({"Index", "Walkers", "(a/b) combined",
+                "(c) decoupled/walker", "(d) shared dispatcher",
+                "decoupling gain"});
+
+    for (const wl::KernelSize &size :
+         {wl::KernelSize::medium(), wl::KernelSize::large()}) {
+        wl::KernelDataset data(size);
+        for (unsigned w : {1u, 2u, 4u}) {
+            double combined = cyclesPerTuple(data, w, true, true);
+            double decoupled = cyclesPerTuple(data, w, false, false);
+            double shared = cyclesPerTuple(data, w, true, false);
+            tbl.addRow({size.name, std::to_string(w),
+                        TablePrinter::fmt(combined, 1),
+                        TablePrinter::fmt(decoupled, 1),
+                        TablePrinter::fmt(shared, 1),
+                        TablePrinter::fmtPct(1.0 -
+                                             decoupled / combined)});
+        }
+    }
+    tbl.print();
+    std::printf("Paper: decoupling reduces time per traversal by "
+                "~29%% on average; (d) should track (c) closely "
+                "(one dispatcher feeds four walkers).\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Regenerates Figure 2: query execution-time breakdowns on the
+ * mini-DBMS (MonetDB's role).
+ *
+ *  (a) Per-query % of execution time in Index / Scan / Sort&Join /
+ *      Other, measured with wall-clock timers around real operators
+ *      (VTune's role), for the 16 TPC-H + 9 TPC-DS queries.
+ *  (b) Index-time split between key hashing and node-list walking,
+ *      from the simulated OoO core's per-phase cycle attribution,
+ *      for the 12 simulated queries.
+ *
+ * Paper anchors: indexing 14-94% of execution (TPC-H avg ~35%,
+ * TPC-DS avg ~45%); walk ~70% of index time on average (up to 97%),
+ * hash ~30% (up to 68% on L1-resident indexes).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/table_printer.hh"
+#include "cpu/probe_run.hh"
+#include "workload/dss_queries.hh"
+
+using namespace widx;
+
+int
+main()
+{
+    // --- Figure 2a ------------------------------------------------------
+    TablePrinter fig2a("Figure 2a: total execution time breakdown "
+                       "(measured on the mini-DBMS)");
+    fig2a.header({"Query", "Suite", "Index", "Scan", "Sort&Join",
+                  "Other", "Index(paper)"});
+    std::vector<double> tpch_index;
+    std::vector<double> tpcds_index;
+    for (const wl::PlanSpec &spec : wl::dssPlanQueries()) {
+        db::PlanBreakdown bd = wl::runPlan(spec);
+        const double f_index = bd.fraction(db::OpClass::Index);
+        fig2a.addRow({spec.name, spec.suite,
+                      TablePrinter::fmtPct(f_index),
+                      TablePrinter::fmtPct(
+                          bd.fraction(db::OpClass::Scan)),
+                      TablePrinter::fmtPct(
+                          bd.fraction(db::OpClass::SortJoin)),
+                      TablePrinter::fmtPct(
+                          bd.fraction(db::OpClass::Other)),
+                      TablePrinter::fmtPct(spec.paperIndexFraction)});
+        if (std::string(spec.suite) == "TPC-H")
+            tpch_index.push_back(f_index);
+        else
+            tpcds_index.push_back(f_index);
+    }
+    fig2a.print();
+    std::printf("TPC-H mean index fraction: %.1f%% (paper ~35%%); "
+                "TPC-DS: %.1f%% (paper ~45%%)\n",
+                mean(tpch_index) * 100.0, mean(tpcds_index) * 100.0);
+
+    // --- Figure 2b ------------------------------------------------------
+    TablePrinter fig2b("Figure 2b: index execution time breakdown "
+                       "(simulated OoO core)");
+    fig2b.header({"Query", "Suite", "Walk", "Hash"});
+    std::vector<double> hash_fracs;
+    for (const wl::DssQuerySpec &spec : wl::dssSimQueries()) {
+        wl::DssDataset data(spec);
+        cpu::ProbeRunConfig cfg;
+        cfg.core = cpu::CoreParams::ooo();
+        cpu::CoreResult r =
+            cpu::runProbeLoop(*data.index, *data.probeKeys, cfg);
+        const double hash = r.hashFraction();
+        hash_fracs.push_back(hash);
+        fig2b.addRow({spec.name, spec.suite,
+                      TablePrinter::fmtPct(1.0 - hash),
+                      TablePrinter::fmtPct(hash)});
+    }
+    fig2b.print();
+    std::printf("Mean hash fraction: %.1f%% (paper ~30%%, max 68%%)\n",
+                mean(hash_fracs) * 100.0);
+    return 0;
+}

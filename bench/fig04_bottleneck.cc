@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Regenerates Figure 4: the Section 3.2 accelerator bottleneck
+ * analysis (Equations 1-5).
+ *
+ *  (a) L1-D accesses per cycle vs LLC miss ratio for 1-10 walkers;
+ *      the port count (1 or 2) is the ceiling.
+ *  (b) Outstanding L1-D misses vs walker count; 8-10 MSHRs cap the
+ *      design at 4-5 walkers.
+ *  (c) Walkers sustainable per memory controller (9 GB/s effective)
+ *      vs LLC miss ratio.
+ */
+
+#include <cstdio>
+
+#include "common/table_printer.hh"
+#include "model/analytical.hh"
+
+using namespace widx;
+using model::ModelParams;
+
+int
+main()
+{
+    ModelParams p;
+
+    std::printf("Model constants: hash %.1f cyc/key, walk %.1f-%.1f "
+                "cyc/node (LLC miss 0..1)\n",
+                model::hashCycles(p), model::walkNodeCycles(p, 0.0),
+                model::walkNodeCycles(p, 1.0));
+
+    // --- Figure 4a ------------------------------------------------------
+    TablePrinter fig4a("Figure 4a: L1-D MemOps/cycle vs LLC miss "
+                       "ratio (limit: ports)");
+    fig4a.header({"LLC miss", "1", "2", "4", "8", "10"});
+    for (int m = 0; m <= 10; ++m) {
+        const double miss = m / 10.0;
+        std::vector<std::string> row{TablePrinter::fmt(miss, 1)};
+        for (unsigned n : {1u, 2u, 4u, 8u, 10u})
+            row.push_back(TablePrinter::fmt(
+                model::memOpsPerCycle(p, miss, n)));
+        fig4a.addRow(row);
+    }
+    fig4a.print();
+    std::printf("Max walkers within 1 L1 port at LLC miss 0.1: %u "
+                "(paper: single-ported L1 bottlenecks beyond ~6); "
+                "within 2 ports: %u (paper: 2 ports support 10)\n",
+                model::maxWalkersByL1Bandwidth(
+                    {.l1Ports = 1.0}, 0.1),
+                model::maxWalkersByL1Bandwidth(p, 0.1));
+
+    // --- Figure 4b ------------------------------------------------------
+    TablePrinter fig4b("Figure 4b: outstanding L1 misses vs walkers "
+                       "(limit: MSHRs)");
+    fig4b.header({"Walkers", "Outstanding misses"});
+    for (unsigned n = 1; n <= 10; ++n)
+        fig4b.addRow({std::to_string(n),
+                      TablePrinter::fmt(
+                          model::outstandingMisses(p, n), 0)});
+    fig4b.print();
+    std::printf("Max walkers within %d MSHRs: %u (paper: 8-10 MSHRs "
+                "limit to 4-5 walkers)\n",
+                int(p.mshrs), model::maxWalkersByMshrs(p));
+
+    // --- Figure 4c ------------------------------------------------------
+    TablePrinter fig4c("Figure 4c: walkers per memory controller vs "
+                       "LLC miss ratio");
+    fig4c.header({"LLC miss", "Walkers/MC"});
+    for (int m = 1; m <= 10; ++m) {
+        const double miss = m / 10.0;
+        fig4c.addRow({TablePrinter::fmt(miss, 1),
+                      TablePrinter::fmt(
+                          model::walkersPerMc(p, miss), 1)});
+    }
+    fig4c.print();
+    std::printf("Paper anchors: ~8 walkers/MC at low miss ratios, "
+                "~4-5 at miss ratio 1.0\n");
+    return 0;
+}

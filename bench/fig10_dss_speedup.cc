@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Regenerates Figure 10 (indexing speedup of Widx over the OoO core
+ * on the DSS queries) and the Section 6.2 whole-query projection.
+ *
+ * Paper anchors: 1.5x-5.5x with 4 walkers, geometric mean 3.1x;
+ * maximum on TPC-H q20 (large index, double keys with expensive
+ * hashing), minimum on TPC-DS q37 (L1-resident index). Projected
+ * whole-query speedup: geometric mean 1.5x, up to 3.1x on q17 (94%
+ * of execution is indexing), minimum ~1.1x on q37.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "accel/engine.hh"
+#include "common/stats.hh"
+#include "common/table_printer.hh"
+#include "cpu/probe_run.hh"
+#include "workload/dss_queries.hh"
+
+using namespace widx;
+
+int
+main()
+{
+    TablePrinter fig10("Figure 10: indexing speedup over OoO "
+                       "(DSS queries)");
+    fig10.header({"Query", "Suite", "1 walker", "2 walkers",
+                  "4 walkers", "Query-level (4w)"});
+
+    std::vector<double> speedups_4w;
+    std::vector<double> query_level;
+    for (const wl::DssQuerySpec &spec : wl::dssSimQueries()) {
+        wl::DssDataset data(spec);
+
+        cpu::ProbeRunConfig base;
+        base.core = cpu::CoreParams::ooo();
+        cpu::CoreResult ooo =
+            cpu::runProbeLoop(*data.index, *data.probeKeys, base);
+
+        double s[3] = {0, 0, 0};
+        int i = 0;
+        for (unsigned w : {1u, 2u, 4u}) {
+            accel::OffloadSpec off;
+            off.index = data.index.get();
+            off.probeKeys = data.probeKeys.get();
+            off.outBase = data.outBase();
+            accel::EngineConfig cfg;
+            cfg.numWalkers = w;
+            accel::EngineResult r = accel::runOffload(off, cfg);
+            s[i++] = ooo.cyclesPerTuple / r.cyclesPerTuple;
+        }
+        speedups_4w.push_back(s[2]);
+
+        // Section 6.2: Amdahl projection onto the whole query using
+        // the Fig. 2a indexing fraction.
+        const double f = spec.indexFraction;
+        const double proj = 1.0 / ((1.0 - f) + f / s[2]);
+        query_level.push_back(proj);
+
+        fig10.addRow({spec.name, spec.suite, TablePrinter::fmt(s[0]),
+                      TablePrinter::fmt(s[1]), TablePrinter::fmt(s[2]),
+                      TablePrinter::fmt(proj)});
+    }
+    fig10.print();
+
+    std::printf("Indexing speedup, 4 walkers: geomean %.2fx "
+                "(paper 3.1x), range %.2fx-%.2fx (paper 1.5x-5.5x)\n",
+                geomean(speedups_4w),
+                *std::min_element(speedups_4w.begin(),
+                                  speedups_4w.end()),
+                *std::max_element(speedups_4w.begin(),
+                                  speedups_4w.end()));
+    std::printf("Query-level projection: geomean %.2fx (paper 1.5x), "
+                "max %.2fx (paper 3.1x on qry17)\n",
+                geomean(query_level),
+                *std::max_element(query_level.begin(),
+                                  query_level.end()));
+    return 0;
+}

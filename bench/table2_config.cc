@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Regenerates Table 2 (evaluation parameters) from the live defaults
+ * of the simulator, plus the Section 6.3 synthesis constants (area
+ * and power) used by the energy model.
+ */
+
+#include <cstdio>
+
+#include "common/table_printer.hh"
+#include "cpu/core_model.hh"
+#include "energy/energy.hh"
+#include "sim/params.hh"
+
+using namespace widx;
+
+int
+main()
+{
+    sim::Params p;
+    cpu::CoreParams ooo = cpu::CoreParams::ooo();
+    cpu::CoreParams io = cpu::CoreParams::inorder();
+
+    TablePrinter t2("Table 2: evaluation parameters (live defaults)");
+    t2.header({"Parameter", "Value"});
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "40nm, %.0f GHz", p.clockGhz);
+    t2.addRow({"Technology", buf});
+    t2.addRow({"CMP Features", "4 cores"});
+    std::snprintf(buf, sizeof(buf),
+                  "In-order (Cortex A8-like): %u-wide", io.width);
+    t2.addRow({"Core Types", buf});
+    std::snprintf(buf, sizeof(buf),
+                  "OoO (Xeon-like): %u-wide, %u-entry ROB", ooo.width,
+                  ooo.robEntries);
+    t2.addRow({"", buf});
+    std::snprintf(buf, sizeof(buf),
+                  "%u KB, split, %u ports, 64B blocks, %u MSHRs, "
+                  "%llu-cycle load-to-use",
+                  p.l1Bytes / 1024, p.l1Ports, p.l1Mshrs,
+                  (unsigned long long)p.l1Latency);
+    t2.addRow({"L1-I/D Caches", buf});
+    std::snprintf(buf, sizeof(buf), "%u MB, %llu-cycle hit latency",
+                  p.llcBytes / (1024 * 1024),
+                  (unsigned long long)p.llcLatency);
+    t2.addRow({"LLC", buf});
+    std::snprintf(buf, sizeof(buf),
+                  "%u in-flight translations, %u entries, %llu MB "
+                  "pages",
+                  p.tlbMaxInflightWalks, p.tlbEntries,
+                  (unsigned long long)(p.pageBytes / (1024 * 1024)));
+    t2.addRow({"TLB", buf});
+    std::snprintf(buf, sizeof(buf), "Crossbar, %llu-cycle latency",
+                  (unsigned long long)p.xbarLatency);
+    t2.addRow({"Interconnect", buf});
+    std::snprintf(buf, sizeof(buf),
+                  "%u MCs, BW: %.1f GB/s, %llu-cycle (45ns) access "
+                  "latency, %llu cycles/block",
+                  p.numMemCtrls, p.memCtrlGBps,
+                  (unsigned long long)p.dramLatency,
+                  (unsigned long long)p.memCtrlCyclesPerBlock());
+    t2.addRow({"Main Memory", buf});
+    t2.print();
+
+    energy::AreaConstants a;
+    energy::EnergyParams ep;
+    TablePrinter area("Section 6.3: synthesis area / power constants");
+    area.header({"Component", "Area (mm2)", "Power (W)"});
+    area.addRow({"Widx unit (w/ 2-entry queues)",
+                 TablePrinter::fmt(a.widxUnitMm2, 3),
+                 TablePrinter::fmt(a.widxUnitWatts, 3)});
+    area.addRow({"Widx x6 (disp + 4 walkers + producer)",
+                 TablePrinter::fmt(a.widxSixUnitsMm2, 2),
+                 TablePrinter::fmt(a.widxSixUnitsWatts, 3)});
+    area.addRow({"ARM Cortex-A8-like core (w/ L1)",
+                 TablePrinter::fmt(a.cortexA8Mm2, 1),
+                 TablePrinter::fmt(a.cortexA8Watts, 3)});
+    area.addRow({"OoO core (nominal / idle)", "-",
+                 TablePrinter::fmt(ep.oooWatts, 1) + " / " +
+                     TablePrinter::fmt(
+                         ep.oooWatts * ep.idleFraction, 2)});
+    area.print();
+
+    std::printf("Widx area vs Cortex-A8: %.0f%% (paper: 18%%)\n",
+                a.widxVsA8AreaFraction() * 100.0);
+    return 0;
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Programmability demo (Section 4.2): support a schema the stock
+ * code generator has never seen by writing the walker by hand in
+ * Widx assembly.
+ *
+ * The custom index here is an open-addressing table with inline
+ * probing: 16-byte slots {key, payload}, linear probing with wrap,
+ * kEmptySlot marking free slots — a layout entirely unlike the
+ * chained node lists the built-in walker expects. A hand-written
+ * walker program handles it with the same Table 1 ISA, demonstrating
+ * why limited programmability (rather than fixed-function hardware)
+ * lets Widx support "a virtually limitless variety of schemas".
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "accel/unit.hh"
+#include "common/arena.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workload/distributions.hh"
+
+using namespace widx;
+
+namespace {
+
+constexpr u64 kEmptySlot = ~u64{0};
+
+struct OpenTable
+{
+    u64 mask;       ///< slots - 1
+    u64 *slots;     ///< {key, payload} pairs
+
+    explicit OpenTable(Arena &arena, u64 slot_count)
+        : mask(slot_count - 1)
+    {
+        slots = static_cast<u64 *>(arena.allocateBytes(
+            slot_count * 16, kCacheBlockBytes));
+        for (u64 i = 0; i < slot_count; ++i)
+            slots[2 * i] = kEmptySlot;
+    }
+
+    void
+    insert(u64 key, u64 payload)
+    {
+        u64 i = key & mask; // identity hash keeps the demo focused
+        while (slots[2 * i] != kEmptySlot)
+            i = (i + 1) & mask;
+        slots[2 * i] = key;
+        slots[2 * i + 1] = payload;
+    }
+
+    u64
+    lookup(u64 key) const
+    {
+        u64 i = key & mask;
+        while (slots[2 * i] != kEmptySlot) {
+            if (slots[2 * i] == key)
+                return slots[2 * i + 1];
+            i = (i + 1) & mask;
+        }
+        return kEmptySlot;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Arena arena;
+    Rng rng(5);
+    const u64 slot_count = 1u << 16;
+    OpenTable table(arena, slot_count);
+    for (u64 k = 1; k <= slot_count / 2; ++k)
+        table.insert(k, k * 100);
+
+    // Probe keys: half present, half absent.
+    std::vector<u64> keys = wl::uniformKeys(20000, slot_count, rng);
+
+    // The hand-written combined walker: hash (identity & mask),
+    // linear-probe until hit or empty, accumulate payload sum in
+    // r20 and match count in r21.
+    //
+    //   r1 cursor, r2 end, r3 slot base, r4 mask, r5 stride,
+    //   r6 empty marker, r7 const 1.
+    const char *walker_asm = R"(
+    loop:
+        ble    r2, r1, halt       ; keys exhausted?
+        ld     r10, [r1 + 0]      ; probe key
+        add    r1, r1, r5
+        and    r11, r10, r4       ; slot index (identity hash)
+    probe:
+        addshf r12, r3, r11, lsl #4 ; slot address = base + i*16
+        ld     r13, [r12 + 0]     ; slot key
+        cmp    r14, r13, r6       ; empty -> miss
+        ble    r7, r14, loop
+        cmp    r14, r13, r10      ; match?
+        ble    r14, r0, next
+        ld     r15, [r12 + 8]     ; payload
+        add    r20, r20, r15      ; sum += payload
+        add    r21, r21, r7       ; ++matches
+        ba     loop
+    next:
+        add    r11, r11, r7       ; linear probe with wrap
+        and    r11, r11, r4
+        ba     probe
+    )";
+
+    isa::Program prog;
+    std::string error;
+    if (!isa::assemble("open-table-walker", isa::UnitKind::Walker,
+                       walker_asm, error, prog)) {
+        std::fprintf(stderr, "assembly failed: %s\n", error.c_str());
+        return 1;
+    }
+    prog.setRelaxedLegality(false);
+    std::string verror;
+    if (!prog.validate(verror)) {
+        std::fprintf(stderr, "invalid program: %s\n",
+                     verror.c_str());
+        return 1;
+    }
+
+    prog.setReg(1, Addr(reinterpret_cast<std::uintptr_t>(
+                      keys.data())));
+    prog.setReg(2, Addr(reinterpret_cast<std::uintptr_t>(
+                      keys.data() + keys.size())));
+    prog.setReg(3, Addr(reinterpret_cast<std::uintptr_t>(
+                      table.slots)));
+    prog.setReg(4, table.mask);
+    prog.setReg(5, 8);
+    prog.setReg(6, kEmptySlot);
+    prog.setReg(7, 1);
+
+    std::printf("hand-written walker (%u instructions):\n%s\n",
+                prog.size(), prog.disassemble().c_str());
+
+    sim::MemSystem mem;
+    accel::Unit unit("custom-walker", prog, mem, nullptr, nullptr);
+    Cycle now = 0;
+    while (!unit.halted())
+        unit.tick(now++);
+
+    // Scalar reference.
+    u64 ref_sum = 0;
+    u64 ref_matches = 0;
+    for (u64 k : keys) {
+        u64 p = table.lookup(k);
+        if (p != kEmptySlot) {
+            ref_sum += p;
+            ++ref_matches;
+        }
+    }
+
+    std::printf("widx:   sum=%llu matches=%llu in %llu cycles "
+                "(%.1f cycles/probe)\n",
+                (unsigned long long)unit.reg(20),
+                (unsigned long long)unit.reg(21),
+                (unsigned long long)now,
+                double(now) / double(keys.size()));
+    std::printf("scalar: sum=%llu matches=%llu  -> %s\n",
+                (unsigned long long)ref_sum,
+                (unsigned long long)ref_matches,
+                unit.reg(20) == ref_sum &&
+                        unit.reg(21) == ref_matches
+                    ? "ok"
+                    : "MISMATCH");
+    return unit.reg(20) == ref_sum ? 0 : 1;
+}

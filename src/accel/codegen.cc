@@ -1,0 +1,297 @@
+#include "accel/codegen.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+#include "common/bitops.hh"
+
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+
+namespace widx::accel {
+
+using db::HashCombine;
+using db::HashIndex;
+using db::HashShift;
+using db::HashStep;
+
+namespace {
+
+std::string
+fmt(const char *pattern, ...)
+    __attribute__((format(printf, 1, 2)));
+
+std::string
+fmt(const char *pattern, ...)
+{
+    char buf[160];
+    va_list args;
+    va_start(args, pattern);
+    std::vsnprintf(buf, sizeof(buf), pattern, args);
+    va_end(args);
+    return buf;
+}
+
+void
+checkSpec(const OffloadSpec &spec)
+{
+    fatal_if(!spec.index, "offload spec needs an index");
+    fatal_if(!spec.probeKeys, "offload spec needs a probe column");
+    fatal_if(spec.probeKeys->elemWidth() != 8,
+             "Widx offload requires 64-bit key columns (the paper's "
+             "model assumption: eight keys per cache block)");
+}
+
+/**
+ * Tracks constant-register allocation while emitting hash steps.
+ * Constants start at r6; exceeding the register budget is fatal
+ * (Section 4.2: such functions cannot be mapped).
+ */
+class ConstPool
+{
+  public:
+    ConstPool(unsigned first, unsigned last)
+        : next_(first), last_(last)
+    {
+    }
+
+    unsigned
+    regFor(u64 constant)
+    {
+        auto it = map_.find(constant);
+        if (it != map_.end())
+            return it->second;
+        fatal_if(next_ > last_,
+                 "hash function exceeds the Widx register budget");
+        map_[constant] = next_;
+        return next_++;
+    }
+
+    const std::map<u64, unsigned> &all() const { return map_; }
+
+  private:
+    unsigned next_;
+    unsigned last_;
+    std::map<u64, unsigned> map_;
+};
+
+/**
+ * Emit the hash-step chain over accumulator register h_reg.
+ * One HashStep maps to exactly one (possibly fused) instruction,
+ * which is what makes compOps() the trace-side cost model.
+ */
+std::string
+emitHashSteps(const db::HashFn &fn, unsigned h_reg, ConstPool &pool)
+{
+    std::string out;
+    for (const HashStep &s : fn.steps()) {
+        const char *op = nullptr;
+        const char *fused = nullptr;
+        switch (s.combine) {
+          case HashCombine::Xor:
+            op = "xor";
+            fused = "xorshf";
+            break;
+          case HashCombine::Add:
+            op = "add";
+            fused = "addshf";
+            break;
+          case HashCombine::And:
+            op = "and";
+            fused = "andshf";
+            break;
+        }
+        std::string operand =
+            s.useSelf ? fmt("r%u", h_reg)
+                      : fmt("r%u", pool.regFor(s.constant));
+        if (s.shift == HashShift::None) {
+            out += fmt("    %s r%u, r%u, %s\n", op, h_reg, h_reg,
+                       operand.c_str());
+        } else {
+            out += fmt("    %s r%u, r%u, %s, %s #%u\n", fused, h_reg,
+                       h_reg, operand.c_str(),
+                       s.shift == HashShift::Lsl ? "lsl" : "lsr",
+                       s.shamt);
+        }
+    }
+    return out;
+}
+
+/** Shared front half of dispatcher-style programs: key fetch, hash,
+ *  bucket address formation into r20, key in r21. */
+std::string
+emitFetchAndHash(const OffloadSpec &spec, ConstPool &pool)
+{
+    std::string src;
+    src += "loop:\n";
+    src += "    ble    r2, r1, halt      ; input exhausted\n";
+    src += "    ld     r21, [r1 + 0]     ; next key\n";
+    src += "    add    r1, r1, r5        ; advance cursor\n";
+    src += "    add    r20, r21, r0      ; h = key\n";
+    src += emitHashSteps(spec.index->hashFn(), 20, pool);
+    src += "    and    r20, r20, r4      ; bucket index\n";
+    src += fmt("    addshf r20, r3, r20, lsl #%u ; bucket address\n",
+               log2Exact(u64{HashIndex::kBucketStride}));
+    return src;
+}
+
+} // namespace
+
+isa::Program
+generateDispatcher(const OffloadSpec &spec, u64 start_row,
+                   u64 stride_rows)
+{
+    checkSpec(spec);
+    fatal_if(stride_rows == 0, "stride must be nonzero");
+
+    ConstPool pool(6, 19);
+    std::string src = emitFetchAndHash(spec, pool);
+    if (spec.dispatcherTouch)
+        src += fmt("    touch  [r20 + %u]       ; prefetch header\n",
+                   HashIndex::kBucketHeadOffset);
+    // Prefetch the key stream one cache block ahead: keys are
+    // sequential, so the TOUCH hides the per-block compulsory miss
+    // behind the hashing of the current block's keys.
+    src += "    touch  [r1 + 64]         ; prefetch key stream\n";
+    src += "    add    r30, r21, r0      ; stage key\n";
+    src += "    add    r31, r20, r0      ; push {key, bucket}\n";
+    src += "    ba     loop\n";
+
+    isa::Program prog = isa::assembleOrDie(
+        fmt("dispatcher[%s]", spec.index->hashFn().name().c_str()),
+        isa::UnitKind::Dispatcher, src);
+
+    const db::Column &keys = *spec.probeKeys;
+    prog.setReg(1, keys.addrOf(0) + start_row * keys.elemWidth());
+    prog.setReg(2, keys.addrOf(0) + keys.size() * keys.elemWidth());
+    prog.setReg(3, spec.index->bucketArrayAddr());
+    prog.setReg(4, spec.index->bucketMask());
+    prog.setReg(5, stride_rows * keys.elemWidth());
+    for (const auto &[constant, r] : pool.all())
+        prog.setReg(r, constant);
+    return prog;
+}
+
+isa::Program
+generateWalker(const OffloadSpec &spec)
+{
+    checkSpec(spec);
+
+    // The pop is fused with the NULL check: `cmp r12, r30, r2` pops
+    // the next {key, bucket} entry; the key stays readable in the
+    // r29 latch and the bucket address in r31.
+    std::string src;
+    src += "loop:\n";
+    src += "    cmp    r12, r30, r2      ; pop; NULL sentinel?\n";
+    src += "    ble    r3, r12, halt\n";
+    src += "    add    r13, r31, r4      ; node = &bucket.head\n";
+    src += "node_loop:\n";
+    src += fmt("    ld     r15, [r13 + %u]   ; node key\n",
+               HashIndex::kNodeKeyOffset);
+    if (spec.index->indirectKeys())
+        src += "    ld     r15, [r15 + 0]    ; indirect: load key\n";
+    src += "    cmp    r12, r15, r29     ; match latched key?\n";
+    src += "    ble    r12, r0, no_match\n";
+    src += fmt("    ld     r16, [r13 + %u]   ; payload\n",
+               HashIndex::kNodePayloadOffset);
+    src += "    add    r30, r29, r0      ; stage key\n";
+    src += "    add    r31, r16, r0      ; push {key, payload}\n";
+    src += "no_match:\n";
+    src += fmt("    ld     r13, [r13 + %u]   ; next node\n",
+               HashIndex::kNodeNextOffset);
+    src += "    ble    r3, r13, node_loop\n";
+    src += "    ba     loop\n";
+
+    isa::Program prog = isa::assembleOrDie(
+        fmt("walker[%s]",
+            spec.index->indirectKeys() ? "indirect" : "direct"),
+        isa::UnitKind::Walker, src);
+    prog.setReg(2, spec.nullId);
+    prog.setReg(3, 1);
+    prog.setReg(4, HashIndex::kBucketHeadOffset);
+    return prog;
+}
+
+isa::Program
+generateProducer(const OffloadSpec &spec)
+{
+    checkSpec(spec);
+    fatal_if(spec.outBase == 0, "offload spec needs a results region");
+
+    std::string src;
+    src += "loop:\n";
+    src += "    add    r10, r30, r0      ; pop key (r31 <- payload)\n";
+    src += "    add    r11, r31, r0\n";
+    src += "    cmp    r12, r10, r2      ; NULL sentinel?\n";
+    src += "    ble    r3, r12, halt\n";
+    src += "    st     [r1 + 0], r10\n";
+    src += "    st     [r1 + 8], r11\n";
+    src += "    add    r1, r1, r4\n";
+    src += "    ba     loop\n";
+
+    isa::Program prog = isa::assembleOrDie(
+        "producer", isa::UnitKind::Producer, src);
+    prog.setReg(1, spec.outBase);
+    prog.setReg(2, spec.nullId);
+    prog.setReg(3, 1);
+    prog.setReg(4, 16);
+    return prog;
+}
+
+isa::Program
+generateCombined(const OffloadSpec &spec, u64 start_row,
+                 u64 stride_rows, Addr out_base)
+{
+    checkSpec(spec);
+    fatal_if(stride_rows == 0, "stride must be nonzero");
+    fatal_if(out_base == 0, "combined context needs a results region");
+
+    // Scratch registers reach r22 here, so constants live in r24..r29.
+    ConstPool pool(24, 29);
+    std::string src = emitFetchAndHash(spec, pool);
+    src += "    add    r13, r20, r22     ; node = &bucket.head\n";
+    src += "node_loop:\n";
+    src += fmt("    ld     r15, [r13 + %u]\n", HashIndex::kNodeKeyOffset);
+    if (spec.index->indirectKeys())
+        src += "    ld     r15, [r15 + 0]\n";
+    src += "    cmp    r12, r15, r21\n";
+    src += "    ble    r12, r0, no_match\n";
+    src += fmt("    ld     r16, [r13 + %u]\n",
+               HashIndex::kNodePayloadOffset);
+    src += "    st     [r17 + 0], r21\n";
+    src += "    st     [r17 + 8], r16\n";
+    src += "    add    r17, r17, r18\n";
+    src += "no_match:\n";
+    src += fmt("    ld     r13, [r13 + %u]\n",
+               HashIndex::kNodeNextOffset);
+    src += "    ble    r19, r13, node_loop\n";
+    src += "    ba     loop\n";
+
+    isa::Program prog;
+    std::string error;
+    bool ok = isa::assemble("combined", isa::UnitKind::Walker, src,
+                            error, prog);
+    fatal_if(!ok, "assembly of combined program failed: %s",
+             error.c_str());
+    prog.setRelaxedLegality(true);
+    std::string verror;
+    fatal_if(!prog.validate(verror), "combined program invalid: %s",
+             verror.c_str());
+
+    const db::Column &keys = *spec.probeKeys;
+    prog.setReg(1, keys.addrOf(0) + start_row * keys.elemWidth());
+    prog.setReg(2, keys.addrOf(0) + keys.size() * keys.elemWidth());
+    prog.setReg(3, spec.index->bucketArrayAddr());
+    prog.setReg(4, spec.index->bucketMask());
+    prog.setReg(5, stride_rows * keys.elemWidth());
+    prog.setReg(17, out_base);
+    prog.setReg(18, 16);
+    prog.setReg(19, 1);
+    prog.setReg(22, HashIndex::kBucketHeadOffset);
+    for (const auto &[constant, r] : pool.all())
+        prog.setReg(r, constant);
+    return prog;
+}
+
+} // namespace widx::accel

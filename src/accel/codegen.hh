@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Schema-aware Widx program generation (the paper's Section 4.2
+ * programming API).
+ *
+ * A database developer supplies three functions — key hashing, node
+ * walk, result emission — written against the index schema. Here the
+ * three programs are generated from the runtime description of the
+ * index (layout offsets, bucket geometry, hash-function IR, key
+ * indirection), emitted as assembler text, and assembled through the
+ * Table 1 toolchain, which both keeps them human-readable (see
+ * Program::disassemble) and enforces the per-unit legality matrix.
+ *
+ * Register conventions (constants preloaded via the control block):
+ *   dispatcher: r1 cursor, r2 end, r3 bucket base, r4 bucket mask,
+ *               r5 key stride, r6.. hash constants, r20 h, r21 key
+ *   walker:     r2 null id, r3 const 1, r4 head offset,
+ *               r10 key, r11 bucket, r13 node, r15 node key,
+ *               r16 payload
+ *   producer:   r1 out cursor, r2 null id, r3 const 1, r4 out stride
+ */
+
+#ifndef WIDX_ACCEL_CODEGEN_HH
+#define WIDX_ACCEL_CODEGEN_HH
+
+#include "db/column.hh"
+#include "db/hash_index.hh"
+#include "isa/program.hh"
+
+namespace widx::accel {
+
+/** Everything the engine needs to offload one indexing operation
+ *  (the configuration-register contents of Section 4.3). */
+struct OffloadSpec
+{
+    const db::HashIndex *index = nullptr;
+    const db::Column *probeKeys = nullptr;
+    /** Base of the results region; matches are {key, payload} pairs. */
+    Addr outBase = 0;
+    /** NULL value identifier: the end-of-stream sentinel. */
+    u64 nullId = db::kEmptyKey;
+    /** Extension (off by default, ablated in
+     *  bench/ablation_touch): the dispatcher TOUCHes the bucket
+     *  header right after hashing, prefetching the header node for
+     *  the walker. Helps LLC-resident indexes; at DRAM-resident
+     *  sizes the prefetches are largely dropped by MSHR exhaustion.
+     *  The paper's design does not prefetch buckets (Widx-1walker
+     *  performs within ~4% of the OoO core, Section 6.1). */
+    bool dispatcherTouch = false;
+};
+
+/**
+ * Dispatcher program: iterate the input keys from startRow advancing
+ * by strideRows, hash each key, and push {key, bucket address} to the
+ * walkers. A stride > 1 partitions the input across several
+ * dispatchers (the Figure 3c per-walker-hashing design point).
+ */
+isa::Program generateDispatcher(const OffloadSpec &spec, u64 start_row,
+                                u64 stride_rows);
+
+/** Walker program: pop {key, bucket}, walk the node list, push
+ *  {key, payload} for every match; halt on the NULL sentinel. */
+isa::Program generateWalker(const OffloadSpec &spec);
+
+/** Producer program: pop {key, payload} and store both words to the
+ *  results region; halt on the NULL sentinel. */
+isa::Program generateProducer(const OffloadSpec &spec);
+
+/**
+ * Combined hash+walk+emit program for the Figure 3(a)/(b) design
+ * points (no decoupling, no specialization); marked relaxed because
+ * it predates the Table 1 per-unit split.
+ *
+ * @param out_base private results region of this context.
+ */
+isa::Program generateCombined(const OffloadSpec &spec, u64 start_row,
+                              u64 stride_rows, Addr out_base);
+
+} // namespace widx::accel
+
+#endif // WIDX_ACCEL_CODEGEN_HH

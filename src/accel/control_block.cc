@@ -1,0 +1,82 @@
+#include "accel/control_block.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace widx::accel {
+
+std::vector<u64>
+encodeControlBlock(const std::vector<isa::Program> &programs)
+{
+    std::vector<u64> words;
+    words.push_back(kControlBlockMagic);
+    words.push_back(programs.size());
+    for (const isa::Program &p : programs) {
+        u64 header = u64(p.unit()) | (u64(p.relaxedLegality()) << 8) |
+                     (u64(p.size()) << 16);
+        words.push_back(header);
+        for (u64 r : p.regImage())
+            words.push_back(r);
+        for (const isa::Instruction &inst : p.code())
+            words.push_back(inst.encode());
+    }
+    return words;
+}
+
+bool
+decodeControlBlock(const std::vector<u64> &words, std::string &error,
+                   std::vector<isa::Program> &out)
+{
+    out.clear();
+    if (words.size() < 2 || words[0] != kControlBlockMagic) {
+        error = "bad control block magic";
+        return false;
+    }
+    const u64 count = words[1];
+    std::size_t pos = 2;
+    char buf[96];
+    for (u64 u = 0; u < count; ++u) {
+        if (pos >= words.size()) {
+            error = "truncated unit header";
+            return false;
+        }
+        const u64 header = words[pos++];
+        const auto kind = isa::UnitKind(header & 0xFF);
+        const bool relaxed = (header >> 8) & 0xFF;
+        const u64 ninsts = header >> 16;
+        if (u64(kind) > u64(isa::UnitKind::Producer)) {
+            error = "bad unit kind";
+            return false;
+        }
+        if (pos + isa::kNumRegs + ninsts > words.size()) {
+            error = "truncated unit body";
+            return false;
+        }
+        std::snprintf(buf, sizeof(buf), "unit%llu",
+                      (unsigned long long)u);
+        isa::Program prog(buf, kind);
+        prog.setRelaxedLegality(relaxed);
+        for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+            u64 v = words[pos++];
+            if (r != isa::kRegZero || v == 0)
+                prog.setReg(r, v);
+        }
+        for (u64 i = 0; i < ninsts; ++i)
+            prog.append(isa::Instruction::decode(words[pos++]));
+        std::string verror;
+        if (!prog.validate(verror)) {
+            error = "decoded program invalid: " + verror;
+            return false;
+        }
+        out.push_back(std::move(prog));
+    }
+    if (pos != words.size()) {
+        error = "trailing words in control block";
+        return false;
+    }
+    error.clear();
+    return true;
+}
+
+} // namespace widx::accel

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The Widx control block (Section 4.3).
+ *
+ * The application binary carries a control block holding the
+ * instructions and constant-register images for every Widx unit. The
+ * host core writes the block's base address into Widx's memory-mapped
+ * configuration registers; Widx then issues a series of loads to
+ * consecutive virtual addresses to configure itself. This module
+ * serializes programs to that block format and parses it back; the
+ * engine times the configuration loads through the memory system.
+ *
+ * Layout (64-bit words):
+ *   [0]            magic
+ *   [1]            unit count
+ *   per unit:
+ *     [0]          kind (8b) | relaxed flag (8b) | instruction count
+ *     [1 .. 32]    initial register image (r0..r31)
+ *     [33 ..]      encoded instructions
+ */
+
+#ifndef WIDX_ACCEL_CONTROL_BLOCK_HH
+#define WIDX_ACCEL_CONTROL_BLOCK_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace widx::accel {
+
+/** Magic word identifying a Widx control block ("WIDX1"). */
+constexpr u64 kControlBlockMagic = 0x5749445831ull;
+
+/** Serialize unit programs into a control block image. */
+std::vector<u64> encodeControlBlock(
+    const std::vector<isa::Program> &programs);
+
+/**
+ * Parse a control block image back into programs.
+ *
+ * @param words the block image.
+ * @param error receives a diagnostic on failure.
+ * @param out receives the programs on success.
+ * @return true on success.
+ */
+bool decodeControlBlock(const std::vector<u64> &words,
+                        std::string &error,
+                        std::vector<isa::Program> &out);
+
+} // namespace widx::accel
+
+#endif // WIDX_ACCEL_CONTROL_BLOCK_HH

@@ -1,0 +1,315 @@
+#include "accel/engine.hh"
+
+#include <algorithm>
+
+#include "accel/control_block.hh"
+#include "common/logging.hh"
+
+namespace widx::accel {
+
+namespace {
+
+/** Cycles with no unit progress before the engine declares deadlock
+ *  (generous: the longest legitimate stall is a DRAM queue drain). */
+constexpr Cycle kDeadlockWindow = 1u << 20;
+
+} // namespace
+
+Engine::Engine(const OffloadSpec &spec, const EngineConfig &config)
+    : spec_(spec), config_(config),
+      mem_(std::make_unique<sim::MemSystem>(config.memParams))
+{
+    fatal_if(config.numWalkers == 0, "need at least one walker");
+    fatal_if(config.queueDepth == 0, "need at least one queue entry");
+}
+
+Engine::~Engine() = default;
+
+Cycle
+Engine::loadControlBlock(const std::vector<isa::Program> &programs)
+{
+    blockWords_ = encodeControlBlock(programs);
+    Cycle now = 0;
+    if (config_.modelConfigLoad) {
+        for (const u64 &w : blockWords_) {
+            sim::AccessResult res = mem_->access(
+                now, Addr(reinterpret_cast<std::uintptr_t>(&w)),
+                sim::AccessKind::Load);
+            now = res.ready;
+        }
+    }
+    return now;
+}
+
+EngineResult
+runOffload(const OffloadSpec &spec, const EngineConfig &config)
+{
+    Engine engine(spec, config);
+    return engine.run();
+}
+
+EngineResult
+Engine::run()
+{
+    const unsigned w = config_.numWalkers;
+    const unsigned ndisp = config_.sharedDispatcher ? 1 : w;
+
+    // 1. Generate the unit programs for this schema.
+    std::vector<isa::Program> programs;
+    for (unsigned d = 0; d < ndisp; ++d) {
+        programs.push_back(config_.sharedDispatcher
+                               ? generateDispatcher(spec_, 0, 1)
+                               : generateDispatcher(spec_, d, ndisp));
+    }
+    for (unsigned i = 0; i < w; ++i)
+        programs.push_back(generateWalker(spec_));
+    programs.push_back(generateProducer(spec_));
+
+    // 2. Configure through the control block (Section 4.3); the
+    //    engine runs the *decoded* programs, exercising the exact
+    //    image an application binary would carry.
+    const Cycle config_cycles = loadControlBlock(programs);
+    std::vector<isa::Program> loaded;
+    std::string error;
+    panic_if(!decodeControlBlock(blockWords_, error, loaded),
+             "control block round-trip failed: %s", error.c_str());
+
+    // 3. Queue fabric.
+    std::vector<std::unique_ptr<DirectQueue>> in_qs;
+    std::vector<std::unique_ptr<DirectQueue>> out_qs;
+    std::vector<DirectQueue *> in_ptrs;
+    std::vector<DirectQueue *> out_ptrs;
+    for (unsigned i = 0; i < w; ++i) {
+        in_qs.push_back(
+            std::make_unique<DirectQueue>(config_.queueDepth));
+        out_qs.push_back(
+            std::make_unique<DirectQueue>(config_.queueDepth));
+        in_ptrs.push_back(in_qs.back().get());
+        out_ptrs.push_back(out_qs.back().get());
+    }
+    RoundRobinRouter router(in_ptrs);
+    RoundRobinArbiter arbiter(out_ptrs);
+
+    // 4. Units.
+    std::vector<std::unique_ptr<Unit>> dispatchers;
+    std::vector<std::unique_ptr<Unit>> walkers;
+    for (unsigned d = 0; d < ndisp; ++d) {
+        QueueSink *sink = config_.sharedDispatcher
+                              ? static_cast<QueueSink *>(&router)
+                              : static_cast<QueueSink *>(in_ptrs[d]);
+        dispatchers.push_back(std::make_unique<Unit>(
+            "dispatcher" + std::to_string(d), loaded[d], *mem_,
+            nullptr, sink));
+    }
+    for (unsigned i = 0; i < w; ++i) {
+        walkers.push_back(std::make_unique<Unit>(
+            "walker" + std::to_string(i), loaded[ndisp + i], *mem_,
+            in_ptrs[i], out_ptrs[i]));
+    }
+    Unit producer("producer", loaded[ndisp + w], *mem_, &arbiter,
+                  nullptr);
+
+    // 5. Cycle-stepped execution with the end-of-stream protocol.
+    const u64 probes = spec_.probeKeys->size();
+    const u64 warmup_target =
+        u64(double(probes) * config_.warmupFraction);
+    bool warmed = warmup_target == 0;
+    u64 warmup_probes = 0;
+    Cycle warmup_cycle = config_cycles;
+    std::vector<UnitBreakdown> walker_base(w);
+    UnitBreakdown disp_base;
+    if (warmed)
+        mem_->resetStats();
+
+    std::vector<bool> walker_sentinel(w, false);
+    bool producer_sentinel = false;
+
+    Cycle now = config_cycles;
+    Cycle last_progress = now;
+    while (!producer.halted()) {
+        bool progress = false;
+        for (auto &d : dispatchers)
+            progress |= d->tick(now);
+        for (auto &wk : walkers)
+            progress |= wk->tick(now);
+        progress |= producer.tick(now);
+
+        // Sentinel delivery: behind all pending walker entries.
+        bool disp_done = true;
+        for (auto &d : dispatchers)
+            disp_done &= d->halted();
+        if (disp_done) {
+            for (unsigned i = 0; i < w; ++i) {
+                if (!walker_sentinel[i] && !in_ptrs[i]->full()) {
+                    in_ptrs[i]->push({spec_.nullId, 0});
+                    walker_sentinel[i] = true;
+                    progress = true;
+                }
+            }
+        }
+        bool walkers_done = true;
+        for (auto &wk : walkers)
+            walkers_done &= wk->halted();
+        if (walkers_done && !producer_sentinel && arbiter.empty()) {
+            out_ptrs[0]->push({spec_.nullId, 0});
+            producer_sentinel = true;
+            progress = true;
+        }
+
+        // Warmup snapshot once enough keys have been dispatched.
+        if (!warmed) {
+            u64 dispatched = 0;
+            for (auto &d : dispatchers)
+                dispatched += d->entriesPushed();
+            if (dispatched >= warmup_target) {
+                warmed = true;
+                warmup_probes = dispatched;
+                warmup_cycle = now;
+                for (unsigned i = 0; i < w; ++i)
+                    walker_base[i] = walkers[i]->breakdown();
+                for (auto &d : dispatchers)
+                    disp_base.accumulate(d->breakdown());
+                mem_->resetStats();
+            }
+        }
+
+        if (progress)
+            last_progress = now;
+        panic_if(now - last_progress > kDeadlockWindow,
+                 "engine deadlock at cycle %llu",
+                 (unsigned long long)now);
+        fatal_if(config_.maxCycles && now > config_.maxCycles,
+                 "engine exceeded maxCycles");
+        ++now;
+    }
+
+    // 6. Collect results.
+    EngineResult res;
+    res.probes = probes;
+    res.matches = producer.entriesPopped() -
+                  (producer_sentinel ? 1 : 0);
+    res.totalCycles = now - config_cycles;
+    res.configCycles = config_cycles;
+    res.measuredProbes = probes - warmup_probes;
+    res.measuredCycles = now - warmup_cycle;
+    res.cyclesPerTuple =
+        res.measuredProbes == 0
+            ? 0.0
+            : double(res.measuredCycles) / double(res.measuredProbes);
+    for (unsigned i = 0; i < w; ++i) {
+        UnitBreakdown b =
+            walkers[i]->breakdown().minus(walker_base[i]);
+        res.perWalker.push_back(b);
+        res.walkers.accumulate(b);
+    }
+    UnitBreakdown disp_now;
+    for (auto &d : dispatchers)
+        disp_now.accumulate(d->breakdown());
+    res.dispatchers = disp_now.minus(disp_base);
+    mem_->exportStats(res.memStats);
+    return res;
+}
+
+EngineResult
+Engine::runCombined(unsigned num_contexts)
+{
+    fatal_if(num_contexts == 0, "need at least one context");
+    const u64 probes = spec_.probeKeys->size();
+    const u64 slice_pairs = 2 * (probes / num_contexts + 1);
+
+    std::vector<isa::Program> programs;
+    for (unsigned c = 0; c < num_contexts; ++c) {
+        Addr out = spec_.outBase + Addr(c) * slice_pairs * 16;
+        programs.push_back(
+            generateCombined(spec_, c, num_contexts, out));
+    }
+    const Cycle config_cycles = loadControlBlock(programs);
+    std::vector<isa::Program> loaded;
+    std::string error;
+    panic_if(!decodeControlBlock(blockWords_, error, loaded),
+             "control block round-trip failed: %s", error.c_str());
+
+    std::vector<std::unique_ptr<Unit>> contexts;
+    for (unsigned c = 0; c < num_contexts; ++c) {
+        contexts.push_back(std::make_unique<Unit>(
+            "combined" + std::to_string(c), loaded[c], *mem_, nullptr,
+            nullptr));
+    }
+
+    const u64 warmup_target =
+        u64(double(probes) * config_.warmupFraction);
+    bool warmed = warmup_target == 0;
+    u64 warmup_probes = 0;
+    Cycle warmup_cycle = config_cycles;
+    std::vector<UnitBreakdown> base(num_contexts);
+    if (warmed)
+        mem_->resetStats();
+
+    // Cursor start addresses, for progress accounting via r1.
+    const db::Column &keys = *spec_.probeKeys;
+    std::vector<Addr> start(num_contexts);
+    for (unsigned c = 0; c < num_contexts; ++c)
+        start[c] = keys.addrOf(0) + Addr(c) * keys.elemWidth();
+    const u64 stride_bytes = u64(num_contexts) * keys.elemWidth();
+
+    Cycle now = config_cycles;
+    Cycle last_progress = now;
+    auto all_halted = [&]() {
+        for (auto &c : contexts)
+            if (!c->halted())
+                return false;
+        return true;
+    };
+    while (!all_halted()) {
+        bool progress = false;
+        for (auto &c : contexts)
+            progress |= c->tick(now);
+
+        if (!warmed) {
+            u64 done = 0;
+            for (unsigned c = 0; c < num_contexts; ++c) {
+                u64 cursor = contexts[c]->reg(1);
+                done += (cursor - start[c]) / stride_bytes;
+            }
+            if (done >= warmup_target) {
+                warmed = true;
+                warmup_probes = done;
+                warmup_cycle = now;
+                for (unsigned c = 0; c < num_contexts; ++c)
+                    base[c] = contexts[c]->breakdown();
+                mem_->resetStats();
+            }
+        }
+
+        if (progress)
+            last_progress = now;
+        panic_if(now - last_progress > kDeadlockWindow,
+                 "combined engine deadlock at cycle %llu",
+                 (unsigned long long)now);
+        ++now;
+    }
+
+    EngineResult res;
+    res.probes = probes;
+    u64 stores = 0;
+    for (auto &c : contexts)
+        stores += c->storesExecuted();
+    res.matches = stores / 2;
+    res.totalCycles = now - config_cycles;
+    res.configCycles = config_cycles;
+    res.measuredProbes = probes - warmup_probes;
+    res.measuredCycles = now - warmup_cycle;
+    res.cyclesPerTuple =
+        res.measuredProbes == 0
+            ? 0.0
+            : double(res.measuredCycles) / double(res.measuredProbes);
+    for (unsigned c = 0; c < num_contexts; ++c) {
+        UnitBreakdown b = contexts[c]->breakdown().minus(base[c]);
+        res.perWalker.push_back(b);
+        res.walkers.accumulate(b);
+    }
+    mem_->exportStats(res.memStats);
+    return res;
+}
+
+} // namespace widx::accel

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The Widx engine: full-offload execution of an indexing operation
+ * (Figure 6: one dispatcher, N walkers, one output producer, chained
+ * through 2-entry queues).
+ *
+ * The engine reproduces the offload flow of Section 4.3: it encodes
+ * the unit programs into a control block, times the configuration
+ * loads through the core's memory hierarchy, then cycle-steps the
+ * units until every probe key has flowed through
+ * dispatcher -> walker -> producer and the results region holds all
+ * matches. The host core is idle throughout (full offload), so the
+ * engine's cycle count *is* the indexing runtime.
+ *
+ * End-of-stream protocol: when the dispatcher halts (input
+ * exhausted), the engine enqueues the configured NULL-value
+ * identifier behind each walker's pending entries; when all walkers
+ * halt and their output queues drain, the same sentinel is delivered
+ * to the producer (Section 4.3 lists the NULL identifier among the
+ * configuration registers).
+ *
+ * Design-point configuration reproduces Figure 3:
+ *  - numWalkers = 1 and sharedDispatcher: (c) with N=1;
+ *  - numWalkers = N, sharedDispatcher = true: (d), the Widx default;
+ *  - sharedDispatcher = false: (c), one hashing unit per walker;
+ *  - the combined (a)/(b) points run through runCombined().
+ */
+
+#ifndef WIDX_ACCEL_ENGINE_HH
+#define WIDX_ACCEL_ENGINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "accel/codegen.hh"
+#include "accel/unit.hh"
+#include "sim/params.hh"
+
+namespace widx::accel {
+
+struct EngineConfig
+{
+    /** Concurrent walker units (the paper evaluates 1, 2, 4). */
+    unsigned numWalkers = 4;
+    /** Entries per inter-unit queue (synthesized design: 2). */
+    unsigned queueDepth = 2;
+    /** One dispatcher shared by all walkers (Figure 3d) versus one
+     *  decoupled hashing unit per walker (Figure 3c). */
+    bool sharedDispatcher = true;
+    /** Model the control-block configuration loads. */
+    bool modelConfigLoad = true;
+    /** Memory-system parameters (Table 2). */
+    sim::Params memParams{};
+    /** Fraction of probes treated as warmup; statistics cover the
+     *  remainder (the SimFlex warmed-checkpoint methodology). */
+    double warmupFraction = 0.1;
+    /** Safety stop; 0 disables. */
+    Cycle maxCycles = 0;
+};
+
+/** Result of one offloaded indexing operation. */
+struct EngineResult
+{
+    // Functional outputs.
+    u64 probes = 0;  ///< keys processed in total
+    u64 matches = 0; ///< pairs written to the results region
+
+    // Timing (measured window, after warmup).
+    u64 measuredProbes = 0;
+    Cycle measuredCycles = 0;
+    double cyclesPerTuple = 0.0;
+
+    // Whole-run timing.
+    Cycle totalCycles = 0;
+    Cycle configCycles = 0;
+
+    /** Aggregate walker cycle breakdown over the measured window
+     *  (the Comp/Mem/TLB/Idle split of Figures 8a and 9). */
+    UnitBreakdown walkers;
+    std::vector<UnitBreakdown> perWalker;
+    UnitBreakdown dispatchers;
+
+    /** Memory-system statistics over the measured window. */
+    StatSet memStats;
+
+    /** Walker-idle fraction of aggregate walker cycles. */
+    double
+    walkerIdleFraction() const
+    {
+        u64 t = walkers.total();
+        return t == 0 ? 0.0 : double(walkers.idle) / double(t);
+    }
+};
+
+class Engine
+{
+  public:
+    Engine(const OffloadSpec &spec, const EngineConfig &config);
+    ~Engine();
+
+    /** Run the full offload (Figure 3c/d design points). */
+    EngineResult run();
+
+    /**
+     * Run the Figure 3(a)/(b) design points: numContexts combined
+     * hash+walk+emit contexts with no decoupling. Each context owns a
+     * slice of the input and a private results region carved from the
+     * region at spec.outBase.
+     */
+    EngineResult runCombined(unsigned num_contexts);
+
+    /** The memory system (for tests inspecting cache behaviour). */
+    sim::MemSystem &memSystem() { return *mem_; }
+
+  private:
+    EngineResult finishRun(Cycle total_cycles, Cycle config_cycles,
+                           u64 warmup_probes, Cycle warmup_cycle);
+
+    /** Time the configuration loads of the control block. */
+    Cycle loadControlBlock(const std::vector<isa::Program> &programs);
+
+    OffloadSpec spec_;
+    EngineConfig config_;
+    std::unique_ptr<sim::MemSystem> mem_;
+    std::vector<u64> blockWords_;
+};
+
+/** Convenience wrapper: construct an engine and run the offload. */
+EngineResult runOffload(const OffloadSpec &spec,
+                        const EngineConfig &config);
+
+} // namespace widx::accel
+
+#endif // WIDX_ACCEL_ENGINE_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Inter-unit queue fabric (Figure 6).
+ *
+ * Units communicate through small hardware FIFOs (2 entries in the
+ * synthesized design). The dispatcher's output side is a round-robin
+ * router across the walkers' input queues; the producer's input side
+ * is a round-robin arbiter across the walkers' output queues.
+ *
+ * Queue entries carry two 64-bit words: the dispatcher sends
+ * {probe key, bucket address}; walkers send {probe key, payload}.
+ */
+
+#ifndef WIDX_ACCEL_QUEUE_HH
+#define WIDX_ACCEL_QUEUE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/fixed_queue.hh"
+#include "common/types.hh"
+
+namespace widx::accel {
+
+/** Two-word message passed between units. */
+struct QueueEntry
+{
+    u64 w0 = 0;
+    u64 w1 = 0;
+};
+
+using UnitQueue = FixedQueue<QueueEntry>;
+
+/** Consumer-side interface a unit pops from. */
+class QueueSource
+{
+  public:
+    virtual ~QueueSource() = default;
+    virtual bool empty() const = 0;
+    virtual QueueEntry pop() = 0;
+};
+
+/** Producer-side interface a unit pushes to. */
+class QueueSink
+{
+  public:
+    virtual ~QueueSink() = default;
+    virtual bool full() const = 0;
+    virtual void push(const QueueEntry &e) = 0;
+};
+
+/** Adapter exposing one UnitQueue as both endpoint interfaces. */
+class DirectQueue : public QueueSource, public QueueSink
+{
+  public:
+    explicit DirectQueue(unsigned capacity)
+        : q_(capacity)
+    {
+    }
+
+    bool empty() const override { return q_.empty(); }
+    QueueEntry pop() override { return q_.pop(); }
+    bool full() const override { return q_.full(); }
+    void push(const QueueEntry &e) override
+    {
+        bool ok = q_.push(e);
+        panic_if(!ok, "push to full queue");
+    }
+
+    UnitQueue &raw() { return q_; }
+
+  private:
+    UnitQueue q_;
+};
+
+/**
+ * Round-robin router: the dispatcher pushes to the first non-full
+ * walker queue starting from a rotating cursor, spreading keys evenly
+ * while skipping stalled walkers.
+ */
+class RoundRobinRouter : public QueueSink
+{
+  public:
+    explicit RoundRobinRouter(std::vector<DirectQueue *> targets)
+        : targets_(std::move(targets))
+    {
+        panic_if(targets_.empty(), "router needs targets");
+    }
+
+    bool
+    full() const override
+    {
+        for (const DirectQueue *t : targets_)
+            if (!t->full())
+                return false;
+        return true;
+    }
+
+    void
+    push(const QueueEntry &e) override
+    {
+        for (std::size_t i = 0; i < targets_.size(); ++i) {
+            DirectQueue *t = targets_[(next_ + i) % targets_.size()];
+            if (!t->full()) {
+                t->push(e);
+                next_ = (next_ + i + 1) % targets_.size();
+                return;
+            }
+        }
+        panic("router push with all queues full");
+    }
+
+    /** Broadcast: push the entry to *every* target (used by the
+     *  engine to deliver the end-of-stream sentinel). Requires all
+     *  targets to have space. */
+    void
+    broadcast(const QueueEntry &e)
+    {
+        for (DirectQueue *t : targets_)
+            t->push(e);
+    }
+
+  private:
+    std::vector<DirectQueue *> targets_;
+    std::size_t next_ = 0;
+};
+
+/**
+ * Round-robin arbiter: the producer pops from the next non-empty
+ * walker output queue.
+ */
+class RoundRobinArbiter : public QueueSource
+{
+  public:
+    explicit RoundRobinArbiter(std::vector<DirectQueue *> sources)
+        : sources_(std::move(sources))
+    {
+        panic_if(sources_.empty(), "arbiter needs sources");
+    }
+
+    bool
+    empty() const override
+    {
+        for (const DirectQueue *s : sources_)
+            if (!s->empty())
+                return false;
+        return true;
+    }
+
+    QueueEntry
+    pop() override
+    {
+        for (std::size_t i = 0; i < sources_.size(); ++i) {
+            DirectQueue *s = sources_[(next_ + i) % sources_.size()];
+            if (!s->empty()) {
+                next_ = (next_ + i + 1) % sources_.size();
+                return s->pop();
+            }
+        }
+        panic("arbiter pop with all queues empty");
+    }
+
+  private:
+    std::vector<DirectQueue *> sources_;
+    std::size_t next_ = 0;
+};
+
+} // namespace widx::accel
+
+#endif // WIDX_ACCEL_QUEUE_HH

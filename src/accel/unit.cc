@@ -1,0 +1,311 @@
+#include "accel/unit.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace widx::accel {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::ShiftDir;
+
+namespace {
+
+/** Which register operands an instruction reads. */
+void
+operandUse(const Instruction &inst, bool &reads_ra, bool &reads_rb)
+{
+    switch (inst.op) {
+      case Opcode::ADD:
+      case Opcode::AND:
+      case Opcode::XOR:
+      case Opcode::CMP:
+      case Opcode::CMP_LE:
+      case Opcode::ADD_SHF:
+      case Opcode::AND_SHF:
+      case Opcode::XOR_SHF:
+      case Opcode::ST:
+      case Opcode::BLE:
+        reads_ra = true;
+        reads_rb = true;
+        return;
+      case Opcode::SHL:
+      case Opcode::SHR:
+      case Opcode::LD:
+      case Opcode::TOUCH:
+        reads_ra = true;
+        reads_rb = false;
+        return;
+      case Opcode::BA:
+      default:
+        reads_ra = false;
+        reads_rb = false;
+        return;
+    }
+}
+
+u64
+loadHost(Addr ea)
+{
+    u64 v;
+    std::memcpy(&v, reinterpret_cast<const void *>(std::uintptr_t(ea)),
+                sizeof(v));
+    return v;
+}
+
+void
+storeHost(Addr ea, u64 v)
+{
+    std::memcpy(reinterpret_cast<void *>(std::uintptr_t(ea)), &v,
+                sizeof(v));
+}
+
+} // namespace
+
+Unit::Unit(std::string name, const isa::Program &program,
+           sim::MemSystem &mem, QueueSource *source, QueueSink *sink)
+    : name_(std::move(name)), program_(program), mem_(mem),
+      source_(source), sink_(sink)
+{
+    std::string error;
+    panic_if(!program_.validate(error), "unit %s: invalid program: %s",
+             name_.c_str(), error.c_str());
+    regs_ = program_.regImage();
+}
+
+void
+Unit::restart()
+{
+    regs_ = program_.regImage();
+    pc_ = 0;
+    halted_ = false;
+    readyAt_ = 0;
+    stagedW0_ = 0;
+}
+
+void
+Unit::setReg(unsigned r, u64 v)
+{
+    panic_if(r >= isa::kNumRegs, "register r%u out of range", r);
+    panic_if(r == isa::kRegZero && v != 0, "r0 is hardwired to zero");
+    regs_[r] = v;
+}
+
+bool
+Unit::readsQueue(const Instruction &inst)
+{
+    bool ra, rb;
+    operandUse(inst, ra, rb);
+    return (ra && inst.ra == isa::kRegQueuePop) ||
+           (rb && inst.rb == isa::kRegQueuePop);
+}
+
+bool
+Unit::pushesQueue(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::ST:
+      case Opcode::TOUCH:
+      case Opcode::BA:
+      case Opcode::BLE:
+        return false;
+      default:
+        return inst.rd == isa::kRegQueuePush;
+    }
+}
+
+u64
+Unit::readOperand(u8 r)
+{
+    if (r == isa::kRegZero)
+        return 0;
+    return regs_[r];
+}
+
+void
+Unit::writeResult(u8 rd, u64 value)
+{
+    if (rd == isa::kRegZero)
+        return; // hardwired zero
+    if (rd == isa::kRegQueuePush) {
+        panic_if(!sink_, "%s pushes but has no output queue",
+                 name_.c_str());
+        sink_->push({stagedW0_, value});
+        ++pushes_;
+        return;
+    }
+    if (rd == isa::kRegQueuePop) {
+        stagedW0_ = value; // stage the first word of the next entry
+        return;
+    }
+    regs_[rd] = value;
+}
+
+bool
+Unit::tick(Cycle now)
+{
+    if (halted_)
+        return false;
+    if (now < readyAt_)
+        return false; // stall already attributed at issue
+
+    if (pc_ >= program_.size()) {
+        halted_ = true;
+        return true;
+    }
+
+    const Instruction &inst = program_.at(pc_);
+
+    // Structural hazards are checked before any side effect so a
+    // stalled instruction can retry without re-executing anything.
+    if (readsQueue(inst)) {
+        panic_if(!source_, "%s pops but has no input queue",
+                 name_.c_str());
+        if (source_->empty()) {
+            ++breakdown_.idle;
+            return false;
+        }
+    }
+    if (pushesQueue(inst) && sink_ && sink_->full()) {
+        ++breakdown_.backpressure;
+        return false;
+    }
+
+    // Commit the pop: r30 receives the first word, r31 latches the
+    // second (Section "queue-interface registers" in isa.hh).
+    if (readsQueue(inst)) {
+        QueueEntry e = source_->pop();
+        regs_[isa::kRegQueuePop] = e.w0;
+        regs_[isa::kRegLatchW0] = e.w0;
+        regs_[isa::kRegQueuePush] = e.w1;
+        ++pops_;
+    }
+
+    ++instructions_;
+
+#ifdef WIDX_UNIT_DEBUG
+    if (instructions_ < 60)
+        std::fprintf(stderr, "%s @%llu pc=%u %s\n", name_.c_str(),
+                     (unsigned long long)now, pc_,
+                     inst.toString().c_str());
+#endif
+
+    const u64 a = readOperand(inst.ra);
+    const u64 b = readOperand(inst.rb);
+
+    auto shifted = [&](u64 v) {
+        return inst.sdir == ShiftDir::Lsl ? v << inst.shamt
+                                          : v >> inst.shamt;
+    };
+
+    switch (inst.op) {
+      case Opcode::ADD:
+        writeResult(inst.rd, a + b);
+        break;
+      case Opcode::AND:
+        writeResult(inst.rd, a & b);
+        break;
+      case Opcode::XOR:
+        writeResult(inst.rd, a ^ b);
+        break;
+      case Opcode::CMP:
+        writeResult(inst.rd, a == b ? 1 : 0);
+        break;
+      case Opcode::CMP_LE:
+        writeResult(inst.rd, a <= b ? 1 : 0);
+        break;
+      case Opcode::SHL:
+        writeResult(inst.rd, a << inst.shamt);
+        break;
+      case Opcode::SHR:
+        writeResult(inst.rd, a >> inst.shamt);
+        break;
+      case Opcode::ADD_SHF:
+        writeResult(inst.rd, a + shifted(b));
+        break;
+      case Opcode::AND_SHF:
+        writeResult(inst.rd, a & shifted(b));
+        break;
+      case Opcode::XOR_SHF:
+        writeResult(inst.rd, a ^ shifted(b));
+        break;
+
+      case Opcode::LD: {
+        const Addr ea = a + Addr(i64(inst.imm));
+        sim::AccessResult res =
+            mem_.access(now, ea, sim::AccessKind::Load);
+        ++loads_;
+        ++breakdown_.comp; // the issue cycle
+        const Cycle done = res.ready > now + 1 ? res.ready : now + 1;
+        Cycle stall = done - (now + 1);
+        Cycle tlb_part =
+            res.tlbCycles < stall ? res.tlbCycles : stall;
+        breakdown_.tlb += tlb_part;
+        breakdown_.mem += stall - tlb_part;
+        readyAt_ = done;
+        writeResult(inst.rd, loadHost(ea));
+        ++pc_;
+        return true;
+      }
+
+      case Opcode::ST: {
+        const Addr ea = a + Addr(i64(inst.imm));
+        sim::AccessResult res =
+            mem_.access(now, ea, sim::AccessKind::Store);
+        storeHost(ea, b);
+        ++stores_;
+        ++breakdown_.comp;
+        // The store buffer hides the fill; only translation can
+        // back-pressure the unit.
+        const Cycle done =
+            now + 1 + res.tlbCycles;
+        breakdown_.tlb += res.tlbCycles;
+        readyAt_ = done;
+        ++pc_;
+        return true;
+      }
+
+      case Opcode::TOUCH: {
+        const Addr ea = a + Addr(i64(inst.imm));
+        mem_.access(now, ea, sim::AccessKind::Prefetch);
+        ++breakdown_.comp;
+        readyAt_ = now + 1;
+        ++pc_;
+        return true;
+      }
+
+      case Opcode::BA:
+        pc_ = unsigned(inst.imm);
+        breakdown_.comp += 2; // taken branch: one bubble
+        readyAt_ = now + 2;
+        if (pc_ >= program_.size())
+            halted_ = true;
+        return true;
+
+      case Opcode::BLE:
+        if (a <= b) {
+            pc_ = unsigned(inst.imm);
+            breakdown_.comp += 2;
+            readyAt_ = now + 2;
+            if (pc_ >= program_.size())
+                halted_ = true;
+        } else {
+            ++pc_;
+            ++breakdown_.comp;
+            readyAt_ = now + 1;
+        }
+        return true;
+
+      default:
+        panic("%s: unhandled opcode", name_.c_str());
+    }
+
+    // Common epilogue for single-cycle ALU forms.
+    ++breakdown_.comp;
+    readyAt_ = now + 1;
+    ++pc_;
+    return true;
+}
+
+} // namespace widx::accel

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * One Widx unit: the custom 2-stage-pipeline RISC core of Figure 7.
+ *
+ * Functional + timing interpreter. The unit executes real Table 1
+ * programs against host memory (loads dereference the simulated
+ * address, which *is* a host pointer into the arena-backed index), so
+ * results are bit-exact against the scalar reference while every
+ * memory access is timed by the shared sim::MemSystem.
+ *
+ * Timing model:
+ *  - one instruction per cycle when no hazard stalls the pipeline;
+ *  - taken branches cost one bubble (2-stage pipeline, branch
+ *    resolved in EX);
+ *  - LD blocks the (in-order) unit until the data returns; the stall
+ *    is attributed to Mem, or to TLB for the translation portion —
+ *    the Comp/Mem/TLB/Idle categories of Figures 8a and 9;
+ *  - TOUCH issues a non-binding prefetch and does not block;
+ *  - ST retires through a store buffer (1 cycle), per Section 4.1
+ *    "store latency can be hidden";
+ *  - popping an empty input queue stalls (Idle — the walker-starved
+ *    case); pushing a full output queue stalls (backpressure).
+ *
+ * TLB-miss retry (Section 4.3): on a retried translation the unit
+ * redirects PC to the previous PC and flushes the pipeline; we model
+ * the cost inside the translation stall and re-execute nothing, which
+ * is equivalent because the first pipeline stage modifies no state.
+ */
+
+#ifndef WIDX_ACCEL_UNIT_HH
+#define WIDX_ACCEL_UNIT_HH
+
+#include <array>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "accel/queue.hh"
+#include "sim/mem_system.hh"
+
+namespace widx::accel {
+
+/** Cycle attribution for one unit (Figure 8a categories). */
+struct UnitBreakdown
+{
+    u64 comp = 0; ///< executing instructions (incl. branch bubbles)
+    u64 mem = 0;  ///< stalled on memory data
+    u64 tlb = 0;  ///< stalled on address translation
+    u64 idle = 0; ///< stalled on an empty input queue
+    u64 backpressure = 0; ///< stalled on a full output queue
+
+    u64
+    total() const
+    {
+        return comp + mem + tlb + idle + backpressure;
+    }
+
+    void
+    accumulate(const UnitBreakdown &o)
+    {
+        comp += o.comp;
+        mem += o.mem;
+        tlb += o.tlb;
+        idle += o.idle;
+        backpressure += o.backpressure;
+    }
+
+    UnitBreakdown
+    minus(const UnitBreakdown &o) const
+    {
+        return {comp - o.comp, mem - o.mem, tlb - o.tlb,
+                idle - o.idle, backpressure - o.backpressure};
+    }
+};
+
+class Unit
+{
+  public:
+    /**
+     * @param name instance name for diagnostics ("walker0", ...).
+     * @param program validated Widx program to run.
+     * @param mem shared memory system (the host core's L1-D/MMU).
+     * @param source input queue endpoint (nullptr for the dispatcher,
+     *        which reads the input table directly).
+     * @param sink output queue endpoint (nullptr for the producer,
+     *        which stores to the results region).
+     */
+    Unit(std::string name, const isa::Program &program,
+         sim::MemSystem &mem, QueueSource *source, QueueSink *sink);
+
+    /** Advance one cycle. @return true if any progress was made. */
+    bool tick(Cycle now);
+
+    bool halted() const { return halted_; }
+    const std::string &name() const { return name_; }
+    const UnitBreakdown &breakdown() const { return breakdown_; }
+    u64 instructionsExecuted() const { return instructions_; }
+    u64 loadsExecuted() const { return loads_; }
+    u64 storesExecuted() const { return stores_; }
+    u64 entriesPopped() const { return pops_; }
+    u64 entriesPushed() const { return pushes_; }
+
+    /** Reset PC/registers/halted to the program image (not stats). */
+    void restart();
+
+    /** Current architectural register value (for tests). */
+    u64 reg(unsigned r) const { return regs_.at(r); }
+
+    /** Force a register (engine configuration writes). */
+    void setReg(unsigned r, u64 v);
+
+  private:
+    /** Operand read; r30 reads pop the input queue (the caller has
+     *  already checked for emptiness). */
+    u64 readOperand(u8 r);
+
+    /** True when the instruction reads the queue-pop register. */
+    static bool readsQueue(const isa::Instruction &inst);
+
+    /** True when the instruction writes the queue-push register. */
+    static bool pushesQueue(const isa::Instruction &inst);
+
+    void writeResult(u8 rd, u64 value);
+
+    std::string name_;
+    const isa::Program &program_;
+    sim::MemSystem &mem_;
+    QueueSource *source_;
+    QueueSink *sink_;
+
+    std::array<u64, isa::kNumRegs> regs_{};
+    unsigned pc_ = 0;
+    bool halted_ = false;
+    Cycle readyAt_ = 0;
+    u64 stagedW0_ = 0; ///< value staged by writing r30
+
+    UnitBreakdown breakdown_;
+    u64 instructions_ = 0;
+    u64 loads_ = 0;
+    u64 stores_ = 0;
+    u64 pops_ = 0;
+    u64 pushes_ = 0;
+};
+
+} // namespace widx::accel
+
+#endif // WIDX_ACCEL_UNIT_HH

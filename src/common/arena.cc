@@ -1,0 +1,59 @@
+#include "common/arena.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace widx {
+
+Arena::Arena(std::size_t chunk_bytes)
+    : chunkBytes_(chunk_bytes)
+{
+    panic_if(chunk_bytes == 0, "arena chunk size must be nonzero");
+}
+
+Arena::Chunk &
+Arena::ensureRoom(std::size_t bytes, std::size_t align)
+{
+    if (!chunks_.empty()) {
+        Chunk &c = chunks_.back();
+        std::size_t aligned = (c.used + align - 1) & ~(align - 1);
+        if (aligned + bytes <= c.size)
+            return c;
+    }
+    std::size_t want = bytes + align > chunkBytes_ ? bytes + align
+                                                   : chunkBytes_;
+    Chunk c;
+    c.data = std::make_unique<unsigned char[]>(want);
+    std::memset(c.data.get(), 0, want);
+    c.size = want;
+    c.used = 0;
+    reserved_ += want;
+    chunks_.push_back(std::move(c));
+    return chunks_.back();
+}
+
+void *
+Arena::allocateBytes(std::size_t bytes, std::size_t align)
+{
+    panic_if(align == 0 || (align & (align - 1)) != 0,
+             "alignment must be a power of two, got %zu", align);
+    if (bytes == 0)
+        bytes = 1;
+    Chunk &c = ensureRoom(bytes, align);
+    std::size_t base = reinterpret_cast<std::size_t>(c.data.get());
+    std::size_t aligned = (base + c.used + align - 1) & ~(align - 1);
+    c.used = aligned - base + bytes;
+    allocated_ += bytes;
+    return reinterpret_cast<void *>(aligned);
+}
+
+void
+Arena::releaseAll()
+{
+    chunks_.clear();
+    allocated_ = 0;
+    reserved_ = 0;
+}
+
+} // namespace widx

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the ISA encoder, the hash
+ * functions, and the cache index computations.
+ */
+
+#ifndef WIDX_COMMON_BITOPS_HH
+#define WIDX_COMMON_BITOPS_HH
+
+#include <bit>
+
+#include "common/types.hh"
+
+namespace widx {
+
+/** True when v is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(u64 v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+constexpr unsigned
+log2Exact(u64 v)
+{
+    return unsigned(std::countr_zero(v));
+}
+
+/** Smallest power of two >= v (v must be nonzero, below 2^63). */
+constexpr u64
+nextPowerOfTwo(u64 v)
+{
+    return std::bit_ceil(v);
+}
+
+/** Extract bits [lo, hi] (inclusive) of v. */
+constexpr u64
+bits(u64 v, unsigned hi, unsigned lo)
+{
+    const u64 mask = hi >= 63 ? ~u64{0} : ((u64{1} << (hi + 1)) - 1);
+    return (v & mask) >> lo;
+}
+
+/** Insert val into bits [lo, hi] of base. */
+constexpr u64
+insertBits(u64 base, unsigned hi, unsigned lo, u64 val)
+{
+    const u64 field = hi >= 63 ? ~u64{0} : ((u64{1} << (hi + 1)) - 1);
+    const u64 mask = field & ~((u64{1} << lo) - 1);
+    return (base & ~mask) | ((val << lo) & mask);
+}
+
+} // namespace widx
+
+#endif // WIDX_COMMON_BITOPS_HH

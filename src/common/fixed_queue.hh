@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fixed-capacity FIFO ring buffer.
+ *
+ * Models the small hardware queues between Widx units (the paper
+ * evaluates 2-entry queues at each walker's input and output). Also
+ * used by the memory controller request queues.
+ */
+
+#ifndef WIDX_COMMON_FIXED_QUEUE_HH
+#define WIDX_COMMON_FIXED_QUEUE_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace widx {
+
+template <typename T>
+class FixedQueue
+{
+  public:
+    explicit FixedQueue(unsigned capacity)
+        : buf_(capacity), cap_(capacity)
+    {
+        panic_if(capacity == 0, "queue capacity must be nonzero");
+    }
+
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == cap_; }
+    unsigned size() const { return size_; }
+    unsigned capacity() const { return cap_; }
+
+    /** Push returns false (and does nothing) when full. */
+    bool
+    push(const T &v)
+    {
+        if (full())
+            return false;
+        buf_[(head_ + size_) % cap_] = v;
+        ++size_;
+        if (size_ > peak_)
+            peak_ = size_;
+        ++pushes_;
+        return true;
+    }
+
+    /** Front element; queue must be non-empty. */
+    const T &
+    front() const
+    {
+        panic_if(empty(), "front() on empty queue");
+        return buf_[head_];
+    }
+
+    /** Pop the front element; queue must be non-empty. */
+    T
+    pop()
+    {
+        panic_if(empty(), "pop() on empty queue");
+        T v = buf_[head_];
+        head_ = (head_ + 1) % cap_;
+        --size_;
+        return v;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+    /** High-water mark since construction (occupancy statistic). */
+    unsigned peakSize() const { return peak_; }
+
+    /** Total successful pushes since construction. */
+    u64 totalPushes() const { return pushes_; }
+
+  private:
+    std::vector<T> buf_;
+    unsigned cap_;
+    unsigned head_ = 0;
+    unsigned size_ = 0;
+    unsigned peak_ = 0;
+    u64 pushes_ = 0;
+};
+
+} // namespace widx
+
+#endif // WIDX_COMMON_FIXED_QUEUE_HH

@@ -1,0 +1,48 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+
+namespace widx {
+
+namespace detail {
+
+void
+terminateAbort()
+{
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+terminateExit()
+{
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+logPrefix(const char *tag, const char *file, int line)
+{
+    // Strip leading directories for readability; keep file:line for
+    // clickable references.
+    const char *base = file;
+    for (const char *p = file; *p; ++p) {
+        if (*p == '/')
+            base = p + 1;
+    }
+    std::fprintf(stderr, "[%s] %s:%d: ", tag, base, line);
+}
+
+} // namespace detail
+
+void
+logVprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace widx

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic():  an internal invariant was violated (a bug in this library);
+ *           aborts so a debugger/core dump can inspect the state.
+ * fatal():  the simulation cannot continue due to a user-level error
+ *           (bad configuration, invalid arguments); exits with code 1.
+ * warn():   something works but deserves attention.
+ * inform(): normal operating status messages.
+ */
+
+#ifndef WIDX_COMMON_LOGGING_HH
+#define WIDX_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace widx {
+
+namespace detail {
+
+[[noreturn]] void terminateAbort();
+[[noreturn]] void terminateExit();
+
+void logPrefix(const char *tag, const char *file, int line);
+
+} // namespace detail
+
+/** Printf-style message sink used by all logging macros. */
+void logVprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace widx
+
+#define WIDX_LOG_BODY(tag, ...)                                         \
+    do {                                                                \
+        ::widx::detail::logPrefix(tag, __FILE__, __LINE__);             \
+        ::widx::logVprintf(__VA_ARGS__);                                \
+    } while (0)
+
+/** Internal invariant violated: print and abort. */
+#define panic(...)                                                      \
+    do {                                                                \
+        WIDX_LOG_BODY("panic", __VA_ARGS__);                            \
+        ::widx::detail::terminateAbort();                               \
+    } while (0)
+
+/** Unrecoverable user-level error: print and exit(1). */
+#define fatal(...)                                                      \
+    do {                                                                \
+        WIDX_LOG_BODY("fatal", __VA_ARGS__);                            \
+        ::widx::detail::terminateExit();                                \
+    } while (0)
+
+/** Conditional panic: panics with the message when cond holds. */
+#define panic_if(cond, ...)                                             \
+    do {                                                                \
+        if (cond)                                                       \
+            panic(__VA_ARGS__);                                         \
+    } while (0)
+
+/** Conditional fatal: exits with the message when cond holds. */
+#define fatal_if(cond, ...)                                             \
+    do {                                                                \
+        if (cond)                                                       \
+            fatal(__VA_ARGS__);                                         \
+    } while (0)
+
+/** Non-fatal warning message. */
+#define warn(...) WIDX_LOG_BODY("warn", __VA_ARGS__)
+
+/** Informational status message. */
+#define inform(...) WIDX_LOG_BODY("info", __VA_ARGS__)
+
+#endif // WIDX_COMMON_LOGGING_HH

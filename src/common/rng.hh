@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the reproduction (workload generation,
+ * branch-mispredict draws, key shuffles) flows through Rng so that runs
+ * are reproducible from a single seed.
+ */
+
+#ifndef WIDX_COMMON_RNG_HH
+#define WIDX_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace widx {
+
+/**
+ * xorshift128+ generator: fast, decent quality, fully deterministic.
+ */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a seed via splitmix64. */
+    void
+    reseed(u64 seed)
+    {
+        s0_ = splitmix(seed);
+        s1_ = splitmix(seed);
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next raw 64-bit draw. */
+    u64
+    next()
+    {
+        u64 x = s0_;
+        const u64 y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    u64
+    below(u64 bound)
+    {
+        // Modulo bias is negligible for bounds far below 2^64.
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    u64
+    between(u64 lo, u64 hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    /** splitmix64 step used for seeding. */
+    u64
+    splitmix(u64 &state)
+    {
+        state += 0x9E3779B97F4A7C15ull;
+        u64 z = state;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    u64 s0_;
+    u64 s1_;
+};
+
+} // namespace widx
+
+#endif // WIDX_COMMON_RNG_HH

@@ -1,0 +1,67 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+namespace widx {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / double(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        panic_if(x <= 0.0, "geomean requires positive samples, got %f", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / double(xs.size()));
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / double(xs.size()));
+}
+
+double
+harmean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs) {
+        panic_if(x <= 0.0, "harmean requires positive samples, got %f", x);
+        acc += 1.0 / x;
+    }
+    return double(xs.size()) / acc;
+}
+
+double
+Histogram::cdfAt(unsigned bucket) const
+{
+    if (total_ == 0)
+        return 0.0;
+    u64 acc = 0;
+    for (unsigned i = 0; i <= bucket && i < counts_.size(); ++i)
+        acc += counts_[i];
+    return double(acc) / double(total_);
+}
+
+} // namespace widx

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Lightweight statistics containers used by the timing models and the
+ * benchmark harnesses: scalar counters, running summaries, histograms,
+ * and the aggregate helpers (mean/geomean) the paper reports.
+ */
+
+#ifndef WIDX_COMMON_STATS_HH
+#define WIDX_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace widx {
+
+/** Arithmetic mean of a sample vector; 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean of a strictly positive sample; 0 for empty. */
+double geomean(const std::vector<double> &xs);
+
+/** Population standard deviation; 0 for fewer than two samples. */
+double stddev(const std::vector<double> &xs);
+
+/** Harmonic mean of a strictly positive sample; 0 for empty. */
+double harmean(const std::vector<double> &xs);
+
+/**
+ * Running summary of a stream of observations: count, sum, min, max,
+ * mean. Cheap enough for per-access use in the memory model.
+ */
+class Summary
+{
+  public:
+    void
+    sample(double x)
+    {
+        if (n_ == 0 || x < min_)
+            min_ = x;
+        if (n_ == 0 || x > max_)
+            max_ = x;
+        sum_ += x;
+        ++n_;
+    }
+
+    u64 count() const { return n_; }
+    double sum() const { return sum_; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double avg() const { return n_ ? sum_ / double(n_) : 0.0; }
+
+    void
+    reset()
+    {
+        n_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    u64 n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-width bucket histogram over [0, buckets * width). Values past
+ * the last bucket are clamped into it (an explicit overflow bucket).
+ */
+class Histogram
+{
+  public:
+    Histogram(unsigned buckets, double width)
+        : width_(width), counts_(buckets, 0)
+    {
+        panic_if(buckets == 0 || width <= 0.0,
+                 "histogram needs >=1 bucket and positive width");
+    }
+
+    void
+    sample(double x)
+    {
+        unsigned idx = x <= 0.0 ? 0 : unsigned(x / width_);
+        if (idx >= counts_.size())
+            idx = unsigned(counts_.size()) - 1;
+        ++counts_[idx];
+        ++total_;
+    }
+
+    u64 count(unsigned bucket) const { return counts_.at(bucket); }
+    u64 total() const { return total_; }
+    unsigned buckets() const { return unsigned(counts_.size()); }
+    double bucketWidth() const { return width_; }
+
+    /** Fraction of samples at or below the given bucket. */
+    double cdfAt(unsigned bucket) const;
+
+  private:
+    double width_;
+    std::vector<u64> counts_;
+    u64 total_ = 0;
+};
+
+/**
+ * A named bag of scalar counters, used by simulator components to
+ * export their statistics uniformly (gem5 statistics in miniature).
+ */
+class StatSet
+{
+  public:
+    /** Add delta (default 1) to the named counter. */
+    void
+    inc(const std::string &name, u64 delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Set the named counter to an absolute value. */
+    void
+    set(const std::string &name, u64 value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Value of the named counter; 0 when never touched. */
+    u64
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Ratio of two counters; 0 when the denominator is 0. */
+    double
+    ratio(const std::string &num, const std::string &den) const
+    {
+        u64 d = get(den);
+        return d == 0 ? 0.0 : double(get(num)) / double(d);
+    }
+
+    void reset() { counters_.clear(); }
+
+    const std::map<std::string, u64> &all() const { return counters_; }
+
+  private:
+    std::map<std::string, u64> counters_;
+};
+
+} // namespace widx
+
+#endif // WIDX_COMMON_STATS_HH

@@ -1,0 +1,112 @@
+#include "common/table_printer.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace widx {
+
+TablePrinter::TablePrinter(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TablePrinter::header(const std::vector<std::string> &cols)
+{
+    panic_if(cols.empty(), "table header must have columns");
+    header_ = cols;
+}
+
+void
+TablePrinter::addRow(const std::vector<std::string> &cols)
+{
+    panic_if(header_.empty(), "set the header before adding rows");
+    panic_if(cols.size() != header_.size(),
+             "row has %zu columns, header has %zu",
+             cols.size(), header_.size());
+    rows_.push_back(cols);
+}
+
+void
+TablePrinter::print() const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            if (row[c].size() > width[c])
+                width[c] = row[c].size();
+
+    std::printf("\n== %s ==\n", title_.c_str());
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            std::printf("%s%-*s", c ? "  " : "", int(width[c]),
+                        row[c].c_str());
+        std::printf("\n");
+    };
+    print_row(header_);
+    std::size_t total = header_.size() - 1;
+    for (std::size_t w : width)
+        total += w + 1;
+    for (std::size_t i = 0; i < total; ++i)
+        std::printf("-");
+    std::printf("\n");
+    for (const auto &row : rows_)
+        print_row(row);
+    std::fflush(stdout);
+}
+
+std::string
+TablePrinter::toCsv() const
+{
+    std::string out;
+    auto append = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out += ',';
+            out += row[c];
+        }
+        out += '\n';
+    };
+    append(header_);
+    for (const auto &row : rows_)
+        append(row);
+    return out;
+}
+
+std::string
+TablePrinter::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::fmtInt(unsigned long long v)
+{
+    char raw[32];
+    std::snprintf(raw, sizeof(raw), "%llu", v);
+    std::string digits(raw);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.insert(out.begin(), ',');
+        out.insert(out.begin(), *it);
+        ++count;
+    }
+    return out;
+}
+
+std::string
+TablePrinter::fmtPct(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+    return buf;
+}
+
+} // namespace widx

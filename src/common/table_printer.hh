@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Column-aligned ASCII table output for the benchmark harnesses.
+ *
+ * Every figure/table bench prints its rows through TablePrinter so the
+ * regenerated results are readable and diffable against the paper.
+ */
+
+#ifndef WIDX_COMMON_TABLE_PRINTER_HH
+#define WIDX_COMMON_TABLE_PRINTER_HH
+
+#include <string>
+#include <vector>
+
+namespace widx {
+
+class TablePrinter
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit TablePrinter(std::string title);
+
+    /** Set the header row. Must be called before addRow. */
+    void header(const std::vector<std::string> &cols);
+
+    /** Append a data row; must match the header's column count. */
+    void addRow(const std::vector<std::string> &cols);
+
+    /** Render the whole table to stdout. */
+    void print() const;
+
+    /** Render as comma-separated values (for scripting). */
+    std::string toCsv() const;
+
+    /** Format helper: fixed-point double with the given precision. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Format helper: integral value with thousands separators. */
+    static std::string fmtInt(unsigned long long v);
+
+    /** Format helper: percentage with one decimal. */
+    static std::string fmtPct(double fraction);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace widx
+
+#endif // WIDX_COMMON_TABLE_PRINTER_HH

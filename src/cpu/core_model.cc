@@ -1,0 +1,230 @@
+#include "cpu/core_model.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace widx::cpu {
+
+namespace {
+
+/** Ring capacity for per-µop timing history; bounds both the ROB and
+ *  the longest dependence distance (deep skewed buckets). */
+constexpr u64 kRing = 8192;
+
+/** Small sorted set of outstanding load completion times. */
+class OutstandingLoads
+{
+  public:
+    explicit OutstandingLoads(unsigned cap)
+        : cap_(cap)
+    {
+    }
+
+    /** Earliest cycle a new load may issue, given the cap. */
+    Cycle
+    admissible(Cycle want)
+    {
+        prune(want);
+        if (active_.size() < cap_)
+            return want;
+        Cycle earliest = active_.front();
+        prune(earliest);
+        return std::max(want, earliest);
+    }
+
+    void
+    add(Cycle completion)
+    {
+        active_.insert(
+            std::upper_bound(active_.begin(), active_.end(),
+                             completion),
+            completion);
+    }
+
+  private:
+    void
+    prune(Cycle now)
+    {
+        while (!active_.empty() && active_.front() <= now)
+            active_.erase(active_.begin());
+    }
+
+    unsigned cap_;
+    std::vector<Cycle> active_;
+};
+
+} // namespace
+
+CoreResult
+runCore(TraceSource &trace, sim::MemSystem &mem,
+        const CoreParams &params, u64 warmup_probes)
+{
+    fatal_if(params.width == 0, "core width must be nonzero");
+    fatal_if(params.robEntries == 0, "ROB must be nonzero");
+    fatal_if(params.robEntries > kRing, "ROB exceeds history ring");
+
+    std::vector<Cycle> dispatch(kRing, 0);
+    std::vector<Cycle> completion(kRing, 0);
+    std::vector<Cycle> commit(kRing, 0);
+    auto at = [&](std::vector<Cycle> &v, u64 i) -> Cycle & {
+        return v[i & (kRing - 1)];
+    };
+
+    OutstandingLoads loads(params.maxOutstandingLoads);
+
+    CoreResult res;
+    Cycle gate = 0;       // mispredict dispatch gate
+    Cycle last_issue = 0; // in-order issue pointer
+    Cycle last_commit = 0;
+
+    // Fig. 2b phase attribution: accumulate each µop's execution
+    // latency (completion - start) into its phase. Under out-of-order
+    // overlap the two sums are not wall-clock segments, but their
+    // ratio is a stable estimate of where the index time goes — key
+    // hashing versus node-list walking.
+
+    // Warmup window state.
+    bool warmed = warmup_probes == 0;
+    Cycle measured_start = 0;
+    Cycle hash_base = 0;
+    Cycle walk_base = 0;
+    if (warmed)
+        mem.resetStats();
+
+    Uop u;
+    u64 i = 0;
+    while (trace.next(u)) {
+        ++res.uops;
+
+        // --- Dispatch: in order, width-limited, ROB-limited, gated
+        //     by unresolved mispredicts.
+        Cycle d = gate;
+        if (i >= params.width)
+            d = std::max(d, at(dispatch, i - params.width) + 1);
+        if (i >= params.robEntries)
+            d = std::max(d, at(commit, i - params.robEntries));
+        at(dispatch, i) = d;
+
+        // --- Execute.
+        Cycle start = d;
+        auto dep_time = [&](u16 dep) -> Cycle {
+            if (dep == 0)
+                return 0;
+            panic_if(u64(dep) > i || u64(dep) >= kRing,
+                     "dependence distance %u out of window", dep);
+            return at(completion, i - dep);
+        };
+        start = std::max(start, dep_time(u.dep0));
+        start = std::max(start, dep_time(u.dep1));
+        if (params.inOrderIssue) {
+            start = std::max(start, last_issue);
+            last_issue = start;
+        }
+
+        Cycle done;
+        // Phase-attributed latency: for loads that merely wait on a
+        // fill someone else initiated (hit-under-fill / MSHR merge),
+        // only the cache-hit latency is charged, so one miss is not
+        // multiply-counted across the sharing loads.
+        Cycle phase_lat = 0;
+        switch (u.kind) {
+          case UopKind::Load: {
+            start = loads.admissible(start);
+            if (params.inOrderIssue)
+                last_issue = start;
+            sim::AccessResult r =
+                mem.access(start, u.addr, sim::AccessKind::Load);
+            done = r.ready;
+            loads.add(done);
+            ++res.loads;
+            const bool initiator =
+                !r.mshrMerged && (r.level == sim::HitLevel::Memory ||
+                                  r.level == sim::HitLevel::LLC);
+            phase_lat = initiator ? done - start : 2;
+            // Simple in-order cores stall completely on a miss.
+            if (params.blockOnMiss && done > start + 4)
+                last_issue = done;
+            break;
+          }
+          case UopKind::Store: {
+            mem.access(start, u.addr, sim::AccessKind::Store);
+            done = start + 1;
+            phase_lat = 1;
+            ++res.stores;
+            break;
+          }
+          case UopKind::Branch:
+            done = start + params.aluLatency;
+            phase_lat = done - start;
+            ++res.branches;
+            if (u.mispredicted) {
+                ++res.mispredicts;
+                gate = std::max(gate,
+                                done + params.mispredictPenalty);
+            }
+            break;
+          case UopKind::Alu:
+          default:
+            done = start + std::max<Cycle>(params.aluLatency,
+                                           u.latency);
+            phase_lat = done - start;
+            break;
+        }
+        at(completion, i) = done;
+
+#ifdef WIDX_CORE_TRACE_DEBUG
+        if (i < 64)
+            std::fprintf(stderr,
+                         "uop %3llu kind=%d disp=%llu start=%llu "
+                         "done=%llu gate=%llu\n",
+                         (unsigned long long)i, int(u.kind),
+                         (unsigned long long)d,
+                         (unsigned long long)start,
+                         (unsigned long long)done,
+                         (unsigned long long)gate);
+#endif
+
+        // --- Commit: in order, width-limited.
+        Cycle c = std::max(done, last_commit);
+        if (i >= params.width)
+            c = std::max(c, at(commit, i - params.width) + 1);
+        at(commit, i) = c;
+        last_commit = c;
+
+        // --- Phase attribution.
+        if (u.phase == UopPhase::Hash)
+            res.hashCycles += phase_lat;
+        else
+            res.walkCycles += phase_lat;
+        if (u.endOfProbe) {
+            ++res.probes;
+
+            if (!warmed && res.probes >= warmup_probes) {
+                warmed = true;
+                measured_start = last_commit;
+                hash_base = res.hashCycles;
+                walk_base = res.walkCycles;
+                mem.resetStats();
+            }
+        }
+
+        ++i;
+    }
+
+    res.totalCycles = last_commit;
+    res.measuredCycles = last_commit - measured_start;
+    res.measuredProbes = res.probes - std::min(res.probes,
+                                               warmup_probes);
+    res.cyclesPerTuple =
+        res.measuredProbes == 0
+            ? 0.0
+            : double(res.measuredCycles) / double(res.measuredProbes);
+    res.hashCycles -= hash_base;
+    res.walkCycles -= walk_base;
+    mem.exportStats(res.memStats);
+    return res;
+}
+
+} // namespace widx::cpu

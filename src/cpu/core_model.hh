@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Baseline core timing models (Table 2):
+ *
+ *  - OoO, Xeon-like: 4-wide, 128-entry ROB. Dispatch is in order and
+ *    bounded by width and ROB occupancy; execution is dataflow
+ *    (completion = max of dependences) with loads timed by the shared
+ *    sim::MemSystem; commit is in order. Mispredicted branches gate
+ *    the dispatch of younger µops until they resolve plus a refill
+ *    penalty — the mechanism that bounds run-ahead across probes.
+ *
+ *  - In-order, Cortex-A8-like: 2-wide, in-order issue (issue also
+ *    waits for dependences), a small number of outstanding misses,
+ *    and a shorter refill penalty.
+ *
+ * The model is a single O(n) pass over the µop stream — no per-cycle
+ * loop — which makes simulating hundreds of millions of µops cheap
+ * while preserving width/window/dependence/misprediction effects.
+ */
+
+#ifndef WIDX_CPU_CORE_MODEL_HH
+#define WIDX_CPU_CORE_MODEL_HH
+
+#include "common/stats.hh"
+#include "cpu/trace.hh"
+#include "sim/mem_system.hh"
+
+namespace widx::cpu {
+
+struct CoreParams
+{
+    const char *name = "core";
+    unsigned width = 4;        ///< dispatch/commit width
+    unsigned robEntries = 128; ///< in-flight µop window
+    bool inOrderIssue = false; ///< issue waits for dependences
+    unsigned maxOutstandingLoads = 16;
+    Cycle mispredictPenalty = 12; ///< front-end refill after resolve
+    Cycle aluLatency = 1;
+    /** A cache-missing load blocks all younger issue (simple in-order
+     *  cores without run-ahead under misses). */
+    bool blockOnMiss = false;
+
+    /** Table 2 "OoO (Xeon-like): 4-wide, 128-entry ROB". */
+    static CoreParams
+    ooo()
+    {
+        return CoreParams{"ooo", 4, 128, false, 16, 12, 1, false};
+    }
+
+    /** Table 2 "In-order (Cortex A8-like): 2-wide". The A8-class
+     *  core blocks on cache misses (no run-ahead) and pays a deep
+     *  (13-stage) pipeline refill on mispredicts. */
+    static CoreParams
+    inorder()
+    {
+        return CoreParams{"inorder", 2, 16, true, 1, 13, 1, true};
+    }
+};
+
+struct CoreResult
+{
+    u64 uops = 0;
+    u64 loads = 0;
+    u64 stores = 0;
+    u64 branches = 0;
+    u64 mispredicts = 0;
+    u64 probes = 0;
+
+    Cycle totalCycles = 0;
+
+    /** Post-warmup window. */
+    u64 measuredProbes = 0;
+    Cycle measuredCycles = 0;
+    double cyclesPerTuple = 0.0;
+
+    /** Fig. 2b attribution over the measured window: per-phase sums
+     *  of µop execution latencies (their ratio splits index time
+     *  into hashing vs walking). */
+    Cycle hashCycles = 0;
+    Cycle walkCycles = 0;
+
+    double
+    hashFraction() const
+    {
+        Cycle t = hashCycles + walkCycles;
+        return t == 0 ? 0.0 : double(hashCycles) / double(t);
+    }
+
+    StatSet memStats;
+};
+
+/**
+ * Run a µop trace through a core model.
+ *
+ * @param trace µop source (consumed to exhaustion).
+ * @param mem memory system the core issues loads/stores through.
+ * @param params core configuration.
+ * @param warmup_probes probes excluded from the measured window.
+ */
+CoreResult runCore(TraceSource &trace, sim::MemSystem &mem,
+                   const CoreParams &params, u64 warmup_probes = 0);
+
+} // namespace widx::cpu
+
+#endif // WIDX_CPU_CORE_MODEL_HH

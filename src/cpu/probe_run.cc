@@ -1,0 +1,16 @@
+#include "cpu/probe_run.hh"
+
+namespace widx::cpu {
+
+CoreResult
+runProbeLoop(const db::HashIndex &index, const db::Column &probe_keys,
+             const ProbeRunConfig &config)
+{
+    sim::MemSystem mem(config.memParams);
+    ProbeTraceGen trace(index, probe_keys, config.trace);
+    const u64 warmup =
+        u64(double(probe_keys.size()) * config.warmupFraction);
+    return runCore(trace, mem, config.core, warmup);
+}
+
+} // namespace widx::cpu

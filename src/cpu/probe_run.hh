@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Convenience wrapper: run the Listing 1 probe loop for a given index
+ * and probe column on a baseline core model, with a fresh Table 2
+ * memory system and the SimFlex-style warmup window.
+ */
+
+#ifndef WIDX_CPU_PROBE_RUN_HH
+#define WIDX_CPU_PROBE_RUN_HH
+
+#include "cpu/core_model.hh"
+#include "cpu/trace_gen.hh"
+#include "sim/params.hh"
+
+namespace widx::cpu {
+
+struct ProbeRunConfig
+{
+    CoreParams core = CoreParams::ooo();
+    sim::Params memParams{};
+    TraceGenOptions trace{};
+    /** Fraction of probes excluded as warmup. */
+    double warmupFraction = 0.1;
+};
+
+/** Simulate probing every key of probe_keys against index. */
+CoreResult runProbeLoop(const db::HashIndex &index,
+                        const db::Column &probe_keys,
+                        const ProbeRunConfig &config);
+
+} // namespace widx::cpu
+
+#endif // WIDX_CPU_PROBE_RUN_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Micro-op trace representation for the baseline core models.
+ *
+ * The baseline cores (OoO Xeon-like, in-order A8-like) execute the
+ * indexing loop of Listing 1 as a stream of micro-ops with explicit
+ * data dependences. Dependences are expressed as backward distances
+ * (dep = k means "depends on the µop k positions earlier"), which
+ * keeps traces streamable: the Large join kernel would otherwise need
+ * gigabytes of trace storage.
+ */
+
+#ifndef WIDX_CPU_TRACE_HH
+#define WIDX_CPU_TRACE_HH
+
+#include "common/types.hh"
+
+namespace widx::cpu {
+
+enum class UopKind : u8
+{
+    Alu,
+    Load,
+    Store,
+    Branch,
+};
+
+/** Pipeline phase a µop belongs to, for Fig. 2b attribution. */
+enum class UopPhase : u8
+{
+    Hash, ///< key fetch + key hashing + bucket address formation
+    Walk, ///< node-list traversal
+    Emit, ///< match materialization
+};
+
+struct Uop
+{
+    UopKind kind = UopKind::Alu;
+    UopPhase phase = UopPhase::Hash;
+    /** Execution latency for ALU µops. Hash steps cost more than 1:
+     *  one HashStep is a fused shift+combine that Widx executes in a
+     *  single cycle but a general-purpose core splits into a
+     *  shift+op pair (2 cycles), and double-typed keys add
+     *  normalization work (5 cycles) — the q20 effect. */
+    u8 latency = 1;
+    /** Backward dependence distances; 0 = no dependence. */
+    u16 dep0 = 0;
+    u16 dep1 = 0;
+    /** Effective address for loads/stores. */
+    Addr addr = 0;
+    /** Branch predicted incorrectly: younger µops cannot dispatch
+     *  until this branch resolves plus the refill penalty. */
+    bool mispredicted = false;
+    /** Last µop of a probe (closes the per-probe attribution). */
+    bool endOfProbe = false;
+};
+
+/** Streaming source of µops. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next µop. @return false at end of trace. */
+    virtual bool next(Uop &out) = 0;
+};
+
+} // namespace widx::cpu
+
+#endif // WIDX_CPU_TRACE_HH

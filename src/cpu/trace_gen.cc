@@ -1,0 +1,200 @@
+#include "cpu/trace_gen.hh"
+
+#include "common/logging.hh"
+
+namespace widx::cpu {
+
+using db::HashIndex;
+
+ProbeTraceGen::ProbeTraceGen(const db::HashIndex &index,
+                             const db::Column &probe_keys,
+                             const TraceGenOptions &opts)
+    : index_(index), keys_(probe_keys), opts_(opts), rng_(opts.seed)
+{
+    outCursor_ = opts_.outBase
+                     ? opts_.outBase
+                     : Addr(reinterpret_cast<std::uintptr_t>(scratch_));
+    // Tiny (L1-resident) indexes are probed through a handful of hot
+    // buckets; a warmed history-based predictor captures most of
+    // their walk patterns, which is why the paper's OoO core does
+    // comparatively well there (TPC-DS q37, Section 6.2).
+    if (index_.entries() <= opts_.hotIndexEntries)
+        hotFactor_ = opts_.hotIndexFactor;
+}
+
+bool
+ProbeTraceGen::next(Uop &out)
+{
+    while (bufPos_ >= buf_.size()) {
+        if (nextRow_ >= keys_.size())
+            return false;
+        genProbe(nextRow_++);
+    }
+    out = buf_[bufPos_++];
+    return true;
+}
+
+void
+ProbeTraceGen::genProbe(RowId row)
+{
+    buf_.clear();
+    bufPos_ = 0;
+
+    const u64 key = keys_.at(row);
+
+    // Local emission helpers: dependences are expressed as backward
+    // distances from the µop being appended.
+    auto emit = [&](Uop u) -> u16 {
+        buf_.push_back(u);
+        return u16(buf_.size() - 1);
+    };
+    auto back = [&](u16 producer_idx) -> u16 {
+        return u16(buf_.size() - producer_idx);
+    };
+
+    // --- Hash phase ----------------------------------------------------
+    Uop key_load;
+    key_load.kind = UopKind::Load;
+    key_load.phase = UopPhase::Hash;
+    key_load.addr = keys_.addrOf(row);
+    u16 key_idx = emit(key_load);
+
+    // Loop bookkeeping (cursor increment; the loop branch is
+    // perfectly predicted).
+    Uop incr;
+    incr.kind = UopKind::Alu;
+    incr.phase = UopPhase::Hash;
+    emit(incr);
+
+    // Serially dependent hash chain: one ALU per HashStep. On a
+    // general-purpose core each fused shift+combine step costs more
+    // than Widx's single-cycle fused ALU (see Uop::latency).
+    u8 step_lat = opts_.hashStepLatency;
+    if (step_lat == 0)
+        step_lat = keys_.kind() == db::ValueKind::F64 ? 7 : 2;
+    u16 prev = key_idx;
+    for (unsigned s = 0; s < index_.hashFn().compOps(); ++s) {
+        Uop h;
+        h.kind = UopKind::Alu;
+        h.phase = UopPhase::Hash;
+        h.latency = step_lat;
+        h.dep0 = back(prev);
+        prev = emit(h);
+    }
+    // Bucket index mask and base+shift address formation.
+    for (int i = 0; i < 2; ++i) {
+        Uop a;
+        a.kind = UopKind::Alu;
+        a.phase = UopPhase::Hash;
+        a.dep0 = back(prev);
+        prev = emit(a);
+    }
+    const u16 bucket_addr_idx = prev;
+
+    // --- Walk phase (functional traversal records real addresses) ---
+    const u64 bidx = index_.bucketIndex(key);
+    const HashIndex::Bucket &bucket = index_.bucketAt(bidx);
+    const Addr bucket_addr =
+        index_.bucketArrayAddr() + bidx * HashIndex::kBucketStride;
+
+    const HashIndex::Node *node = &bucket.head;
+    Addr node_addr = bucket_addr + HashIndex::kBucketHeadOffset;
+    u16 addr_producer = bucket_addr_idx;
+
+    while (node) {
+        // Node key load (address produced by the bucket computation
+        // or by the previous next-pointer load).
+        Uop nk;
+        nk.kind = UopKind::Load;
+        nk.phase = UopPhase::Walk;
+        nk.addr = node_addr + HashIndex::kNodeKeyOffset;
+        nk.dep0 = back(addr_producer);
+        u16 keyval_idx = emit(nk);
+
+        if (index_.indirectKeys()) {
+            // Dereference the key pointer (MonetDB-style layout).
+            Uop deref;
+            deref.kind = UopKind::Load;
+            deref.phase = UopPhase::Walk;
+            deref.addr = node->key; // key field holds the key address
+            deref.dep0 = back(keyval_idx);
+            keyval_idx = emit(deref);
+        }
+
+        // Compare against the probe key, then the match branch.
+        Uop cmp;
+        cmp.kind = UopKind::Alu;
+        cmp.phase = UopPhase::Walk;
+        cmp.dep0 = back(keyval_idx);
+        cmp.dep1 = back(key_idx);
+        u16 cmp_idx = emit(cmp);
+
+        const bool match = index_.nodeKey(*node) == key;
+
+        // The match branch is data-dependent on the (possibly
+        // indirect) key value. A branch predictor sees a stream of
+        // taken/not-taken outcomes with match frequency p and misses
+        // ~2p(1-p) of the time; this is the second run-ahead limiter
+        // and the one that serializes the key-dereference miss on
+        // MonetDB-style layouts.
+        ++compares_;
+        if (match)
+            ++matchesSeen_;
+        Uop br;
+        br.kind = UopKind::Branch;
+        br.phase = UopPhase::Walk;
+        br.dep0 = back(cmp_idx);
+        if (compares_ >= 64) {
+            const double p =
+                double(matchesSeen_) / double(compares_);
+            br.mispredicted =
+                rng_.chance(2.0 * p * (1.0 - p) * hotFactor_);
+        }
+        emit(br);
+        if (match) {
+            Uop pl;
+            pl.kind = UopKind::Load;
+            pl.phase = UopPhase::Emit;
+            pl.addr = node_addr + HashIndex::kNodePayloadOffset;
+            pl.dep0 = back(addr_producer);
+            u16 pl_idx = emit(pl);
+
+            Uop st;
+            st.kind = UopKind::Store;
+            st.phase = UopPhase::Emit;
+            st.addr = outCursor_;
+            st.dep0 = back(pl_idx);
+            emit(st);
+            if (opts_.outBase)
+                outCursor_ += 16;
+        }
+
+        // Next-pointer load and the loop-exit branch.
+        Uop np;
+        np.kind = UopKind::Load;
+        np.phase = UopPhase::Walk;
+        np.addr = node_addr + HashIndex::kNodeNextOffset;
+        np.dep0 = back(addr_producer);
+        u16 np_idx = emit(np);
+
+        const HashIndex::Node *next = node->next;
+
+        Uop exit_br;
+        exit_br.kind = UopKind::Branch;
+        exit_br.phase = UopPhase::Walk;
+        exit_br.dep0 = back(np_idx);
+        if (!next) {
+            // Bucket-exit: unpredictable list length.
+            exit_br.mispredicted =
+                rng_.chance(opts_.mispredictRate * hotFactor_);
+            exit_br.endOfProbe = true;
+        }
+        emit(exit_br);
+
+        addr_producer = np_idx;
+        node_addr = Addr(reinterpret_cast<std::uintptr_t>(next));
+        node = next;
+    }
+}
+
+} // namespace widx::cpu

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * µop trace generation for the Listing 1 probe loop.
+ *
+ * For every probe key the generator performs the *functional* walk on
+ * the real hash index, recording the same addresses the Widx engine
+ * touches, and emits the corresponding µop sequence with data
+ * dependences:
+ *
+ *   load key -> hash chain (one ALU per HashStep, serially dependent)
+ *   -> bucket address (mask, base+shift) -> header-node key load
+ *   -> compare -> branch, then per extra node: next-pointer load ->
+ *   key load -> compare -> branch, with an extra key-dereference load
+ *   for indirect layouts and payload-load + store for matches.
+ *
+ * The bucket-exit branch is data-dependent on the walk (node lists
+ * have no predictable length), so it is marked mispredicted with a
+ * configurable probability. This is the mechanism that bounds the
+ * baseline cores' run-ahead across probes — the "limited MLP" the
+ * paper attributes to the OoO core (Section 6.1) — and the main
+ * calibration knob of the reproduction (see DESIGN.md §3.3).
+ */
+
+#ifndef WIDX_CPU_TRACE_GEN_HH
+#define WIDX_CPU_TRACE_GEN_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "cpu/trace.hh"
+#include "db/column.hh"
+#include "db/hash_index.hh"
+
+namespace widx::cpu {
+
+struct TraceGenOptions
+{
+    /** Probability the bucket-exit branch of a probe mispredicts.
+     *  Calibrated so the OoO baseline lands at the paper's anchors
+     *  (Widx-1walker within ~4% of OoO on the kernel; in-order 2.2x
+     *  slower than OoO) — see EXPERIMENTS.md. */
+    double mispredictRate = 0.7;
+    /** RNG seed for mispredict draws. */
+    u64 seed = 1;
+    /** Per-hash-step ALU latency on the baseline core; 0 picks the
+     *  default (2 for integer keys, 5 for double keys). */
+    u8 hashStepLatency = 0;
+    /** Indexes at or below this entry count are treated as
+     *  predictor-warm: mispredict rates scale by hotIndexFactor. */
+    u64 hotIndexEntries = 4096;
+    double hotIndexFactor = 0.25;
+    /** Base address for match stores (timing only; no data is
+     *  written). 0 keeps stores but aims them at a scratch page. */
+    Addr outBase = 0;
+};
+
+class ProbeTraceGen : public TraceSource
+{
+  public:
+    ProbeTraceGen(const db::HashIndex &index,
+                  const db::Column &probe_keys,
+                  const TraceGenOptions &opts);
+
+    bool next(Uop &out) override;
+
+    u64 probesGenerated() const { return nextRow_; }
+    u64 totalProbes() const { return keys_.size(); }
+
+  private:
+    /** Generate the µop vector for one probe. */
+    void genProbe(RowId row);
+
+    const db::HashIndex &index_;
+    const db::Column &keys_;
+    TraceGenOptions opts_;
+    Rng rng_;
+    Addr outCursor_;
+    u64 scratch_[8]{}; ///< default store target
+
+    std::vector<Uop> buf_;
+    std::size_t bufPos_ = 0;
+    RowId nextRow_ = 0;
+    /** Running match-branch statistics for the predictor model. */
+    u64 compares_ = 0;
+    u64 matchesSeen_ = 0;
+    /** Mispredict-rate scale for predictor-warm hot indexes. */
+    double hotFactor_ = 1.0;
+};
+
+} // namespace widx::cpu
+
+#endif // WIDX_CPU_TRACE_GEN_HH

@@ -1,0 +1,47 @@
+#include "db/aggregate.hh"
+
+#include <unordered_set>
+
+namespace widx::db {
+
+u64
+aggregateSum(const Column &col, const std::vector<RowId> &rows)
+{
+    u64 sum = 0;
+    for (RowId r : rows)
+        sum += col.at(r);
+    return sum;
+}
+
+u64
+aggregateMax(const Column &col, const std::vector<RowId> &rows)
+{
+    u64 max = 0;
+    for (RowId r : rows) {
+        u64 v = col.at(r);
+        if (v > max)
+            max = v;
+    }
+    return max;
+}
+
+std::unordered_map<u64, u64>
+groupBySum(const Column &group_col, const Column &value_col,
+           const std::vector<RowId> &rows)
+{
+    std::unordered_map<u64, u64> groups;
+    for (RowId r : rows)
+        groups[group_col.at(r)] += value_col.at(r);
+    return groups;
+}
+
+u64
+countDistinct(const Column &col, const std::vector<RowId> &rows)
+{
+    std::unordered_set<u64> seen;
+    for (RowId r : rows)
+        seen.insert(col.at(r));
+    return seen.size();
+}
+
+} // namespace widx::db

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Aggregation operators (the "Other" class of the Fig. 2 breakdown:
+ * sums, maxima, group-bys that follow the join in DSS plans).
+ */
+
+#ifndef WIDX_DB_AGGREGATE_HH
+#define WIDX_DB_AGGREGATE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "db/column.hh"
+
+namespace widx::db {
+
+/** Sum of the selected rows' values. */
+u64 aggregateSum(const Column &col, const std::vector<RowId> &rows);
+
+/** Maximum of the selected rows' values; 0 for an empty selection. */
+u64 aggregateMax(const Column &col, const std::vector<RowId> &rows);
+
+/** Group the selected rows by group_col and sum value_col per group. */
+std::unordered_map<u64, u64>
+groupBySum(const Column &group_col, const Column &value_col,
+           const std::vector<RowId> &rows);
+
+/** Count distinct values among the selected rows. */
+u64 countDistinct(const Column &col, const std::vector<RowId> &rows);
+
+} // namespace widx::db
+
+#endif // WIDX_DB_AGGREGATE_HH

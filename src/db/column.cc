@@ -1,0 +1,75 @@
+#include "db/column.hh"
+
+namespace widx::db {
+
+const char *
+valueKindName(ValueKind kind)
+{
+    switch (kind) {
+      case ValueKind::U32:
+        return "u32";
+      case ValueKind::U64:
+        return "u64";
+      case ValueKind::F64:
+        return "f64";
+    }
+    return "?";
+}
+
+Column::Column(std::string name, ValueKind kind, Arena &arena,
+               u64 capacity)
+    : name_(std::move(name)), kind_(kind), capacity_(capacity)
+{
+    fatal_if(capacity == 0, "column '%s' needs nonzero capacity",
+             name_.c_str());
+    base_ = static_cast<unsigned char *>(
+        arena.allocateBytes(capacity * elemWidth(), 64));
+}
+
+Column &
+Table::addColumn(const std::string &col_name, ValueKind kind,
+                 Arena &arena, u64 capacity)
+{
+    fatal_if(hasColumn(col_name), "duplicate column '%s' in '%s'",
+             col_name.c_str(), name_.c_str());
+    cols_.push_back(
+        std::make_unique<Column>(col_name, kind, arena, capacity));
+    return *cols_.back();
+}
+
+Column &
+Table::column(const std::string &col_name)
+{
+    for (auto &c : cols_)
+        if (c->name() == col_name)
+            return *c;
+    fatal("no column '%s' in table '%s'", col_name.c_str(),
+          name_.c_str());
+}
+
+const Column &
+Table::column(const std::string &col_name) const
+{
+    for (const auto &c : cols_)
+        if (c->name() == col_name)
+            return *c;
+    fatal("no column '%s' in table '%s'", col_name.c_str(),
+          name_.c_str());
+}
+
+bool
+Table::hasColumn(const std::string &col_name) const
+{
+    for (const auto &c : cols_)
+        if (c->name() == col_name)
+            return true;
+    return false;
+}
+
+u64
+Table::rows() const
+{
+    return cols_.empty() ? 0 : cols_.front()->size();
+}
+
+} // namespace widx::db

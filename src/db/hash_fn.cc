@@ -1,0 +1,122 @@
+#include "db/hash_fn.hh"
+
+#include <set>
+
+#include "common/logging.hh"
+
+namespace widx::db {
+
+u64
+HashStep::apply(u64 h) const
+{
+    u64 x = useSelf ? h : constant;
+    switch (shift) {
+      case HashShift::None:
+        break;
+      case HashShift::Lsl:
+        x <<= shamt;
+        break;
+      case HashShift::Lsr:
+        x >>= shamt;
+        break;
+    }
+    switch (combine) {
+      case HashCombine::Xor:
+        return h ^ x;
+      case HashCombine::Add:
+        return h + x;
+      case HashCombine::And:
+        return h & x;
+    }
+    panic("bad hash combine");
+}
+
+unsigned
+HashFn::numConstants() const
+{
+    std::set<u64> consts;
+    for (const HashStep &s : steps_)
+        if (!s.useSelf)
+            consts.insert(s.constant);
+    return unsigned(consts.size());
+}
+
+HashFn
+HashFn::kernelMaskXor()
+{
+    // Listing 1: #define HASH(X) (((X) & MASK) ^ HPRIME)
+    return HashFn("kernel-mask-xor",
+                  {
+                      {HashCombine::And, HashShift::None, 0, false,
+                       0xFFFFFFFFull},
+                      {HashCombine::Xor, HashShift::None, 0, false,
+                       0x9E3779B9ull},
+                  });
+}
+
+HashFn
+HashFn::monetdbRobust()
+{
+    // A robust mix in the spirit of MonetDB's hash: alternate
+    // self-xorshifts with constant injections so every input bit
+    // affects the bucket bits.
+    return HashFn("monetdb-robust",
+                  {
+                      {HashCombine::Xor, HashShift::Lsr, 33, true, 0},
+                      {HashCombine::Add, HashShift::None, 0, false,
+                       0xFF51AFD7ED558CCDull},
+                      {HashCombine::Xor, HashShift::Lsl, 21, true, 0},
+                      {HashCombine::Add, HashShift::Lsr, 7, true, 0},
+                      {HashCombine::Xor, HashShift::Lsr, 28, true, 0},
+                      {HashCombine::Add, HashShift::None, 0, false,
+                       0xC4CEB9FE1A85EC53ull},
+                  });
+}
+
+HashFn
+HashFn::fibonacciShiftAdd()
+{
+    // Multiplication by the 64-bit golden-ratio constant decomposed
+    // into shift-adds (Widx has no multiplier): an approximation that
+    // keeps the avalanche quality adequate for bucket selection.
+    return HashFn("fibonacci-shift-add",
+                  {
+                      {HashCombine::Add, HashShift::Lsl, 61, true, 0},
+                      {HashCombine::Add, HashShift::Lsl, 59, true, 0},
+                      {HashCombine::Xor, HashShift::Lsr, 31, true, 0},
+                      {HashCombine::Add, HashShift::Lsl, 28, true, 0},
+                      {HashCombine::Add, HashShift::None, 0, false,
+                       0x9E3779B97F4A7C15ull},
+                      {HashCombine::Xor, HashShift::Lsr, 27, true, 0},
+                      {HashCombine::Add, HashShift::Lsl, 13, true, 0},
+                      {HashCombine::Xor, HashShift::Lsr, 33, true, 0},
+                  });
+}
+
+HashFn
+HashFn::doubleKey()
+{
+    // Double-typed keys (TPC-H q20): fold exponent into mantissa so
+    // nearby magnitudes separate, then run a deep robust mix. The
+    // paper singles this out as "computationally intensive hashing".
+    return HashFn("double-key",
+                  {
+                      {HashCombine::Xor, HashShift::Lsr, 52, true, 0},
+                      {HashCombine::Add, HashShift::Lsl, 13, true, 0},
+                      {HashCombine::Xor, HashShift::Lsr, 7, true, 0},
+                      {HashCombine::Add, HashShift::None, 0, false,
+                       0xBF58476D1CE4E5B9ull},
+                      {HashCombine::Xor, HashShift::Lsr, 17, true, 0},
+                      {HashCombine::Add, HashShift::Lsl, 31, true, 0},
+                      {HashCombine::Xor, HashShift::Lsr, 11, true, 0},
+                      {HashCombine::Add, HashShift::None, 0, false,
+                       0x94D049BB133111EBull},
+                      {HashCombine::Xor, HashShift::Lsr, 29, true, 0},
+                      {HashCombine::Add, HashShift::Lsl, 5, true, 0},
+                      {HashCombine::Add, HashShift::None, 0, false,
+                       0x2545F4914F6CDD1Dull},
+                      {HashCombine::Xor, HashShift::Lsr, 32, true, 0},
+                  });
+}
+
+} // namespace widx::db

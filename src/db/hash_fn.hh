@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Multiply-free hash function IR.
+ *
+ * The same hash must be computed by three consumers: the DBMS build
+ * side (C++), the Widx dispatcher (a Table 1 program — note Table 1
+ * has no multiply), and the baseline-core µop trace (a dependent ALU
+ * chain). A HashFn is therefore a sequence of shift-combine steps —
+ * exactly the fused ADD-SHF / AND-SHF / XOR-SHF operations Widx
+ * provides — with 64-bit constants. One IR instance is interpreted,
+ * compiled, or expanded by each consumer.
+ *
+ * Step semantics over accumulator h (initialized to the key):
+ *   operand X = (useSelf ? h : constant), shifted by shamt in dir;
+ *   h = h  op  X,     op in {xor, add, and}.
+ *
+ * Presets model the paper's spectrum of hashing costs: the kernel's
+ * trivial MASK/PRIME hash (Listing 1), a MonetDB-like robust mix,
+ * a Fibonacci-style mix, and an expensive double-key normalizing
+ * hash ("computationally intensive hashing" of TPC-H q20).
+ */
+
+#ifndef WIDX_DB_HASH_FN_HH
+#define WIDX_DB_HASH_FN_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace widx::db {
+
+/** Combine operator of one hash step. */
+enum class HashCombine : u8
+{
+    Xor,
+    Add,
+    And,
+};
+
+/** Shift applied to the step operand before combining. */
+enum class HashShift : u8
+{
+    None,
+    Lsl,
+    Lsr,
+};
+
+struct HashStep
+{
+    HashCombine combine = HashCombine::Xor;
+    HashShift shift = HashShift::None;
+    u8 shamt = 0;
+    /** Operand is h itself (xorshift style) instead of the constant. */
+    bool useSelf = false;
+    u64 constant = 0;
+
+    /** Apply this step to accumulator h. */
+    u64 apply(u64 h) const;
+};
+
+class HashFn
+{
+  public:
+    HashFn() = default;
+    HashFn(std::string name, std::vector<HashStep> steps)
+        : name_(std::move(name)), steps_(std::move(steps))
+    {
+    }
+
+    /** Hash a 64-bit key pattern. */
+    u64
+    operator()(u64 key) const
+    {
+        u64 h = key;
+        for (const HashStep &s : steps_)
+            h = s.apply(h);
+        return h;
+    }
+
+    const std::string &name() const { return name_; }
+    const std::vector<HashStep> &steps() const { return steps_; }
+
+    /** Dependent ALU operations on the hashing critical path (one per
+     *  step — each maps to one fused Widx instruction). */
+    unsigned compOps() const { return unsigned(steps_.size()); }
+
+    /** Number of distinct constants the program must keep in
+     *  registers (the paper's rationale for 32 registers). */
+    unsigned numConstants() const;
+
+    // --- Presets -------------------------------------------------------
+
+    /** Listing 1: HASH(X) = ((X) & MASK) ^ HPRIME. */
+    static HashFn kernelMaskXor();
+
+    /** MonetDB-like robust mix: 6 shift-combine steps. */
+    static HashFn monetdbRobust();
+
+    /** Fibonacci-style multiplicative hash decomposed into
+     *  shift-adds: 8 steps. */
+    static HashFn fibonacciShiftAdd();
+
+    /** Expensive hash for double-typed keys (mantissa/exponent
+     *  folding plus a robust mix): 12 steps. */
+    static HashFn doubleKey();
+
+  private:
+    std::string name_;
+    std::vector<HashStep> steps_;
+};
+
+} // namespace widx::db
+
+#endif // WIDX_DB_HASH_FN_HH

@@ -1,0 +1,122 @@
+#include "db/hash_index.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace widx::db {
+
+HashIndex::HashIndex(const IndexSpec &spec, Arena &arena)
+    : spec_(spec), arena_(arena)
+{
+    fatal_if(spec.buckets == 0, "index needs at least one bucket");
+    numBuckets_ = nextPowerOfTwo(spec.buckets);
+    bucketShift_ = log2Exact(u64{kBucketStride});
+    // Cache-line-align the bucket array so a 32 B bucket (header
+    // node included) never straddles two lines: one header fetch is
+    // one memory access, as the paper's layout intends.
+    buckets_ = static_cast<Bucket *>(arena_.allocateBytes(
+        numBuckets_ * sizeof(Bucket), kCacheBlockBytes));
+    sentinelCell_ = arena_.make<u64>(kEmptyKey);
+    const u64 empty_key =
+        spec_.indirectKeys
+            ? u64(reinterpret_cast<std::uintptr_t>(sentinelCell_))
+            : kEmptyKey;
+    for (u64 b = 0; b < numBuckets_; ++b) {
+        buckets_[b].count = 0;
+        buckets_[b].head.key = empty_key;
+        buckets_[b].head.payload = 0;
+        buckets_[b].head.next = nullptr;
+    }
+}
+
+void
+HashIndex::insert(u64 key, u64 payload, Addr key_addr)
+{
+    panic_if(key == kEmptyKey, "the all-ones key is reserved");
+    panic_if(spec_.indirectKeys && key_addr == 0,
+             "indirect index requires the key's storage address");
+
+    Bucket &b = buckets_[bucketIndex(key)];
+    const u64 stored = spec_.indirectKeys ? key_addr : key;
+
+    if (b.count == 0) {
+        b.head.key = stored;
+        b.head.payload = payload;
+    } else {
+        // Push-front behind the header to keep insert O(1); the
+        // header keeps its original entry (paper layout).
+        Node *n = arena_.make<Node>();
+        n->key = stored;
+        n->payload = payload;
+        n->next = b.head.next;
+        b.head.next = n;
+        ++overflowNodes_;
+    }
+    ++b.count;
+    ++entries_;
+}
+
+void
+HashIndex::buildFromColumn(const Column &keys)
+{
+    for (RowId r = 0; r < keys.size(); ++r)
+        insert(keys.at(r), r, keys.addrOf(r));
+}
+
+u64
+HashIndex::probe(u64 key,
+                 const std::function<void(u64 payload)> &emit) const
+{
+    const Bucket &b = buckets_[bucketIndex(key)];
+    u64 matches = 0;
+    for (const Node *n = &b.head; n; n = n->next) {
+        if (nodeKey(*n) == key) {
+            ++matches;
+            if (emit)
+                emit(n->payload);
+        }
+    }
+    return matches;
+}
+
+u64
+HashIndex::lookup(u64 key) const
+{
+    const Bucket &b = buckets_[bucketIndex(key)];
+    for (const Node *n = &b.head; n; n = n->next)
+        if (nodeKey(*n) == key)
+            return n->payload;
+    return kNotFound;
+}
+
+double
+HashIndex::avgBucketDepth() const
+{
+    u64 nonempty = 0;
+    u64 nodes = 0;
+    for (u64 b = 0; b < numBuckets_; ++b) {
+        if (buckets_[b].count) {
+            ++nonempty;
+            nodes += buckets_[b].count;
+        }
+    }
+    return nonempty == 0 ? 0.0 : double(nodes) / double(nonempty);
+}
+
+u64
+HashIndex::maxBucketDepth() const
+{
+    u64 max = 0;
+    for (u64 b = 0; b < numBuckets_; ++b)
+        if (buckets_[b].count > max)
+            max = buckets_[b].count;
+    return max;
+}
+
+u64
+HashIndex::footprintBytes() const
+{
+    return numBuckets_ * sizeof(Bucket) + overflowNodes_ * sizeof(Node);
+}
+
+} // namespace widx::db

@@ -1,0 +1,58 @@
+#include "db/hash_join.hh"
+
+#include <chrono>
+
+namespace widx::db {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    auto delta = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double>(delta).count();
+}
+
+} // namespace
+
+JoinResult
+probeAll(const HashIndex &index, const Column &probe_keys,
+         bool materialize)
+{
+    JoinResult result;
+    const u64 n = probe_keys.size();
+    result.probes = n;
+
+    auto start = std::chrono::steady_clock::now();
+    for (RowId r = 0; r < n; ++r) {
+        const u64 key = probe_keys.at(r);
+        const HashIndex::Bucket &b =
+            index.bucketAt(index.bucketIndex(key));
+        for (const HashIndex::Node *node = &b.head; node;
+             node = node->next) {
+            if (index.nodeKey(*node) == key) {
+                ++result.matches;
+                if (materialize)
+                    result.pairs.push_back({node->payload, r});
+            }
+        }
+    }
+    result.probeSeconds = secondsSince(start);
+    return result;
+}
+
+JoinResult
+hashJoin(const Column &build_keys, const Column &probe_keys,
+         const IndexSpec &spec, Arena &arena, bool materialize)
+{
+    auto start = std::chrono::steady_clock::now();
+    HashIndex index(spec, arena);
+    index.buildFromColumn(build_keys);
+    double build_seconds = secondsSince(start);
+
+    JoinResult result = probeAll(index, probe_keys, materialize);
+    result.buildSeconds = build_seconds;
+    return result;
+}
+
+} // namespace widx::db

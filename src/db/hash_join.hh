@@ -1,0 +1,64 @@
+/**
+ * @file
+ * No-partitioning hash join (the paper's Section 2.2 example and the
+ * Balkesen et al. kernel it evaluates): build a hash index on the
+ * smaller relation, then probe it with every key of the larger one.
+ *
+ * The probe loop is exactly the indexing operation Widx accelerates;
+ * JoinResult reports build and probe phases separately so the Fig. 2
+ * breakdown can attribute them to "Index" time.
+ */
+
+#ifndef WIDX_DB_HASH_JOIN_HH
+#define WIDX_DB_HASH_JOIN_HH
+
+#include <vector>
+
+#include "common/arena.hh"
+#include "db/column.hh"
+#include "db/hash_index.hh"
+
+namespace widx::db {
+
+/** One matched pair of row ids (build row, probe row). */
+struct JoinPair
+{
+    RowId buildRow;
+    RowId probeRow;
+};
+
+struct JoinResult
+{
+    std::vector<JoinPair> pairs;
+    double buildSeconds = 0.0;
+    double probeSeconds = 0.0;
+    u64 probes = 0;
+    u64 matches = 0;
+};
+
+/**
+ * Equi-join build.probe on build_keys = probe_keys.
+ *
+ * @param build_keys column the index is built on (smaller relation).
+ * @param probe_keys column driving the probes (outer relation).
+ * @param spec index geometry; spec.buckets is usually sized to the
+ *        build cardinality.
+ * @param arena storage for the index.
+ * @param materialize when false, matches are counted but not stored
+ *        (large joins in benchmarks).
+ */
+JoinResult hashJoin(const Column &build_keys, const Column &probe_keys,
+                    const IndexSpec &spec, Arena &arena,
+                    bool materialize = true);
+
+/**
+ * Probe an existing index with every key of a column; the core of
+ * Listing 1's do_index. Used by tests and by the host-side Fig. 2
+ * measurement.
+ */
+JoinResult probeAll(const HashIndex &index, const Column &probe_keys,
+                    bool materialize = true);
+
+} // namespace widx::db
+
+#endif // WIDX_DB_HASH_JOIN_HH

@@ -1,0 +1,22 @@
+#include "db/plan.hh"
+
+namespace widx::db {
+
+const char *
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::Index:
+        return "Index";
+      case OpClass::Scan:
+        return "Scan";
+      case OpClass::SortJoin:
+        return "Sort&Join";
+      case OpClass::Other:
+        return "Other";
+      default:
+        return "?";
+    }
+}
+
+} // namespace widx::db

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-operator time attribution for query plans (Fig. 2a machinery).
+ *
+ * MonetDB was profiled with VTune by grouping functions into operator
+ * classes; our plan executor reproduces the classification by timing
+ * each plan step and charging it to one of the four Fig. 2a classes.
+ */
+
+#ifndef WIDX_DB_PLAN_HH
+#define WIDX_DB_PLAN_HH
+
+#include <array>
+#include <chrono>
+#include <string>
+
+#include "common/types.hh"
+
+namespace widx::db {
+
+/** The Fig. 2a operator classes. */
+enum class OpClass : u8
+{
+    Index,    ///< hash-index build + probe
+    Scan,     ///< sequential selections
+    SortJoin, ///< sort operators and sort-merge joins
+    Other,    ///< aggregation, library code, materialization
+    NumClasses,
+};
+
+const char *opClassName(OpClass c);
+
+/** Accumulated wall-clock seconds per operator class. */
+class PlanBreakdown
+{
+  public:
+    void
+    add(OpClass c, double seconds)
+    {
+        seconds_[std::size_t(c)] += seconds;
+    }
+
+    double
+    seconds(OpClass c) const
+    {
+        return seconds_[std::size_t(c)];
+    }
+
+    double
+    total() const
+    {
+        double t = 0.0;
+        for (double s : seconds_)
+            t += s;
+        return t;
+    }
+
+    /** Fraction of total time in the class; 0 when nothing ran. */
+    double
+    fraction(OpClass c) const
+    {
+        double t = total();
+        return t == 0.0 ? 0.0 : seconds(c) / t;
+    }
+
+  private:
+    std::array<double, std::size_t(OpClass::NumClasses)> seconds_{};
+};
+
+/**
+ * RAII timer charging its scope's wall time to an operator class.
+ *
+ *   { PlanTimer t(breakdown, OpClass::Scan); ... scan ...; }
+ */
+class PlanTimer
+{
+  public:
+    PlanTimer(PlanBreakdown &breakdown, OpClass cls)
+        : breakdown_(breakdown), cls_(cls),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~PlanTimer()
+    {
+        auto delta = std::chrono::steady_clock::now() - start_;
+        breakdown_.add(cls_,
+                       std::chrono::duration<double>(delta).count());
+    }
+
+    PlanTimer(const PlanTimer &) = delete;
+    PlanTimer &operator=(const PlanTimer &) = delete;
+
+  private:
+    PlanBreakdown &breakdown_;
+    OpClass cls_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace widx::db
+
+#endif // WIDX_DB_PLAN_HH

@@ -1,0 +1,37 @@
+#include "db/scan.hh"
+
+namespace widx::db {
+
+std::vector<RowId>
+scanSelect(const Column &col, const RangePredicate &pred)
+{
+    std::vector<RowId> out;
+    const u64 n = col.size();
+    for (RowId r = 0; r < n; ++r)
+        if (pred.matches(col.at(r)))
+            out.push_back(r);
+    return out;
+}
+
+u64
+scanCount(const Column &col, const RangePredicate &pred)
+{
+    u64 count = 0;
+    const u64 n = col.size();
+    for (RowId r = 0; r < n; ++r)
+        if (pred.matches(col.at(r)))
+            ++count;
+    return count;
+}
+
+std::vector<u64>
+scanGather(const Column &col, const std::vector<RowId> &rows)
+{
+    std::vector<u64> out;
+    out.reserve(rows.size());
+    for (RowId r : rows)
+        out.push_back(col.at(r));
+    return out;
+}
+
+} // namespace widx::db

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Scan operator: sequential selection over a column.
+ */
+
+#ifndef WIDX_DB_SCAN_HH
+#define WIDX_DB_SCAN_HH
+
+#include <vector>
+
+#include "db/column.hh"
+
+namespace widx::db {
+
+/** Inclusive range predicate over 64-bit carrier values. */
+struct RangePredicate
+{
+    u64 lo = 0;
+    u64 hi = ~u64{0};
+
+    bool matches(u64 v) const { return v >= lo && v <= hi; }
+};
+
+/** Select row ids whose column value satisfies the predicate. */
+std::vector<RowId> scanSelect(const Column &col,
+                              const RangePredicate &pred);
+
+/** Count matching rows without materializing them. */
+u64 scanCount(const Column &col, const RangePredicate &pred);
+
+/** Gather the values of selected rows into a new vector. */
+std::vector<u64> scanGather(const Column &col,
+                            const std::vector<RowId> &rows);
+
+} // namespace widx::db
+
+#endif // WIDX_DB_SCAN_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Sort operator and sort-merge join.
+ *
+ * The sort-merge join exists both as a DBMS operator for the Fig. 2
+ * operator mix ("Sort & Join") and as the software baseline the paper
+ * contrasts hash joins against in Section 7 (citing Balkesen et al.:
+ * "hash join clearly outperforms the sort-merge join").
+ */
+
+#ifndef WIDX_DB_SORT_HH
+#define WIDX_DB_SORT_HH
+
+#include <vector>
+
+#include "db/column.hh"
+#include "db/hash_join.hh"
+
+namespace widx::db {
+
+/** Row ids of the column ordered by ascending value. */
+std::vector<RowId> sortRows(const Column &col);
+
+/** Values of the column in ascending order. */
+std::vector<u64> sortValues(const Column &col);
+
+/**
+ * Sort-merge equi-join: sorts both inputs, then merges. Handles
+ * duplicate keys on both sides (cross product per equal-key run).
+ */
+JoinResult sortMergeJoin(const Column &left, const Column &right,
+                         bool materialize = true);
+
+} // namespace widx::db
+
+#endif // WIDX_DB_SORT_HH

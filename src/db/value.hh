@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Value representation for the column-store mini-DBMS.
+ *
+ * All values are carried as 64-bit patterns: unsigned integers are
+ * zero-extended, doubles are bit-cast (TPC-H q20 probes an index of
+ * double-typed keys; hashing operates on the bit pattern, as a
+ * multiply-free hardware hasher would).
+ */
+
+#ifndef WIDX_DB_VALUE_HH
+#define WIDX_DB_VALUE_HH
+
+#include <bit>
+
+#include "common/types.hh"
+
+namespace widx::db {
+
+/** Logical type of a column. */
+enum class ValueKind : u8
+{
+    U32,
+    U64,
+    F64,
+};
+
+/** Physical element width in bytes for a value kind. */
+constexpr u32
+elemBytes(ValueKind kind)
+{
+    return kind == ValueKind::U32 ? 4 : 8;
+}
+
+/** Reserved key pattern marking an empty bucket-header slot; user
+ *  keys must never equal it. */
+constexpr u64 kEmptyKey = ~u64{0};
+
+/** Reserved "no payload" return for failed point lookups. */
+constexpr u64 kNotFound = ~u64{0};
+
+/** Bit-cast a double to its carrier pattern. */
+inline u64
+f64Bits(double v)
+{
+    return std::bit_cast<u64>(v);
+}
+
+/** Recover a double from its carrier pattern. */
+inline double
+bitsF64(u64 bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+const char *valueKindName(ValueKind kind);
+
+} // namespace widx::db
+
+#endif // WIDX_DB_VALUE_HH

@@ -1,0 +1,15 @@
+#include "energy/energy.hh"
+
+namespace widx::energy {
+
+EnergyResult
+computeEnergy(const EnergyParams &p, Design d, Cycle cycles)
+{
+    EnergyResult r;
+    r.seconds = double(cycles) / (p.clockGhz * 1e9);
+    r.joules = p.activeWatts(d) * r.seconds;
+    r.edp = r.joules * r.seconds;
+    return r;
+}
+
+} // namespace widx::energy

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Energy and area model (Section 6.3).
+ *
+ * The paper's energy results are arithmetic over published constants
+ * and measured runtimes:
+ *  - a synthesized Widx unit (40 nm TSMC, 2 GHz) is 0.039 mm2 and
+ *    draws 53 mW; the 6-unit complex (dispatcher + 4 walkers +
+ *    producer with 2-entry queues) is 0.24 mm2 / 320 mW;
+ *  - an ARM Cortex-A8-like in-order core is 1.3 mm2 / 480 mW
+ *    including L1 caches [Lotfi-Kamran et al.];
+ *  - the OoO Xeon-like core runs at its nominal operating power, and
+ *    idles at 30% of nominal [Intel datasheets];
+ *  - while Widx runs, the host core idles but keeps its MMU and L1-D
+ *    powered (Widx shares them), so the Widx-enabled design draws
+ *    idle-OoO + Widx + L1 activity power.
+ */
+
+#ifndef WIDX_ENERGY_ENERGY_HH
+#define WIDX_ENERGY_ENERGY_HH
+
+#include "common/types.hh"
+
+namespace widx::energy {
+
+/** Which execution engine runs the indexing operation. */
+enum class Design : u8
+{
+    OoO,        ///< baseline out-of-order core
+    InOrder,    ///< Cortex-A8-like in-order core
+    WidxOnOoO,  ///< Widx with the OoO host idling
+};
+
+struct EnergyParams
+{
+    /** Nominal OoO core power, W (Xeon-class core at 2 GHz; chosen so
+     *  the in-order core's 86% energy saving at 2.2x the runtime
+     *  reproduces, Section 6.3). */
+    double oooWatts = 7.5;
+    /** Idle power fraction of nominal [paper's 30% assumption]. */
+    double idleFraction = 0.30;
+    /** In-order core incl. L1 caches, W. */
+    double inorderWatts = 0.48;
+    /** Six Widx units, W (synthesis result). */
+    double widxWatts = 0.320;
+    /** L1-D activity while Widx drives it (CACTI-class estimate). */
+    double l1ActivityWatts = 0.25;
+    double clockGhz = 2.0;
+
+    /** Power drawn while the given design executes indexing. */
+    double
+    activeWatts(Design d) const
+    {
+        switch (d) {
+          case Design::OoO:
+            return oooWatts;
+          case Design::InOrder:
+            return inorderWatts;
+          case Design::WidxOnOoO:
+            return idleFraction * oooWatts + widxWatts +
+                   l1ActivityWatts;
+        }
+        return 0.0;
+    }
+};
+
+struct EnergyResult
+{
+    double seconds = 0.0;
+    double joules = 0.0;
+    double edp = 0.0; ///< energy-delay product, J*s
+};
+
+/** Energy of running `cycles` of indexing on a design. */
+EnergyResult computeEnergy(const EnergyParams &p, Design d,
+                           Cycle cycles);
+
+/** Synthesis-derived area/power constants (Section 6.3), used by the
+ *  configuration table bench. */
+struct AreaConstants
+{
+    double widxUnitMm2 = 0.039;
+    double widxUnitWatts = 0.053;
+    double widxSixUnitsMm2 = 0.24;
+    double widxSixUnitsWatts = 0.320;
+    double cortexA8Mm2 = 1.3;
+    double cortexA8Watts = 0.480;
+    /** Widx area as a fraction of the A8 (paper: 18%). */
+    double
+    widxVsA8AreaFraction() const
+    {
+        return widxSixUnitsMm2 / cortexA8Mm2;
+    }
+};
+
+} // namespace widx::energy
+
+#endif // WIDX_ENERGY_ENERGY_HH

@@ -1,0 +1,466 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace widx::isa {
+
+namespace {
+
+/** One source line reduced to its parts. */
+struct Line
+{
+    int number = 0;                 ///< 1-based source line
+    std::vector<std::string> labels;
+    std::vector<std::string> tokens; ///< mnemonic + operand tokens
+};
+
+std::string
+stripComment(const std::string &line)
+{
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (c == ';')
+            return line.substr(0, i);
+        if (c == '/' && i + 1 < line.size() && line[i + 1] == '/')
+            return line.substr(0, i);
+        // '#' introduces an immediate when followed by a digit or a
+        // sign; otherwise it is a comment.
+        if (c == '#') {
+            bool imm = i + 1 < line.size() &&
+                (std::isdigit(u8(line[i + 1])) || line[i + 1] == '-');
+            if (!imm)
+                return line.substr(0, i);
+        }
+    }
+    return line;
+}
+
+/** Split into tokens on whitespace, commas and brackets; brackets and
+ *  '+'/'-' inside memory operands become their own tokens. */
+std::vector<std::string>
+tokenize(const std::string &text)
+{
+    std::vector<std::string> tokens;
+    std::string cur;
+    auto flush = [&]() {
+        if (!cur.empty()) {
+            tokens.push_back(cur);
+            cur.clear();
+        }
+    };
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (std::isspace(u8(c)) || c == ',') {
+            flush();
+        } else if (c == '[' || c == ']' || c == '+') {
+            flush();
+            tokens.push_back(std::string(1, c));
+        } else if (c == '-' && cur.empty() && i + 1 < text.size() &&
+                   std::isdigit(u8(text[i + 1]))) {
+            // Negative immediate: keep the sign with the digits.
+            cur.push_back(c);
+        } else if (c == '-') {
+            flush();
+            tokens.push_back("+");
+            cur.push_back('-');
+        } else {
+            cur.push_back(c);
+        }
+    }
+    flush();
+    return tokens;
+}
+
+bool
+parseReg(const std::string &tok, u8 &reg)
+{
+    if (tok == "zero") {
+        reg = kRegZero;
+        return true;
+    }
+    if (tok == "qpop") {
+        reg = kRegQueuePop;
+        return true;
+    }
+    if (tok == "latch") {
+        reg = kRegLatchW0;
+        return true;
+    }
+    if (tok == "qpush") {
+        reg = kRegQueuePush;
+        return true;
+    }
+    if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R'))
+        return false;
+    unsigned v = 0;
+    for (std::size_t i = 1; i < tok.size(); ++i) {
+        if (!std::isdigit(u8(tok[i])))
+            return false;
+        v = v * 10 + unsigned(tok[i] - '0');
+    }
+    if (v >= kNumRegs)
+        return false;
+    reg = u8(v);
+    return true;
+}
+
+bool
+parseImm(const std::string &tok, long &value)
+{
+    std::string body = tok;
+    if (!body.empty() && body[0] == '#')
+        body = body.substr(1);
+    if (body.empty())
+        return false;
+    char *end = nullptr;
+    value = std::strtol(body.c_str(), &end, 0);
+    return end && *end == '\0';
+}
+
+/** Assembler working state for one translation. */
+class Assembly
+{
+  public:
+    Assembly(UnitKind unit, const std::string &source)
+        : unit_(unit)
+    {
+        splitLines(source);
+    }
+
+    bool
+    run(const std::string &name, std::string &error, Program &out)
+    {
+        if (!collectLabels(error))
+            return false;
+        Program prog(name, unit_);
+        for (const Line &line : lines_) {
+            if (line.tokens.empty())
+                continue;
+            Instruction inst;
+            if (!encodeLine(line, inst, error))
+                return false;
+            prog.append(inst);
+        }
+        out = std::move(prog);
+        return true;
+    }
+
+  private:
+    void
+    splitLines(const std::string &source)
+    {
+        std::string cur;
+        int number = 1;
+        auto take = [&]() {
+            std::string text = stripComment(cur);
+            Line line;
+            line.number = number;
+            // Peel leading "label:" prefixes.
+            for (;;) {
+                std::size_t colon = text.find(':');
+                if (colon == std::string::npos)
+                    break;
+                std::string head = text.substr(0, colon);
+                // Trim the candidate label.
+                std::size_t b = head.find_first_not_of(" \t");
+                std::size_t e = head.find_last_not_of(" \t");
+                if (b == std::string::npos)
+                    break;
+                std::string label = head.substr(b, e - b + 1);
+                if (label.find_first_of(" \t") != std::string::npos)
+                    break;
+                line.labels.push_back(label);
+                text = text.substr(colon + 1);
+            }
+            line.tokens = tokenize(text);
+            if (!line.labels.empty() || !line.tokens.empty())
+                lines_.push_back(std::move(line));
+            cur.clear();
+            ++number;
+        };
+        for (char c : source) {
+            if (c == '\n')
+                take();
+            else
+                cur.push_back(c);
+        }
+        take();
+    }
+
+    bool
+    collectLabels(std::string &error)
+    {
+        unsigned pc = 0;
+        for (const Line &line : lines_) {
+            for (const std::string &label : line.labels) {
+                if (labels_.count(label)) {
+                    error = diag(line, "duplicate label '" + label +
+                                 "'");
+                    return false;
+                }
+                labels_[label] = pc;
+            }
+            if (!line.tokens.empty())
+                ++pc;
+        }
+        programSize_ = pc;
+        return true;
+    }
+
+    std::string
+    diag(const Line &line, const std::string &msg) const
+    {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf), "line %d: %s", line.number,
+                      msg.c_str());
+        return buf;
+    }
+
+    bool
+    resolveTarget(const Line &line, const std::string &tok, i16 &out,
+                  std::string &error) const
+    {
+        if (tok == "halt") {
+            out = i16(programSize_);
+            return true;
+        }
+        auto it = labels_.find(tok);
+        if (it == labels_.end()) {
+            long imm;
+            if (parseImm(tok, imm)) {
+                out = i16(imm);
+                return true;
+            }
+            error = diag(line, "unknown label '" + tok + "'");
+            return false;
+        }
+        out = i16(it->second);
+        return true;
+    }
+
+    bool
+    needTokens(const Line &line, std::size_t n, std::string &error)
+        const
+    {
+        if (line.tokens.size() != n) {
+            error = diag(line, "operand count mismatch for '" +
+                         line.tokens[0] + "'");
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    reg(const Line &line, std::size_t idx, u8 &out,
+        std::string &error) const
+    {
+        if (idx >= line.tokens.size() ||
+            !parseReg(line.tokens[idx], out)) {
+            error = diag(line, "expected register, got '" +
+                         (idx < line.tokens.size() ? line.tokens[idx]
+                                                   : std::string()) +
+                         "'");
+            return false;
+        }
+        return true;
+    }
+
+    /** Parse "[ rX + imm ]" or "[ rX ]" starting at token idx.
+     *  Returns the number of tokens consumed, or 0 on error. */
+    std::size_t
+    memOperand(const Line &line, std::size_t idx, u8 &base, i16 &disp,
+               std::string &error) const
+    {
+        const auto &t = line.tokens;
+        if (idx >= t.size() || t[idx] != "[") {
+            error = diag(line, "expected '[' memory operand");
+            return 0;
+        }
+        u8 r;
+        if (idx + 1 >= t.size() || !parseReg(t[idx + 1], r)) {
+            error = diag(line, "expected base register");
+            return 0;
+        }
+        base = r;
+        if (idx + 2 < t.size() && t[idx + 2] == "]") {
+            disp = 0;
+            return 3;
+        }
+        long imm;
+        if (idx + 4 < t.size() && t[idx + 2] == "+" &&
+            parseImm(t[idx + 3], imm) && t[idx + 4] == "]") {
+            disp = i16(imm);
+            return 5;
+        }
+        error = diag(line, "malformed memory operand");
+        return 0;
+    }
+
+    bool
+    encodeLine(const Line &line, Instruction &inst,
+               std::string &error) const
+    {
+        const auto &t = line.tokens;
+        Opcode op = opcodeFromName(t[0]);
+        if (op == Opcode::NumOpcodes) {
+            error = diag(line, "unknown mnemonic '" + t[0] + "'");
+            return false;
+        }
+        u8 rd, ra, rb;
+        long imm;
+        switch (op) {
+          case Opcode::ADD:
+          case Opcode::AND:
+          case Opcode::XOR:
+          case Opcode::CMP:
+          case Opcode::CMP_LE:
+            if (!needTokens(line, 4, error) ||
+                !reg(line, 1, rd, error) || !reg(line, 2, ra, error) ||
+                !reg(line, 3, rb, error))
+                return false;
+            inst = Instruction::alu(op, rd, ra, rb);
+            return true;
+
+          case Opcode::SHL:
+          case Opcode::SHR:
+            if (!needTokens(line, 4, error) ||
+                !reg(line, 1, rd, error) || !reg(line, 2, ra, error))
+                return false;
+            if (!parseImm(t[3], imm) || imm < 0 || imm > 63) {
+                error = diag(line, "bad shift amount '" + t[3] + "'");
+                return false;
+            }
+            inst = Instruction::shiftImm(op, rd, ra, u8(imm));
+            return true;
+
+          case Opcode::ADD_SHF:
+          case Opcode::AND_SHF:
+          case Opcode::XOR_SHF: {
+            if (!needTokens(line, 6, error) ||
+                !reg(line, 1, rd, error) || !reg(line, 2, ra, error) ||
+                !reg(line, 3, rb, error))
+                return false;
+            ShiftDir dir;
+            if (t[4] == "lsl") {
+                dir = ShiftDir::Lsl;
+            } else if (t[4] == "lsr") {
+                dir = ShiftDir::Lsr;
+            } else {
+                error = diag(line, "expected lsl/lsr, got '" + t[4] +
+                             "'");
+                return false;
+            }
+            if (!parseImm(t[5], imm) || imm < 0 || imm > 63) {
+                error = diag(line, "bad shift amount '" + t[5] + "'");
+                return false;
+            }
+            inst = Instruction::fused(op, rd, ra, rb, dir, u8(imm));
+            return true;
+          }
+
+          case Opcode::LD: {
+            if (!reg(line, 1, rd, error))
+                return false;
+            i16 disp;
+            std::size_t used = memOperand(line, 2, ra, disp, error);
+            if (!used || 2 + used != t.size()) {
+                if (error.empty())
+                    error = diag(line, "malformed ld");
+                return false;
+            }
+            inst = Instruction::load(rd, ra, disp);
+            return true;
+          }
+
+          case Opcode::ST: {
+            i16 disp;
+            std::size_t used = memOperand(line, 1, ra, disp, error);
+            if (!used || 1 + used + 1 != t.size()) {
+                if (error.empty())
+                    error = diag(line, "malformed st");
+                return false;
+            }
+            if (!reg(line, 1 + used, rb, error))
+                return false;
+            inst = Instruction::store(ra, disp, rb);
+            return true;
+          }
+
+          case Opcode::TOUCH: {
+            i16 disp;
+            std::size_t used = memOperand(line, 1, ra, disp, error);
+            if (!used || 1 + used != t.size()) {
+                if (error.empty())
+                    error = diag(line, "malformed touch");
+                return false;
+            }
+            inst = Instruction::touchOp(ra, disp);
+            return true;
+          }
+
+          case Opcode::BA: {
+            if (!needTokens(line, 2, error))
+                return false;
+            i16 target;
+            if (!resolveTarget(line, t[1], target, error))
+                return false;
+            inst = Instruction::branchAlways(target);
+            return true;
+          }
+
+          case Opcode::BLE: {
+            if (!needTokens(line, 4, error) ||
+                !reg(line, 1, ra, error) || !reg(line, 2, rb, error))
+                return false;
+            i16 target;
+            if (!resolveTarget(line, t[3], target, error))
+                return false;
+            inst = Instruction::branchLe(ra, rb, target);
+            return true;
+          }
+
+          default:
+            error = diag(line, "unhandled mnemonic");
+            return false;
+        }
+    }
+
+    UnitKind unit_;
+    std::vector<Line> lines_;
+    std::map<std::string, unsigned> labels_;
+    unsigned programSize_ = 0;
+};
+
+} // namespace
+
+bool
+assemble(const std::string &name, UnitKind unit,
+         const std::string &source, std::string &error,
+         Program &program)
+{
+    Assembly assembly(unit, source);
+    return assembly.run(name, error, program);
+}
+
+Program
+assembleOrDie(const std::string &name, UnitKind unit,
+              const std::string &source)
+{
+    Program prog;
+    std::string error;
+    if (!assemble(name, unit, source, error, prog))
+        fatal("assembly of '%s' failed: %s", name.c_str(),
+              error.c_str());
+    std::string verr;
+    if (!prog.validate(verr))
+        fatal("program '%s' is not valid: %s", name.c_str(),
+              verr.c_str());
+    return prog;
+}
+
+} // namespace widx::isa

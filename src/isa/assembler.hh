@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Two-pass text assembler for the Widx ISA.
+ *
+ * Syntax (one instruction per line; ';' and '#' start comments, except
+ * '#' immediately before a number, which introduces an immediate):
+ *
+ *   loop:
+ *       ld      r4, [r2 + 0]
+ *       xorshf  r5, r4, r4, lsr #33
+ *       addshf  r5, r5, r5, lsl #3
+ *       shr     r6, r5, #16
+ *       cmp     r7, r4, r9
+ *       ble     r8, r7, done
+ *       ba      loop
+ *   done:
+ *
+ * Register aliases: zero (r0), qpop (r30), qpush (r31).
+ * Branch targets are labels; the label one past the last instruction
+ * (or the reserved label "halt") is the unit's halt address.
+ */
+
+#ifndef WIDX_ISA_ASSEMBLER_HH
+#define WIDX_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace widx::isa {
+
+/**
+ * Assemble source text into a Program.
+ *
+ * @param name program name recorded in the result.
+ * @param unit unit kind the program is intended for (legality is
+ *        checked by Program::validate, not here).
+ * @param source assembler text.
+ * @param error receives a "line N: message" diagnostic on failure.
+ * @param program receives the assembled program on success.
+ * @return true on success.
+ */
+bool assemble(const std::string &name, UnitKind unit,
+              const std::string &source, std::string &error,
+              Program &program);
+
+/** Convenience wrapper that calls fatal() on assembly errors. */
+Program assembleOrDie(const std::string &name, UnitKind unit,
+                      const std::string &source);
+
+} // namespace widx::isa
+
+#endif // WIDX_ISA_ASSEMBLER_HH

@@ -1,0 +1,223 @@
+#include "isa/instruction.hh"
+
+#include <cstdio>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace widx::isa {
+
+u64
+Instruction::encode() const
+{
+    u64 w = 0;
+    w = insertBits(w, 63, 58, u64(op));
+    w = insertBits(w, 57, 53, rd);
+    w = insertBits(w, 52, 48, ra);
+    w = insertBits(w, 47, 43, rb);
+    w = insertBits(w, 42, 37, shamt);
+    w = insertBits(w, 36, 36, u64(sdir));
+    w = insertBits(w, 31, 16, u64(u16(imm)));
+    return w;
+}
+
+Instruction
+Instruction::decode(u64 word)
+{
+    Instruction inst;
+    inst.op = Opcode(bits(word, 63, 58));
+    panic_if(inst.op >= Opcode::NumOpcodes,
+             "undecodable opcode field %llu",
+             (unsigned long long)bits(word, 63, 58));
+    inst.rd = u8(bits(word, 57, 53));
+    inst.ra = u8(bits(word, 52, 48));
+    inst.rb = u8(bits(word, 47, 43));
+    inst.shamt = u8(bits(word, 42, 37));
+    inst.sdir = ShiftDir(bits(word, 36, 36));
+    inst.imm = i16(u16(bits(word, 31, 16)));
+    return inst;
+}
+
+std::string
+Instruction::toString() const
+{
+    char buf[96];
+    const char *name = opcodeName(op);
+    switch (op) {
+      case Opcode::ADD:
+      case Opcode::AND:
+      case Opcode::XOR:
+      case Opcode::CMP:
+      case Opcode::CMP_LE:
+        std::snprintf(buf, sizeof(buf), "%-7s r%u, r%u, r%u", name, rd,
+                      ra, rb);
+        break;
+      case Opcode::SHL:
+      case Opcode::SHR:
+        std::snprintf(buf, sizeof(buf), "%-7s r%u, r%u, #%u", name, rd,
+                      ra, shamt);
+        break;
+      case Opcode::ADD_SHF:
+      case Opcode::AND_SHF:
+      case Opcode::XOR_SHF:
+        std::snprintf(buf, sizeof(buf), "%-7s r%u, r%u, r%u, %s #%u",
+                      name, rd, ra, rb,
+                      sdir == ShiftDir::Lsl ? "lsl" : "lsr", shamt);
+        break;
+      case Opcode::LD:
+        std::snprintf(buf, sizeof(buf), "%-7s r%u, [r%u + %d]", name,
+                      rd, ra, int(imm));
+        break;
+      case Opcode::ST:
+        std::snprintf(buf, sizeof(buf), "%-7s [r%u + %d], r%u", name,
+                      ra, int(imm), rb);
+        break;
+      case Opcode::TOUCH:
+        std::snprintf(buf, sizeof(buf), "%-7s [r%u + %d]", name, ra,
+                      int(imm));
+        break;
+      case Opcode::BA:
+        std::snprintf(buf, sizeof(buf), "%-7s @%d", name, int(imm));
+        break;
+      case Opcode::BLE:
+        std::snprintf(buf, sizeof(buf), "%-7s r%u, r%u, @%d", name, ra,
+                      rb, int(imm));
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "<bad op %u>", unsigned(op));
+        break;
+    }
+    return buf;
+}
+
+namespace {
+
+void
+checkReg(u8 r)
+{
+    panic_if(r >= kNumRegs, "register r%u out of range", r);
+}
+
+void
+checkShamt(u8 s)
+{
+    panic_if(s >= 64, "shift amount %u out of range", s);
+}
+
+} // namespace
+
+Instruction
+Instruction::alu(Opcode op, u8 rd, u8 ra, u8 rb)
+{
+    panic_if(op != Opcode::ADD && op != Opcode::AND &&
+             op != Opcode::XOR && op != Opcode::CMP &&
+             op != Opcode::CMP_LE,
+             "alu() used with non-ALU opcode %s", opcodeName(op));
+    checkReg(rd);
+    checkReg(ra);
+    checkReg(rb);
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.ra = ra;
+    i.rb = rb;
+    return i;
+}
+
+Instruction
+Instruction::shiftImm(Opcode op, u8 rd, u8 ra, u8 shamt)
+{
+    panic_if(op != Opcode::SHL && op != Opcode::SHR,
+             "shiftImm() used with %s", opcodeName(op));
+    checkReg(rd);
+    checkReg(ra);
+    checkShamt(shamt);
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.ra = ra;
+    i.shamt = shamt;
+    return i;
+}
+
+Instruction
+Instruction::fused(Opcode op, u8 rd, u8 ra, u8 rb, ShiftDir dir,
+                   u8 shamt)
+{
+    panic_if(op != Opcode::ADD_SHF && op != Opcode::AND_SHF &&
+             op != Opcode::XOR_SHF,
+             "fused() used with %s", opcodeName(op));
+    checkReg(rd);
+    checkReg(ra);
+    checkReg(rb);
+    checkShamt(shamt);
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.ra = ra;
+    i.rb = rb;
+    i.sdir = dir;
+    i.shamt = shamt;
+    return i;
+}
+
+Instruction
+Instruction::load(u8 rd, u8 ra, i16 disp)
+{
+    checkReg(rd);
+    checkReg(ra);
+    Instruction i;
+    i.op = Opcode::LD;
+    i.rd = rd;
+    i.ra = ra;
+    i.imm = disp;
+    return i;
+}
+
+Instruction
+Instruction::store(u8 ra, i16 disp, u8 rb)
+{
+    checkReg(ra);
+    checkReg(rb);
+    Instruction i;
+    i.op = Opcode::ST;
+    i.ra = ra;
+    i.rb = rb;
+    i.imm = disp;
+    return i;
+}
+
+Instruction
+Instruction::touchOp(u8 ra, i16 disp)
+{
+    checkReg(ra);
+    Instruction i;
+    i.op = Opcode::TOUCH;
+    i.ra = ra;
+    i.imm = disp;
+    return i;
+}
+
+Instruction
+Instruction::branchAlways(i16 target)
+{
+    Instruction i;
+    i.op = Opcode::BA;
+    i.imm = target;
+    return i;
+}
+
+Instruction
+Instruction::branchLe(u8 ra, u8 rb, i16 target)
+{
+    checkReg(ra);
+    checkReg(rb);
+    Instruction i;
+    i.op = Opcode::BLE;
+    i.ra = ra;
+    i.rb = rb;
+    i.imm = target;
+    return i;
+}
+
+} // namespace widx::isa

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Decoded Widx instruction representation and its 64-bit encoding.
+ *
+ * Encoding layout (bit ranges inclusive):
+ *   [63:58] opcode
+ *   [57:53] rd
+ *   [52:48] ra
+ *   [47:43] rb
+ *   [42:37] shamt
+ *   [36]    shift direction (0 = lsl, 1 = lsr)
+ *   [31:16] imm16: sign-extended LD/ST/TOUCH byte displacement, or the
+ *           absolute instruction index of a branch target
+ */
+
+#ifndef WIDX_ISA_INSTRUCTION_HH
+#define WIDX_ISA_INSTRUCTION_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace widx::isa {
+
+struct Instruction
+{
+    Opcode op = Opcode::ADD;
+    u8 rd = 0;       ///< destination register
+    u8 ra = 0;       ///< first source register
+    u8 rb = 0;       ///< second source register
+    u8 shamt = 0;    ///< shift amount (0..63)
+    ShiftDir sdir = ShiftDir::Lsl;
+    i16 imm = 0;     ///< displacement or branch target index
+
+    /** Pack into the 64-bit machine encoding. */
+    u64 encode() const;
+
+    /** Unpack from the 64-bit machine encoding. */
+    static Instruction decode(u64 word);
+
+    /** Disassemble to assembler syntax (labels become indices). */
+    std::string toString() const;
+
+    bool operator==(const Instruction &o) const = default;
+
+    // --- Constructors for each instruction form -----------------------
+
+    static Instruction alu(Opcode op, u8 rd, u8 ra, u8 rb);
+    static Instruction shiftImm(Opcode op, u8 rd, u8 ra, u8 shamt);
+    static Instruction fused(Opcode op, u8 rd, u8 ra, u8 rb,
+                             ShiftDir dir, u8 shamt);
+    static Instruction load(u8 rd, u8 ra, i16 disp);
+    static Instruction store(u8 ra, i16 disp, u8 rb);
+    static Instruction touchOp(u8 ra, i16 disp);
+    static Instruction branchAlways(i16 target);
+    static Instruction branchLe(u8 ra, u8 rb, i16 target);
+};
+
+} // namespace widx::isa
+
+#endif // WIDX_ISA_INSTRUCTION_HH

@@ -1,0 +1,98 @@
+#include "isa/isa.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace widx::isa {
+
+namespace {
+
+struct OpInfo
+{
+    const char *name;
+    bool dispatcher;
+    bool walker;
+    bool producer;
+};
+
+// Table 1 of the paper: mnemonic and per-unit availability.
+constexpr std::array<OpInfo, std::size_t(Opcode::NumOpcodes)> kOpTable{{
+    {"add", true, true, true},
+    {"and", true, true, true},
+    {"ba", true, true, true},
+    {"ble", true, true, true},
+    {"cmp", true, true, true},
+    {"cmple", true, true, true},
+    {"ld", true, true, true},
+    {"shl", true, true, true},
+    {"shr", true, true, true},
+    {"st", false, false, true},
+    {"touch", true, true, true},
+    {"xor", true, true, true},
+    {"addshf", true, true, false},
+    {"andshf", true, false, false},
+    {"xorshf", true, false, false},
+}};
+
+} // namespace
+
+const char *
+opcodeName(Opcode op)
+{
+    panic_if(op >= Opcode::NumOpcodes, "bad opcode %u", unsigned(op));
+    return kOpTable[std::size_t(op)].name;
+}
+
+Opcode
+opcodeFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kOpTable.size(); ++i)
+        if (name == kOpTable[i].name)
+            return Opcode(i);
+    return Opcode::NumOpcodes;
+}
+
+bool
+legalFor(Opcode op, UnitKind unit)
+{
+    panic_if(op >= Opcode::NumOpcodes, "bad opcode %u", unsigned(op));
+    const OpInfo &info = kOpTable[std::size_t(op)];
+    switch (unit) {
+      case UnitKind::Dispatcher:
+        return info.dispatcher;
+      case UnitKind::Walker:
+        return info.walker;
+      case UnitKind::Producer:
+        return info.producer;
+    }
+    return false;
+}
+
+bool
+isBranch(Opcode op)
+{
+    return op == Opcode::BA || op == Opcode::BLE;
+}
+
+bool
+isMemory(Opcode op)
+{
+    return op == Opcode::LD || op == Opcode::ST || op == Opcode::TOUCH;
+}
+
+const char *
+unitKindName(UnitKind unit)
+{
+    switch (unit) {
+      case UnitKind::Dispatcher:
+        return "dispatcher";
+      case UnitKind::Walker:
+        return "walker";
+      case UnitKind::Producer:
+        return "producer";
+    }
+    return "unknown";
+}
+
+} // namespace widx::isa

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The Widx instruction set (paper Table 1).
+ *
+ * A minimal 64-bit RISC ISA shared by the three Widx unit types. In
+ * addition to the essential RISC instructions it provides fused
+ * shift-combine instructions (ADD-SHF / AND-SHF / XOR-SHF) that
+ * accelerate multiply-free hash functions, and TOUCH, a non-binding
+ * prefetch that demands a block ahead of its use.
+ *
+ * Per-unit legality follows Table 1: ST is producer-only, ADD-SHF is
+ * available to the dispatcher and walkers, AND-SHF / XOR-SHF are
+ * dispatcher-only (they exist to accelerate key hashing).
+ */
+
+#ifndef WIDX_ISA_ISA_HH
+#define WIDX_ISA_ISA_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace widx::isa {
+
+/** Widx opcodes, one per Table 1 row. */
+enum class Opcode : u8
+{
+    ADD,    ///< rd = ra + rb
+    AND,    ///< rd = ra & rb
+    BA,     ///< PC = target (branch always)
+    BLE,    ///< if (ra <= rb) PC = target (unsigned)
+    CMP,    ///< rd = (ra == rb) ? 1 : 0
+    CMP_LE, ///< rd = (ra <= rb) ? 1 : 0 (unsigned)
+    LD,     ///< rd = mem64[ra + imm]
+    SHL,    ///< rd = ra << shamt
+    SHR,    ///< rd = ra >> shamt (logical)
+    ST,     ///< mem64[ra + imm] = rb  (producer only)
+    TOUCH,  ///< prefetch mem[ra + imm] (non-binding)
+    XOR,    ///< rd = ra ^ rb
+    ADD_SHF, ///< rd = ra + shifted(rb)  (dispatcher, walker)
+    AND_SHF, ///< rd = ra & shifted(rb)  (dispatcher only)
+    XOR_SHF, ///< rd = ra ^ shifted(rb)  (dispatcher only)
+    NumOpcodes,
+};
+
+/** The three Widx unit types of Figure 6. */
+enum class UnitKind : u8
+{
+    Dispatcher, ///< H: hashes input keys
+    Walker,     ///< W: traverses node lists
+    Producer,   ///< P: emits matches to the results region
+};
+
+/** Number of software-exposed registers per unit (Section 4.1). */
+constexpr unsigned kNumRegs = 32;
+
+/** r0 is hardwired to zero (our ABI choice; the paper leaves the
+ *  register convention unspecified). */
+constexpr unsigned kRegZero = 0;
+
+/**
+ * Queue-interface registers (our realization of the paper's
+ * "units communicate via queues", Section 4.1):
+ *   - reading r30 pops the unit's input queue (stalling while empty)
+ *     and yields the entry's first word; the first word is also
+ *     latched into r29 and the second word into r31, where they stay
+ *     readable until the next pop;
+ *   - writing r30 stages the first word of an outgoing entry;
+ *   - writing r31 pushes {staged word, written value} to the unit's
+ *     output queue (stalling while full).
+ *
+ * The r29 latch lets a program fuse the pop with a use (e.g.\ the
+ * walker's `cmp r12, r30, r2` null check) and still refer to the
+ * popped word afterwards.
+ */
+constexpr unsigned kRegLatchW0 = 29;
+constexpr unsigned kRegQueuePop = 30;
+constexpr unsigned kRegQueuePush = 31;
+
+/** Shift direction for the fused shift-combine instructions. */
+enum class ShiftDir : u8
+{
+    Lsl, ///< logical shift left
+    Lsr, ///< logical shift right
+};
+
+/** Lower-case mnemonic for an opcode (e.g.\ "xorshf"). */
+const char *opcodeName(Opcode op);
+
+/** Parse a mnemonic; returns NumOpcodes when unknown. */
+Opcode opcodeFromName(const std::string &name);
+
+/** True when the opcode may appear in a program for the given unit
+ *  (Table 1 legality matrix). */
+bool legalFor(Opcode op, UnitKind unit);
+
+/** True for BA / BLE. */
+bool isBranch(Opcode op);
+
+/** True for LD / ST / TOUCH. */
+bool isMemory(Opcode op);
+
+/** Human-readable unit name ("dispatcher"/"walker"/"producer"). */
+const char *unitKindName(UnitKind unit);
+
+} // namespace widx::isa
+
+#endif // WIDX_ISA_ISA_HH

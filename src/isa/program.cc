@@ -1,0 +1,84 @@
+#include "isa/program.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace widx::isa {
+
+void
+Program::setReg(unsigned r, u64 value)
+{
+    panic_if(r >= kNumRegs, "register r%u out of range", r);
+    panic_if(r == kRegZero && value != 0,
+             "r0 is hardwired to zero");
+    regs_[r] = value;
+}
+
+bool
+Program::validate(std::string &error) const
+{
+    char buf[160];
+    for (unsigned pc = 0; pc < code_.size(); ++pc) {
+        const Instruction &inst = code_[pc];
+        if (inst.op >= Opcode::NumOpcodes) {
+            std::snprintf(buf, sizeof(buf), "@%u: bad opcode", pc);
+            error = buf;
+            return false;
+        }
+        if (!relaxed_ && !legalFor(inst.op, unit_)) {
+            std::snprintf(buf, sizeof(buf),
+                          "@%u: %s is not legal on a %s unit", pc,
+                          opcodeName(inst.op), unitKindName(unit_));
+            error = buf;
+            return false;
+        }
+        if (isBranch(inst.op)) {
+            // A branch to one-past-the-end is the halt convention.
+            if (inst.imm < 0 || unsigned(inst.imm) > code_.size()) {
+                std::snprintf(buf, sizeof(buf),
+                              "@%u: branch target %d out of range "
+                              "[0, %zu]", pc, int(inst.imm),
+                              code_.size());
+                error = buf;
+                return false;
+            }
+        }
+        const bool writes_rd = !isBranch(inst.op) &&
+            inst.op != Opcode::ST && inst.op != Opcode::TOUCH;
+        if (writes_rd && inst.rd == kRegZero) {
+            std::snprintf(buf, sizeof(buf),
+                          "@%u: write to hardwired-zero r0", pc);
+            error = buf;
+            return false;
+        }
+    }
+    error.clear();
+    return true;
+}
+
+std::string
+Program::disassemble() const
+{
+    std::string out;
+    char buf[16];
+    for (unsigned pc = 0; pc < code_.size(); ++pc) {
+        std::snprintf(buf, sizeof(buf), "%3u:  ", pc);
+        out += buf;
+        out += code_[pc].toString();
+        out += '\n';
+    }
+    return out;
+}
+
+unsigned
+Program::countOpcode(Opcode op) const
+{
+    unsigned n = 0;
+    for (const Instruction &inst : code_)
+        if (inst.op == op)
+            ++n;
+    return n;
+}
+
+} // namespace widx::isa

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A complete Widx unit program: instructions plus the initial register
+ * image (hashing constants, base addresses), as stored in the Widx
+ * control block of Section 4.3.
+ */
+
+#ifndef WIDX_ISA_PROGRAM_HH
+#define WIDX_ISA_PROGRAM_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace widx::isa {
+
+class Program
+{
+  public:
+    Program() = default;
+    Program(std::string name, UnitKind unit)
+        : name_(std::move(name)), unit_(unit)
+    {
+        regs_.fill(0);
+    }
+
+    const std::string &name() const { return name_; }
+    UnitKind unit() const { return unit_; }
+
+    /** Append an instruction; returns its index. */
+    unsigned
+    append(const Instruction &inst)
+    {
+        code_.push_back(inst);
+        return unsigned(code_.size()) - 1;
+    }
+
+    const std::vector<Instruction> &code() const { return code_; }
+    unsigned size() const { return unsigned(code_.size()); }
+
+    const Instruction &
+    at(unsigned pc) const
+    {
+        return code_.at(pc);
+    }
+
+    /** Set the initial value of a register (a control-block constant). */
+    void setReg(unsigned r, u64 value);
+
+    u64 reg(unsigned r) const { return regs_.at(r); }
+
+    const std::array<u64, kNumRegs> &regImage() const { return regs_; }
+
+    /**
+     * Validate the program against the Table 1 legality matrix and
+     * structural rules (branch targets in range, no writes to r0).
+     *
+     * @param error receives a description of the first violation.
+     * @return true when the program is well-formed for its unit.
+     */
+    bool validate(std::string &error) const;
+
+    /** Disassemble the whole program, one instruction per line. */
+    std::string disassemble() const;
+
+    /**
+     * Relax the Table 1 per-unit legality check (structural checks
+     * remain). Used only for the Figure 3(a)/(b) ablation design
+     * points, which predate the specialized unit split.
+     */
+    void setRelaxedLegality(bool relaxed) { relaxed_ = relaxed; }
+    bool relaxedLegality() const { return relaxed_; }
+
+    /** Count instructions matching a predicate-free opcode. */
+    unsigned countOpcode(Opcode op) const;
+
+  private:
+    std::string name_;
+    UnitKind unit_ = UnitKind::Dispatcher;
+    bool relaxed_ = false;
+    std::vector<Instruction> code_;
+    std::array<u64, kNumRegs> regs_{};
+};
+
+} // namespace widx::isa
+
+#endif // WIDX_ISA_PROGRAM_HH

@@ -1,0 +1,96 @@
+#include "model/analytical.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace widx::model {
+
+double
+hashCycles(const ModelParams &p)
+{
+    // AMAT for key fetches: keys stream, so only the first access to
+    // each block misses — and that miss goes to memory (Section 3.2).
+    const double miss_per_key = 1.0 / p.keysPerBlock;
+    const double amat =
+        p.l1Latency +
+        miss_per_key *
+            (p.llcLatency + p.keyLlcMissRatio * p.memLatency);
+    return amat * p.memOpsHash + p.hashCompCycles;
+}
+
+double
+walkNodeCycles(const ModelParams &p, double llc_miss_ratio)
+{
+    // One node-line access that always misses the L1-D, plus the key
+    // access hitting the already-fetched line.
+    const double miss_amat = p.l1Latency + p.llcLatency +
+                             llc_miss_ratio * p.memLatency;
+    const double hit_amat = p.l1Latency;
+    return miss_amat + (p.memOpsWalk - 1.0) * hit_amat +
+           p.walkCompCycles;
+}
+
+double
+memOpsPerCycle(const ModelParams &p, double llc_miss_ratio,
+               unsigned n_walkers)
+{
+    const double hash_rate = p.memOpsHash / hashCycles(p);
+    const double walk_rate =
+        p.memOpsWalk / walkNodeCycles(p, llc_miss_ratio);
+    return double(n_walkers) * (hash_rate + walk_rate);
+}
+
+double
+outstandingMisses(const ModelParams &p, unsigned n_walkers)
+{
+    return double(n_walkers) * (p.mlpHash + p.mlpWalk);
+}
+
+double
+walkersPerMc(const ModelParams &p, double llc_miss_ratio)
+{
+    // Equation 4: off-chip block demands per operation.
+    const double hash_demand_rate =
+        (1.0 / p.keysPerBlock) * p.keyLlcMissRatio * p.memOpsHash /
+        hashCycles(p);
+    const double walk_demand_rate =
+        llc_miss_ratio / walkNodeCycles(p, llc_miss_ratio);
+    const double total = hash_demand_rate + walk_demand_rate;
+    if (total <= 0.0)
+        return 1e9; // no off-chip demand: unconstrained
+    // Equation 5.
+    return p.mcBlocksPerCycle() / total;
+}
+
+double
+walkerUtilization(const ModelParams &p, double llc_miss_ratio,
+                  unsigned n_walkers, double nodes_per_bucket)
+{
+    fatal_if(n_walkers == 0, "need at least one walker");
+    const double util =
+        walkNodeCycles(p, llc_miss_ratio) * nodes_per_bucket /
+        (hashCycles(p) * double(n_walkers));
+    return std::min(1.0, util);
+}
+
+unsigned
+maxWalkersByL1Bandwidth(const ModelParams &p, double llc_miss_ratio)
+{
+    unsigned n = 0;
+    while (memOpsPerCycle(p, llc_miss_ratio, n + 1) <= p.l1Ports &&
+           n < 1024)
+        ++n;
+    return n;
+}
+
+unsigned
+maxWalkersByMshrs(const ModelParams &p)
+{
+    unsigned n = 0;
+    while (outstandingMisses(p, n + 1) <= p.mshrs && n < 1024)
+        ++n;
+    return n;
+}
+
+} // namespace widx::model

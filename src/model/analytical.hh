@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The first-order analytical performance model of Section 3.2
+ * (Equations 1-6), used to find the practical limits on the number of
+ * walkers: L1-D bandwidth (Fig. 4a), L1-D MSHRs (Fig. 4b), off-chip
+ * bandwidth (Fig. 4c), and dispatcher throughput (Fig. 5).
+ *
+ * The model assumes the Figure 3c design (parallel walkers, each with
+ * a decoupled hashing unit, infinite queues): 64-bit probe keys
+ * streaming at several keys per cache block (first touch per block
+ * goes to memory), node accesses that always miss the L1-D, and an
+ * LLC miss ratio that is the model's main parameter.
+ *
+ * The paper does not publish its constants; defaults below are
+ * calibrated so the reproduced curves match the paper's anchors (see
+ * EXPERIMENTS.md): the 1-ported L1 saturates beyond ~6 walkers at low
+ * LLC miss ratios, outstanding misses grow at 2 per walker, one MC
+ * sustains ~8 walkers at low and ~4-5 at high miss ratios, and one
+ * dispatcher feeds ~4 walkers except for shallow buckets with low
+ * miss ratios.
+ */
+
+#ifndef WIDX_MODEL_ANALYTICAL_HH
+#define WIDX_MODEL_ANALYTICAL_HH
+
+#include "common/types.hh"
+
+namespace widx::model {
+
+struct ModelParams
+{
+    // Latencies (cycles at 2 GHz).
+    double l1Latency = 2.0;
+    double llcLatency = 12.0; ///< L1 miss + crossbar + LLC hit
+    double memLatency = 100.0;
+
+    // Key hashing (per key).
+    double keysPerBlock = 16.0;   ///< 4 B keys, 64 B blocks
+    double keyLlcMissRatio = 1.0; ///< first touch misses the LLC
+    double hashCompCycles = 5.0;
+    double memOpsHash = 1.0;
+
+    // Node walking (per node).
+    double walkCompCycles = 2.0;
+    double memOpsWalk = 2.0; ///< node line (miss) + key field (hit)
+
+    // Per-unit memory-level parallelism (Equation 3).
+    double mlpHash = 1.0;
+    double mlpWalk = 1.0;
+
+    // Machine constraints.
+    double l1Ports = 2.0;
+    double mshrs = 10.0;
+    /** Effective per-MC bandwidth: 70% of 12.8 GB/s (Section 3.2). */
+    double mcEffectiveGBps = 9.0;
+    double clockGhz = 2.0;
+
+    /** MC bandwidth in 64 B blocks per cycle. */
+    double
+    mcBlocksPerCycle() const
+    {
+        return mcEffectiveGBps * 1e9 /
+               (double(kCacheBlockBytes) * clockGhz * 1e9);
+    }
+};
+
+/** Equation 1 for the hashing unit: cycles to hash one key. */
+double hashCycles(const ModelParams &p);
+
+/** Equation 1 for a walker: cycles to walk one node at the given
+ *  LLC miss ratio. */
+double walkNodeCycles(const ModelParams &p, double llc_miss_ratio);
+
+/** Equation 2: aggregate L1-D accesses per cycle for n walkers, each
+ *  paired with a decoupled hashing unit. */
+double memOpsPerCycle(const ModelParams &p, double llc_miss_ratio,
+                      unsigned n_walkers);
+
+/** Equation 3: maximum concurrently outstanding L1-D misses for n
+ *  walkers. */
+double outstandingMisses(const ModelParams &p, unsigned n_walkers);
+
+/** Equations 4+5: walkers a single memory controller sustains. */
+double walkersPerMc(const ModelParams &p, double llc_miss_ratio);
+
+/** Equation 6: effective walker utilization with one dispatcher
+ *  feeding n walkers, capped at 1. */
+double walkerUtilization(const ModelParams &p, double llc_miss_ratio,
+                         unsigned n_walkers, double nodes_per_bucket);
+
+/** Largest walker count whose Equation 2 demand fits the L1 ports. */
+unsigned maxWalkersByL1Bandwidth(const ModelParams &p,
+                                 double llc_miss_ratio);
+
+/** Largest walker count whose Equation 3 demand fits the MSHRs. */
+unsigned maxWalkersByMshrs(const ModelParams &p);
+
+} // namespace widx::model
+
+#endif // WIDX_MODEL_ANALYTICAL_HH

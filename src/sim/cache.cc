@@ -1,0 +1,114 @@
+#include "sim/cache.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace widx::sim {
+
+Cache::Cache(std::string name, u32 bytes, u32 assoc, u32 block_bytes)
+    : name_(std::move(name)), blockBytes_(block_bytes), assoc_(assoc)
+{
+    fatal_if(!isPowerOfTwo(block_bytes),
+             "%s: block size must be a power of two", name_.c_str());
+    fatal_if(assoc == 0, "%s: associativity must be nonzero",
+             name_.c_str());
+    fatal_if(bytes % (block_bytes * assoc) != 0,
+             "%s: capacity not divisible by way size", name_.c_str());
+    numSets_ = bytes / (block_bytes * assoc);
+    fatal_if(!isPowerOfTwo(numSets_),
+             "%s: set count must be a power of two", name_.c_str());
+    blockShift_ = log2Exact(block_bytes);
+    ways_.resize(std::size_t(numSets_) * assoc_);
+}
+
+u64
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> blockShift_) & (numSets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> blockShift_;
+}
+
+bool
+Cache::lookup(Addr addr)
+{
+    const Addr tag = tagOf(addr);
+    Way *set = &ways_[setIndex(addr) * assoc_];
+    for (u32 w = 0; w < assoc_; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lastUse = ++useClock_;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr tag = tagOf(addr);
+    const Way *set = &ways_[setIndex(addr) * assoc_];
+    for (u32 w = 0; w < assoc_; ++w)
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::insert(Addr addr)
+{
+    const Addr tag = tagOf(addr);
+    Way *set = &ways_[setIndex(addr) * assoc_];
+    Way *victim = nullptr;
+    for (u32 w = 0; w < assoc_; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lastUse = ++useClock_; // refresh on re-insert
+            return;
+        }
+        if (!set[w].valid) {
+            if (!victim || victim->valid)
+                victim = &set[w];
+        } else if (!victim ||
+                   (victim->valid && set[w].lastUse < victim->lastUse)) {
+            victim = &set[w];
+        }
+    }
+    if (victim->valid)
+        ++evictions_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = ++useClock_;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    const Addr tag = tagOf(addr);
+    Way *set = &ways_[setIndex(addr) * assoc_];
+    for (u32 w = 0; w < assoc_; ++w)
+        if (set[w].valid && set[w].tag == tag)
+            set[w].valid = false;
+}
+
+void
+Cache::flush()
+{
+    for (Way &w : ways_)
+        w.valid = false;
+}
+
+void
+Cache::exportStats(StatSet &out) const
+{
+    out.set(name_ + ".hits", hits_);
+    out.set(name_ + ".misses", misses_);
+    out.set(name_ + ".evictions", evictions_);
+}
+
+} // namespace widx::sim

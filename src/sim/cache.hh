@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Functional set-associative cache with true-LRU replacement.
+ *
+ * The cache tracks presence only (no data — functional values come
+ * from host memory); the timing model around it decides latencies.
+ */
+
+#ifndef WIDX_SIM_CACHE_HH
+#define WIDX_SIM_CACHE_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace widx::sim {
+
+class Cache
+{
+  public:
+    /**
+     * @param name stat prefix (e.g.\ "l1d").
+     * @param bytes total capacity.
+     * @param assoc ways per set.
+     * @param block_bytes line size.
+     */
+    Cache(std::string name, u32 bytes, u32 assoc,
+          u32 block_bytes = kCacheBlockBytes);
+
+    /** Look up a block; updates LRU on hit. @return true on hit. */
+    bool lookup(Addr addr);
+
+    /** Probe without updating replacement state or stats. */
+    bool contains(Addr addr) const;
+
+    /** Insert a block, evicting the set's LRU victim if needed. */
+    void insert(Addr addr);
+
+    /** Invalidate a block if present. */
+    void invalidate(Addr addr);
+
+    /** Drop all blocks (keeps statistics). */
+    void flush();
+
+    u32 numSets() const { return numSets_; }
+    u32 assoc() const { return assoc_; }
+    const std::string &name() const { return name_; }
+
+    u64 hits() const { return hits_; }
+    u64 misses() const { return misses_; }
+    u64 evictions() const { return evictions_; }
+
+    double
+    missRatio() const
+    {
+        u64 total = hits_ + misses_;
+        return total == 0 ? 0.0 : double(misses_) / double(total);
+    }
+
+    void
+    resetStats()
+    {
+        hits_ = misses_ = evictions_ = 0;
+    }
+
+    /** Export counters into a StatSet under "<name>." prefixes. */
+    void exportStats(StatSet &out) const;
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        u64 lastUse = 0;
+    };
+
+    u64 setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    std::string name_;
+    u32 blockBytes_;
+    u32 assoc_;
+    u32 numSets_;
+    unsigned blockShift_;
+    std::vector<Way> ways_; ///< numSets_ * assoc_, row-major
+    u64 useClock_ = 0;
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+    u64 evictions_ = 0;
+};
+
+} // namespace widx::sim
+
+#endif // WIDX_SIM_CACHE_HH

@@ -1,0 +1,60 @@
+#include "sim/mem_ctrl.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace widx::sim {
+
+MemCtrls::MemCtrls(u32 count, Cycle cycles_per_block,
+                   Cycle dram_latency)
+    : cyclesPerBlock_(cycles_per_block), dramLatency_(dram_latency),
+      nextFree_(count, 0)
+{
+    fatal_if(count == 0, "need at least one memory controller");
+    fatal_if(!isPowerOfTwo(count),
+             "controller count must be a power of two for address "
+             "interleaving");
+}
+
+u32
+MemCtrls::ctrlOf(Addr block) const
+{
+    return u32((block >> log2Exact(kCacheBlockBytes)) &
+               (nextFree_.size() - 1));
+}
+
+Cycle
+MemCtrls::access(Addr block, Cycle when)
+{
+    Cycle &free = nextFree_[ctrlOf(block)];
+    Cycle start = std::max(when, free);
+    queueDelaySum_ += start - when;
+    free = start + cyclesPerBlock_;
+    ++blocks_;
+    return start + dramLatency_ + cyclesPerBlock_;
+}
+
+double
+MemCtrls::avgQueueDelay() const
+{
+    return blocks_ == 0 ? 0.0
+                        : double(queueDelaySum_) / double(blocks_);
+}
+
+void
+MemCtrls::resetStats()
+{
+    blocks_ = 0;
+    queueDelaySum_ = 0;
+}
+
+void
+MemCtrls::exportStats(StatSet &out) const
+{
+    out.set("mc.blocks", blocks_);
+    out.set("mc.queue_delay_sum", queueDelaySum_);
+}
+
+} // namespace widx::sim

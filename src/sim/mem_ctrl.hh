@@ -1,0 +1,59 @@
+/**
+ * @file
+ * DDR3 memory-controller bandwidth model.
+ *
+ * Each controller transfers one 64 B cache block per
+ * Params::memCtrlCyclesPerBlock() cycles (12.8 GB/s at 2 GHz); blocks
+ * queue behind each other, so sustained overloads show up as growing
+ * queueing delay — the off-chip bandwidth wall of Section 3.2.
+ * Controllers are interleaved by block address.
+ */
+
+#ifndef WIDX_SIM_MEM_CTRL_HH
+#define WIDX_SIM_MEM_CTRL_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace widx::sim {
+
+class MemCtrls
+{
+  public:
+    /**
+     * @param count number of controllers.
+     * @param cycles_per_block occupancy per 64 B transfer.
+     * @param dram_latency fixed access latency (45 ns = 90 cycles).
+     */
+    MemCtrls(u32 count, Cycle cycles_per_block, Cycle dram_latency);
+
+    /**
+     * Schedule a block fetch issued at cycle `when`.
+     * @return the cycle the block's data arrives at the LLC.
+     */
+    Cycle access(Addr block, Cycle when);
+
+    u64 blocksTransferred() const { return blocks_; }
+
+    /** Mean queueing delay (cycles a request waited for its MC). */
+    double avgQueueDelay() const;
+
+    void resetStats();
+
+    void exportStats(StatSet &out) const;
+
+  private:
+    u32 ctrlOf(Addr block) const;
+
+    Cycle cyclesPerBlock_;
+    Cycle dramLatency_;
+    std::vector<Cycle> nextFree_; ///< per-controller
+    u64 blocks_ = 0;
+    u64 queueDelaySum_ = 0;
+};
+
+} // namespace widx::sim
+
+#endif // WIDX_SIM_MEM_CTRL_HH

@@ -1,0 +1,152 @@
+#include "sim/mem_system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace widx::sim {
+
+MemSystem::MemSystem(const Params &params)
+    : params_(params),
+      l1_("l1d", params.l1Bytes, params.l1Assoc),
+      llc_("llc", params.llcBytes, params.llcAssoc),
+      tlb_(params.tlbEntries, params.pageBytes, params.tlbWalkLatency,
+           params.tlbMaxInflightWalks),
+      mshrs_(params.l1Mshrs),
+      mcs_(params.numMemCtrls, params.memCtrlCyclesPerBlock(),
+           params.dramLatency)
+{
+}
+
+Cycle
+MemSystem::claimL1Port(Cycle when)
+{
+    // Prune stale entries to bound the map's size; keyed off the
+    // highest observed cycle so mildly out-of-order issue stays safe.
+    while (!portUse_.empty() &&
+           portUse_.begin()->first + 4096 < lastIssue_)
+        portUse_.erase(portUse_.begin());
+
+    Cycle c = when;
+    for (;;) {
+        u32 &used = portUse_[c];
+        if (used < params_.l1Ports) {
+            ++used;
+            if (c != when)
+                ++portConflicts_;
+            return c;
+        }
+        ++c;
+    }
+}
+
+AccessResult
+MemSystem::access(Cycle now, Addr addr, AccessKind kind)
+{
+    // Mild out-of-order issue is tolerated (the OoO core model
+    // computes load issue times out of program order); resource
+    // pruning keys off the highest cycle seen so far.
+    if (now > lastIssue_)
+        lastIssue_ = now;
+    ++accesses_;
+
+    AccessResult res;
+
+    // 1. Address translation through the shared MMU.
+    Tlb::Result tr = tlb_.translate(addr, now);
+    Cycle issue = tr.ready;
+    res.tlbCycles = issue - now;
+
+    // 2. One of the L1-D ports.
+    issue = claimL1Port(issue);
+
+    const Addr block = blockAlign(addr);
+
+    // 3. L1 lookup. A hit on a line whose fill is still in flight
+    //    (functional insertion happens at issue) must wait for the
+    //    fill: hit-under-fill.
+    if (l1_.lookup(block)) {
+        res.level = HitLevel::L1;
+        Cycle ready = issue + params_.l1Latency;
+        Cycle pending = mshrs_.pendingFill(block, issue);
+        if (pending > ready)
+            ready = pending;
+        res.ready = kind == AccessKind::Store ? issue + 1 : ready;
+        return res;
+    }
+
+    // 4. Merge into an outstanding miss if possible, else obtain an
+    //    MSHR, stalling (demand) or dropping (prefetch) when the file
+    //    is exhausted.
+    for (;;) {
+        MshrFile::Result merge = mshrs_.lookupMerge(block, issue);
+        if (merge.merged) {
+            res.mshrMerged = true;
+            res.level = HitLevel::LLC; // origin unknown; fill pending
+            Cycle fill = std::max(merge.fill, issue);
+            res.ready = kind == AccessKind::Store ? issue + 1 : fill;
+            return res;
+        }
+        if (mshrs_.inflight(issue) < mshrs_.capacity())
+            break;
+        if (kind == AccessKind::Prefetch) {
+            ++droppedPrefetches_;
+            res.level = HitLevel::Dropped;
+            res.ready = issue;
+            return res;
+        }
+        Cycle earliest = mshrs_.earliestFill(issue);
+        Cycle next = earliest > issue ? earliest : issue + 1;
+        res.mshrStallCycles += next - issue;
+        issue = next;
+    }
+
+    // 5. Fill from the LLC or from memory.
+    const Cycle llc_start =
+        issue + params_.l1Latency + params_.xbarLatency;
+    Cycle fill;
+    if (llc_.lookup(block)) {
+        res.level = HitLevel::LLC;
+        fill = llc_start + params_.llcLatency;
+    } else {
+        res.level = HitLevel::Memory;
+        // The LLC tag check happens before the request goes off-chip.
+        fill = mcs_.access(block, llc_start + params_.llcLatency);
+        llc_.insert(block);
+    }
+    l1_.insert(block);
+
+    MshrFile::Result alloc = mshrs_.allocate(block, issue, fill);
+    panic_if(alloc.exhausted, "MSHR allocation failed after wait");
+
+    res.ready = kind == AccessKind::Store ? issue + 1 : fill;
+    return res;
+}
+
+void
+MemSystem::resetStats()
+{
+    l1_.resetStats();
+    llc_.resetStats();
+    tlb_.resetStats();
+    mshrs_.resetStats();
+    mcs_.resetStats();
+    accesses_ = 0;
+    portConflicts_ = 0;
+    droppedPrefetches_ = 0;
+}
+
+void
+MemSystem::exportStats(StatSet &out) const
+{
+    l1_.exportStats(out);
+    llc_.exportStats(out);
+    tlb_.exportStats(out);
+    mshrs_.exportStats(out);
+    mcs_.exportStats(out);
+    out.set("mem.accesses", accesses_);
+    out.set("mem.port_conflicts", portConflicts_);
+    out.set("mem.dropped_prefetches", droppedPrefetches_);
+}
+
+} // namespace widx::sim

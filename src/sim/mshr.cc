@@ -1,0 +1,107 @@
+#include "sim/mshr.hh"
+
+#include "common/logging.hh"
+
+namespace widx::sim {
+
+MshrFile::MshrFile(u32 entries)
+    : capacity_(entries)
+{
+    fatal_if(entries == 0, "MSHR file needs at least one entry");
+}
+
+void
+MshrFile::retire(Cycle now)
+{
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second <= now)
+            it = entries_.erase(it);
+        else
+            ++it;
+    }
+}
+
+MshrFile::Result
+MshrFile::lookupMerge(Addr block, Cycle now)
+{
+    retire(now);
+    auto it = entries_.find(block);
+    if (it != entries_.end()) {
+        ++merges_;
+        return {it->second, true, false};
+    }
+    return {0, false, false};
+}
+
+MshrFile::Result
+MshrFile::allocate(Addr block, Cycle now, Cycle fill)
+{
+    retire(now);
+    if (entries_.size() >= capacity_) {
+        ++exhaustions_;
+        return {0, false, true};
+    }
+    entries_[block] = fill;
+    recordFill(block, now, fill);
+    ++allocations_;
+    if (entries_.size() > peak_)
+        peak_ = u32(entries_.size());
+    return {fill, false, false};
+}
+
+void
+MshrFile::recordFill(Addr block, Cycle now, Cycle fill)
+{
+    if (now > maxNow_)
+        maxNow_ = now;
+    recentFills_[block] = fill;
+    // Lazy prune: fills far in the past can no longer matter even to
+    // the most out-of-order issuer.
+    if (recentFills_.size() > 4096) {
+        for (auto it = recentFills_.begin();
+             it != recentFills_.end();) {
+            if (it->second + 65536 < maxNow_)
+                it = recentFills_.erase(it);
+            else
+                ++it;
+        }
+    }
+}
+
+Cycle
+MshrFile::pendingFill(Addr block, Cycle now)
+{
+    if (now > maxNow_)
+        maxNow_ = now;
+    auto it = recentFills_.find(block);
+    return it == recentFills_.end() ? 0 : it->second;
+}
+
+Cycle
+MshrFile::earliestFill(Cycle now)
+{
+    retire(now);
+    Cycle earliest = 0;
+    for (const auto &[block, fill] : entries_)
+        if (earliest == 0 || fill < earliest)
+            earliest = fill;
+    return earliest;
+}
+
+u32
+MshrFile::inflight(Cycle now)
+{
+    retire(now);
+    return u32(entries_.size());
+}
+
+void
+MshrFile::exportStats(StatSet &out) const
+{
+    out.set("mshr.allocations", allocations_);
+    out.set("mshr.merges", merges_);
+    out.set("mshr.exhaustions", exhaustions_);
+    out.set("mshr.peak_inflight", peak_);
+}
+
+} // namespace widx::sim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Miss Status Holding Register (MSHR) file.
+ *
+ * Tracks the outstanding L1-D misses. Multiple misses to the same
+ * cache block merge into one entry (the common case for key fetches,
+ * Section 3.2). When all registers are busy the cache stops accepting
+ * new misses; demand accesses stall until the earliest fill, while
+ * prefetches are dropped.
+ */
+
+#ifndef WIDX_SIM_MSHR_HH
+#define WIDX_SIM_MSHR_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace widx::sim {
+
+class MshrFile
+{
+  public:
+    explicit MshrFile(u32 entries);
+
+    /** Outcome of trying to track a miss. */
+    struct Result
+    {
+        /** Cycle the block's fill completes. */
+        Cycle fill = 0;
+        /** The miss merged into an existing entry. */
+        bool merged = false;
+        /** No entry was available (caller must stall or drop). */
+        bool exhausted = false;
+    };
+
+    /**
+     * Merge into an outstanding entry for this block if one exists.
+     *
+     * @param block block-aligned address.
+     * @param now current cycle (used to retire finished entries).
+     */
+    Result lookupMerge(Addr block, Cycle now);
+
+    /**
+     * Allocate a new entry; call only after lookupMerge reported no
+     * merge. Fails with exhausted=true when all entries are in flight.
+     *
+     * @param fill the cycle the fill will complete.
+     */
+    Result allocate(Addr block, Cycle now, Cycle fill);
+
+    /** Most recent fill time recorded for a block (0 when unknown).
+     *  Unlike lookupMerge this does not count as a merge and is not
+     *  bounded by MSHR retirement: callers that issue accesses out of
+     *  program-cycle order (the OoO core model) must still observe a
+     *  fill that is in flight relative to *their* issue time, even if
+     *  a later-timed access already retired the entry. Used for
+     *  hit-under-fill timing. */
+    Cycle pendingFill(Addr block, Cycle now);
+
+    /** Earliest fill time among outstanding entries (0 if none). */
+    Cycle earliestFill(Cycle now);
+
+    /** Number of in-flight entries at the given cycle. */
+    u32 inflight(Cycle now);
+
+    u32 capacity() const { return capacity_; }
+
+    u64 allocations() const { return allocations_; }
+    u64 merges() const { return merges_; }
+    u64 exhaustions() const { return exhaustions_; }
+    u32 peakInflight() const { return peak_; }
+
+    void
+    resetStats()
+    {
+        allocations_ = merges_ = exhaustions_ = 0;
+        peak_ = 0;
+    }
+
+    void exportStats(StatSet &out) const;
+
+  private:
+    /** Drop entries whose fills completed at or before now. */
+    void retire(Cycle now);
+
+    /** Record a fill in the retirement-surviving history. */
+    void recordFill(Addr block, Cycle now, Cycle fill);
+
+    u32 capacity_;
+    std::unordered_map<Addr, Cycle> entries_; ///< block -> fill time
+    /** Fill history surviving retirement (pruned lazily). */
+    std::unordered_map<Addr, Cycle> recentFills_;
+    Cycle maxNow_ = 0;
+    u64 allocations_ = 0;
+    u64 merges_ = 0;
+    u64 exhaustions_ = 0;
+    u32 peak_ = 0;
+};
+
+} // namespace widx::sim
+
+#endif // WIDX_SIM_MSHR_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Machine parameters of the evaluated system (paper Table 2).
+ *
+ * Technology: 40 nm at 2 GHz; 4-core CMP; per-core split 32 KB L1
+ * caches with 2 ports and 10 MSHRs; 4 MB LLC behind a 4-cycle
+ * crossbar; 2 memory controllers at 12.8 GB/s and 45 ns access
+ * latency; a TLB with 2 in-flight translations.
+ *
+ * Knobs the paper leaves unspecified (associativities, TLB reach,
+ * page size, walk latency) carry documented defaults; EXPERIMENTS.md
+ * discusses their calibration.
+ */
+
+#ifndef WIDX_SIM_PARAMS_HH
+#define WIDX_SIM_PARAMS_HH
+
+#include "common/types.hh"
+
+namespace widx::sim {
+
+struct Params
+{
+    // --- Clock --------------------------------------------------------
+    /** Core/accelerator clock in GHz (Table 2: 2 GHz). */
+    double clockGhz = 2.0;
+
+    // --- L1-D (Table 2: 32KB, 2 ports, 64B blocks, 10 MSHRs,
+    //     2-cycle load-to-use) --------------------------------------
+    u32 l1Bytes = 32 * 1024;
+    u32 l1Assoc = 8;
+    u32 l1Ports = 2;
+    u32 l1Mshrs = 10;
+    Cycle l1Latency = 2;
+
+    // --- LLC (Table 2: 4MB, 6-cycle hit latency; crossbar 4 cycles) ---
+    u32 llcBytes = 4 * 1024 * 1024;
+    u32 llcAssoc = 16;
+    Cycle llcLatency = 6;
+    Cycle xbarLatency = 4;
+
+    // --- Main memory (Table 2: 2 MCs, 12.8 GB/s, 45ns access) ---------
+    u32 numMemCtrls = 2;
+    double memCtrlGBps = 12.8;
+    /** 45 ns at 2 GHz. */
+    Cycle dramLatency = 90;
+
+    // --- TLB (Table 2: 2 in-flight translations) ----------------------
+    u32 tlbEntries = 64;
+    /** 4 MB pages (Solaris/SPARC DBMS heaps use large pages): a
+     *  256 MB reach, borderline for the Large kernel's footprint —
+     *  reproducing the paper's low (~3%) worst-case TLB miss
+     *  ratios on DRAM-resident indexes. */
+    u64 pageBytes = 4ull * 1024 * 1024;
+    Cycle tlbWalkLatency = 40;
+    u32 tlbMaxInflightWalks = 2;
+
+    /** Cycles one 64 B block occupies a memory controller:
+     *  64 B / 12.8 GB/s = 5 ns = 10 cycles at 2 GHz. */
+    Cycle
+    memCtrlCyclesPerBlock() const
+    {
+        double seconds = double(kCacheBlockBytes) /
+            (memCtrlGBps * 1e9);
+        return Cycle(seconds * clockGhz * 1e9 + 0.5);
+    }
+};
+
+} // namespace widx::sim
+
+#endif // WIDX_SIM_PARAMS_HH

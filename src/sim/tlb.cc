@@ -1,0 +1,103 @@
+#include "sim/tlb.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace widx::sim {
+
+Tlb::Tlb(u32 entries, u64 page_bytes, Cycle walk_latency, u32 max_walks)
+    : entries_(entries), pageBytes_(page_bytes),
+      walkLatency_(walk_latency), walkSlotFree_(max_walks, 0)
+{
+    fatal_if(entries == 0, "TLB needs at least one entry");
+    fatal_if(!isPowerOfTwo(page_bytes), "page size must be 2^k");
+    fatal_if(max_walks == 0, "TLB needs at least one walk slot");
+}
+
+void
+Tlb::insert(Addr page)
+{
+    auto it = map_.find(page);
+    if (it != map_.end()) {
+        lru_.erase(it->second);
+        map_.erase(it);
+    }
+    lru_.push_front(page);
+    map_[page] = lru_.begin();
+    while (map_.size() > entries_) {
+        Addr victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+    }
+}
+
+Tlb::Result
+Tlb::translate(Addr addr, Cycle now)
+{
+    const Addr page = pageOf(addr);
+
+    auto hit = map_.find(page);
+    if (hit != map_.end()) {
+        // Refresh LRU position.
+        lru_.erase(hit->second);
+        lru_.push_front(page);
+        hit->second = lru_.begin();
+        ++hits_;
+        // The entry is installed when its walk starts; a hit on a
+        // page whose walk is still in flight waits for the walk.
+        auto walk = walking_.find(page);
+        if (walk != walking_.end() && walk->second > now) {
+            ++walkJoins_;
+            return {walk->second, false};
+        }
+        return {now, false};
+    }
+
+    ++misses_;
+
+    // Join an in-flight walk for the same page if there is one.
+    auto walk = walking_.find(page);
+    if (walk != walking_.end() && walk->second > now) {
+        ++walkJoins_;
+        return {walk->second, true};
+    }
+
+    // Claim the earliest-free walk slot.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < walkSlotFree_.size(); ++i)
+        if (walkSlotFree_[i] < walkSlotFree_[best])
+            best = i;
+    Cycle start = std::max(now, walkSlotFree_[best]);
+    Cycle done = start + walkLatency_;
+    walkSlotFree_[best] = done;
+    walking_[page] = done;
+
+    // Prune finished walks opportunistically.
+    for (auto it = walking_.begin(); it != walking_.end();) {
+        if (it->second <= now)
+            it = walking_.erase(it);
+        else
+            ++it;
+    }
+
+    insert(page);
+    return {done, true};
+}
+
+void
+Tlb::flush()
+{
+    lru_.clear();
+    map_.clear();
+    walking_.clear();
+}
+
+void
+Tlb::exportStats(StatSet &out) const
+{
+    out.set("tlb.hits", hits_);
+    out.set("tlb.misses", misses_);
+    out.set("tlb.walk_joins", walkJoins_);
+}
+
+} // namespace widx::sim

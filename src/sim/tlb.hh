@@ -1,0 +1,97 @@
+/**
+ * @file
+ * TLB model with a bounded number of in-flight page walks.
+ *
+ * Widx shares the host core's MMU (Section 4.3); Table 2 allows two
+ * in-flight translations. A miss occupies a walk slot for the walk
+ * latency; when both slots are busy the requester stalls until one
+ * frees, which is the "TLB" component of the walker cycle breakdowns
+ * in Figures 8a/9.
+ */
+
+#ifndef WIDX_SIM_TLB_HH
+#define WIDX_SIM_TLB_HH
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace widx::sim {
+
+class Tlb
+{
+  public:
+    /**
+     * @param entries number of TLB entries (fully associative, LRU).
+     * @param page_bytes page size (power of two).
+     * @param walk_latency cycles for one page-table walk.
+     * @param max_walks concurrent walk limit (Table 2: 2).
+     */
+    Tlb(u32 entries, u64 page_bytes, Cycle walk_latency, u32 max_walks);
+
+    /** Result of a translation request. */
+    struct Result
+    {
+        /** Cycle the translation is available. */
+        Cycle ready = 0;
+        /** The request missed and triggered (or joined) a walk. */
+        bool miss = false;
+    };
+
+    /**
+     * Translate the page of addr at cycle now. Hits complete
+     * immediately; misses start a walk when a slot frees. Concurrent
+     * misses to the same page join the in-flight walk.
+     */
+    Result translate(Addr addr, Cycle now);
+
+    /** Drop all entries (keeps statistics). */
+    void flush();
+
+    u64 hits() const { return hits_; }
+    u64 misses() const { return misses_; }
+
+    double
+    missRatio() const
+    {
+        u64 total = hits_ + misses_;
+        return total == 0 ? 0.0 : double(misses_) / double(total);
+    }
+
+    void
+    resetStats()
+    {
+        hits_ = misses_ = walkJoins_ = 0;
+    }
+
+    void exportStats(StatSet &out) const;
+
+  private:
+    Addr pageOf(Addr addr) const { return addr / pageBytes_; }
+
+    /** Insert page as most-recently used, evicting LRU if needed. */
+    void insert(Addr page);
+
+    u32 entries_;
+    u64 pageBytes_;
+    Cycle walkLatency_;
+    std::vector<Cycle> walkSlotFree_; ///< per-slot next-free cycle
+
+    /** LRU order: front = most recent. */
+    std::list<Addr> lru_;
+    std::unordered_map<Addr, std::list<Addr>::iterator> map_;
+
+    /** In-flight walks: page -> completion cycle (pruned lazily). */
+    std::unordered_map<Addr, Cycle> walking_;
+
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+    u64 walkJoins_ = 0;
+};
+
+} // namespace widx::sim
+
+#endif // WIDX_SIM_TLB_HH

@@ -1,0 +1,76 @@
+#include "swwalkers/coro.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace widx::sw {
+
+using db::HashIndex;
+
+namespace {
+
+/** One probe as a coroutine: suspend at each dependent access. */
+ProbeTask
+probeOne(const HashIndex &index, u64 key, u64 &matches,
+         MatchSink sink, void *ctx)
+{
+    const HashIndex::Bucket &b =
+        index.bucketAt(index.bucketIndex(key));
+    co_await PrefetchAwait{&b.head};
+    for (const HashIndex::Node *n = &b.head; n;) {
+        if (index.nodeKey(*n) == key) {
+            ++matches;
+            if (sink)
+                sink(key, n->payload, ctx);
+        }
+        const HashIndex::Node *next = n->next;
+        if (!next)
+            break;
+        co_await PrefetchAwait{next};
+        n = next;
+    }
+}
+
+} // namespace
+
+u64
+CoroProber::probeAll(std::span<const u64> keys, MatchSink sink,
+                     void *ctx) const
+{
+    fatal_if(width_ == 0, "coroutine width must be nonzero");
+    u64 matches = 0;
+    std::vector<ProbeTask> slot(width_);
+    std::size_t next_key = 0;
+
+    // Start a fresh probe in the slot; it always reaches its first
+    // prefetch suspension (the body opens with a co_await).
+    auto refill = [&](ProbeTask &t) -> bool {
+        if (next_key >= keys.size())
+            return false;
+        t = probeOne(index_, keys[next_key++], matches, sink, ctx);
+        t.resume(); // from initial_suspend to the first prefetch
+        return true;
+    };
+
+    unsigned live = 0;
+    for (unsigned i = 0; i < width_; ++i)
+        if (refill(slot[i]))
+            ++live;
+
+    // Round-robin resume: while one probe waits on its prefetch, the
+    // other probes' lines stream in — inter-key parallelism.
+    while (live > 0) {
+        for (unsigned i = 0; i < width_; ++i) {
+            ProbeTask &t = slot[i];
+            if (t.done())
+                continue;
+            t.resume();
+            if (t.done() && !refill(t))
+                --live;
+        }
+    }
+    return matches;
+}
+
+} // namespace widx::sw

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * C++20-coroutine software walkers.
+ *
+ * Each probe is a coroutine that issues a prefetch and suspends at
+ * every pointer dereference on the walk; a round-robin scheduler
+ * multiplexes W probe coroutines so that while one awaits its cache
+ * miss, the others' prefetches are in flight. This is the schedule of
+ * the Widx walkers expressed in standard C++ (the CoroBase /
+ * interleaved-execution lineage that followed the paper).
+ */
+
+#ifndef WIDX_SWWALKERS_CORO_HH
+#define WIDX_SWWALKERS_CORO_HH
+
+#include <coroutine>
+#include <span>
+
+#include "swwalkers/probers.hh"
+
+namespace widx::sw {
+
+/** Minimal resumable task for probe coroutines. */
+class ProbeTask
+{
+  public:
+    struct promise_type
+    {
+        ProbeTask
+        get_return_object()
+        {
+            return ProbeTask(std::coroutine_handle<
+                             promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() noexcept {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    ProbeTask() = default;
+    explicit ProbeTask(std::coroutine_handle<promise_type> h)
+        : handle_(h)
+    {
+    }
+
+    ProbeTask(ProbeTask &&o) noexcept
+        : handle_(o.handle_)
+    {
+        o.handle_ = {};
+    }
+
+    ProbeTask &
+    operator=(ProbeTask &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = o.handle_;
+            o.handle_ = {};
+        }
+        return *this;
+    }
+
+    ProbeTask(const ProbeTask &) = delete;
+    ProbeTask &operator=(const ProbeTask &) = delete;
+
+    ~ProbeTask() { destroy(); }
+
+    bool done() const { return !handle_ || handle_.done(); }
+    void resume() { handle_.resume(); }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_)
+            handle_.destroy();
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+/** Awaitable that prefetches an address and suspends the probe. */
+struct PrefetchAwait
+{
+    const void *addr;
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<>) const noexcept
+    {
+        prefetch(addr);
+    }
+
+    void await_resume() const noexcept {}
+};
+
+/** Coroutine-interleaved prober with W in-flight probe coroutines. */
+class CoroProber
+{
+  public:
+    CoroProber(const db::HashIndex &index, unsigned width)
+        : index_(index), width_(width)
+    {
+    }
+
+    u64 probeAll(std::span<const u64> keys, MatchSink sink,
+                 void *ctx) const;
+
+  private:
+    const db::HashIndex &index_;
+    unsigned width_;
+};
+
+} // namespace widx::sw
+
+#endif // WIDX_SWWALKERS_CORO_HH

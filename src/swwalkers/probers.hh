@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Software walkers: the paper's key insight — exploiting inter-key
+ * parallelism by walking multiple hash buckets concurrently with
+ * decoupled key hashing — realized in software on a real host CPU.
+ *
+ * Where Widx dedicates hardware walker units, software can only
+ * overlap cache misses by interleaving independent probes around
+ * prefetches. The three classic schedules, all implemented here over
+ * the same db::HashIndex:
+ *
+ *  - GroupPrefetchProber: process keys in groups; hash and prefetch
+ *    all G buckets, then advance all G walks one node at a time,
+ *    prefetching each next node (Chen et al., group prefetching).
+ *  - AmacProber: asynchronous memory access chaining — a ring of W
+ *    probe state machines; each visit advances one machine one stage
+ *    and issues the next prefetch (Kocberber et al., AMAC — the
+ *    follow-up to this paper).
+ *  - CoroProber (coro.hh): the same schedule written as C++20
+ *    coroutines that suspend at every prefetch (CoroBase lineage).
+ *
+ * ScalarProber is the Listing 1 baseline. All probers produce
+ * identical match multisets; benches compare their throughput.
+ */
+
+#ifndef WIDX_SWWALKERS_PROBERS_HH
+#define WIDX_SWWALKERS_PROBERS_HH
+
+#include <span>
+#include <vector>
+
+#include "db/hash_index.hh"
+
+namespace widx::sw {
+
+/** Receives matches; kept trivial so benches can count cheaply. */
+using MatchSink = void (*)(u64 key, u64 payload, void *ctx);
+
+/** Software prefetch wrapper (read, high temporal locality). */
+inline void
+prefetch(const void *p)
+{
+    __builtin_prefetch(p, 0, 3);
+}
+
+/** Listing 1: straight-line probe loop. */
+class ScalarProber
+{
+  public:
+    explicit ScalarProber(const db::HashIndex &index)
+        : index_(index)
+    {
+    }
+
+    u64 probeAll(std::span<const u64> keys, MatchSink sink,
+                 void *ctx) const;
+
+  private:
+    const db::HashIndex &index_;
+};
+
+/** Group prefetching with a compile-time group size. */
+class GroupPrefetchProber
+{
+  public:
+    GroupPrefetchProber(const db::HashIndex &index, unsigned group)
+        : index_(index), group_(group)
+    {
+    }
+
+    u64 probeAll(std::span<const u64> keys, MatchSink sink,
+                 void *ctx) const;
+
+  private:
+    const db::HashIndex &index_;
+    unsigned group_;
+};
+
+/** Asynchronous memory access chaining with W in-flight probes. */
+class AmacProber
+{
+  public:
+    AmacProber(const db::HashIndex &index, unsigned width)
+        : index_(index), width_(width)
+    {
+    }
+
+    u64 probeAll(std::span<const u64> keys, MatchSink sink,
+                 void *ctx) const;
+
+  private:
+    const db::HashIndex &index_;
+    unsigned width_;
+};
+
+} // namespace widx::sw
+
+#endif // WIDX_SWWALKERS_PROBERS_HH

@@ -1,0 +1,73 @@
+#include "workload/distributions.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace widx::wl {
+
+std::vector<u64>
+uniformKeys(u64 n, u64 space, Rng &rng)
+{
+    fatal_if(space == 0, "key space must be nonzero");
+    std::vector<u64> keys(n);
+    for (u64 i = 0; i < n; ++i)
+        keys[i] = 1 + rng.below(space);
+    return keys;
+}
+
+std::vector<u64>
+shuffledDenseKeys(u64 n, Rng &rng)
+{
+    std::vector<u64> keys(n);
+    for (u64 i = 0; i < n; ++i)
+        keys[i] = i + 1;
+    // Fisher-Yates shuffle.
+    for (u64 i = n; i > 1; --i)
+        std::swap(keys[i - 1], keys[rng.below(i)]);
+    return keys;
+}
+
+std::vector<u64>
+zipfKeys(u64 n, u64 space, double theta, Rng &rng)
+{
+    fatal_if(space == 0, "key space must be nonzero");
+    fatal_if(theta < 0.0, "zipf exponent must be non-negative");
+
+    // Build the CDF once; spaces used in this project stay modest
+    // (<= a few million), so the table is affordable.
+    std::vector<double> cdf(space);
+    double acc = 0.0;
+    for (u64 k = 0; k < space; ++k) {
+        acc += 1.0 / std::pow(double(k + 1), theta);
+        cdf[k] = acc;
+    }
+    const double total = acc;
+
+    std::vector<u64> keys(n);
+    for (u64 i = 0; i < n; ++i) {
+        double u = rng.uniform() * total;
+        auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+        keys[i] = u64(it - cdf.begin()) + 1;
+    }
+    return keys;
+}
+
+std::vector<u64>
+mixedHitKeys(u64 n, u64 hit_space, u64 space, double match_rate,
+             Rng &rng)
+{
+    fatal_if(hit_space == 0 || hit_space > space,
+             "hit space must be within the key space");
+    std::vector<u64> keys(n);
+    for (u64 i = 0; i < n; ++i) {
+        if (rng.chance(match_rate) || hit_space == space)
+            keys[i] = 1 + rng.below(hit_space);
+        else
+            keys[i] = hit_space + 1 + rng.below(space - hit_space);
+    }
+    return keys;
+}
+
+} // namespace widx::wl

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Key-distribution generators for workload synthesis.
+ */
+
+#ifndef WIDX_WORKLOAD_DISTRIBUTIONS_HH
+#define WIDX_WORKLOAD_DISTRIBUTIONS_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace widx::wl {
+
+/** n uniform draws from [1, space]. */
+std::vector<u64> uniformKeys(u64 n, u64 space, Rng &rng);
+
+/** The permutation 1..n in random order (unique build keys — the
+ *  primary-key build side of the join kernel). */
+std::vector<u64> shuffledDenseKeys(u64 n, Rng &rng);
+
+/**
+ * Zipfian draws over [1, space] with exponent theta (Gray et al.'s
+ * method with an inverted-CDF table; exact for moderate spaces).
+ */
+std::vector<u64> zipfKeys(u64 n, u64 space, double theta, Rng &rng);
+
+/** n draws from [1, space] where a match_rate fraction come from the
+ *  hit set [1, hit_space] and the rest from (hit_space, space]. */
+std::vector<u64> mixedHitKeys(u64 n, u64 hit_space, u64 space,
+                              double match_rate, Rng &rng);
+
+} // namespace widx::wl
+
+#endif // WIDX_WORKLOAD_DISTRIBUTIONS_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * DSS workload specifications mirroring the paper's TPC-H / TPC-DS
+ * query selection on MonetDB at scale factor 100.
+ *
+ * Two spec families:
+ *
+ *  - DssQuerySpec: the 12 queries simulated in Figures 9/10/11
+ *    (TPC-H 2, 11, 17, 19, 20, 22; TPC-DS 5, 37, 40, 52, 64, 82).
+ *    Each spec pins the property the paper highlights for that query:
+ *    index footprint relative to the cache hierarchy (TPC-DS indexes
+ *    are small because the 429-column schema splits the same data
+ *    across many columns), bucket depth, key type (q20 probes
+ *    double-typed keys with expensive hashing), and the MonetDB
+ *    indirect-key layout.
+ *
+ *  - PlanSpec: the 25 queries profiled in Figure 2a. Each describes a
+ *    query plan (scan -> hash joins -> sort -> aggregate) whose
+ *    operator mix reproduces the paper's per-query execution-time
+ *    breakdown when run on the mini-DBMS.
+ *
+ * Dataset sizes are scaled from the paper's 100 GB so that each
+ * index lands in the same level of the cache hierarchy it occupied on
+ * the simulated machine (Table 2: 32 KB L1-D, 4 MB LLC).
+ */
+
+#ifndef WIDX_WORKLOAD_DSS_QUERIES_HH
+#define WIDX_WORKLOAD_DSS_QUERIES_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/arena.hh"
+#include "db/column.hh"
+#include "db/hash_index.hh"
+#include "db/plan.hh"
+
+namespace widx::wl {
+
+/** Which hash-function preset a query's index uses. */
+enum class HashKind : u8
+{
+    Kernel,    ///< Listing 1 mask/xor (trivial)
+    Monetdb,   ///< robust 6-step mix
+    Fibonacci, ///< 8-step shift-add
+    DoubleKey, ///< 12-step double hashing (TPC-H q20)
+};
+
+db::HashFn makeHashFn(HashKind kind);
+
+/** Simulator-facing query description (Figures 9/10/11). */
+struct DssQuerySpec
+{
+    const char *name;
+    const char *suite; ///< "TPC-H" or "TPC-DS"
+    u64 indexTuples;   ///< build-side cardinality
+    u64 probes;        ///< sampled probe count
+    HashKind hash;
+    db::ValueKind keyKind;
+    /** Build tuples per bucket (controls nodes/bucket). */
+    double bucketLoad;
+    /** Fraction of probes that find a match. */
+    double matchRate;
+    /** Fig. 2a index fraction (for the Section 6.2 whole-query
+     *  speedup projection). */
+    double indexFraction;
+};
+
+/** The 12 queries of Figures 9/10. */
+const std::vector<DssQuerySpec> &dssSimQueries();
+
+/** Materialized dataset for one DssQuerySpec. */
+struct DssDataset
+{
+    DssDataset(const DssQuerySpec &spec, u64 seed = 42);
+
+    DssQuerySpec spec;
+    Arena arena;
+    std::unique_ptr<db::Column> buildKeys;
+    std::unique_ptr<db::Column> probeKeys;
+    std::unique_ptr<db::HashIndex> index;
+    u64 *outRegion = nullptr;
+
+    Addr
+    outBase() const
+    {
+        return Addr(reinterpret_cast<std::uintptr_t>(outRegion));
+    }
+};
+
+/** Plan description for the Fig. 2a execution-time breakdown. */
+struct PlanSpec
+{
+    const char *name;
+    const char *suite;
+    u64 factRows;     ///< outer relation cardinality
+    u64 dimRows;      ///< per-join build-side cardinality
+    unsigned joins;   ///< hash joins in the plan
+    u64 scanRows;     ///< auxiliary relation swept by the scan
+    u64 sortRows;     ///< rows fed to the sort operator
+    u64 aggRows;      ///< rows fed to aggregation ("Other")
+    double paperIndexFraction; ///< Fig. 2a target for comparison
+};
+
+/** The 16 TPC-H + 9 TPC-DS queries of Figure 2a. */
+const std::vector<PlanSpec> &dssPlanQueries();
+
+/** Execute a PlanSpec on the mini-DBMS and attribute wall time to
+ *  the four Fig. 2a operator classes. */
+db::PlanBreakdown runPlan(const PlanSpec &spec, u64 seed = 42);
+
+} // namespace widx::wl
+
+#endif // WIDX_WORKLOAD_DSS_QUERIES_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the two-pass assembler: syntax forms, labels,
+ * aliases, diagnostics, and assemble/disassemble consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+
+using namespace widx;
+using namespace widx::isa;
+
+namespace {
+
+Program
+mustAssemble(const std::string &src,
+             UnitKind unit = UnitKind::Dispatcher)
+{
+    Program p;
+    std::string err;
+    bool ok = assemble("test", unit, src, err, p);
+    EXPECT_TRUE(ok) << err;
+    return p;
+}
+
+std::string
+mustFail(const std::string &src, UnitKind unit = UnitKind::Dispatcher)
+{
+    Program p;
+    std::string err;
+    bool ok = assemble("test", unit, src, err, p);
+    EXPECT_FALSE(ok);
+    return err;
+}
+
+} // namespace
+
+TEST(Assembler, AluForms)
+{
+    Program p = mustAssemble("add r1, r2, r3\n"
+                             "xor r4, r5, r6\n"
+                             "and r7, r8, r9\n"
+                             "cmp r10, r11, r12\n"
+                             "cmple r13, r14, r15\n");
+    ASSERT_EQ(p.size(), 5u);
+    EXPECT_EQ(p.at(0), Instruction::alu(Opcode::ADD, 1, 2, 3));
+    EXPECT_EQ(p.at(3), Instruction::alu(Opcode::CMP, 10, 11, 12));
+}
+
+TEST(Assembler, ShiftAndFusedForms)
+{
+    Program p = mustAssemble(
+        "shl r1, r2, #5\n"
+        "shr r3, r4, #63\n"
+        "addshf r5, r6, r7, lsl #3\n"
+        "xorshf r8, r9, r9, lsr #33\n"
+        "andshf r10, r11, r12, lsl #0\n");
+    EXPECT_EQ(p.at(0), Instruction::shiftImm(Opcode::SHL, 1, 2, 5));
+    EXPECT_EQ(p.at(3),
+              Instruction::fused(Opcode::XOR_SHF, 8, 9, 9,
+                                 ShiftDir::Lsr, 33));
+}
+
+TEST(Assembler, MemoryForms)
+{
+    Program p = mustAssemble("ld r1, [r2 + 16]\n"
+                             "ld r3, [r4]\n"
+                             "ld r5, [r6 + -8]\n"
+                             "touch [r7 + 64]\n",
+                             UnitKind::Walker);
+    EXPECT_EQ(p.at(0), Instruction::load(1, 2, 16));
+    EXPECT_EQ(p.at(1), Instruction::load(3, 4, 0));
+    EXPECT_EQ(p.at(2), Instruction::load(5, 6, -8));
+    EXPECT_EQ(p.at(3), Instruction::touchOp(7, 64));
+}
+
+TEST(Assembler, StoreForm)
+{
+    Program p = mustAssemble("st [r1 + 8], r2\n", UnitKind::Producer);
+    EXPECT_EQ(p.at(0), Instruction::store(1, 8, 2));
+}
+
+TEST(Assembler, LabelsForwardAndBackward)
+{
+    Program p = mustAssemble("top:\n"
+                             "    add r1, r1, r2\n"
+                             "    ble r1, r3, done\n"
+                             "    ba top\n"
+                             "done:\n"
+                             "    add r4, r4, r5\n");
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.at(1).imm, 3); // done
+    EXPECT_EQ(p.at(2).imm, 0); // top
+}
+
+TEST(Assembler, HaltLabelResolvesToProgramEnd)
+{
+    Program p = mustAssemble("ble r1, r2, halt\nadd r3, r3, r4\n");
+    EXPECT_EQ(p.at(0).imm, 2);
+}
+
+TEST(Assembler, RegisterAliases)
+{
+    Program p = mustAssemble("add r1, zero, qpop\n"
+                             "add qpush, latch, zero\n",
+                             UnitKind::Walker);
+    EXPECT_EQ(p.at(0).ra, kRegZero);
+    EXPECT_EQ(p.at(0).rb, kRegQueuePop);
+    EXPECT_EQ(p.at(1).rd, kRegQueuePush);
+    EXPECT_EQ(p.at(1).ra, kRegLatchW0);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p = mustAssemble("; full-line comment\n"
+                             "\n"
+                             "add r1, r2, r3 ; trailing\n"
+                             "add r4, r5, r6 // c++ style\n"
+                             "shl r7, r8, #3 # not a comment start\n");
+    EXPECT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.at(2).shamt, 3);
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction)
+{
+    Program p = mustAssemble("loop: add r1, r1, r2\nba loop\n");
+    EXPECT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.at(1).imm, 0);
+}
+
+TEST(Assembler, DiagnosticsNameTheLine)
+{
+    EXPECT_NE(mustFail("add r1, r2\n").find("line 1"),
+              std::string::npos);
+    EXPECT_NE(mustFail("\nfoo r1, r2, r3\n").find("line 2"),
+              std::string::npos);
+}
+
+TEST(Assembler, ErrorCases)
+{
+    EXPECT_NE(mustFail("bogus r1, r2, r3").find("unknown mnemonic"),
+              std::string::npos);
+    EXPECT_NE(mustFail("ba nowhere").find("unknown label"),
+              std::string::npos);
+    EXPECT_NE(mustFail("x: add r1,r1,r1\nx: add r1,r1,r1")
+                  .find("duplicate label"),
+              std::string::npos);
+    EXPECT_NE(mustFail("add r1, r99, r2").find("register"),
+              std::string::npos);
+    EXPECT_NE(mustFail("shl r1, r2, #64").find("shift"),
+              std::string::npos);
+    EXPECT_NE(mustFail("ld r1, [r2 +").find("memory operand"),
+              std::string::npos);
+    EXPECT_NE(mustFail("addshf r1, r2, r3, lsx #3").find("lsl"),
+              std::string::npos);
+}
+
+TEST(Assembler, AssembleDisassembleStable)
+{
+    const char *src = "loop:\n"
+                      "    ld r4, [r2 + 0]\n"
+                      "    xorshf r5, r4, r4, lsr #33\n"
+                      "    cmp r6, r4, r9\n"
+                      "    ble r1, r6, halt\n"
+                      "    ba loop\n";
+    Program p = mustAssemble(src);
+    // Disassembly mentions each mnemonic once per instruction.
+    std::string dis = p.disassemble();
+    EXPECT_NE(dis.find("xorshf"), std::string::npos);
+    EXPECT_NE(dis.find("ld"), std::string::npos);
+    EXPECT_EQ(p.size(), 5u);
+}
+
+TEST(Assembler, AssembleOrDieValidatesLegality)
+{
+    // ST on a dispatcher must die -> use EXPECT_EXIT on the fatal.
+    EXPECT_EXIT(assembleOrDie("bad", UnitKind::Dispatcher,
+                              "st [r1 + 0], r2\n"),
+                ::testing::ExitedWithCode(1), "not valid");
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the schema-aware program generator: structure, register
+ * budget enforcement, legality, and hash-IR-to-assembly fidelity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/codegen.hh"
+#include "common/rng.hh"
+
+using namespace widx;
+using namespace widx::accel;
+using isa::Opcode;
+
+namespace {
+
+struct CgSetup
+{
+    Arena arena;
+    std::unique_ptr<db::Column> probe;
+    std::unique_ptr<db::HashIndex> index;
+    u64 out[64]{};
+
+    explicit CgSetup(db::HashFn fn, bool indirect = false)
+    {
+        Rng rng(1);
+        probe = std::make_unique<db::Column>(
+            "p", db::ValueKind::U64, arena, 16);
+        auto keys = std::make_unique<db::Column>(
+            "b", db::ValueKind::U64, arena, 16);
+        for (u64 i = 0; i < 16; ++i) {
+            probe->push(i + 1);
+            keys->push(i + 1);
+        }
+        db::IndexSpec spec;
+        spec.buckets = 16;
+        spec.hashFn = std::move(fn);
+        spec.indirectKeys = indirect;
+        index = std::make_unique<db::HashIndex>(spec, arena);
+        index->buildFromColumn(*keys);
+        keysKeep = std::move(keys);
+    }
+
+    OffloadSpec
+    offload()
+    {
+        OffloadSpec s;
+        s.index = index.get();
+        s.probeKeys = probe.get();
+        s.outBase = Addr(reinterpret_cast<std::uintptr_t>(out));
+        return s;
+    }
+
+    std::unique_ptr<db::Column> keysKeep;
+};
+
+} // namespace
+
+TEST(Codegen, DispatcherUsesFusedHashOps)
+{
+    CgSetup s(db::HashFn::monetdbRobust());
+    isa::Program p = generateDispatcher(s.offload(), 0, 1);
+    std::string err;
+    EXPECT_TRUE(p.validate(err)) << err;
+    // 6-step robust hash: every shifted step is one fused op.
+    unsigned fused = p.countOpcode(Opcode::ADD_SHF) +
+                     p.countOpcode(Opcode::XOR_SHF) +
+                     p.countOpcode(Opcode::AND_SHF);
+    // 4 shifted steps + 1 bucket-address addshf.
+    EXPECT_EQ(fused, 5u);
+    EXPECT_EQ(p.countOpcode(Opcode::LD), 1u);
+    EXPECT_EQ(p.countOpcode(Opcode::ST), 0u);
+}
+
+TEST(Codegen, DispatcherStrideConfiguresCursor)
+{
+    CgSetup s(db::HashFn::kernelMaskXor());
+    isa::Program p0 = generateDispatcher(s.offload(), 0, 4);
+    isa::Program p1 = generateDispatcher(s.offload(), 1, 4);
+    // r1 = cursor start, r5 = stride in bytes.
+    EXPECT_EQ(p1.reg(1) - p0.reg(1), 8u);
+    EXPECT_EQ(p0.reg(5), 32u);
+}
+
+TEST(Codegen, WalkerShapeDirectVsIndirect)
+{
+    CgSetup sd(db::HashFn::kernelMaskXor(), false);
+    CgSetup si(db::HashFn::kernelMaskXor(), true);
+    isa::Program direct = generateWalker(sd.offload());
+    isa::Program indirect = generateWalker(si.offload());
+    // Indirect layouts dereference the key pointer: one extra LD.
+    EXPECT_EQ(indirect.countOpcode(Opcode::LD),
+              direct.countOpcode(Opcode::LD) + 1);
+    std::string err;
+    EXPECT_TRUE(direct.validate(err)) << err;
+    EXPECT_TRUE(indirect.validate(err)) << err;
+}
+
+TEST(Codegen, ProducerStoresPairs)
+{
+    CgSetup s(db::HashFn::kernelMaskXor());
+    isa::Program p = generateProducer(s.offload());
+    EXPECT_EQ(p.countOpcode(Opcode::ST), 2u);
+    EXPECT_EQ(p.unit(), isa::UnitKind::Producer);
+    std::string err;
+    EXPECT_TRUE(p.validate(err)) << err;
+}
+
+TEST(Codegen, CombinedProgramIsRelaxedButStructured)
+{
+    CgSetup s(db::HashFn::monetdbRobust());
+    isa::Program p = generateCombined(
+        s.offload(), 0, 2,
+        Addr(reinterpret_cast<std::uintptr_t>(s.out)));
+    EXPECT_TRUE(p.relaxedLegality());
+    EXPECT_EQ(p.countOpcode(Opcode::ST), 2u);
+    EXPECT_GT(p.countOpcode(Opcode::XOR_SHF) +
+                  p.countOpcode(Opcode::ADD_SHF),
+              0u);
+}
+
+TEST(Codegen, RegisterBudgetEnforced)
+{
+    // A pathological hash with more distinct constants than the
+    // constant-register window (r6..r19 = 14) must be rejected.
+    std::vector<db::HashStep> steps;
+    for (u64 i = 0; i < 20; ++i)
+        steps.push_back({db::HashCombine::Add, db::HashShift::None, 0,
+                         false, 0x1000 + i});
+    CgSetup s(db::HashFn("too-many-constants", steps));
+    EXPECT_EXIT((void)generateDispatcher(s.offload(), 0, 1),
+                ::testing::ExitedWithCode(1), "register budget");
+}
+
+TEST(Codegen, RejectsNarrowKeyColumns)
+{
+    Arena arena;
+    db::Column narrow("n", db::ValueKind::U32, arena, 8);
+    for (u64 i = 0; i < 8; ++i)
+        narrow.push(i);
+    db::IndexSpec ispec;
+    ispec.buckets = 8;
+    db::HashIndex index(ispec, arena);
+    OffloadSpec s;
+    s.index = &index;
+    s.probeKeys = &narrow;
+    s.outBase = 0x1000;
+    EXPECT_EXIT((void)generateWalker(s),
+                ::testing::ExitedWithCode(1), "64-bit");
+}
+
+TEST(Codegen, HashStepsCompileOneToOne)
+{
+    // compOps() is the contract between the IR and the trace/codegen
+    // cost models: each step must emit exactly one instruction.
+    for (auto fn : {db::HashFn::kernelMaskXor(),
+                    db::HashFn::monetdbRobust(),
+                    db::HashFn::fibonacciShiftAdd(),
+                    db::HashFn::doubleKey()}) {
+        CgSetup s(fn);
+        isa::Program with = generateDispatcher(s.offload(), 0, 1);
+        CgSetup s0(db::HashFn("empty", {}));
+        isa::Program without = generateDispatcher(s0.offload(), 0, 1);
+        EXPECT_EQ(with.size() - without.size(), fn.compOps())
+            << fn.name();
+    }
+}

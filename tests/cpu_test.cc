@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests for the baseline core models: trace generation fidelity and
+ * the OoO / in-order timing semantics (width, ROB, dependences,
+ * mispredict gating, outstanding-load caps).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/arena.hh"
+#include "common/rng.hh"
+#include "cpu/probe_run.hh"
+#include "db/hash_index.hh"
+
+using namespace widx;
+using namespace widx::cpu;
+
+namespace {
+
+struct VecTrace : TraceSource
+{
+    std::vector<Uop> v;
+    std::size_t i = 0;
+
+    bool
+    next(Uop &o) override
+    {
+        if (i >= v.size())
+            return false;
+        o = v[i++];
+        return true;
+    }
+};
+
+Uop
+alu(u16 dep = 0)
+{
+    Uop u;
+    u.kind = UopKind::Alu;
+    u.dep0 = dep;
+    return u;
+}
+
+Uop
+load(Addr a, u16 dep = 0)
+{
+    Uop u;
+    u.kind = UopKind::Load;
+    u.addr = a;
+    u.dep0 = dep;
+    return u;
+}
+
+} // namespace
+
+TEST(CoreModel, WidthLimitsThroughput)
+{
+    // 400 independent ALU ops: a 4-wide core needs ~100 cycles, a
+    // 2-wide core ~200.
+    VecTrace t;
+    for (int i = 0; i < 400; ++i)
+        t.v.push_back(alu());
+    sim::MemSystem m1, m2;
+    CoreResult r4 = runCore(t, m1, CoreParams::ooo(), 0);
+    t.i = 0;
+    CoreParams two = CoreParams::ooo();
+    two.width = 2;
+    CoreResult r2 = runCore(t, m2, two, 0);
+    EXPECT_NEAR(double(r4.totalCycles), 100.0, 5.0);
+    EXPECT_NEAR(double(r2.totalCycles), 200.0, 5.0);
+}
+
+TEST(CoreModel, DependenceChainsSerialize)
+{
+    // A 400-deep dependent ALU chain takes ~400 cycles regardless of
+    // width.
+    VecTrace t;
+    t.v.push_back(alu());
+    for (int i = 0; i < 399; ++i)
+        t.v.push_back(alu(1));
+    sim::MemSystem m;
+    CoreResult r = runCore(t, m, CoreParams::ooo(), 0);
+    EXPECT_NEAR(double(r.totalCycles), 400.0, 5.0);
+}
+
+TEST(CoreModel, MispredictGateSerializesProbes)
+{
+    // load (DRAM) -> mispredicted dependent branch, repeated:
+    // every iteration pays the full memory latency plus the penalty.
+    VecTrace t;
+    const Addr base = 0x7f4000000000ull;
+    const int n = 200;
+    for (int k = 0; k < n; ++k) {
+        t.v.push_back(load(base + u64(k) * 4096));
+        Uop br;
+        br.kind = UopKind::Branch;
+        br.dep0 = 1;
+        br.mispredicted = true;
+        br.endOfProbe = true;
+        t.v.push_back(br);
+    }
+    sim::MemSystem m;
+    CoreResult r = runCore(t, m, CoreParams::ooo(), 0);
+    EXPECT_GT(r.cyclesPerTuple, 100.0);
+    EXPECT_EQ(r.mispredicts, u64(n));
+    EXPECT_EQ(r.probes, u64(n));
+
+    // Without mispredicts the loads overlap: much faster.
+    for (Uop &u : t.v)
+        u.mispredicted = false;
+    t.i = 0;
+    sim::MemSystem m2;
+    CoreResult r2 = runCore(t, m2, CoreParams::ooo(), 0);
+    EXPECT_LT(r2.cyclesPerTuple, r.cyclesPerTuple / 2.0);
+}
+
+TEST(CoreModel, InOrderSlowerThanOoO)
+{
+    // Alternating independent loads and ALU work: the OoO core
+    // overlaps them, the in-order core mostly cannot.
+    VecTrace t;
+    const Addr base = 0x7f5000000000ull;
+    for (int k = 0; k < 300; ++k) {
+        t.v.push_back(load(base + u64(k) * 4096));
+        t.v.push_back(alu(1));
+        Uop br;
+        br.kind = UopKind::Branch;
+        br.dep0 = 1;
+        br.endOfProbe = true;
+        t.v.push_back(br);
+    }
+    sim::MemSystem m1, m2;
+    CoreResult ooo = runCore(t, m1, CoreParams::ooo(), 0);
+    t.i = 0;
+    CoreResult io = runCore(t, m2, CoreParams::inorder(), 0);
+    EXPECT_GT(io.totalCycles, ooo.totalCycles);
+}
+
+TEST(CoreModel, WarmupExcludesEarlyProbes)
+{
+    VecTrace t;
+    for (int k = 0; k < 100; ++k) {
+        Uop br;
+        br.kind = UopKind::Branch;
+        br.endOfProbe = true;
+        t.v.push_back(alu());
+        t.v.push_back(br);
+    }
+    sim::MemSystem m;
+    CoreResult r = runCore(t, m, CoreParams::ooo(), 40);
+    EXPECT_EQ(r.probes, 100u);
+    EXPECT_EQ(r.measuredProbes, 60u);
+    EXPECT_LT(r.measuredCycles, r.totalCycles);
+}
+
+TEST(TraceGen, StructureMatchesIndexGeometry)
+{
+    Arena arena;
+    db::Column keys("k", db::ValueKind::U64, arena, 64);
+    for (u64 i = 0; i < 64; ++i)
+        keys.push(i + 1);
+    db::IndexSpec spec;
+    spec.buckets = 64;
+    spec.hashFn = db::HashFn::kernelMaskXor();
+    db::HashIndex idx(spec, arena);
+    idx.buildFromColumn(keys);
+
+    TraceGenOptions opts;
+    opts.mispredictRate = 0.0;
+    ProbeTraceGen gen(idx, keys, opts);
+    Uop u;
+    u64 probes = 0;
+    u64 loads = 0;
+    u64 hash_alus = 0;
+    while (gen.next(u)) {
+        if (u.endOfProbe)
+            ++probes;
+        if (u.kind == UopKind::Load)
+            ++loads;
+        if (u.kind == UopKind::Alu && u.phase == UopPhase::Hash)
+            ++hash_alus;
+    }
+    EXPECT_EQ(probes, 64u);
+    // Per probe: key + node-key + payload (all match) + next = 4.
+    EXPECT_EQ(loads / probes, 4u);
+    // Per probe: bookkeeping + 2 hash steps + 2 address ALUs = 5.
+    EXPECT_EQ(hash_alus / probes, 5u);
+}
+
+TEST(TraceGen, IndirectAddsKeyDereference)
+{
+    Arena arena;
+    db::Column keys("k", db::ValueKind::U64, arena, 32);
+    for (u64 i = 0; i < 32; ++i)
+        keys.push(i + 1);
+    db::IndexSpec spec;
+    spec.buckets = 32;
+    spec.indirectKeys = true;
+    db::HashIndex idx(spec, arena);
+    idx.buildFromColumn(keys);
+
+    TraceGenOptions opts;
+    ProbeTraceGen gen(idx, keys, opts);
+    Uop u;
+    u64 loads = 0;
+    u64 probes = 0;
+    while (gen.next(u)) {
+        if (u.kind == UopKind::Load)
+            ++loads;
+        if (u.endOfProbe)
+            ++probes;
+    }
+    EXPECT_EQ(loads / probes, 5u); // one extra load per node
+}
+
+TEST(TraceGen, ExitMispredictRateIsRespected)
+{
+    // A cold (larger-than-predictor-warm) index; only the probes'
+    // final exit branches are counted, since match branches draw
+    // their own data-driven mispredicts.
+    Arena arena;
+    const u64 entries = 8192;
+    db::Column keys("k", db::ValueKind::U64, arena, 4000);
+    Rng rng(3);
+    for (u64 i = 0; i < 4000; ++i)
+        keys.push(1 + rng.below(entries));
+    db::IndexSpec spec;
+    spec.buckets = entries;
+    db::HashIndex idx(spec, arena);
+    for (u64 i = 1; i <= entries; ++i)
+        idx.insert(i, i);
+
+    for (double rate : {0.0, 0.5, 1.0}) {
+        TraceGenOptions opts;
+        opts.mispredictRate = rate;
+        ProbeTraceGen gen(idx, keys, opts);
+        Uop u;
+        u64 mis = 0;
+        u64 probes = 0;
+        while (gen.next(u)) {
+            if (u.endOfProbe) {
+                ++probes;
+                if (u.mispredicted)
+                    ++mis;
+            }
+        }
+        EXPECT_NEAR(double(mis) / double(probes), rate, 0.05);
+    }
+}
+
+TEST(TraceGen, HotIndexScalesMispredictsDown)
+{
+    Arena arena;
+    db::Column keys("k", db::ValueKind::U64, arena, 4000);
+    Rng rng(3);
+    for (u64 i = 0; i < 4000; ++i)
+        keys.push(1 + rng.below(512));
+    db::IndexSpec spec;
+    spec.buckets = 512;
+    db::HashIndex idx(spec, arena);
+    for (u64 i = 1; i <= 512; ++i)
+        idx.insert(i, i);
+
+    TraceGenOptions opts;
+    opts.mispredictRate = 1.0;
+    ProbeTraceGen gen(idx, keys, opts);
+    Uop u;
+    u64 mis = 0;
+    u64 probes = 0;
+    while (gen.next(u)) {
+        if (u.endOfProbe) {
+            ++probes;
+            if (u.mispredicted)
+                ++mis;
+        }
+    }
+    EXPECT_NEAR(double(mis) / double(probes), opts.hotIndexFactor,
+                0.05);
+}
+
+TEST(ProbeRun, HashFractionGrowsWithHashCost)
+{
+    Arena arena;
+    Rng rng(9);
+    db::Column build("b", db::ValueKind::U64, arena, 512);
+    db::Column probe("p", db::ValueKind::U64, arena, 20000);
+    for (u64 i = 0; i < 512; ++i)
+        build.push(i + 1);
+    for (u64 i = 0; i < 20000; ++i)
+        probe.push(1 + rng.below(512));
+
+    auto frac = [&](db::HashFn fn) {
+        db::IndexSpec spec;
+        spec.buckets = 512;
+        spec.hashFn = std::move(fn);
+        db::HashIndex idx(spec, arena);
+        idx.buildFromColumn(build);
+        ProbeRunConfig cfg;
+        cfg.warmupFraction = 0.1;
+        return runProbeLoop(idx, probe, cfg).hashFraction();
+    };
+    double cheap = frac(db::HashFn::kernelMaskXor());
+    double expensive = frac(db::HashFn::doubleKey());
+    EXPECT_GT(expensive, cheap);
+    // L1-resident index with a 12-step hash: hash should dominate
+    // (the paper's q5/q37/q82 observation: >50%).
+    EXPECT_GT(expensive, 0.5);
+}
+
+TEST(ProbeRun, BiggerIndexCostsMoreCycles)
+{
+    Rng rng(11);
+    auto run = [&](u64 tuples) {
+        Arena arena;
+        db::Column build("b", db::ValueKind::U64, arena, tuples);
+        db::Column probe("p", db::ValueKind::U64, arena, 30000);
+        for (u64 i = 0; i < tuples; ++i)
+            build.push(i + 1);
+        for (u64 i = 0; i < 30000; ++i)
+            probe.push(1 + rng.below(tuples));
+        db::IndexSpec spec;
+        spec.buckets = tuples;
+        db::HashIndex idx(spec, arena);
+        idx.buildFromColumn(build);
+        ProbeRunConfig cfg;
+        return runProbeLoop(idx, probe, cfg).cyclesPerTuple;
+    };
+    double small = run(4 * 1024);
+    double large = run(2 * 1024 * 1024);
+    EXPECT_GT(large, 1.5 * small);
+}

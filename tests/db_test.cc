@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Unit and property tests for the mini-DBMS substrate: columns,
+ * hash-function IR, hash index invariants, and operators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hh"
+#include "db/aggregate.hh"
+#include "db/hash_join.hh"
+#include "db/plan.hh"
+#include "db/scan.hh"
+#include "db/sort.hh"
+
+using namespace widx;
+using namespace widx::db;
+
+TEST(Column, PushAtAndAddresses)
+{
+    Arena arena;
+    Column c("c", ValueKind::U64, arena, 10);
+    for (u64 i = 0; i < 10; ++i)
+        c.push(i * 3);
+    EXPECT_EQ(c.size(), 10u);
+    EXPECT_EQ(c.at(7), 21u);
+    EXPECT_EQ(c.addrOf(3) - c.addrOf(0), 24u);
+    EXPECT_EQ(c.bytes(), 80u);
+}
+
+TEST(Column, U32ColumnsPackTighter)
+{
+    Arena arena;
+    Column c("c", ValueKind::U32, arena, 4);
+    c.push(0xAABBCCDDEE); // truncates to 32 bits
+    EXPECT_EQ(c.at(0), 0xBBCCDDEEu);
+    EXPECT_EQ(c.addrOf(1) - c.addrOf(0), 4u);
+}
+
+TEST(Column, F64BitPatternRoundTrip)
+{
+    Arena arena;
+    Column c("c", ValueKind::F64, arena, 2);
+    c.push(f64Bits(3.25));
+    EXPECT_DOUBLE_EQ(bitsF64(c.at(0)), 3.25);
+}
+
+TEST(Table, ColumnRegistryAndRows)
+{
+    Arena arena;
+    Table t("t");
+    Column &a = t.addColumn("a", ValueKind::U64, arena, 5);
+    t.addColumn("b", ValueKind::U64, arena, 5);
+    a.push(1);
+    a.push(2);
+    EXPECT_TRUE(t.hasColumn("a"));
+    EXPECT_FALSE(t.hasColumn("z"));
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.column("a").size(), 2u);
+}
+
+TEST(HashFn, PresetsAreDeterministicAndDiffer)
+{
+    HashFn k = HashFn::kernelMaskXor();
+    HashFn m = HashFn::monetdbRobust();
+    HashFn f = HashFn::fibonacciShiftAdd();
+    HashFn d = HashFn::doubleKey();
+    EXPECT_EQ(k(12345), k(12345));
+    std::set<u64> outs{k(12345), m(12345), f(12345), d(12345)};
+    EXPECT_EQ(outs.size(), 4u);
+    EXPECT_EQ(k.compOps(), 2u);
+    EXPECT_EQ(m.compOps(), 6u);
+    EXPECT_EQ(f.compOps(), 8u);
+    EXPECT_EQ(d.compOps(), 12u);
+}
+
+TEST(HashFn, KernelHashMatchesListing1)
+{
+    // HASH(X) = ((X & MASK) ^ HPRIME) with MASK/HPRIME from the IR.
+    HashFn k = HashFn::kernelMaskXor();
+    const u64 mask = k.steps()[0].constant;
+    const u64 prime = k.steps()[1].constant;
+    for (u64 x : {0ull, 1ull, 0xFFFFull, 0x123456789ull})
+        EXPECT_EQ(k(x), (x & mask) ^ prime);
+}
+
+/** Property: every preset spreads dense keys well across buckets. */
+class HashQuality : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HashQuality, DenseKeysSpreadUniformly)
+{
+    HashFn fn = GetParam() == 0   ? HashFn::kernelMaskXor()
+                : GetParam() == 1 ? HashFn::monetdbRobust()
+                : GetParam() == 2 ? HashFn::fibonacciShiftAdd()
+                                  : HashFn::doubleKey();
+    const u64 buckets = 1024;
+    const u64 n = 64 * buckets;
+    std::vector<u32> load(buckets, 0);
+    for (u64 k = 1; k <= n; ++k) {
+        u64 key = GetParam() == 3 ? f64Bits(double(k) * 1.25) : k;
+        ++load[fn(key) & (buckets - 1)];
+    }
+    // Chi-squared-ish check: no bucket more than 3x the mean.
+    for (u64 b = 0; b < buckets; ++b)
+        ASSERT_LE(load[b], 3 * 64u) << fn.name() << " bucket " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, HashQuality,
+                         ::testing::Range(0, 4));
+
+TEST(HashIndex, InsertAndLookup)
+{
+    Arena arena;
+    IndexSpec spec;
+    spec.buckets = 64;
+    HashIndex idx(spec, arena);
+    idx.insert(10, 100);
+    idx.insert(20, 200);
+    EXPECT_EQ(idx.lookup(10), 100u);
+    EXPECT_EQ(idx.lookup(20), 200u);
+    EXPECT_EQ(idx.lookup(30), kNotFound);
+    EXPECT_EQ(idx.entries(), 2u);
+}
+
+TEST(HashIndex, DuplicateKeysAllMatch)
+{
+    Arena arena;
+    IndexSpec spec;
+    spec.buckets = 16;
+    HashIndex idx(spec, arena);
+    for (u64 p = 0; p < 5; ++p)
+        idx.insert(7, p);
+    std::multiset<u64> payloads;
+    u64 n = idx.probe(7, [&](u64 p) { payloads.insert(p); });
+    EXPECT_EQ(n, 5u);
+    EXPECT_EQ(payloads.size(), 5u);
+    EXPECT_EQ(*payloads.begin(), 0u);
+}
+
+TEST(HashIndex, IndirectKeysResolveThroughColumn)
+{
+    Arena arena;
+    Column keys("k", ValueKind::U64, arena, 100);
+    for (u64 i = 0; i < 100; ++i)
+        keys.push(i * 7 + 1);
+    IndexSpec spec;
+    spec.buckets = 128;
+    spec.indirectKeys = true;
+    HashIndex idx(spec, arena);
+    idx.buildFromColumn(keys);
+    for (u64 i = 0; i < 100; ++i)
+        EXPECT_EQ(idx.lookup(i * 7 + 1), i);
+    EXPECT_EQ(idx.lookup(5), kNotFound);
+}
+
+TEST(HashIndex, BucketArrayIsCacheLineAligned)
+{
+    Arena arena;
+    IndexSpec spec;
+    spec.buckets = 8;
+    HashIndex idx(spec, arena);
+    EXPECT_EQ(idx.bucketArrayAddr() % kCacheBlockBytes, 0u);
+}
+
+/** Property: for random builds, probe() agrees with a std::multimap
+ *  oracle, and depth statistics are consistent. */
+class IndexOracle : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IndexOracle, MatchesMultimap)
+{
+    Rng rng(GetParam());
+    Arena arena;
+    IndexSpec spec;
+    spec.buckets = 256;
+    spec.hashFn = GetParam() % 2 ? HashFn::monetdbRobust()
+                                 : HashFn::fibonacciShiftAdd();
+    HashIndex idx(spec, arena);
+    std::multimap<u64, u64> oracle;
+    for (int i = 0; i < 2000; ++i) {
+        u64 key = 1 + rng.below(500);
+        idx.insert(key, u64(i));
+        oracle.insert({key, u64(i)});
+    }
+    for (u64 key = 1; key <= 500; ++key) {
+        std::multiset<u64> got;
+        idx.probe(key, [&](u64 p) { got.insert(p); });
+        auto [lo, hi] = oracle.equal_range(key);
+        std::multiset<u64> want;
+        for (auto it = lo; it != hi; ++it)
+            want.insert(it->second);
+        ASSERT_EQ(got, want) << "key " << key;
+    }
+    EXPECT_EQ(idx.entries(), 2000u);
+    EXPECT_GE(idx.maxBucketDepth(), u64(idx.avgBucketDepth()));
+    EXPECT_GT(idx.footprintBytes(),
+              idx.numBuckets() * sizeof(HashIndex::Bucket));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexOracle, ::testing::Range(1, 6));
+
+TEST(Scan, SelectCountGather)
+{
+    Arena arena;
+    Column c("c", ValueKind::U64, arena, 10);
+    for (u64 i = 0; i < 10; ++i)
+        c.push(i);
+    RangePredicate pred{3, 6};
+    std::vector<RowId> rows = scanSelect(c, pred);
+    EXPECT_EQ(rows.size(), 4u);
+    EXPECT_EQ(scanCount(c, pred), 4u);
+    std::vector<u64> vals = scanGather(c, rows);
+    EXPECT_EQ(vals, (std::vector<u64>{3, 4, 5, 6}));
+}
+
+TEST(HashJoin, MatchesNestedLoopOracle)
+{
+    Rng rng(3);
+    Arena arena;
+    Column build("b", ValueKind::U64, arena, 200);
+    Column probe("p", ValueKind::U64, arena, 500);
+    for (int i = 0; i < 200; ++i)
+        build.push(1 + rng.below(100));
+    for (int i = 0; i < 500; ++i)
+        probe.push(1 + rng.below(150));
+
+    IndexSpec spec;
+    spec.buckets = 256;
+    JoinResult jr = hashJoin(build, probe, spec, arena, true);
+
+    u64 oracle = 0;
+    for (RowId b = 0; b < build.size(); ++b)
+        for (RowId p = 0; p < probe.size(); ++p)
+            if (build.at(b) == probe.at(p))
+                ++oracle;
+    EXPECT_EQ(jr.matches, oracle);
+    EXPECT_EQ(jr.pairs.size(), oracle);
+    EXPECT_EQ(jr.probes, 500u);
+}
+
+TEST(Sort, SortRowsAndValues)
+{
+    Arena arena;
+    Column c("c", ValueKind::U64, arena, 5);
+    for (u64 v : {5ull, 1ull, 4ull, 2ull, 3ull})
+        c.push(v);
+    std::vector<u64> vals = sortValues(c);
+    EXPECT_TRUE(std::is_sorted(vals.begin(), vals.end()));
+    std::vector<RowId> rows = sortRows(c);
+    EXPECT_EQ(c.at(rows[0]), 1u);
+    EXPECT_EQ(c.at(rows[4]), 5u);
+}
+
+TEST(Sort, SortMergeJoinAgreesWithHashJoin)
+{
+    Rng rng(5);
+    Arena arena;
+    Column l("l", ValueKind::U64, arena, 300);
+    Column r("r", ValueKind::U64, arena, 400);
+    for (int i = 0; i < 300; ++i)
+        l.push(1 + rng.below(80));
+    for (int i = 0; i < 400; ++i)
+        r.push(1 + rng.below(80));
+    IndexSpec spec;
+    spec.buckets = 128;
+    JoinResult hj = hashJoin(l, r, spec, arena, false);
+    JoinResult smj = sortMergeJoin(l, r, false);
+    EXPECT_EQ(hj.matches, smj.matches);
+}
+
+TEST(Aggregate, SumMaxGroupDistinct)
+{
+    Arena arena;
+    Column grp("g", ValueKind::U64, arena, 6);
+    Column val("v", ValueKind::U64, arena, 6);
+    for (u64 i = 0; i < 6; ++i) {
+        grp.push(i % 2);
+        val.push(i);
+    }
+    std::vector<RowId> all{0, 1, 2, 3, 4, 5};
+    EXPECT_EQ(aggregateSum(val, all), 15u);
+    EXPECT_EQ(aggregateMax(val, all), 5u);
+    auto groups = groupBySum(grp, val, all);
+    EXPECT_EQ(groups[0], 0u + 2 + 4);
+    EXPECT_EQ(groups[1], 1u + 3 + 5);
+    EXPECT_EQ(countDistinct(grp, all), 2u);
+}
+
+TEST(Plan, BreakdownFractionsSumToOne)
+{
+    db::PlanBreakdown bd;
+    bd.add(OpClass::Index, 2.0);
+    bd.add(OpClass::Scan, 1.0);
+    bd.add(OpClass::SortJoin, 0.5);
+    bd.add(OpClass::Other, 0.5);
+    EXPECT_DOUBLE_EQ(bd.total(), 4.0);
+    double sum = 0.0;
+    for (auto c : {OpClass::Index, OpClass::Scan, OpClass::SortJoin,
+                   OpClass::Other})
+        sum += bd.fraction(c);
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+    EXPECT_DOUBLE_EQ(bd.fraction(OpClass::Index), 0.5);
+}

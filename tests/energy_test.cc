@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Tests for the Section 6.3 energy/area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy.hh"
+
+using namespace widx;
+using namespace widx::energy;
+
+TEST(Energy, ActivePowerOrdering)
+{
+    EnergyParams p;
+    // Widx-on-idle-OoO draws more than the bare in-order core but
+    // far less than the active OoO core.
+    EXPECT_LT(p.activeWatts(Design::InOrder),
+              p.activeWatts(Design::WidxOnOoO));
+    EXPECT_LT(p.activeWatts(Design::WidxOnOoO),
+              p.activeWatts(Design::OoO));
+}
+
+TEST(Energy, ComputeEnergyScalesLinearly)
+{
+    EnergyParams p;
+    EnergyResult r1 = computeEnergy(p, Design::OoO, 2000000000ull);
+    EnergyResult r2 = computeEnergy(p, Design::OoO, 4000000000ull);
+    EXPECT_NEAR(r1.seconds, 1.0, 1e-9); // 2e9 cycles at 2 GHz
+    EXPECT_NEAR(r2.joules, 2.0 * r1.joules, 1e-9);
+    EXPECT_NEAR(r2.edp, 4.0 * r1.edp, 1e-6);
+}
+
+TEST(Energy, PaperEnergyRatiosReproduce)
+{
+    EnergyParams p;
+    // In-order at 2.2x the runtime must save ~86% energy.
+    const Cycle base = 1000000;
+    double e_ooo = computeEnergy(p, Design::OoO, base).joules;
+    double e_io =
+        computeEnergy(p, Design::InOrder, Cycle(base * 2.2)).joules;
+    EXPECT_NEAR(1.0 - e_io / e_ooo, 0.86, 0.02);
+
+    // Widx at ~1/3 the runtime with the OoO idling: ~85% saving
+    // (paper: 83%).
+    double e_wx = computeEnergy(p, Design::WidxOnOoO,
+                                Cycle(base / 3.1)).joules;
+    EXPECT_NEAR(1.0 - e_wx / e_ooo, 0.83, 0.06);
+}
+
+TEST(Energy, AreaConstantsMatchPaper)
+{
+    AreaConstants a;
+    EXPECT_NEAR(a.widxVsA8AreaFraction(), 0.18, 0.01);
+    EXPECT_NEAR(a.widxSixUnitsWatts, 0.320, 1e-9);
+    EXPECT_NEAR(a.widxUnitMm2 * 6.0, a.widxSixUnitsMm2, 0.01);
+}

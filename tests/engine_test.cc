@@ -1,0 +1,249 @@
+/**
+ * @file
+ * End-to-end tests of the Widx engine: functional equivalence against
+ * the scalar reference probe, across walker counts, schemas, hash
+ * functions, and design points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "accel/engine.hh"
+#include "common/arena.hh"
+#include "common/rng.hh"
+#include "db/hash_join.hh"
+
+using namespace widx;
+using namespace widx::accel;
+
+namespace {
+
+struct Fixture
+{
+    Arena arena;
+    std::unique_ptr<db::Column> build;
+    std::unique_ptr<db::Column> probe;
+    std::unique_ptr<db::HashIndex> index;
+    u64 *outRegion = nullptr;
+    u64 outPairs = 0;
+
+    Fixture(u64 build_rows, u64 probe_rows, const db::IndexSpec &spec,
+            u64 key_space, u64 seed = 42)
+    {
+        Rng rng(seed);
+        build = std::make_unique<db::Column>("build", db::ValueKind::U64,
+                                             arena, build_rows);
+        probe = std::make_unique<db::Column>("probe", db::ValueKind::U64,
+                                             arena, probe_rows);
+        for (u64 i = 0; i < build_rows; ++i)
+            build->push(rng.below(key_space));
+        for (u64 i = 0; i < probe_rows; ++i)
+            probe->push(rng.below(key_space));
+        index = std::make_unique<db::HashIndex>(spec, arena);
+        index->buildFromColumn(*build);
+        // Worst case: every probe matches every node in its bucket.
+        outPairs = probe_rows * (index->maxBucketDepth() + 1) + 8;
+        outRegion = arena.makeArray<u64>(outPairs * 2);
+    }
+
+    OffloadSpec
+    offload() const
+    {
+        OffloadSpec spec;
+        spec.index = index.get();
+        spec.probeKeys = probe.get();
+        spec.outBase = Addr(reinterpret_cast<std::uintptr_t>(outRegion));
+        return spec;
+    }
+
+    /** Multiset of {key, payload} pairs from the scalar reference. */
+    std::multiset<std::pair<u64, u64>>
+    referenceMatches() const
+    {
+        std::multiset<std::pair<u64, u64>> ref;
+        for (RowId r = 0; r < probe->size(); ++r) {
+            u64 key = probe->at(r);
+            index->probe(key, [&](u64 payload) {
+                ref.insert({key, payload});
+            });
+        }
+        return ref;
+    }
+
+    /** Multiset of pairs the producer wrote to the results region. */
+    std::multiset<std::pair<u64, u64>>
+    engineMatches(u64 count) const
+    {
+        std::multiset<std::pair<u64, u64>> got;
+        for (u64 i = 0; i < count; ++i)
+            got.insert({outRegion[2 * i], outRegion[2 * i + 1]});
+        return got;
+    }
+};
+
+db::IndexSpec
+spec(u64 buckets, db::HashFn fn, bool indirect = false)
+{
+    db::IndexSpec s;
+    s.buckets = buckets;
+    s.hashFn = std::move(fn);
+    s.indirectKeys = indirect;
+    return s;
+}
+
+} // namespace
+
+TEST(Engine, MatchesScalarReferenceSingleWalker)
+{
+    Fixture f(1000, 3000, spec(1024, db::HashFn::kernelMaskXor()),
+              2000);
+    EngineConfig cfg;
+    cfg.numWalkers = 1;
+    cfg.warmupFraction = 0.0;
+    EngineResult r = runOffload(f.offload(), cfg);
+    EXPECT_EQ(r.probes, 3000u);
+    auto ref = f.referenceMatches();
+    EXPECT_EQ(r.matches, ref.size());
+    EXPECT_EQ(f.engineMatches(r.matches), ref);
+}
+
+TEST(Engine, MatchesScalarReferenceFourWalkers)
+{
+    Fixture f(2000, 6000, spec(2048, db::HashFn::monetdbRobust()),
+              4000);
+    EngineConfig cfg;
+    cfg.numWalkers = 4;
+    cfg.warmupFraction = 0.0;
+    EngineResult r = runOffload(f.offload(), cfg);
+    auto ref = f.referenceMatches();
+    EXPECT_EQ(r.matches, ref.size());
+    EXPECT_EQ(f.engineMatches(r.matches), ref);
+}
+
+TEST(Engine, IndirectKeysMatchScalarReference)
+{
+    Fixture f(1500, 4000,
+              spec(2048, db::HashFn::fibonacciShiftAdd(), true),
+              3000);
+    EngineConfig cfg;
+    cfg.numWalkers = 2;
+    cfg.warmupFraction = 0.0;
+    EngineResult r = runOffload(f.offload(), cfg);
+    auto ref = f.referenceMatches();
+    EXPECT_EQ(r.matches, ref.size());
+    EXPECT_EQ(f.engineMatches(r.matches), ref);
+}
+
+TEST(Engine, PerWalkerDispatchersMatchReference)
+{
+    Fixture f(1000, 3000, spec(1024, db::HashFn::monetdbRobust()),
+              2000);
+    EngineConfig cfg;
+    cfg.numWalkers = 4;
+    cfg.sharedDispatcher = false;
+    cfg.warmupFraction = 0.0;
+    EngineResult r = runOffload(f.offload(), cfg);
+    auto ref = f.referenceMatches();
+    EXPECT_EQ(r.matches, ref.size());
+    EXPECT_EQ(f.engineMatches(r.matches), ref);
+}
+
+TEST(Engine, CombinedContextsMatchReferenceCount)
+{
+    Fixture f(1000, 3000, spec(1024, db::HashFn::kernelMaskXor()),
+              2000);
+    EngineConfig cfg;
+    cfg.warmupFraction = 0.0;
+    Engine engine(f.offload(), cfg);
+    EngineResult r = engine.runCombined(2);
+    auto ref = f.referenceMatches();
+    EXPECT_EQ(r.matches, ref.size());
+}
+
+TEST(Engine, MoreWalkersNeverSlower)
+{
+    Fixture f(20000, 40000, spec(32768, db::HashFn::monetdbRobust()),
+              40000);
+    EngineConfig cfg;
+    cfg.warmupFraction = 0.0;
+    cfg.numWalkers = 1;
+    EngineResult r1 = runOffload(f.offload(), cfg);
+    cfg.numWalkers = 4;
+    EngineResult r4 = runOffload(f.offload(), cfg);
+    EXPECT_EQ(r1.matches, r4.matches);
+    EXPECT_LT(r4.measuredCycles, r1.measuredCycles);
+}
+
+TEST(Engine, WalkerBreakdownCoversMeasuredWindow)
+{
+    Fixture f(5000, 10000, spec(8192, db::HashFn::monetdbRobust()),
+              10000);
+    EngineConfig cfg;
+    cfg.numWalkers = 2;
+    cfg.warmupFraction = 0.1;
+    EngineResult r = runOffload(f.offload(), cfg);
+    // Each walker is accounted every cycle of the measured window
+    // (within a small tolerance for start/drain skew).
+    for (const UnitBreakdown &b : r.perWalker) {
+        EXPECT_NEAR(double(b.total()), double(r.measuredCycles),
+                    0.05 * double(r.measuredCycles) + 200.0);
+    }
+}
+
+TEST(Engine, DoubleKeysMatchReference)
+{
+    Arena arena;
+    Rng rng(7);
+    const u64 n = 2000;
+    db::Column build("b", db::ValueKind::F64, arena, n);
+    db::Column probe("p", db::ValueKind::F64, arena, 3 * n);
+    for (u64 i = 0; i < n; ++i)
+        build.push(db::f64Bits(double(rng.below(1000)) * 1.25));
+    for (u64 i = 0; i < 3 * n; ++i)
+        probe.push(db::f64Bits(double(rng.below(1000)) * 1.25));
+    db::HashIndex index(spec(2048, db::HashFn::doubleKey()), arena);
+    index.buildFromColumn(build);
+    u64 *out = arena.makeArray<u64>((3 * n) * 64);
+
+    OffloadSpec off;
+    off.index = &index;
+    off.probeKeys = &probe;
+    off.outBase = Addr(reinterpret_cast<std::uintptr_t>(out));
+    EngineConfig cfg;
+    cfg.numWalkers = 4;
+    cfg.warmupFraction = 0.0;
+    EngineResult r = runOffload(off, cfg);
+
+    u64 ref = 0;
+    for (RowId i = 0; i < probe.size(); ++i)
+        ref += index.probe(probe.at(i), nullptr);
+    EXPECT_EQ(r.matches, ref);
+}
+
+TEST(Engine, ConfigLoadCostsCycles)
+{
+    Fixture f(100, 200, spec(128, db::HashFn::kernelMaskXor()), 150);
+    EngineConfig cfg;
+    cfg.warmupFraction = 0.0;
+    EngineResult with = runOffload(f.offload(), cfg);
+    cfg.modelConfigLoad = false;
+    EngineResult without = runOffload(f.offload(), cfg);
+    EXPECT_GT(with.configCycles, 0u);
+    EXPECT_EQ(without.configCycles, 0u);
+    EXPECT_EQ(with.matches, without.matches);
+}
+
+TEST(Engine, QueueDepthOneStillCorrect)
+{
+    Fixture f(500, 1500, spec(512, db::HashFn::monetdbRobust()), 1000);
+    EngineConfig cfg;
+    cfg.numWalkers = 3;
+    cfg.queueDepth = 1;
+    cfg.warmupFraction = 0.0;
+    EngineResult r = runOffload(f.offload(), cfg);
+    auto ref = f.referenceMatches();
+    EXPECT_EQ(r.matches, ref.size());
+    EXPECT_EQ(f.engineMatches(r.matches), ref);
+}

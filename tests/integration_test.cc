@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Cross-module integration tests asserting the paper's qualitative
+ * results hold end-to-end on scaled-down workloads: speedup ordering
+ * across execution models, walker scaling, decoupling benefits, and
+ * breakdown sanity. These are the repository's regression net for
+ * the Figures 8-11 shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/engine.hh"
+#include "cpu/probe_run.hh"
+#include "energy/energy.hh"
+#include "workload/dss_queries.hh"
+#include "workload/join_kernel.hh"
+
+using namespace widx;
+
+namespace {
+
+/** A scaled-down Large-regime kernel (DRAM-resident, fast to run). */
+wl::KernelSize
+miniLarge()
+{
+    return {"MiniLarge", 2 * 1024 * 1024, 60000};
+}
+
+/** A scaled-down Small-regime kernel. */
+wl::KernelSize
+miniSmall()
+{
+    return {"MiniSmall", 4 * 1024, 60000};
+}
+
+accel::OffloadSpec
+offloadFor(const wl::KernelDataset &data)
+{
+    accel::OffloadSpec spec;
+    spec.index = data.index.get();
+    spec.probeKeys = data.probeKeys.get();
+    spec.outBase = data.outBase();
+    return spec;
+}
+
+double
+widxCyclesPerTuple(const wl::KernelDataset &data, unsigned walkers,
+                   bool touch = false)
+{
+    accel::OffloadSpec spec = offloadFor(data);
+    spec.dispatcherTouch = touch;
+    accel::EngineConfig cfg;
+    cfg.numWalkers = walkers;
+    return accel::runOffload(spec, cfg).cyclesPerTuple;
+}
+
+} // namespace
+
+TEST(Integration, WalkerScalingOnDramResidentIndex)
+{
+    wl::KernelDataset data(miniLarge());
+    double w1 = widxCyclesPerTuple(data, 1);
+    double w2 = widxCyclesPerTuple(data, 2);
+    double w4 = widxCyclesPerTuple(data, 4);
+    // Near-linear memory-time reduction (Fig. 8a).
+    EXPECT_NEAR(w1 / w2, 2.0, 0.35);
+    EXPECT_NEAR(w1 / w4, 4.0, 1.0);
+}
+
+TEST(Integration, FourWalkersBeatOoOByPaperMargin)
+{
+    wl::KernelDataset data(miniLarge());
+    cpu::ProbeRunConfig cfg;
+    cpu::CoreResult ooo =
+        cpu::runProbeLoop(*data.index, *data.probeKeys, cfg);
+    double w4 = widxCyclesPerTuple(data, 4);
+    double speedup = ooo.cyclesPerTuple / w4;
+    // Paper: ~4x on Large; accept the 2.5-5x band.
+    EXPECT_GT(speedup, 2.5);
+    EXPECT_LT(speedup, 5.0);
+}
+
+TEST(Integration, OneWalkerTracksOoO)
+{
+    wl::KernelDataset data(miniLarge());
+    cpu::ProbeRunConfig cfg;
+    cpu::CoreResult ooo =
+        cpu::runProbeLoop(*data.index, *data.probeKeys, cfg);
+    double w1 = widxCyclesPerTuple(data, 1);
+    double ratio = ooo.cyclesPerTuple / w1;
+    // Paper: within ~4% on the kernel; accept a generous band.
+    EXPECT_GT(ratio, 0.6);
+    EXPECT_LT(ratio, 1.5);
+}
+
+TEST(Integration, InOrderSlowerThanOoOByPaperMargin)
+{
+    wl::KernelDataset data(miniLarge());
+    cpu::ProbeRunConfig cfg;
+    cfg.core = cpu::CoreParams::ooo();
+    cpu::CoreResult ooo =
+        cpu::runProbeLoop(*data.index, *data.probeKeys, cfg);
+    cfg.core = cpu::CoreParams::inorder();
+    cpu::CoreResult io =
+        cpu::runProbeLoop(*data.index, *data.probeKeys, cfg);
+    double slowdown = io.cyclesPerTuple / ooo.cyclesPerTuple;
+    // Paper: 2.2x on DSS queries (indirect keys, deeper hashing);
+    // the kernel's trivial hash narrows the gap — accept 1.25-3x.
+    EXPECT_GT(slowdown, 1.25);
+    EXPECT_LT(slowdown, 3.0);
+}
+
+TEST(Integration, SmallIndexIsDispatcherBound)
+{
+    wl::KernelDataset data(miniSmall());
+    accel::OffloadSpec spec = offloadFor(data);
+    accel::EngineConfig cfg;
+    cfg.numWalkers = 4;
+    accel::EngineResult r = accel::runOffload(spec, cfg);
+    // Walkers spend a large share idle (Fig. 8a Small@4).
+    EXPECT_GT(r.walkerIdleFraction(), 0.25);
+    // And adding walkers past the dispatcher's rate gains nothing.
+    double w2 = widxCyclesPerTuple(data, 2);
+    double w4 = r.cyclesPerTuple;
+    EXPECT_NEAR(w4, w2, 0.15 * w2);
+}
+
+TEST(Integration, DramResidentWalkersAreMemBound)
+{
+    wl::KernelDataset data(miniLarge());
+    accel::OffloadSpec spec = offloadFor(data);
+    accel::EngineConfig cfg;
+    cfg.numWalkers = 4;
+    accel::EngineResult r = accel::runOffload(spec, cfg);
+    EXPECT_GT(double(r.walkers.mem), 0.5 * double(r.walkers.total()));
+    EXPECT_LT(r.walkerIdleFraction(), 0.2);
+}
+
+TEST(Integration, DecouplingBeatsCombinedContexts)
+{
+    // Fig. 3(b) vs (c)/(d): with an expensive hash, decoupling takes
+    // hashing off the walk's critical path.
+    wl::DssQuerySpec spec = wl::dssSimQueries().front();
+    spec.indexTuples = 256 * 1024;
+    spec.probes = 40000;
+    spec.hash = wl::HashKind::DoubleKey;
+    wl::DssDataset data(spec);
+
+    accel::OffloadSpec off;
+    off.index = data.index.get();
+    off.probeKeys = data.probeKeys.get();
+    off.outBase = data.outBase();
+    accel::EngineConfig cfg;
+    cfg.numWalkers = 2;
+
+    accel::Engine combined_engine(off, cfg);
+    accel::EngineResult combined = combined_engine.runCombined(2);
+    accel::EngineResult decoupled = accel::runOffload(off, cfg);
+    EXPECT_LT(decoupled.cyclesPerTuple,
+              combined.cyclesPerTuple * 0.95);
+}
+
+TEST(Integration, SharedDispatcherTracksPerWalkerHashing)
+{
+    // Fig. 3(c) vs (d): one dispatcher feeds 4 walkers on a
+    // DRAM-resident index (Fig. 5's conclusion).
+    wl::KernelDataset data(miniLarge());
+    accel::OffloadSpec spec = offloadFor(data);
+    accel::EngineConfig cfg;
+    cfg.numWalkers = 4;
+    cfg.sharedDispatcher = false;
+    double per_walker = accel::runOffload(spec, cfg).cyclesPerTuple;
+    cfg.sharedDispatcher = true;
+    double shared = accel::runOffload(spec, cfg).cyclesPerTuple;
+    EXPECT_LT(shared, per_walker * 1.15);
+}
+
+TEST(Integration, ExpensiveHashGainsMostFromWidx)
+{
+    // The q20 effect: double-key hashing on the critical path hurts
+    // the baseline more than Widx (which overlaps it).
+    auto speedup = [&](wl::HashKind kind, db::ValueKind vk) {
+        wl::DssQuerySpec spec = wl::dssSimQueries().front();
+        spec.indexTuples = 512 * 1024;
+        spec.probes = 40000;
+        spec.hash = kind;
+        spec.keyKind = vk;
+        wl::DssDataset data(spec);
+        cpu::ProbeRunConfig cfg;
+        cpu::CoreResult ooo =
+            cpu::runProbeLoop(*data.index, *data.probeKeys, cfg);
+        accel::OffloadSpec off;
+        off.index = data.index.get();
+        off.probeKeys = data.probeKeys.get();
+        off.outBase = data.outBase();
+        accel::EngineConfig ecfg;
+        ecfg.numWalkers = 4;
+        accel::EngineResult wx = accel::runOffload(off, ecfg);
+        return ooo.cyclesPerTuple / wx.cyclesPerTuple;
+    };
+    double cheap = speedup(wl::HashKind::Kernel, db::ValueKind::U64);
+    double costly =
+        speedup(wl::HashKind::DoubleKey, db::ValueKind::F64);
+    EXPECT_GT(costly, cheap);
+}
+
+TEST(Integration, EnergyShapeMatchesFigure11)
+{
+    wl::KernelDataset data(miniLarge());
+    cpu::ProbeRunConfig cfg;
+    cpu::CoreResult ooo =
+        cpu::runProbeLoop(*data.index, *data.probeKeys, cfg);
+    cfg.core = cpu::CoreParams::inorder();
+    cpu::CoreResult io =
+        cpu::runProbeLoop(*data.index, *data.probeKeys, cfg);
+    double w4 = widxCyclesPerTuple(data, 4);
+
+    energy::EnergyParams ep;
+    auto joules = [&](energy::Design d, double cpt) {
+        return energy::computeEnergy(ep, d, Cycle(cpt * 1e6)).joules;
+    };
+    double e_ooo = joules(energy::Design::OoO, ooo.cyclesPerTuple);
+    double e_io = joules(energy::Design::InOrder, io.cyclesPerTuple);
+    double e_wx = joules(energy::Design::WidxOnOoO, w4);
+    // Both alternatives save most of the OoO energy; Widx does so
+    // while also being the fastest.
+    EXPECT_LT(e_io, 0.3 * e_ooo);
+    EXPECT_LT(e_wx, 0.3 * e_ooo);
+    EXPECT_LT(w4, ooo.cyclesPerTuple);
+    EXPECT_LT(w4, io.cyclesPerTuple);
+}
+
+TEST(Integration, TouchExtensionHelpsLlcResidentIndexes)
+{
+    wl::KernelSize medium{"MiniMedium", 256 * 1024, 60000};
+    wl::KernelDataset data(medium);
+    double off = widxCyclesPerTuple(data, 1, false);
+    double on = widxCyclesPerTuple(data, 1, true);
+    EXPECT_LT(on, off);
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the Widx ISA: Table 1 legality, instruction
+ * encode/decode round trips (property-style over all opcodes and
+ * field values), and program validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+using namespace widx;
+using namespace widx::isa;
+
+TEST(Isa, OpcodeNamesRoundTrip)
+{
+    for (unsigned i = 0; i < unsigned(Opcode::NumOpcodes); ++i) {
+        Opcode op = Opcode(i);
+        EXPECT_EQ(opcodeFromName(opcodeName(op)), op);
+    }
+    EXPECT_EQ(opcodeFromName("bogus"), Opcode::NumOpcodes);
+}
+
+TEST(Isa, Table1Legality)
+{
+    // ST is producer-only.
+    EXPECT_FALSE(legalFor(Opcode::ST, UnitKind::Dispatcher));
+    EXPECT_FALSE(legalFor(Opcode::ST, UnitKind::Walker));
+    EXPECT_TRUE(legalFor(Opcode::ST, UnitKind::Producer));
+    // ADD-SHF: dispatcher and walker.
+    EXPECT_TRUE(legalFor(Opcode::ADD_SHF, UnitKind::Dispatcher));
+    EXPECT_TRUE(legalFor(Opcode::ADD_SHF, UnitKind::Walker));
+    EXPECT_FALSE(legalFor(Opcode::ADD_SHF, UnitKind::Producer));
+    // AND-SHF / XOR-SHF: dispatcher only.
+    for (Opcode op : {Opcode::AND_SHF, Opcode::XOR_SHF}) {
+        EXPECT_TRUE(legalFor(op, UnitKind::Dispatcher));
+        EXPECT_FALSE(legalFor(op, UnitKind::Walker));
+        EXPECT_FALSE(legalFor(op, UnitKind::Producer));
+    }
+    // Core RISC ops are universal.
+    for (Opcode op : {Opcode::ADD, Opcode::AND, Opcode::BA,
+                      Opcode::BLE, Opcode::CMP, Opcode::CMP_LE,
+                      Opcode::LD, Opcode::SHL, Opcode::SHR,
+                      Opcode::TOUCH, Opcode::XOR}) {
+        for (UnitKind u : {UnitKind::Dispatcher, UnitKind::Walker,
+                           UnitKind::Producer})
+            EXPECT_TRUE(legalFor(op, u))
+                << opcodeName(op) << " on " << unitKindName(u);
+    }
+}
+
+TEST(Isa, BranchAndMemoryClassification)
+{
+    EXPECT_TRUE(isBranch(Opcode::BA));
+    EXPECT_TRUE(isBranch(Opcode::BLE));
+    EXPECT_FALSE(isBranch(Opcode::ADD));
+    EXPECT_TRUE(isMemory(Opcode::LD));
+    EXPECT_TRUE(isMemory(Opcode::ST));
+    EXPECT_TRUE(isMemory(Opcode::TOUCH));
+    EXPECT_FALSE(isMemory(Opcode::XOR));
+}
+
+/** Property: encode/decode is the identity for every opcode across a
+ *  grid of field values. */
+class EncodeRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EncodeRoundTrip, AllFieldsSurvive)
+{
+    const Opcode op = Opcode(GetParam());
+    for (u8 rd : {0, 1, 15, 31}) {
+        for (u8 ra : {0, 7, 30}) {
+            for (u8 shamt : {0, 13, 63}) {
+                for (i16 imm : {i16(0), i16(42), i16(-8),
+                                i16(32767)}) {
+                    Instruction inst;
+                    inst.op = op;
+                    inst.rd = rd;
+                    inst.ra = ra;
+                    inst.rb = u8(31 - ra);
+                    inst.shamt = shamt;
+                    inst.sdir = shamt & 1 ? ShiftDir::Lsr
+                                          : ShiftDir::Lsl;
+                    inst.imm = imm;
+                    EXPECT_EQ(Instruction::decode(inst.encode()),
+                              inst);
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, EncodeRoundTrip,
+    ::testing::Range(0u, unsigned(Opcode::NumOpcodes)));
+
+TEST(Instruction, ToStringFormats)
+{
+    EXPECT_EQ(Instruction::alu(Opcode::ADD, 1, 2, 3).toString(),
+              "add     r1, r2, r3");
+    EXPECT_EQ(Instruction::load(4, 5, -8).toString(),
+              "ld      r4, [r5 + -8]");
+    EXPECT_EQ(Instruction::fused(Opcode::XOR_SHF, 6, 7, 8,
+                                 ShiftDir::Lsr, 33)
+                  .toString(),
+              "xorshf  r6, r7, r8, lsr #33");
+}
+
+TEST(Program, ValidateCatchesIllegalOpcode)
+{
+    Program p("bad", UnitKind::Walker);
+    p.append(Instruction::store(1, 0, 2)); // ST illegal on walker
+    std::string err;
+    EXPECT_FALSE(p.validate(err));
+    EXPECT_NE(err.find("st"), std::string::npos);
+    p.setRelaxedLegality(true);
+    EXPECT_TRUE(p.validate(err));
+}
+
+TEST(Program, ValidateCatchesBadBranchTarget)
+{
+    Program p("bad", UnitKind::Producer);
+    p.append(Instruction::branchAlways(5)); // size 1, target 5
+    std::string err;
+    EXPECT_FALSE(p.validate(err));
+}
+
+TEST(Program, BranchToHaltAddressIsValid)
+{
+    Program p("ok", UnitKind::Producer);
+    p.append(Instruction::branchAlways(1)); // one past the end
+    std::string err;
+    EXPECT_TRUE(p.validate(err)) << err;
+}
+
+TEST(Program, ValidateCatchesWriteToZeroRegister)
+{
+    Program p("bad", UnitKind::Dispatcher);
+    p.append(Instruction::alu(Opcode::ADD, 0, 1, 2));
+    std::string err;
+    EXPECT_FALSE(p.validate(err));
+    EXPECT_NE(err.find("r0"), std::string::npos);
+}
+
+TEST(Program, RegisterImageAndCounts)
+{
+    Program p("prog", UnitKind::Dispatcher);
+    p.setReg(5, 0xDEADull);
+    EXPECT_EQ(p.reg(5), 0xDEADull);
+    p.append(Instruction::alu(Opcode::ADD, 1, 2, 3));
+    p.append(Instruction::alu(Opcode::ADD, 1, 1, 3));
+    p.append(Instruction::load(2, 1, 0));
+    EXPECT_EQ(p.countOpcode(Opcode::ADD), 2u);
+    EXPECT_EQ(p.countOpcode(Opcode::LD), 1u);
+    EXPECT_EQ(p.size(), 3u);
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the Section 3.2 analytical model: the equations'
+ * monotonicity/limit properties and the paper's headline claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/analytical.hh"
+
+using namespace widx;
+using namespace widx::model;
+
+TEST(Model, HashCyclesIndependentOfWalkMissRatio)
+{
+    ModelParams p;
+    EXPECT_GT(hashCycles(p), p.hashCompCycles);
+}
+
+TEST(Model, WalkCyclesGrowWithMissRatio)
+{
+    ModelParams p;
+    double prev = 0.0;
+    for (double m = 0.0; m <= 1.0; m += 0.1) {
+        double c = walkNodeCycles(p, m);
+        EXPECT_GT(c, prev);
+        prev = c;
+    }
+    EXPECT_NEAR(walkNodeCycles(p, 1.0) - walkNodeCycles(p, 0.0),
+                p.memLatency, 1e-9);
+}
+
+TEST(Model, MemOpsPerCycleLinearInWalkers)
+{
+    ModelParams p;
+    double one = memOpsPerCycle(p, 0.3, 1);
+    for (unsigned n = 2; n <= 10; ++n)
+        EXPECT_NEAR(memOpsPerCycle(p, 0.3, n), n * one, 1e-9);
+}
+
+TEST(Model, MemOpsPerCycleDecreasesWithMissRatio)
+{
+    ModelParams p;
+    EXPECT_GT(memOpsPerCycle(p, 0.0, 8), memOpsPerCycle(p, 1.0, 8));
+}
+
+TEST(Model, Figure4bOutstandingMissesAreTwoPerWalker)
+{
+    ModelParams p;
+    for (unsigned n = 1; n <= 10; ++n)
+        EXPECT_DOUBLE_EQ(outstandingMisses(p, n), 2.0 * n);
+}
+
+TEST(Model, MshrLimitMatchesPaper)
+{
+    // "Assuming 8 to 10 MSHRs..., the number of concurrent walkers
+    // is limited to four or five."
+    ModelParams p8;
+    p8.mshrs = 8;
+    EXPECT_EQ(maxWalkersByMshrs(p8), 4u);
+    ModelParams p10;
+    p10.mshrs = 10;
+    EXPECT_EQ(maxWalkersByMshrs(p10), 5u);
+}
+
+TEST(Model, L1PortLimitMatchesPaper)
+{
+    // "a single-ported L1-D becomes the bottleneck for more than six
+    // walkers ... a two-ported L1-D can comfortably support 10."
+    ModelParams one_port;
+    one_port.l1Ports = 1.0;
+    unsigned max1 = maxWalkersByL1Bandwidth(one_port, 0.1);
+    EXPECT_GE(max1, 5u);
+    EXPECT_LE(max1, 7u);
+    ModelParams two_ports;
+    EXPECT_GE(maxWalkersByL1Bandwidth(two_ports, 0.1), 10u);
+}
+
+TEST(Model, WalkersPerMcMatchesPaperAnchors)
+{
+    ModelParams p;
+    // Low miss ratio: ~8 walkers per MC; high: ~4-5.
+    EXPECT_NEAR(walkersPerMc(p, 0.1), 8.0, 1.5);
+    EXPECT_NEAR(walkersPerMc(p, 1.0), 4.75, 1.0);
+    // Monotone decreasing.
+    EXPECT_GT(walkersPerMc(p, 0.1), walkersPerMc(p, 0.9));
+}
+
+TEST(Model, UtilizationCappedAtOne)
+{
+    ModelParams p;
+    for (double m = 0.0; m <= 1.0; m += 0.25)
+        for (unsigned n : {2u, 4u, 8u})
+            for (double nodes : {1.0, 2.0, 3.0}) {
+                double u = walkerUtilization(p, m, n, nodes);
+                EXPECT_GE(u, 0.0);
+                EXPECT_LE(u, 1.0);
+            }
+}
+
+TEST(Model, UtilizationShapeMatchesFigure5)
+{
+    ModelParams p;
+    // More walkers -> lower utilization at fixed miss ratio.
+    EXPECT_GT(walkerUtilization(p, 0.0, 2, 1.0),
+              walkerUtilization(p, 0.0, 8, 1.0));
+    // Deeper buckets -> higher utilization.
+    EXPECT_GT(walkerUtilization(p, 0.0, 4, 3.0),
+              walkerUtilization(p, 0.0, 4, 1.0));
+    // Higher miss ratio -> higher utilization (walkers stall more).
+    EXPECT_GT(walkerUtilization(p, 0.8, 4, 1.0),
+              walkerUtilization(p, 0.0, 4, 1.0));
+    // The paper's summary: one dispatcher feeds four walkers except
+    // for very shallow buckets with low miss ratios.
+    EXPECT_LT(walkerUtilization(p, 0.0, 4, 1.0), 0.6);
+    EXPECT_NEAR(walkerUtilization(p, 0.5, 4, 2.0), 1.0, 0.01);
+}
+
+TEST(Model, McBlocksPerCycleFromBandwidth)
+{
+    ModelParams p;
+    // 9 GB/s effective / 64 B / 2 GHz ~ 0.07 blocks per cycle.
+    EXPECT_NEAR(p.mcBlocksPerCycle(), 0.0703, 0.001);
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the software walkers: all probers must produce the exact
+ * match multiset of the scalar reference, across widths, group sizes,
+ * layouts, and key distributions (parameterized property suite).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/arena.hh"
+#include "common/rng.hh"
+#include "swwalkers/coro.hh"
+#include "swwalkers/probers.hh"
+#include "workload/distributions.hh"
+
+using namespace widx;
+using namespace widx::sw;
+
+namespace {
+
+struct Dataset
+{
+    Arena arena;
+    std::unique_ptr<db::HashIndex> index;
+    std::vector<u64> keys;
+
+    Dataset(u64 tuples, u64 probes, bool indirect, double zipf_theta,
+            u64 seed)
+    {
+        Rng rng(seed);
+        auto build = std::make_unique<db::Column>(
+            "b", db::ValueKind::U64, arena, tuples);
+        for (u64 k : wl::uniformKeys(tuples, tuples / 2 + 1, rng))
+            build->push(k); // duplicates on purpose
+        db::IndexSpec spec;
+        spec.buckets = tuples / 2;
+        spec.indirectKeys = indirect;
+        index = std::make_unique<db::HashIndex>(spec, arena);
+        index->buildFromColumn(*build);
+        buildKeep = std::move(build);
+        keys = zipf_theta > 0.0
+                   ? wl::zipfKeys(probes, tuples / 2 + 1, zipf_theta,
+                                  rng)
+                   : wl::uniformKeys(probes, tuples / 2 + 1, rng);
+    }
+
+    std::unique_ptr<db::Column> buildKeep;
+};
+
+using Matches = std::multiset<std::pair<u64, u64>>;
+
+void
+collect(u64 key, u64 payload, void *ctx)
+{
+    static_cast<Matches *>(ctx)->insert({key, payload});
+}
+
+} // namespace
+
+struct ProberCase
+{
+    bool indirect;
+    double zipf;
+    unsigned width;
+};
+
+class ProberEquivalence
+    : public ::testing::TestWithParam<ProberCase>
+{
+};
+
+TEST_P(ProberEquivalence, AllSchedulesAgreeWithScalar)
+{
+    const ProberCase &c = GetParam();
+    Dataset d(2000, 5000, c.indirect, c.zipf, 42 + c.width);
+
+    Matches ref;
+    ScalarProber scalar(*d.index);
+    u64 n_ref = scalar.probeAll(d.keys, collect, &ref);
+    EXPECT_EQ(n_ref, ref.size());
+
+    Matches gp;
+    GroupPrefetchProber group(*d.index, c.width);
+    EXPECT_EQ(group.probeAll(d.keys, collect, &gp), n_ref);
+    EXPECT_EQ(gp, ref);
+
+    Matches am;
+    AmacProber amac(*d.index, c.width);
+    EXPECT_EQ(amac.probeAll(d.keys, collect, &am), n_ref);
+    EXPECT_EQ(am, ref);
+
+    Matches co;
+    CoroProber coro(*d.index, c.width);
+    EXPECT_EQ(coro.probeAll(d.keys, collect, &co), n_ref);
+    EXPECT_EQ(co, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProberEquivalence,
+    ::testing::Values(ProberCase{false, 0.0, 1},
+                      ProberCase{false, 0.0, 4},
+                      ProberCase{false, 0.0, 16},
+                      ProberCase{true, 0.0, 4},
+                      ProberCase{true, 0.0, 8},
+                      ProberCase{false, 0.8, 4},
+                      ProberCase{true, 0.8, 7}));
+
+TEST(Probers, EmptyKeySetYieldsNoMatches)
+{
+    Dataset d(100, 0, false, 0.0, 1);
+    ScalarProber scalar(*d.index);
+    AmacProber amac(*d.index, 4);
+    CoroProber coro(*d.index, 4);
+    EXPECT_EQ(scalar.probeAll(d.keys, nullptr, nullptr), 0u);
+    EXPECT_EQ(amac.probeAll(d.keys, nullptr, nullptr), 0u);
+    EXPECT_EQ(coro.probeAll(d.keys, nullptr, nullptr), 0u);
+}
+
+TEST(Probers, WidthLargerThanKeyCount)
+{
+    Dataset d(64, 3, false, 0.0, 2);
+    ScalarProber scalar(*d.index);
+    u64 ref = scalar.probeAll(d.keys, nullptr, nullptr);
+    AmacProber amac(*d.index, 32);
+    CoroProber coro(*d.index, 32);
+    GroupPrefetchProber gp(*d.index, 32);
+    EXPECT_EQ(amac.probeAll(d.keys, nullptr, nullptr), ref);
+    EXPECT_EQ(coro.probeAll(d.keys, nullptr, nullptr), ref);
+    EXPECT_EQ(gp.probeAll(d.keys, nullptr, nullptr), ref);
+}
+
+TEST(Probers, MissingKeysProduceNoMatches)
+{
+    Arena arena;
+    db::Column build("b", db::ValueKind::U64, arena, 100);
+    for (u64 i = 1; i <= 100; ++i)
+        build.push(i);
+    db::IndexSpec spec;
+    spec.buckets = 128;
+    db::HashIndex idx(spec, arena);
+    idx.buildFromColumn(build);
+    std::vector<u64> misses;
+    for (u64 i = 1000; i < 1100; ++i)
+        misses.push_back(i);
+    EXPECT_EQ(ScalarProber(idx).probeAll(misses, nullptr, nullptr),
+              0u);
+    EXPECT_EQ(AmacProber(idx, 4).probeAll(misses, nullptr, nullptr),
+              0u);
+    EXPECT_EQ(CoroProber(idx, 4).probeAll(misses, nullptr, nullptr),
+              0u);
+}

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the Widx unit interpreter: functional semantics of every
+ * opcode, queue-register behaviour, timing attribution, halting, and
+ * the control-block round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/control_block.hh"
+#include "accel/unit.hh"
+#include "db/value.hh"
+#include "isa/assembler.hh"
+
+using namespace widx;
+using namespace widx::accel;
+using isa::Opcode;
+using isa::UnitKind;
+
+namespace {
+
+/** Run a walker-context program to completion; return total cycles. */
+Cycle
+runToHalt(Unit &unit, Cycle max_cycles = 100000)
+{
+    Cycle now = 0;
+    while (!unit.halted() && now < max_cycles) {
+        unit.tick(now);
+        ++now;
+    }
+    EXPECT_TRUE(unit.halted()) << "program did not halt";
+    return now;
+}
+
+} // namespace
+
+TEST(Unit, AluSemantics)
+{
+    isa::Program p = isa::assembleOrDie(
+        "alu", UnitKind::Dispatcher,
+        "add r10, r1, r2\n"
+        "xor r11, r1, r2\n"
+        "and r12, r1, r2\n"
+        "cmp r13, r1, r1\n"
+        "cmp r14, r1, r2\n"
+        "cmple r15, r2, r1\n"
+        "shl r16, r1, #4\n"
+        "shr r17, r1, #4\n"
+        "addshf r18, r1, r2, lsl #2\n"
+        "xorshf r19, r1, r1, lsr #8\n"
+        "andshf r20, r1, r2, lsl #1\n");
+    p.setReg(1, 0xF0F0);
+    p.setReg(2, 0x0FF0);
+
+    sim::MemSystem mem;
+    Unit u("u", p, mem, nullptr, nullptr);
+    runToHalt(u);
+
+    EXPECT_EQ(u.reg(10), 0xF0F0u + 0x0FF0u);
+    EXPECT_EQ(u.reg(11), 0xF0F0ull ^ 0x0FF0ull);
+    EXPECT_EQ(u.reg(12), 0xF0F0ull & 0x0FF0ull);
+    EXPECT_EQ(u.reg(13), 1u);
+    EXPECT_EQ(u.reg(14), 0u);
+    EXPECT_EQ(u.reg(15), 1u); // 0x0FF0 <= 0xF0F0
+    EXPECT_EQ(u.reg(16), 0xF0F0ull << 4);
+    EXPECT_EQ(u.reg(17), 0xF0F0ull >> 4);
+    EXPECT_EQ(u.reg(18), 0xF0F0ull + (0x0FF0ull << 2));
+    EXPECT_EQ(u.reg(19), 0xF0F0ull ^ (0xF0F0ull >> 8));
+    EXPECT_EQ(u.reg(20), 0xF0F0ull & (0x0FF0ull << 1));
+}
+
+TEST(Unit, ZeroRegisterReadsAsZero)
+{
+    isa::Program p = isa::assembleOrDie("z", UnitKind::Dispatcher,
+                                        "add r10, zero, r1\n");
+    p.setReg(1, 77);
+    sim::MemSystem mem;
+    Unit u("u", p, mem, nullptr, nullptr);
+    runToHalt(u);
+    EXPECT_EQ(u.reg(10), 77u);
+}
+
+TEST(Unit, LoadAndStoreTouchHostMemory)
+{
+    u64 data[4] = {11, 22, 33, 0};
+    isa::Program p = isa::assembleOrDie(
+        "mem", UnitKind::Producer,
+        "ld r10, [r1 + 0]\n"
+        "ld r11, [r1 + 8]\n"
+        "add r12, r10, r11\n"
+        "st [r1 + 24], r12\n");
+    p.setReg(1, Addr(reinterpret_cast<std::uintptr_t>(data)));
+    sim::MemSystem mem;
+    Unit u("u", p, mem, nullptr, nullptr);
+    runToHalt(u);
+    EXPECT_EQ(data[3], 33u);
+    EXPECT_EQ(u.loadsExecuted(), 2u);
+    EXPECT_EQ(u.storesExecuted(), 1u);
+}
+
+TEST(Unit, BranchLoopAndHalt)
+{
+    // Count r10 from 0 to 5.
+    isa::Program p = isa::assembleOrDie(
+        "loop", UnitKind::Dispatcher,
+        "loop:\n"
+        "    add r10, r10, r1\n"
+        "    ble r10, r2, loop\n"); // while r10 <= 5
+    p.setReg(1, 1);
+    p.setReg(2, 5);
+    sim::MemSystem mem;
+    Unit u("u", p, mem, nullptr, nullptr);
+    runToHalt(u);
+    EXPECT_EQ(u.reg(10), 6u);
+}
+
+TEST(Unit, TakenBranchCostsBubble)
+{
+    // Two straight ALU ops vs ALU + taken branch + ALU.
+    isa::Program straight = isa::assembleOrDie(
+        "s", UnitKind::Dispatcher,
+        "add r10, r10, r1\nadd r10, r10, r1\n");
+    isa::Program branchy = isa::assembleOrDie(
+        "b", UnitKind::Dispatcher,
+        "add r10, r10, r1\nba next\nnext:\nadd r10, r10, r1\n");
+    straight.setReg(1, 1);
+    branchy.setReg(1, 1);
+    sim::MemSystem m1, m2;
+    Unit u1("u1", straight, m1, nullptr, nullptr);
+    Unit u2("u2", branchy, m2, nullptr, nullptr);
+    runToHalt(u1);
+    runToHalt(u2);
+    EXPECT_EQ(u1.breakdown().comp + 0, 2u);
+    EXPECT_EQ(u2.breakdown().comp, 4u); // 1 + (2: taken) + 1
+}
+
+TEST(Unit, QueuePopLatchesAndPushes)
+{
+    DirectQueue in(4), out(4);
+    in.push({100, 200});
+    in.push({300, 400});
+    in.push({db::kEmptyKey, 0});
+
+    // Pop; re-stage {w0+1, w1+2}; push; loop until sentinel.
+    isa::Program p = isa::assembleOrDie(
+        "q", UnitKind::Walker,
+        "loop:\n"
+        "    cmp r12, r30, r2\n"   // pop; null check
+        "    ble r3, r12, halt\n"
+        "    add r10, r29, r4\n"   // latched w0 + 1
+        "    add r11, r31, r5\n"   // latched w1 + 2
+        "    add r30, r10, zero\n" // stage
+        "    add r31, r11, zero\n" // push
+        "    ba loop\n");
+    p.setReg(2, db::kEmptyKey);
+    p.setReg(3, 1);
+    p.setReg(4, 1);
+    p.setReg(5, 2);
+
+    sim::MemSystem mem;
+    Unit u("u", p, mem, &in, &out);
+    runToHalt(u);
+    EXPECT_EQ(u.entriesPopped(), 3u);
+    EXPECT_EQ(u.entriesPushed(), 2u);
+    QueueEntry e1 = out.pop();
+    QueueEntry e2 = out.pop();
+    EXPECT_EQ(e1.w0, 101u);
+    EXPECT_EQ(e1.w1, 202u);
+    EXPECT_EQ(e2.w0, 301u);
+    EXPECT_EQ(e2.w1, 402u);
+}
+
+TEST(Unit, EmptyQueueStallsAsIdle)
+{
+    DirectQueue in(2);
+    isa::Program p = isa::assembleOrDie(
+        "idle", UnitKind::Walker, "add r10, r30, zero\n");
+    sim::MemSystem mem;
+    Unit u("u", p, mem, &in, nullptr);
+    for (Cycle c = 0; c < 50; ++c)
+        u.tick(c);
+    EXPECT_FALSE(u.halted());
+    EXPECT_EQ(u.breakdown().idle, 50u);
+    in.push({9, 9});
+    u.tick(50);
+    u.tick(51);
+    EXPECT_EQ(u.reg(10), 9u);
+}
+
+TEST(Unit, FullOutputQueueStallsAsBackpressure)
+{
+    DirectQueue out(1);
+    out.push({0, 0}); // already full
+    isa::Program p = isa::assembleOrDie(
+        "bp", UnitKind::Walker, "add r31, r1, zero\n");
+    p.setReg(1, 5);
+    sim::MemSystem mem;
+    Unit u("u", p, mem, nullptr, &out);
+    for (Cycle c = 0; c < 20; ++c)
+        u.tick(c);
+    EXPECT_EQ(u.breakdown().backpressure, 20u);
+    out.pop();
+    u.tick(20);
+    EXPECT_EQ(out.pop().w1, 5u);
+}
+
+TEST(Unit, LoadStallAttributedToMem)
+{
+    u64 cell = 42;
+    isa::Program p = isa::assembleOrDie(
+        "ld", UnitKind::Walker, "ld r10, [r1 + 0]\n");
+    p.setReg(1, Addr(reinterpret_cast<std::uintptr_t>(&cell)));
+    sim::MemSystem mem;
+    Unit u("u", p, mem, nullptr, nullptr);
+    Cycle total = runToHalt(u);
+    EXPECT_EQ(u.reg(10), 42u);
+    // Cold access: DRAM latency dominates, attributed to Mem + TLB.
+    EXPECT_GT(u.breakdown().mem, mem.params().dramLatency / 2);
+    EXPECT_GT(u.breakdown().tlb, 0u);
+    EXPECT_GE(total, u.breakdown().total());
+}
+
+TEST(Unit, RestartResetsArchitecturalState)
+{
+    isa::Program p = isa::assembleOrDie(
+        "r", UnitKind::Dispatcher, "add r10, r10, r1\n");
+    p.setReg(1, 7);
+    sim::MemSystem mem;
+    Unit u("u", p, mem, nullptr, nullptr);
+    runToHalt(u);
+    EXPECT_EQ(u.reg(10), 7u);
+    u.restart();
+    EXPECT_FALSE(u.halted());
+    EXPECT_EQ(u.reg(10), 0u);
+    runToHalt(u);
+    EXPECT_EQ(u.reg(10), 7u);
+}
+
+TEST(ControlBlock, EncodeDecodeRoundTrip)
+{
+    isa::Program d = isa::assembleOrDie(
+        "d", UnitKind::Dispatcher,
+        "loop: ld r21, [r1 + 0]\nxorshf r20, r21, r21, lsr #33\n"
+        "ba loop\n");
+    d.setReg(1, 0x1234);
+    isa::Program w = isa::assembleOrDie(
+        "w", UnitKind::Walker, "cmp r12, r30, r2\nble r3, r12, halt\n"
+                               "ba halt\n");
+    w.setReg(2, ~0ull);
+
+    std::vector<u64> words = encodeControlBlock({d, w});
+    std::vector<isa::Program> decoded;
+    std::string err;
+    ASSERT_TRUE(decodeControlBlock(words, err, decoded)) << err;
+    ASSERT_EQ(decoded.size(), 2u);
+    EXPECT_EQ(decoded[0].unit(), UnitKind::Dispatcher);
+    EXPECT_EQ(decoded[0].size(), d.size());
+    EXPECT_EQ(decoded[0].reg(1), 0x1234u);
+    EXPECT_EQ(decoded[1].reg(2), ~0ull);
+    for (unsigned i = 0; i < d.size(); ++i)
+        EXPECT_EQ(decoded[0].at(i), d.at(i));
+}
+
+TEST(ControlBlock, RejectsCorruptImages)
+{
+    std::vector<isa::Program> out;
+    std::string err;
+    EXPECT_FALSE(decodeControlBlock({}, err, out));
+    EXPECT_FALSE(decodeControlBlock({0xBAD, 1}, err, out));
+
+    isa::Program d("d", UnitKind::Dispatcher);
+    d.append(isa::Instruction::alu(Opcode::ADD, 1, 2, 3));
+    std::vector<u64> words = encodeControlBlock({d});
+    words.pop_back(); // truncate
+    EXPECT_FALSE(decodeControlBlock(words, err, out));
+    EXPECT_NE(err.find("truncated"), std::string::npos);
+}
