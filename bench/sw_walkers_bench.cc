@@ -8,11 +8,24 @@
  * AMAC, coroutines) overlap cache misses across probes — the same
  * inter-key parallelism Widx exploits with hardware walkers — and
  * beat the scalar Listing 1 loop by integer factors on real hardware.
+ *
+ * Every prober is measured in pipeline variants: inline vs batched
+ * dispatch (arg "batch": 0 = hash each key right before its walk,
+ * >0 = vector-hash a whole batch first) and untagged vs tagged
+ * buckets (arg "tag"). A miss-heavy key set isolates the tag
+ * filter's one-byte reject.
+ *
+ * Results are also written to BENCH_sw_walkers.json (benchmark's
+ * JSON format) unless --benchmark_out is given explicitly, so CI can
+ * track the throughput trajectory.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/arena.hh"
 #include "common/rng.hh"
@@ -24,12 +37,13 @@ using namespace widx;
 
 namespace {
 
-/** Shared DRAM-resident dataset (built once). */
+/** Shared dataset (built once per size). */
 struct Dataset
 {
     Arena arena;
     std::unique_ptr<db::HashIndex> index;
-    std::vector<u64> keys;
+    std::vector<u64> keys;     ///< uniform hits
+    std::vector<u64> missKeys; ///< keys absent from the index
 
     explicit Dataset(u64 tuples)
     {
@@ -43,6 +57,9 @@ struct Dataset
         index = std::make_unique<db::HashIndex>(spec, arena);
         index->buildFromColumn(build);
         keys = wl::uniformKeys(1u << 20, tuples, rng);
+        missKeys = wl::uniformKeys(1u << 20, tuples, rng);
+        for (u64 &k : missKeys)
+            k += tuples; // dense build keys live in [0, tuples)
     }
 };
 
@@ -60,63 +77,159 @@ small()
     return d;
 }
 
+/** Items/s = probed keys/s of the dataset actually used. */
 void
-reportTuples(benchmark::State &state, u64 matches)
+reportTuples(benchmark::State &state, const std::vector<u64> &keys,
+             u64 matches)
 {
     state.SetItemsProcessed(i64(state.iterations()) *
-                            i64(large().keys.size()));
+                            i64(keys.size()));
     benchmark::DoNotOptimize(matches);
+}
+
+sw::PipelineConfig
+cfgFromArgs(const benchmark::State &state, int batch_arg,
+            int tag_arg)
+{
+    return {.batch = unsigned(state.range(batch_arg)),
+            .tagged = state.range(tag_arg) != 0};
 }
 
 } // namespace
 
+// Args: dataset (0 small / 1 large), batch (0 = inline), tag.
 static void
 BM_Scalar(benchmark::State &state)
 {
     Dataset &d = state.range(0) ? large() : small();
-    sw::ScalarProber prober(*d.index);
+    sw::ScalarProber prober(*d.index, cfgFromArgs(state, 1, 2));
     u64 matches = 0;
     for (auto _ : state)
-        matches = prober.probeAll(d.keys, nullptr, nullptr);
-    reportTuples(state, matches);
+        matches = prober.probeAll(d.keys);
+    reportTuples(state, d.keys, matches);
 }
-BENCHMARK(BM_Scalar)->Arg(0)->Arg(1);
+BENCHMARK(BM_Scalar)
+    ->ArgNames({"large", "batch", "tag"})
+    ->Args({0, 0, 0})
+    ->Args({0, 64, 1})
+    ->Args({1, 0, 0})  // the Listing 1 baseline
+    ->Args({1, 0, 1})  // tagged layout, inline schedule
+    ->Args({1, 64, 0}) // batched dispatch, no tags
+    ->Args({1, 64, 1}); // full pipeline
 
+// Args: group size, tag. (The group is the dispatcher batch.)
 static void
 BM_GroupPrefetch(benchmark::State &state)
 {
     Dataset &d = large();
+    sw::PipelineConfig cfg{.tagged = state.range(1) != 0};
     sw::GroupPrefetchProber prober(*d.index,
-                                   unsigned(state.range(0)));
+                                   unsigned(state.range(0)), cfg);
     u64 matches = 0;
     for (auto _ : state)
-        matches = prober.probeAll(d.keys, nullptr, nullptr);
-    reportTuples(state, matches);
+        matches = prober.probeAll(d.keys);
+    reportTuples(state, d.keys, matches);
 }
-BENCHMARK(BM_GroupPrefetch)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_GroupPrefetch)
+    ->ArgNames({"G", "tag"})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({32, 1});
 
+// Args: width, batch, tag.
 static void
 BM_Amac(benchmark::State &state)
 {
     Dataset &d = large();
-    sw::AmacProber prober(*d.index, unsigned(state.range(0)));
+    sw::AmacProber prober(*d.index, unsigned(state.range(0)),
+                          cfgFromArgs(state, 1, 2));
     u64 matches = 0;
     for (auto _ : state)
-        matches = prober.probeAll(d.keys, nullptr, nullptr);
-    reportTuples(state, matches);
+        matches = prober.probeAll(d.keys);
+    reportTuples(state, d.keys, matches);
 }
-BENCHMARK(BM_Amac)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_Amac)
+    ->ArgNames({"W", "batch", "tag"})
+    ->Args({2, 64, 1})
+    ->Args({4, 64, 1})
+    ->Args({8, 0, 1})  // interleaved walks, inline hashing
+    ->Args({8, 64, 0}) // batched dispatch, no tags
+    ->Args({8, 64, 1}) // the headline configuration
+    ->Args({16, 64, 1});
 
+// Args: width, batch, tag.
 static void
 BM_Coro(benchmark::State &state)
 {
     Dataset &d = large();
-    sw::CoroProber prober(*d.index, unsigned(state.range(0)));
+    sw::CoroProber prober(*d.index, unsigned(state.range(0)),
+                          cfgFromArgs(state, 1, 2));
     u64 matches = 0;
     for (auto _ : state)
-        matches = prober.probeAll(d.keys, nullptr, nullptr);
-    reportTuples(state, matches);
+        matches = prober.probeAll(d.keys);
+    reportTuples(state, d.keys, matches);
 }
-BENCHMARK(BM_Coro)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_Coro)
+    ->ArgNames({"W", "batch", "tag"})
+    ->Args({4, 64, 1})
+    ->Args({8, 64, 1})
+    ->Args({16, 64, 1});
 
-BENCHMARK_MAIN();
+// Tag-filter isolation: every probe misses; the tagged pipeline
+// rejects on the byte array without ever touching a bucket line.
+// Args: tag.
+static void
+BM_ScalarMisses(benchmark::State &state)
+{
+    Dataset &d = large();
+    sw::PipelineConfig cfg{.batch = 64,
+                           .tagged = state.range(0) != 0};
+    sw::ScalarProber prober(*d.index, cfg);
+    u64 matches = 0;
+    for (auto _ : state)
+        matches = prober.probeAll(d.missKeys);
+    reportTuples(state, d.missKeys, matches);
+}
+BENCHMARK(BM_ScalarMisses)->ArgNames({"tag"})->Arg(0)->Arg(1);
+
+static void
+BM_AmacMisses(benchmark::State &state)
+{
+    Dataset &d = large();
+    sw::PipelineConfig cfg{.batch = 64,
+                           .tagged = state.range(0) != 0};
+    sw::AmacProber prober(*d.index, 8, cfg);
+    u64 matches = 0;
+    for (auto _ : state)
+        matches = prober.probeAll(d.missKeys);
+    reportTuples(state, d.missKeys, matches);
+}
+BENCHMARK(BM_AmacMisses)->ArgNames({"tag"})->Arg(0)->Arg(1);
+
+/** BENCHMARK_MAIN, plus a default JSON results file so the perf
+ *  trajectory is machine-readable from every run. */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    std::string out = "--benchmark_out=BENCH_sw_walkers.json";
+    std::string fmt = "--benchmark_out_format=json";
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--benchmark_out") == 0 ||
+            std::strncmp(argv[i], "--benchmark_out=", 16) == 0)
+            has_out = true;
+    if (!has_out) {
+        args.push_back(out.data());
+        args.push_back(fmt.data());
+    }
+    int n = int(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -34,7 +34,7 @@ run(const char *name, const Prober &prober,
     const std::vector<u64> &keys, u64 expected, double base_mts)
 {
     auto start = std::chrono::steady_clock::now();
-    u64 matches = prober.probeAll(keys, nullptr, nullptr);
+    u64 matches = prober.probeAll(keys);
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();
@@ -67,12 +67,13 @@ main()
 
     std::vector<u64> keys = wl::uniformKeys(probes, tuples, rng);
 
-    sw::ScalarProber scalar(index);
-    u64 expected = scalar.probeAll(keys, nullptr, nullptr);
+    // Inline, untagged Listing 1 baseline.
+    sw::ScalarProber scalar(index, {.batch = 0, .tagged = false});
+    u64 expected = scalar.probeAll(keys);
 
     // Measure the scalar baseline.
     auto start = std::chrono::steady_clock::now();
-    scalar.probeAll(keys, nullptr, nullptr);
+    scalar.probeAll(keys);
     double scalar_secs = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
@@ -81,6 +82,8 @@ main()
     std::printf("%-24s %8s %18s\n", "prober", "rate", "vs scalar");
     std::printf("%-24s %8.1f Mtuples/s  1.00x\n",
                 "scalar (Listing 1)", base);
+    run("scalar batched+tagged",
+        sw::ScalarProber(index, {}), keys, expected, base);
     run("group prefetch (G=16)",
         sw::GroupPrefetchProber(index, 16), keys, expected, base);
     run("AMAC (W=8)", sw::AmacProber(index, 8), keys, expected,

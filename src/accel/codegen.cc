@@ -16,6 +16,29 @@ using db::HashIndex;
 using db::HashShift;
 using db::HashStep;
 
+// The generated Widx programs bake these offsets into load/store
+// displacements, and the software probe pipeline's tag array is
+// deliberately out-of-band (a side array, not part of the bucket or
+// node layout). Pin the advertised geometry to the real structs so a
+// drift in either world fails at compile time rather than producing
+// programs that walk garbage.
+static_assert(offsetof(HashIndex::Node, key) ==
+                  HashIndex::kNodeKeyOffset,
+              "walker programs load keys at this displacement");
+static_assert(offsetof(HashIndex::Node, payload) ==
+                  HashIndex::kNodePayloadOffset,
+              "walker programs load payloads at this displacement");
+static_assert(offsetof(HashIndex::Node, next) ==
+                  HashIndex::kNodeNextOffset,
+              "walker programs chase next pointers at this "
+              "displacement");
+static_assert(offsetof(HashIndex::Bucket, head) ==
+                  HashIndex::kBucketHeadOffset,
+              "walker programs skip the bucket count word");
+static_assert(sizeof(HashIndex::Bucket) == HashIndex::kBucketStride,
+              "dispatcher programs scale bucket indexes by this "
+              "stride");
+
 namespace {
 
 std::string

@@ -39,6 +39,15 @@ constexpr unsigned kCacheBlockBytes = 64;
 /** Virtual-memory page size used by the TLB model. */
 constexpr unsigned kPageBytes = 4096;
 
+/** Software prefetch, read intent, high temporal locality. The hot
+ *  probe pipeline (db::HashIndex and the software walkers) leans on
+ *  this to overlap independent cache misses. */
+inline void
+prefetchRead(const void *p)
+{
+    __builtin_prefetch(p, 0, 3);
+}
+
 /** Convert an address to its cache-block address (block-aligned). */
 constexpr Addr
 blockAlign(Addr a)

@@ -1,5 +1,7 @@
 #include "cpu/trace_gen.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace widx::cpu {
@@ -28,36 +30,60 @@ ProbeTraceGen::next(Uop &out)
     while (bufPos_ >= buf_.size()) {
         if (nextRow_ >= keys_.size())
             return false;
-        genProbe(nextRow_++);
+        genGroup();
     }
     out = buf_[bufPos_++];
     return true;
 }
 
 void
-ProbeTraceGen::genProbe(RowId row)
+ProbeTraceGen::genGroup()
 {
     buf_.clear();
     bufPos_ = 0;
 
-    const u64 key = keys_.at(row);
+    // Decoupled batch dispatch: hash-phase µops for the whole group
+    // precede every walk µop, exactly like the software pipeline
+    // hashes a batch before the first bucket walk. batchGroup == 1
+    // degenerates to the classic inline interleaving (and to the
+    // exact µop stream this generator always produced).
+    const unsigned group = std::max(1u, opts_.batchGroup);
+    const RowId first = nextRow_;
+    const RowId last =
+        std::min<RowId>(first + group, keys_.size());
 
+    anchors_.clear();
+    for (RowId r = first; r < last; ++r)
+        anchors_.push_back(genHashPhase(r));
+    for (RowId r = first; r < last; ++r)
+        genWalkPhase(r, anchors_[r - first]);
+    nextRow_ = last;
+}
+
+ProbeTraceGen::HashAnchor
+ProbeTraceGen::genHashPhase(RowId row)
+{
     // Local emission helpers: dependences are expressed as backward
     // distances from the µop being appended.
-    auto emit = [&](Uop u) -> u16 {
+    auto emit = [&](Uop u) -> std::size_t {
         buf_.push_back(u);
-        return u16(buf_.size() - 1);
-    };
-    auto back = [&](u16 producer_idx) -> u16 {
-        return u16(buf_.size() - producer_idx);
+        return buf_.size() - 1;
     };
 
     // --- Hash phase ----------------------------------------------------
+    auto back = [&](std::size_t producer_idx) -> u16 {
+        const std::size_t d = buf_.size() - producer_idx;
+        fatal_if(d > 0xFFFF,
+                 "dependence distance exceeds the µop encoding "
+                 "(lower batchGroup)");
+        return u16(d);
+    };
+
     Uop key_load;
     key_load.kind = UopKind::Load;
     key_load.phase = UopPhase::Hash;
     key_load.addr = keys_.addrOf(row);
-    u16 key_idx = emit(key_load);
+    std::size_t key_idx = emit(key_load);
 
     // Loop bookkeeping (cursor increment; the loop branch is
     // perfectly predicted).
@@ -72,7 +98,7 @@ ProbeTraceGen::genProbe(RowId row)
     u8 step_lat = opts_.hashStepLatency;
     if (step_lat == 0)
         step_lat = keys_.kind() == db::ValueKind::F64 ? 7 : 2;
-    u16 prev = key_idx;
+    std::size_t prev = key_idx;
     for (unsigned s = 0; s < index_.hashFn().compOps(); ++s) {
         Uop h;
         h.kind = UopKind::Alu;
@@ -89,7 +115,28 @@ ProbeTraceGen::genProbe(RowId row)
         a.dep0 = back(prev);
         prev = emit(a);
     }
-    const u16 bucket_addr_idx = prev;
+    return {key_idx, prev};
+}
+
+void
+ProbeTraceGen::genWalkPhase(RowId row, const HashAnchor &anchor)
+{
+    const u64 key = keys_.at(row);
+
+    auto emit = [&](Uop u) -> std::size_t {
+        buf_.push_back(u);
+        return buf_.size() - 1;
+    };
+    auto back = [&](std::size_t producer_idx) -> u16 {
+        const std::size_t d = buf_.size() - producer_idx;
+        fatal_if(d > 0xFFFF,
+                 "dependence distance exceeds the µop encoding "
+                 "(lower batchGroup)");
+        return u16(d);
+    };
+
+    const std::size_t key_idx = anchor.keyIdx;
+    const std::size_t bucket_addr_idx = anchor.bucketAddrIdx;
 
     // --- Walk phase (functional traversal records real addresses) ---
     const u64 bidx = index_.bucketIndex(key);
@@ -99,7 +146,7 @@ ProbeTraceGen::genProbe(RowId row)
 
     const HashIndex::Node *node = &bucket.head;
     Addr node_addr = bucket_addr + HashIndex::kBucketHeadOffset;
-    u16 addr_producer = bucket_addr_idx;
+    std::size_t addr_producer = bucket_addr_idx;
 
     while (node) {
         // Node key load (address produced by the bucket computation
@@ -109,7 +156,7 @@ ProbeTraceGen::genProbe(RowId row)
         nk.phase = UopPhase::Walk;
         nk.addr = node_addr + HashIndex::kNodeKeyOffset;
         nk.dep0 = back(addr_producer);
-        u16 keyval_idx = emit(nk);
+        std::size_t keyval_idx = emit(nk);
 
         if (index_.indirectKeys()) {
             // Dereference the key pointer (MonetDB-style layout).
@@ -127,7 +174,7 @@ ProbeTraceGen::genProbe(RowId row)
         cmp.phase = UopPhase::Walk;
         cmp.dep0 = back(keyval_idx);
         cmp.dep1 = back(key_idx);
-        u16 cmp_idx = emit(cmp);
+        std::size_t cmp_idx = emit(cmp);
 
         const bool match = index_.nodeKey(*node) == key;
 
@@ -157,7 +204,7 @@ ProbeTraceGen::genProbe(RowId row)
             pl.phase = UopPhase::Emit;
             pl.addr = node_addr + HashIndex::kNodePayloadOffset;
             pl.dep0 = back(addr_producer);
-            u16 pl_idx = emit(pl);
+            std::size_t pl_idx = emit(pl);
 
             Uop st;
             st.kind = UopKind::Store;
@@ -175,7 +222,7 @@ ProbeTraceGen::genProbe(RowId row)
         np.phase = UopPhase::Walk;
         np.addr = node_addr + HashIndex::kNodeNextOffset;
         np.dep0 = back(addr_producer);
-        u16 np_idx = emit(np);
+        std::size_t np_idx = emit(np);
 
         const HashIndex::Node *next = node->next;
 

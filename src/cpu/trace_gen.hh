@@ -52,6 +52,14 @@ struct TraceGenOptions
     /** Base address for match stores (timing only; no data is
      *  written). 0 keeps stores but aims them at a scratch page. */
     Addr outBase = 0;
+    /** Software batch-pipeline modeling: µops for the hash phases of
+     *  `batchGroup` consecutive probes are emitted before any of
+     *  their walk µops (the decoupled dispatcher schedule of
+     *  db::HashIndex::probeBatch). 1 keeps the classic inline
+     *  Listing 1 interleaving. The µop multiset per probe is
+     *  unchanged — only the order, and with it the run-ahead the
+     *  modeled core can extract, differs. */
+    unsigned batchGroup = 1;
 };
 
 class ProbeTraceGen : public TraceSource
@@ -67,8 +75,19 @@ class ProbeTraceGen : public TraceSource
     u64 totalProbes() const { return keys_.size(); }
 
   private:
-    /** Generate the µop vector for one probe. */
-    void genProbe(RowId row);
+    /** Indices (absolute positions in buf_) of the hash-phase µops
+     *  a probe's walk µops depend on. */
+    struct HashAnchor
+    {
+        std::size_t keyIdx;
+        std::size_t bucketAddrIdx;
+    };
+
+    /** Generate the µop vector for the next batchGroup probes:
+     *  all hash phases first, then all walks. */
+    void genGroup();
+    HashAnchor genHashPhase(RowId row);
+    void genWalkPhase(RowId row, const HashAnchor &anchor);
 
     const db::HashIndex &index_;
     const db::Column &keys_;
@@ -78,6 +97,7 @@ class ProbeTraceGen : public TraceSource
     u64 scratch_[8]{}; ///< default store target
 
     std::vector<Uop> buf_;
+    std::vector<HashAnchor> anchors_; ///< group-generation scratch
     std::size_t bufPos_ = 0;
     RowId nextRow_ = 0;
     /** Running match-branch statistics for the predictor model. */

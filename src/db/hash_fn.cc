@@ -1,5 +1,6 @@
 #include "db/hash_fn.hh"
 
+#include <algorithm>
 #include <set>
 
 #include "common/logging.hh"
@@ -29,6 +30,86 @@ HashStep::apply(u64 h) const
         return h & x;
     }
     panic("bad hash combine");
+}
+
+namespace {
+
+/** Per-key batch kernel for one hash step: all control decisions are
+ *  template parameters, so the loop body is branch-free and
+ *  vectorizable. */
+template <HashCombine C, HashShift S, bool Self>
+void
+stepBatch(u64 *h, std::size_t n, unsigned shamt, u64 constant)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        u64 x = Self ? h[i] : constant;
+        if constexpr (S == HashShift::Lsl)
+            x <<= shamt;
+        else if constexpr (S == HashShift::Lsr)
+            x >>= shamt;
+        if constexpr (C == HashCombine::Xor)
+            h[i] ^= x;
+        else if constexpr (C == HashCombine::Add)
+            h[i] += x;
+        else
+            h[i] &= x;
+    }
+}
+
+using StepKernel = void (*)(u64 *, std::size_t, unsigned, u64);
+
+template <HashCombine C, HashShift S>
+StepKernel
+kernelForSelf(bool use_self)
+{
+    return use_self ? &stepBatch<C, S, true> : &stepBatch<C, S, false>;
+}
+
+template <HashCombine C>
+StepKernel
+kernelForShift(HashShift shift, bool use_self)
+{
+    switch (shift) {
+      case HashShift::None:
+        return kernelForSelf<C, HashShift::None>(use_self);
+      case HashShift::Lsl:
+        return kernelForSelf<C, HashShift::Lsl>(use_self);
+      case HashShift::Lsr:
+        return kernelForSelf<C, HashShift::Lsr>(use_self);
+    }
+    panic("bad hash shift");
+}
+
+StepKernel
+kernelFor(const HashStep &s)
+{
+    switch (s.combine) {
+      case HashCombine::Xor:
+        return kernelForShift<HashCombine::Xor>(s.shift, s.useSelf);
+      case HashCombine::Add:
+        return kernelForShift<HashCombine::Add>(s.shift, s.useSelf);
+      case HashCombine::And:
+        return kernelForShift<HashCombine::And>(s.shift, s.useSelf);
+    }
+    panic("bad hash combine");
+}
+
+} // namespace
+
+void
+HashFn::hashBatch(std::span<const u64> keys, std::span<u64> out) const
+{
+    panic_if(out.size() < keys.size(),
+             "hashBatch output span is too small");
+    const std::size_t n = keys.size();
+    if (out.data() != keys.data()) {
+        panic_if(out.data() < keys.data() + n &&
+                     keys.data() < out.data() + n,
+                 "hashBatch spans may alias exactly, not overlap");
+        std::copy(keys.begin(), keys.end(), out.begin());
+    }
+    for (const HashStep &s : steps_)
+        kernelFor(s)(out.data(), n, s.shamt, s.constant);
 }
 
 unsigned

@@ -23,6 +23,7 @@
 #ifndef WIDX_DB_HASH_FN_HH
 #define WIDX_DB_HASH_FN_HH
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,25 @@ class HashFn
             h = s.apply(h);
         return h;
     }
+
+    /**
+     * Hash a whole batch of keys (the software dispatcher stage of
+     * the decoupled probe pipeline).
+     *
+     * The loop nest is inverted relative to operator(): the outer
+     * loop runs over hash *steps* and the inner loop over keys, so
+     * each step is a straight-line, branch-free kernel the compiler
+     * can vectorize — per-key latency chains become per-batch
+     * throughput, exactly the hashing/walking decoupling of the
+     * paper's dispatcher expressed in software.
+     *
+     * @param keys input keys.
+     * @param out receives one hash per key; must be at least
+     *            keys.size() long. May alias keys exactly (in-place
+     *            hashing); partially overlapping spans are
+     *            rejected.
+     */
+    void hashBatch(std::span<const u64> keys, std::span<u64> out) const;
 
     const std::string &name() const { return name_; }
     const std::vector<HashStep> &steps() const { return steps_; }

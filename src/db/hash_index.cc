@@ -16,6 +16,10 @@ HashIndex::HashIndex(const IndexSpec &spec, Arena &arena)
     // one memory access, as the paper's layout intends.
     buckets_ = static_cast<Bucket *>(arena_.allocateBytes(
         numBuckets_ * sizeof(Bucket), kCacheBlockBytes));
+    // Tag array: one byte per bucket, zero-initialized by the arena,
+    // so every empty bucket starts out rejecting all probes.
+    tags_ = static_cast<u8 *>(
+        arena_.allocateBytes(numBuckets_, kCacheBlockBytes));
     sentinelCell_ = arena_.make<u64>(kEmptyKey);
     const u64 empty_key =
         spec_.indirectKeys
@@ -36,7 +40,11 @@ HashIndex::insert(u64 key, u64 payload, Addr key_addr)
     panic_if(spec_.indirectKeys && key_addr == 0,
              "indirect index requires the key's storage address");
 
-    Bucket &b = buckets_[bucketIndex(key)];
+    const u64 hash = hashKey(key);
+    const u64 bidx = hash & bucketMask();
+    tags_[bidx] |= tagOf(hash);
+
+    Bucket &b = buckets_[bidx];
     const u64 stored = spec_.indirectKeys ? key_addr : key;
 
     if (b.count == 0) {
@@ -64,26 +72,13 @@ HashIndex::buildFromColumn(const Column &keys)
 }
 
 u64
-HashIndex::probe(u64 key,
-                 const std::function<void(u64 payload)> &emit) const
-{
-    const Bucket &b = buckets_[bucketIndex(key)];
-    u64 matches = 0;
-    for (const Node *n = &b.head; n; n = n->next) {
-        if (nodeKey(*n) == key) {
-            ++matches;
-            if (emit)
-                emit(n->payload);
-        }
-    }
-    return matches;
-}
-
-u64
 HashIndex::lookup(u64 key) const
 {
-    const Bucket &b = buckets_[bucketIndex(key)];
-    for (const Node *n = &b.head; n; n = n->next)
+    const u64 hash = hashKey(key);
+    const u64 bidx = hash & bucketMask();
+    if (!(tags_[bidx] & tagOf(hash)))
+        return kNotFound;
+    for (const Node *n = &buckets_[bidx].head; n; n = n->next)
         if (nodeKey(*n) == key)
             return n->payload;
     return kNotFound;
@@ -116,7 +111,8 @@ HashIndex::maxBucketDepth() const
 u64
 HashIndex::footprintBytes() const
 {
-    return numBuckets_ * sizeof(Bucket) + overflowNodes_ * sizeof(Node);
+    return numBuckets_ * (sizeof(Bucket) + sizeof(u8)) +
+           overflowNodes_ * sizeof(Node);
 }
 
 } // namespace widx::db

@@ -1,6 +1,7 @@
 /**
  * @file
- * Chained hash index with bucket-header nodes (Section 2.2).
+ * Chained hash index with bucket-header nodes (Section 2.2) and a
+ * decoupled batch-probe pipeline.
  *
  * Layout follows the paper's description of real DBMS indexes:
  *
@@ -20,12 +21,37 @@
  * layout) or a pointer to a shared sentinel cell (indirect layout), so
  * probe loops need no emptiness check — a failed compare plus a null
  * next pointer terminates them, exactly like Listing 1.
+ *
+ * Two probe-side accelerations mirror the paper's dispatcher/walker
+ * decoupling in software (see src/swwalkers/README.md):
+ *
+ *  - **Batch hashing** (`hashBatch`, `probeBatch`): a whole group of
+ *    keys is hashed with the vectorizable HashFn::hashBatch kernel
+ *    and its tag/bucket lines prefetched before any walk begins, so
+ *    independent probe misses overlap.
+ *  - **Tag array**: one byte per bucket, an 8-bit membership filter
+ *    over the bucket's keys (the fingerprint bit tagOf(h), folded
+ *    from upper hash bits, is set for every resident key). A walker
+ *    rejects a non-matching bucket — including every empty bucket —
+ *    with a single byte load instead of a 32-byte bucket-line
+ *    dereference. The filter has no false negatives, so tagged and
+ *    untagged probes produce identical match multisets. The tag
+ *    array is deliberately out-of-band: bucket and node geometry
+ *    (the kBucket and kNode offset constants) is unchanged, so
+ *    accel/codegen and
+ *    cpu/trace_gen see the exact layout they always did.
+ *
+ * Match emission is templated (`Emit`/`Sink` parameters) instead of
+ * funneled through std::function, so per-match callbacks inline and
+ * the hot loop allocates nothing.
  */
 
 #ifndef WIDX_DB_HASH_INDEX_HH
 #define WIDX_DB_HASH_INDEX_HH
 
-#include <functional>
+#include <algorithm>
+#include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -79,15 +105,170 @@ class HashIndex
     /** Bulk-build from a key column; payload r is the row id r. */
     void buildFromColumn(const Column &keys);
 
+    // --- Probing -------------------------------------------------------
+
     /**
      * Scalar reference probe (the role of Listing 1's
      * probe_hashtable): walks the bucket and invokes emit(payload)
-     * for every node whose key matches.
+     * for every node whose key matches. The emitter is a template
+     * parameter so it inlines; no allocation, no indirect call.
      *
      * @return number of matches.
      */
-    u64 probe(u64 key,
-              const std::function<void(u64 payload)> &emit) const;
+    template <typename Emit>
+    u64
+    probe(u64 key, Emit &&emit) const
+    {
+        return probeHashed(key, hashKey(key),
+                           std::forward<Emit>(emit));
+    }
+
+    /** Count-only probe. */
+    u64
+    probe(u64 key) const
+    {
+        return probe(key, [](u64) {});
+    }
+
+    /** Back-compat spelling of the count-only probe. */
+    u64 probe(u64 key, std::nullptr_t) const { return probe(key); }
+
+    /**
+     * Probe with a precomputed hash (the walker half of the
+     * decoupled pipeline; the dispatcher half is hashBatch).
+     *
+     * @param tagged consult the one-byte tag filter before touching
+     *        the bucket line.
+     */
+    template <typename Emit>
+    u64
+    probeHashed(u64 key, u64 hash, Emit &&emit,
+                bool tagged = true) const
+    {
+        const u64 bidx = hash & bucketMask();
+        if (tagged && !(tags_[bidx] & tagOf(hash)))
+            return 0;
+        u64 matches = 0;
+        for (const Node *n = &buckets_[bidx].head; n; n = n->next) {
+            if (nodeKey(*n) == key) {
+                ++matches;
+                emit(n->payload);
+            }
+        }
+        return matches;
+    }
+
+    /** Default number of keys per dispatcher batch. */
+    static constexpr std::size_t kProbeBatch = 64;
+    /** Upper bound on the batch size (stack buffers). */
+    static constexpr std::size_t kMaxProbeBatch = 1024;
+
+    /** Batch-hash keys (dispatcher stage). Delegates to the
+     *  vectorizable HashFn::hashBatch kernel. */
+    void
+    hashBatch(std::span<const u64> keys, std::span<u64> hashes) const
+    {
+        spec_.hashFn.hashBatch(keys, hashes);
+    }
+
+    /** Dispatcher prefetch sweep: for each hash, prefetch the key's
+     *  first dependent line — its tag byte when the filter is on,
+     *  its bucket header otherwise. Shared by probeBatch, the
+     *  walkers' HashedWindow, and the group-prefetch prober. */
+    void
+    prefetchStage(const u64 *hashes, std::size_t n,
+                  bool tagged) const
+    {
+        if (tagged)
+            for (std::size_t i = 0; i < n; ++i)
+                prefetchRead(&tags_[hashes[i] & bucketMask()]);
+        else
+            for (std::size_t i = 0; i < n; ++i)
+                prefetchRead(&buckets_[hashes[i] & bucketMask()]);
+    }
+
+    /**
+     * Decoupled batch probe: the shared software pipeline under
+     * db::probeAll/hashJoin and sw::ScalarProber.
+     *
+     * The dispatcher stage runs one batch *ahead* of the walker
+     * stage (double-buffered): while batch k's buckets are walked,
+     * batch k+1 has already been vector-hashed and its tag and
+     * bucket-header lines prefetched. By the time the walker
+     * reaches batch k+1 its lines have had a full batch of work to
+     * stream in. This is the paper's dispatcher/walker split in
+     * software: independent probe misses overlap instead of
+     * serializing.
+     *
+     * In tagged mode the dispatcher prefetches only the tag bytes
+     * (prefetching headers too would double the in-flight lines per
+     * key and overrun the core's fill buffers); a tag sweep at the
+     * start of the walker stage then arms header prefetches for
+     * surviving buckets only — so selective workloads never pull
+     * rejected bucket lines at all.
+     *
+     * @param sink invoked as sink(i, key, payload) where i is the
+     *        key's position in `keys` (match order within one key
+     *        follows the chain, and keys are walked in order, so
+     *        emission order equals the scalar reference's).
+     * @return total number of matches.
+     */
+    template <typename Sink>
+    u64
+    probeBatch(std::span<const u64> keys, Sink &&sink,
+               bool tagged = true,
+               std::size_t batch = kProbeBatch) const
+    {
+        batch = std::clamp<std::size_t>(batch, 1, kMaxProbeBatch);
+        u64 hashbuf[2][kMaxProbeBatch];
+
+        // Dispatcher stage: hash one batch and prefetch each key's
+        // first dependent line.
+        auto dispatch = [&](std::size_t base, u64 *h) {
+            const std::size_t n =
+                std::min(batch, keys.size() - base);
+            spec_.hashFn.hashBatch(keys.subspan(base, n), {h, n});
+            prefetchStage(h, n, tagged);
+            return n;
+        };
+
+        u64 matches = 0;
+        u64 *cur = hashbuf[0];
+        u64 *ahead = hashbuf[1];
+        std::size_t base = 0;
+        std::size_t n = keys.empty() ? 0 : dispatch(0, cur);
+        while (n > 0) {
+            const std::size_t next_base = base + n;
+            const std::size_t n_ahead =
+                next_base < keys.size() ? dispatch(next_base, ahead)
+                                        : 0;
+
+            // Walker stage: the tag sweep reads bytes prefetched a
+            // full batch ago and arms header prefetches for
+            // surviving buckets only, then the walks emit through
+            // the inlined sink.
+            if (tagged)
+                for (std::size_t i = 0; i < n; ++i) {
+                    const u64 bidx = cur[i] & bucketMask();
+                    if (tags_[bidx] & tagOf(cur[i]))
+                        prefetchRead(&buckets_[bidx]);
+                }
+            for (std::size_t i = 0; i < n; ++i) {
+                const u64 key = keys[base + i];
+                matches += probeHashed(
+                    key, cur[i],
+                    [&](u64 payload) {
+                        sink(base + i, key, payload);
+                    },
+                    tagged);
+            }
+
+            std::swap(cur, ahead);
+            base = next_base;
+            n = n_ahead;
+        }
+        return matches;
+    }
 
     /** Point lookup: payload of the first match or kNotFound. */
     u64 lookup(u64 key) const;
@@ -106,11 +287,14 @@ class HashIndex
         return Addr(reinterpret_cast<std::uintptr_t>(buckets_));
     }
 
+    /** Hash a key with the index's hash function. */
+    u64 hashKey(u64 key) const { return spec_.hashFn(key); }
+
     /** Bucket index for a key (hash masked to the table size). */
     u64
     bucketIndex(u64 key) const
     {
-        return spec_.hashFn(key) & bucketMask();
+        return hashKey(key) & bucketMask();
     }
 
     const Bucket &
@@ -129,6 +313,41 @@ class HashIndex
         return n.key;
     }
 
+    // --- Tag (fingerprint) array ---------------------------------------
+
+    /** Fingerprint bit of a hash: one of 8 bits chosen by folding
+     *  four bit-fields spread across the hash. For mixing hashes
+     *  (monetdbRobust, fibonacciShiftAdd, doubleKey) any field
+     *  avalanches, so fingerprints use all 8 bits. The >>8 field
+     *  keeps the fingerprint discriminating even for Listing 1's
+     *  near-identity MASK/XOR hash on small tables; on tables whose
+     *  bucket index swallows those bits, a no-avalanche hash
+     *  degrades the filter to an emptiness check (still no false
+     *  negatives — fingerprints are deterministic in the hash). */
+    static constexpr u8
+    tagOf(u64 hash)
+    {
+        return u8(1u << (((hash >> 8) ^ (hash >> 24) ^
+                          (hash >> 44) ^ (hash >> 57)) &
+                         7));
+    }
+
+    /** May the bucket contain a key with this hash? No false
+     *  negatives; an empty bucket (tag 0) rejects everything. */
+    bool
+    tagMayMatch(u64 bidx, u64 hash) const
+    {
+        return tags_[bidx & bucketMask()] & tagOf(hash);
+    }
+
+    const u8 *tagArray() const { return tags_; }
+
+    Addr
+    tagArrayAddr() const
+    {
+        return Addr(reinterpret_cast<std::uintptr_t>(tags_));
+    }
+
     // --- Statistics ----------------------------------------------------
 
     u64 entries() const { return entries_; }
@@ -139,7 +358,7 @@ class HashIndex
     /** Longest chain (including the header node). */
     u64 maxBucketDepth() const;
 
-    /** Total bytes of buckets plus overflow nodes (the index
+    /** Total bytes of buckets, overflow nodes, and tags (the index
      *  footprint that competes for cache capacity). */
     u64 footprintBytes() const;
 
@@ -154,6 +373,8 @@ class HashIndex
     IndexSpec spec_;
     Arena &arena_;
     Bucket *buckets_;
+    /** One tag byte per bucket (see tagOf). */
+    u8 *tags_;
     u64 numBuckets_;
     unsigned bucketShift_; ///< log2(kBucketStride)
     u64 entries_ = 0;

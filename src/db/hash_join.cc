@@ -1,6 +1,8 @@
 #include "db/hash_join.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <span>
 
 namespace widx::db {
 
@@ -23,18 +25,46 @@ probeAll(const HashIndex &index, const Column &probe_keys,
     const u64 n = probe_keys.size();
     result.probes = n;
 
+    // The probe loop rides the decoupled batch pipeline: keys are
+    // vector-hashed and their tag/bucket lines prefetched a batch at
+    // a time before any bucket walk starts. The batched-scalar
+    // schedule walks keys in row order and chains in node order, so
+    // the emitted pair sequence is identical to the classic loop's.
+    if (materialize)
+        result.pairs.reserve(n);
+
     auto start = std::chrono::steady_clock::now();
-    for (RowId r = 0; r < n; ++r) {
-        const u64 key = probe_keys.at(r);
-        const HashIndex::Bucket &b =
-            index.bucketAt(index.bucketIndex(key));
-        for (const HashIndex::Node *node = &b.head; node;
-             node = node->next) {
-            if (index.nodeKey(*node) == key) {
-                ++result.matches;
+    if (probe_keys.elemWidth() == 8) {
+        // 64-bit carriers are stored verbatim: probe the column
+        // storage in place.
+        const std::span<const u64> keys{
+            reinterpret_cast<const u64 *>(
+                std::uintptr_t(probe_keys.baseAddr())),
+            n};
+        result.matches = index.probeBatch(
+            keys, [&](std::size_t r, u64, u64 payload) {
                 if (materialize)
-                    result.pairs.push_back({node->payload, r});
-            }
+                    result.pairs.push_back({payload, RowId(r)});
+            });
+    } else {
+        // Narrow columns widen through the 64-bit carrier, staged
+        // through a stack buffer of several dispatcher batches so
+        // probeBatch's dispatch-ahead pipeline still overlaps
+        // batches within each chunk.
+        u64 widened[HashIndex::kMaxProbeBatch];
+        for (u64 base = 0; base < n;
+             base += HashIndex::kMaxProbeBatch) {
+            const u64 g =
+                std::min<u64>(HashIndex::kMaxProbeBatch, n - base);
+            for (u64 i = 0; i < g; ++i)
+                widened[i] = probe_keys.at(base + i);
+            result.matches += index.probeBatch(
+                std::span<const u64>{widened, g},
+                [&](std::size_t i, u64, u64 payload) {
+                    if (materialize)
+                        result.pairs.push_back(
+                            {payload, RowId(base + i)});
+                });
         }
     }
     result.probeSeconds = secondsSince(start);

@@ -8,6 +8,11 @@
  * miss, the others' prefetches are in flight. This is the schedule of
  * the Widx walkers expressed in standard C++ (the CoroBase /
  * interleaved-execution lineage that followed the paper).
+ *
+ * The coroutines ride the same decoupled pipeline as the other
+ * probers: keys arrive pre-hashed from the dispatcher-side
+ * HashedWindow, and a probe first awaits its one-byte tag line and
+ * bails out on a tag reject before ever touching the bucket.
  */
 
 #ifndef WIDX_SWWALKERS_CORO_HH
@@ -97,21 +102,104 @@ struct PrefetchAwait
     void await_resume() const noexcept {}
 };
 
+namespace detail {
+
+/** One pre-hashed probe as a coroutine: suspend at each dependent
+ *  access, starting with the tag byte when the filter is on. */
+template <typename Sink>
+ProbeTask
+probeOne(const db::HashIndex &index, std::size_t i, u64 key,
+         u64 hash, bool tagged, u64 &matches, Sink &sink)
+{
+    const u64 bidx = hash & index.bucketMask();
+    if (tagged) {
+        co_await PrefetchAwait{&index.tagArray()[bidx]};
+        if (!index.tagMayMatch(bidx, hash))
+            co_return;
+    }
+    const db::HashIndex::Bucket &b = index.bucketAt(bidx);
+    co_await PrefetchAwait{&b.head};
+    for (const db::HashIndex::Node *n = &b.head; n;) {
+        if (index.nodeKey(*n) == key) {
+            ++matches;
+            sink(i, key, n->payload);
+        }
+        const db::HashIndex::Node *next = n->next;
+        if (!next)
+            break;
+        co_await PrefetchAwait{next};
+        n = next;
+    }
+}
+
+} // namespace detail
+
 /** Coroutine-interleaved prober with W in-flight probe coroutines. */
 class CoroProber
 {
   public:
-    CoroProber(const db::HashIndex &index, unsigned width)
-        : index_(index), width_(width)
+    CoroProber(const db::HashIndex &index, unsigned width,
+               PipelineConfig cfg = {})
+        : index_(index), width_(width), cfg_(cfg)
     {
+        fatal_if(width_ == 0, "coroutine width must be nonzero");
+        fatal_if(width_ > kMaxWidth,
+                 "coroutine width exceeds the in-flight cap");
     }
 
-    u64 probeAll(std::span<const u64> keys, MatchSink sink,
-                 void *ctx) const;
+    template <typename Sink>
+    u64
+    probeAll(std::span<const u64> keys, Sink &&sink) const
+    {
+        u64 matches = 0;
+        HashedWindow window(index_, keys, cfg_);
+        std::array<ProbeTask, kMaxWidth> slot;
+
+        // Start a fresh probe in the slot; it always reaches its
+        // first prefetch suspension (the body opens with a
+        // co_await).
+        auto refill = [&](ProbeTask &t) -> bool {
+            std::size_t i;
+            u64 key, hash;
+            if (!window.next(i, key, hash))
+                return false;
+            t = detail::probeOne(index_, i, key, hash, cfg_.tagged,
+                                 matches, sink);
+            t.resume(); // from initial_suspend to the first prefetch
+            return true;
+        };
+
+        unsigned live = 0;
+        for (unsigned w = 0; w < width_; ++w)
+            if (refill(slot[w]))
+                ++live;
+
+        // Round-robin resume: while one probe waits on its
+        // prefetch, the other probes' lines stream in — inter-key
+        // parallelism.
+        while (live > 0) {
+            for (unsigned w = 0; w < width_; ++w) {
+                ProbeTask &t = slot[w];
+                if (t.done())
+                    continue;
+                t.resume();
+                if (t.done() && !refill(t))
+                    --live;
+            }
+        }
+        return matches;
+    }
+
+    u64
+    probeAll(std::span<const u64> keys) const
+    {
+        return probeAll(keys, NullSink{});
+    }
 
   private:
     const db::HashIndex &index_;
     unsigned width_;
+    PipelineConfig cfg_;
 };
 
 } // namespace widx::sw

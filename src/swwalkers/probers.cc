@@ -1,137 +1,35 @@
 #include "swwalkers/probers.hh"
 
-#include "common/logging.hh"
-
 namespace widx::sw {
 
-using db::HashIndex;
-
-u64
-ScalarProber::probeAll(std::span<const u64> keys, MatchSink sink,
-                       void *ctx) const
+HashedWindow::HashedWindow(const db::HashIndex &index,
+                           std::span<const u64> keys,
+                           const PipelineConfig &cfg)
+    // batch == 0 means "inline": hash one key at a time, right
+    // before the walker consumes it (no dispatcher run-ahead).
+    : index_(index), keys_(keys),
+      batch_(std::clamp<std::size_t>(cfg.batch ? cfg.batch : 1, 1,
+                                     db::HashIndex::kMaxProbeBatch)),
+      tagged_(cfg.tagged)
 {
-    u64 matches = 0;
-    for (u64 key : keys) {
-        const HashIndex::Bucket &b =
-            index_.bucketAt(index_.bucketIndex(key));
-        for (const HashIndex::Node *n = &b.head; n; n = n->next) {
-            if (index_.nodeKey(*n) == key) {
-                ++matches;
-                if (sink)
-                    sink(key, n->payload, ctx);
-            }
-        }
-    }
-    return matches;
 }
 
-u64
-GroupPrefetchProber::probeAll(std::span<const u64> keys,
-                              MatchSink sink, void *ctx) const
+bool
+HashedWindow::refill()
 {
-    fatal_if(group_ == 0, "group size must be nonzero");
-    u64 matches = 0;
-    std::vector<const HashIndex::Node *> cursor(group_);
-
-    for (std::size_t base = 0; base < keys.size(); base += group_) {
-        const std::size_t g =
-            std::min<std::size_t>(group_, keys.size() - base);
-
-        // Stage 1: hash every key in the group and prefetch its
-        // bucket header (the decoupled-dispatcher role).
-        for (std::size_t i = 0; i < g; ++i) {
-            const HashIndex::Bucket &b =
-                index_.bucketAt(index_.bucketIndex(keys[base + i]));
-            cursor[i] = &b.head;
-            prefetch(&b.head);
-        }
-
-        // Stage 2+: advance every live walk one node per sweep,
-        // prefetching the next node before moving on (the parallel
-        // walkers' MLP, time-multiplexed on one core).
-        std::size_t live = g;
-        while (live > 0) {
-            live = 0;
-            for (std::size_t i = 0; i < g; ++i) {
-                const HashIndex::Node *n = cursor[i];
-                if (!n)
-                    continue;
-                const u64 key = keys[base + i];
-                if (index_.nodeKey(*n) == key) {
-                    ++matches;
-                    if (sink)
-                        sink(key, n->payload, ctx);
-                }
-                cursor[i] = n->next;
-                if (n->next) {
-                    prefetch(n->next);
-                    ++live;
-                }
-            }
-        }
-    }
-    return matches;
-}
-
-namespace {
-
-/** One in-flight AMAC probe. */
-struct AmacState
-{
-    u64 key = 0;
-    const HashIndex::Node *node = nullptr; ///< null = slot free
-};
-
-} // namespace
-
-u64
-AmacProber::probeAll(std::span<const u64> keys, MatchSink sink,
-                     void *ctx) const
-{
-    fatal_if(width_ == 0, "AMAC width must be nonzero");
-    u64 matches = 0;
-    std::vector<AmacState> slot(width_);
-    std::size_t next_key = 0;
-    unsigned live = 0;
-
-    auto refill = [&](AmacState &s) -> bool {
-        if (next_key >= keys.size())
-            return false;
-        s.key = keys[next_key++];
-        const HashIndex::Bucket &b =
-            index_.bucketAt(index_.bucketIndex(s.key));
-        s.node = &b.head;
-        prefetch(&b.head);
-        return true;
-    };
-
-    for (unsigned i = 0; i < width_; ++i)
-        if (refill(slot[i]))
-            ++live;
-
-    // Round-robin: each visit consumes the (hopefully prefetched)
-    // node, emits a match if any, and issues the next prefetch.
-    while (live > 0) {
-        for (unsigned i = 0; i < width_; ++i) {
-            AmacState &s = slot[i];
-            if (!s.node)
-                continue;
-            const HashIndex::Node *n = s.node;
-            if (index_.nodeKey(*n) == s.key) {
-                ++matches;
-                if (sink)
-                    sink(s.key, n->payload, ctx);
-            }
-            if (n->next) {
-                s.node = n->next;
-                prefetch(n->next);
-            } else if (!refill(s)) {
-                s.node = nullptr;
-                --live;
-            }
-        }
-    }
-    return matches;
+    base_ += len_;
+    pos_ = 0;
+    len_ = std::min(batch_, keys_.size() - base_);
+    if (len_ == 0)
+        return false;
+    // Dispatcher stage: vector-hash the batch, then prefetch the
+    // line each walker will consult first — the tag byte when the
+    // filter is on, the bucket header otherwise — so the walks that
+    // follow find their first dependent load already in flight.
+    index_.hashBatch(keys_.subspan(base_, len_),
+                     {hashes_.data(), len_});
+    index_.prefetchStage(hashes_.data(), len_, tagged_);
+    return true;
 }
 
 } // namespace widx::sw

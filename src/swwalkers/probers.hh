@@ -6,12 +6,16 @@
  *
  * Where Widx dedicates hardware walker units, software can only
  * overlap cache misses by interleaving independent probes around
- * prefetches. The three classic schedules, all implemented here over
- * the same db::HashIndex:
+ * prefetches. The classic schedules, all implemented here over the
+ * same db::HashIndex:
  *
- *  - GroupPrefetchProber: process keys in groups; hash and prefetch
- *    all G buckets, then advance all G walks one node at a time,
- *    prefetching each next node (Chen et al., group prefetching).
+ *  - ScalarProber: the Listing 1 baseline, either inline (hash one
+ *    key, walk one bucket) or batched through the shared
+ *    HashIndex::probeBatch pipeline.
+ *  - GroupPrefetchProber: process keys in groups; batch-hash and
+ *    prefetch all G buckets, then advance all G walks one node at a
+ *    time, prefetching each next node (Chen et al., group
+ *    prefetching).
  *  - AmacProber: asynchronous memory access chaining — a ring of W
  *    probe state machines; each visit advances one machine one stage
  *    and issues the next prefetch (Kocberber et al., AMAC — the
@@ -19,78 +23,326 @@
  *  - CoroProber (coro.hh): the same schedule written as C++20
  *    coroutines that suspend at every prefetch (CoroBase lineage).
  *
- * ScalarProber is the Listing 1 baseline. All probers produce
- * identical match multisets; benches compare their throughput.
+ * All probers share the decoupled pipeline (see README.md in this
+ * directory): a dispatcher stage batch-hashes keys with the
+ * vectorized HashFn::hashBatch kernel and prefetches the one-byte
+ * tag filter, and the walker stage rejects non-matching buckets on
+ * the tag before touching a bucket line. Match emission is a
+ * templated sink invoked as sink(i, key, payload) — it inlines, so
+ * the hot loop performs no indirect calls and no allocation.
+ *
+ * All probers produce identical match multisets; benches compare
+ * their throughput.
  */
 
 #ifndef WIDX_SWWALKERS_PROBERS_HH
 #define WIDX_SWWALKERS_PROBERS_HH
 
+#include <array>
 #include <span>
-#include <vector>
 
+#include "common/logging.hh"
 #include "db/hash_index.hh"
 
 namespace widx::sw {
-
-/** Receives matches; kept trivial so benches can count cheaply. */
-using MatchSink = void (*)(u64 key, u64 payload, void *ctx);
 
 /** Software prefetch wrapper (read, high temporal locality). */
 inline void
 prefetch(const void *p)
 {
-    __builtin_prefetch(p, 0, 3);
+    prefetchRead(p);
 }
 
-/** Listing 1: straight-line probe loop. */
+/** Sink that discards matches (count-only probes). */
+struct NullSink
+{
+    void operator()(std::size_t, u64, u64) const {}
+};
+
+/** Shared pipeline knobs. */
+struct PipelineConfig
+{
+    /** Keys hashed per dispatcher batch; 0 = inline (no batching,
+     *  hash each key right before its walk — the Listing 1
+     *  schedule). Clamped to HashIndex::kMaxProbeBatch. */
+    unsigned batch = unsigned(db::HashIndex::kProbeBatch);
+    /** Reject non-matching buckets on the one-byte tag filter. */
+    bool tagged = true;
+};
+
+/** Hard cap on in-flight walks so prober state fits on the stack. */
+inline constexpr unsigned kMaxWidth = 64;
+
+/**
+ * Dispatcher-side hashed-key window shared by the interleaved
+ * probers: keys are hashed a batch at a time (vectorized) and their
+ * tag bytes prefetched, so by the time a walker consumes an entry
+ * its tag line is (usually) resident.
+ */
+class HashedWindow
+{
+  public:
+    HashedWindow(const db::HashIndex &index,
+                 std::span<const u64> keys,
+                 const PipelineConfig &cfg);
+
+    /** Pop the next hashed key; false when the input is drained.
+     *  i receives the key's position in the original span. */
+    bool
+    next(std::size_t &i, u64 &key, u64 &hash)
+    {
+        if (pos_ == len_ && !refill())
+            return false;
+        i = base_ + pos_;
+        key = keys_[i];
+        hash = hashes_[pos_++];
+        return true;
+    }
+
+  private:
+    bool refill();
+
+    const db::HashIndex &index_;
+    std::span<const u64> keys_;
+    std::size_t batch_;
+    bool tagged_;
+    std::size_t base_ = 0; ///< span offset of the current window
+    std::size_t pos_ = 0;  ///< consumed entries in the window
+    std::size_t len_ = 0;  ///< valid entries in the window
+    std::array<u64, db::HashIndex::kMaxProbeBatch> hashes_;
+};
+
+/** Listing 1 probe loop, optionally batched through the shared
+ *  pipeline. */
 class ScalarProber
 {
   public:
-    explicit ScalarProber(const db::HashIndex &index)
-        : index_(index)
+    explicit ScalarProber(const db::HashIndex &index,
+                          PipelineConfig cfg = {})
+        : index_(index), cfg_(cfg)
     {
     }
 
-    u64 probeAll(std::span<const u64> keys, MatchSink sink,
-                 void *ctx) const;
+    template <typename Sink>
+    u64
+    probeAll(std::span<const u64> keys, Sink &&sink) const
+    {
+        if (cfg_.batch == 0) {
+            // Inline schedule: hash, walk, emit, one key at a time.
+            u64 matches = 0;
+            for (std::size_t i = 0; i < keys.size(); ++i) {
+                const u64 key = keys[i];
+                matches += index_.probeHashed(
+                    key, index_.hashKey(key),
+                    [&](u64 payload) { sink(i, key, payload); },
+                    cfg_.tagged);
+            }
+            return matches;
+        }
+        return index_.probeBatch(keys, sink, cfg_.tagged,
+                                 cfg_.batch);
+    }
+
+    u64
+    probeAll(std::span<const u64> keys) const
+    {
+        return probeAll(keys, NullSink{});
+    }
 
   private:
     const db::HashIndex &index_;
+    PipelineConfig cfg_;
 };
 
-/** Group prefetching with a compile-time group size. */
+/** Group prefetching with a runtime group size. The group is also
+ *  the dispatcher batch — keys are hashed and prefetched a group at
+ *  a time — so PipelineConfig::batch is ignored here; only the
+ *  tagged knob applies. */
 class GroupPrefetchProber
 {
   public:
-    GroupPrefetchProber(const db::HashIndex &index, unsigned group)
-        : index_(index), group_(group)
+    GroupPrefetchProber(const db::HashIndex &index, unsigned group,
+                        PipelineConfig cfg = {})
+        : index_(index), group_(group), cfg_(cfg)
     {
+        fatal_if(group_ == 0, "group size must be nonzero");
+        fatal_if(group_ > db::HashIndex::kMaxProbeBatch,
+                 "group size exceeds the pipeline batch cap");
     }
 
-    u64 probeAll(std::span<const u64> keys, MatchSink sink,
-                 void *ctx) const;
+    template <typename Sink>
+    u64
+    probeAll(std::span<const u64> keys, Sink &&sink) const
+    {
+        using Node = db::HashIndex::Node;
+        u64 matches = 0;
+        std::array<u64, db::HashIndex::kMaxProbeBatch> hashes;
+        std::array<const Node *, db::HashIndex::kMaxProbeBatch>
+            cursor;
+
+        for (std::size_t base = 0; base < keys.size();
+             base += group_) {
+            const std::size_t g =
+                std::min<std::size_t>(group_, keys.size() - base);
+            const std::span<const u64> chunk =
+                keys.subspan(base, g);
+
+            // Stage 1 (dispatcher): batch-hash the group and
+            // prefetch each key's first dependent line.
+            index_.hashBatch(chunk, {hashes.data(), g});
+            index_.prefetchStage(hashes.data(), g, cfg_.tagged);
+
+            // Stage 2: tag-check each walk; survivors prefetch
+            // their bucket header and arm a cursor. (Untagged
+            // headers were already prefetched by stage 1.)
+            for (std::size_t i = 0; i < g; ++i) {
+                const u64 bidx = hashes[i] & index_.bucketMask();
+                if (cfg_.tagged &&
+                    !index_.tagMayMatch(bidx, hashes[i])) {
+                    cursor[i] = nullptr;
+                    continue;
+                }
+                const db::HashIndex::Bucket &b =
+                    index_.bucketAt(bidx);
+                cursor[i] = &b.head;
+                if (cfg_.tagged)
+                    prefetch(&b.head);
+            }
+
+            // Stage 3+: advance every live walk one node per sweep,
+            // prefetching the next node before moving on (the
+            // parallel walkers' MLP, time-multiplexed on one core).
+            std::size_t live = g;
+            while (live > 0) {
+                live = 0;
+                for (std::size_t i = 0; i < g; ++i) {
+                    const Node *n = cursor[i];
+                    if (!n)
+                        continue;
+                    const u64 key = chunk[i];
+                    if (index_.nodeKey(*n) == key) {
+                        ++matches;
+                        sink(base + i, key, n->payload);
+                    }
+                    cursor[i] = n->next;
+                    if (n->next) {
+                        prefetch(n->next);
+                        ++live;
+                    }
+                }
+            }
+        }
+        return matches;
+    }
+
+    u64
+    probeAll(std::span<const u64> keys) const
+    {
+        return probeAll(keys, NullSink{});
+    }
 
   private:
     const db::HashIndex &index_;
     unsigned group_;
+    PipelineConfig cfg_;
 };
 
 /** Asynchronous memory access chaining with W in-flight probes. */
 class AmacProber
 {
   public:
-    AmacProber(const db::HashIndex &index, unsigned width)
-        : index_(index), width_(width)
+    AmacProber(const db::HashIndex &index, unsigned width,
+               PipelineConfig cfg = {})
+        : index_(index), width_(width), cfg_(cfg)
     {
+        fatal_if(width_ == 0, "AMAC width must be nonzero");
+        fatal_if(width_ > kMaxWidth,
+                 "AMAC width exceeds the in-flight cap");
     }
 
-    u64 probeAll(std::span<const u64> keys, MatchSink sink,
-                 void *ctx) const;
+    template <typename Sink>
+    u64
+    probeAll(std::span<const u64> keys, Sink &&sink) const
+    {
+        using Node = db::HashIndex::Node;
+
+        /** One in-flight AMAC probe. */
+        struct Slot
+        {
+            std::size_t i = 0;
+            u64 key = 0;
+            const Node *node = nullptr; ///< null = slot free
+        };
+
+        u64 matches = 0;
+        HashedWindow window(index_, keys, cfg_);
+        std::array<Slot, kMaxWidth> slot{};
+        unsigned live = 0;
+
+        // Pull hashed keys from the dispatcher window until one
+        // passes the tag filter and becomes an armed walk. The
+        // window prefetched each tag byte back when its batch was
+        // hashed — a full batch of work earlier — so the check here
+        // almost never stalls, and rejected keys are skipped
+        // without ever touching a bucket line.
+        auto refill = [&](Slot &s) -> bool {
+            std::size_t i;
+            u64 key, hash;
+            while (window.next(i, key, hash)) {
+                const u64 bidx = hash & index_.bucketMask();
+                if (cfg_.tagged &&
+                    !index_.tagMayMatch(bidx, hash))
+                    continue;
+                const db::HashIndex::Bucket &b =
+                    index_.bucketAt(bidx);
+                s.i = i;
+                s.key = key;
+                s.node = &b.head;
+                prefetch(&b.head);
+                return true;
+            }
+            return false;
+        };
+
+        for (unsigned w = 0; w < width_; ++w)
+            if (refill(slot[w]))
+                ++live;
+
+        // Round-robin: each visit consumes the (hopefully
+        // prefetched) node, emits a match if any, and issues the
+        // next prefetch.
+        while (live > 0) {
+            for (unsigned w = 0; w < width_; ++w) {
+                Slot &s = slot[w];
+                if (!s.node)
+                    continue;
+                const Node *n = s.node;
+                if (index_.nodeKey(*n) == s.key) {
+                    ++matches;
+                    sink(s.i, s.key, n->payload);
+                }
+                if (n->next) {
+                    s.node = n->next;
+                    prefetch(n->next);
+                } else if (!refill(s)) {
+                    s.node = nullptr;
+                    --live;
+                }
+            }
+        }
+        return matches;
+    }
+
+    u64
+    probeAll(std::span<const u64> keys) const
+    {
+        return probeAll(keys, NullSink{});
+    }
 
   private:
     const db::HashIndex &index_;
     unsigned width_;
+    PipelineConfig cfg_;
 };
 
 } // namespace widx::sw

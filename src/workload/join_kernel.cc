@@ -1,6 +1,11 @@
 #include "workload/join_kernel.hh"
 
+#include <span>
+
+#include "common/logging.hh"
 #include "common/rng.hh"
+#include "swwalkers/coro.hh"
+#include "swwalkers/probers.hh"
 #include "workload/distributions.hh"
 
 namespace widx::wl {
@@ -30,6 +35,65 @@ KernelDataset::KernelDataset(const KernelSize &sz, u64 seed)
     index->buildFromColumn(*buildKeys);
 
     outRegion = arena.makeArray<u64>(2 * (sz.probes + 8));
+}
+
+const char *
+probeScheduleName(ProbeSchedule sched)
+{
+    switch (sched) {
+      case ProbeSchedule::Scalar:
+        return "scalar";
+      case ProbeSchedule::BatchedScalar:
+        return "batched-scalar";
+      case ProbeSchedule::GroupPrefetch:
+        return "group-prefetch";
+      case ProbeSchedule::Amac:
+        return "amac";
+      case ProbeSchedule::Coro:
+        return "coro";
+    }
+    panic("bad probe schedule");
+}
+
+u64
+runKernelProbes(const KernelDataset &data, ProbeSchedule sched,
+                unsigned width, bool tagged)
+{
+    const std::span<const u64> keys{
+        reinterpret_cast<const u64 *>(
+            std::uintptr_t(data.probeKeys->baseAddr())),
+        data.probeKeys->size()};
+
+    // Producer-style emission: append {key, payload} words to the
+    // dataset's results region through the inlined sink.
+    u64 *out = data.outRegion;
+    u64 cursor = 0;
+    auto sink = [&](std::size_t, u64 key, u64 payload) {
+        out[cursor++] = key;
+        out[cursor++] = payload;
+    };
+
+    sw::PipelineConfig cfg;
+    cfg.tagged = tagged;
+    if (sched == ProbeSchedule::Scalar)
+        cfg.batch = 0;
+
+    switch (sched) {
+      case ProbeSchedule::Scalar:
+      case ProbeSchedule::BatchedScalar:
+        return sw::ScalarProber(*data.index, cfg)
+            .probeAll(keys, sink);
+      case ProbeSchedule::GroupPrefetch:
+        return sw::GroupPrefetchProber(*data.index, width, cfg)
+            .probeAll(keys, sink);
+      case ProbeSchedule::Amac:
+        return sw::AmacProber(*data.index, width, cfg)
+            .probeAll(keys, sink);
+      case ProbeSchedule::Coro:
+        return sw::CoroProber(*data.index, width, cfg)
+            .probeAll(keys, sink);
+    }
+    panic("bad probe schedule");
 }
 
 } // namespace widx::wl

@@ -62,6 +62,31 @@ struct KernelDataset
     }
 };
 
+/** Software probe schedule for runKernelProbes. */
+enum class ProbeSchedule
+{
+    Scalar,        ///< Listing 1 (inline hash, no batching)
+    BatchedScalar, ///< shared batch pipeline, sequential walks
+    GroupPrefetch, ///< Chen et al. group prefetching
+    Amac,          ///< asynchronous memory access chaining
+    Coro,          ///< C++20 coroutine interleaving
+};
+
+const char *probeScheduleName(ProbeSchedule sched);
+
+/**
+ * Run the kernel's sampled probes through a software walker
+ * schedule, materializing {key, payload} pairs into the dataset's
+ * results region (the producer unit's role — emission through the
+ * inlined sink, no allocation on the probe path).
+ *
+ * @param width in-flight walks (AMAC/coroutines) or group size.
+ * @param tagged use the one-byte tag filter.
+ * @return number of matches written.
+ */
+u64 runKernelProbes(const KernelDataset &data, ProbeSchedule sched,
+                    unsigned width = 8, bool tagged = true);
+
 } // namespace widx::wl
 
 #endif // WIDX_WORKLOAD_JOIN_KERNEL_HH

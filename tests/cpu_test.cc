@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+#include <tuple>
 #include <vector>
 
 #include "common/arena.hh"
@@ -187,6 +190,77 @@ TEST(TraceGen, StructureMatchesIndexGeometry)
     EXPECT_EQ(loads / probes, 4u);
     // Per probe: bookkeeping + 2 hash steps + 2 address ALUs = 5.
     EXPECT_EQ(hash_alus / probes, 5u);
+}
+
+/** Batched dispatch (the software pipeline's schedule) reorders
+ *  µops — all hash phases of a group before any walk — but must
+ *  preserve the per-probe µop population: same loads at the same
+ *  addresses, same per-kind counts, same probe count. */
+TEST(TraceGen, BatchedDispatchPreservesUopPopulation)
+{
+    Arena arena;
+    db::Column keys("k", db::ValueKind::U64, arena, 64);
+    Rng rng(17);
+    for (u64 i = 0; i < 64; ++i)
+        keys.push(1 + rng.below(200));
+    db::IndexSpec spec;
+    spec.buckets = 64;
+    db::HashIndex idx(spec, arena);
+    idx.buildFromColumn(keys);
+
+    auto census = [&](unsigned group) {
+        TraceGenOptions opts;
+        opts.mispredictRate = 0.0;
+        opts.batchGroup = group;
+        ProbeTraceGen gen(idx, keys, opts);
+        Uop u;
+        std::multiset<Addr> load_addrs;
+        std::map<int, u64> kinds;
+        u64 probes = 0;
+        while (gen.next(u)) {
+            ++kinds[int(u.kind)];
+            if (u.kind == UopKind::Load)
+                load_addrs.insert(u.addr);
+            if (u.endOfProbe)
+                ++probes;
+        }
+        return std::tuple{load_addrs, kinds, probes};
+    };
+
+    const auto inline_census = census(1);
+    for (unsigned group : {4u, 16u, 64u, 100u})
+        EXPECT_EQ(census(group), inline_census)
+            << "group " << group;
+}
+
+/** With batched dispatch, a group's hash µops all precede its walk
+ *  µops in emission order. */
+TEST(TraceGen, BatchedDispatchDecouplesPhases)
+{
+    Arena arena;
+    db::Column keys("k", db::ValueKind::U64, arena, 8);
+    for (u64 i = 0; i < 8; ++i)
+        keys.push(i + 1);
+    db::IndexSpec spec;
+    spec.buckets = 8;
+    db::HashIndex idx(spec, arena);
+    idx.buildFromColumn(keys);
+
+    TraceGenOptions opts;
+    opts.mispredictRate = 0.0;
+    opts.batchGroup = 8;
+    ProbeTraceGen gen(idx, keys, opts);
+    Uop u;
+    bool seen_walk = false;
+    u64 hash_after_walk = 0;
+    while (gen.next(u)) {
+        if (u.phase == UopPhase::Walk)
+            seen_walk = true;
+        else if (u.phase == UopPhase::Hash && seen_walk)
+            ++hash_after_walk;
+    }
+    // One group of 8: every hash µop is emitted before any walk.
+    EXPECT_EQ(hash_after_walk, 0u);
 }
 
 TEST(TraceGen, IndirectAddsKeyDereference)

@@ -113,6 +113,46 @@ TEST_P(HashQuality, DenseKeysSpreadUniformly)
 INSTANTIATE_TEST_SUITE_P(AllPresets, HashQuality,
                          ::testing::Range(0, 4));
 
+class BatchHash : public ::testing::TestWithParam<int>
+{
+};
+
+/** hashBatch (the vectorized dispatcher kernel) must agree with the
+ *  scalar operator() for every preset. */
+TEST_P(BatchHash, AgreesWithScalarHash)
+{
+    const HashFn fn = GetParam() == 0   ? HashFn::kernelMaskXor()
+                      : GetParam() == 1 ? HashFn::monetdbRobust()
+                      : GetParam() == 2 ? HashFn::fibonacciShiftAdd()
+                                        : HashFn::doubleKey();
+    Rng rng(7 + GetParam());
+    std::vector<u64> keys(257); // deliberately not a batch multiple
+    for (u64 &k : keys)
+        k = rng.next();
+    std::vector<u64> hashes(keys.size());
+    fn.hashBatch(keys, hashes);
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        ASSERT_EQ(hashes[i], fn(keys[i])) << "key index " << i;
+}
+
+/** hashBatch supports in-place hashing (out aliases keys). */
+TEST_P(BatchHash, InPlaceAliasing)
+{
+    const HashFn fn = GetParam() % 2 ? HashFn::monetdbRobust()
+                                     : HashFn::doubleKey();
+    Rng rng(11 + GetParam());
+    std::vector<u64> keys(64);
+    for (u64 &k : keys)
+        k = rng.next();
+    std::vector<u64> expected(keys.size());
+    fn.hashBatch(keys, expected);
+    fn.hashBatch(keys, keys); // in place
+    EXPECT_EQ(keys, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, BatchHash,
+                         ::testing::Range(0, 4));
+
 TEST(HashIndex, InsertAndLookup)
 {
     Arena arena;
@@ -165,6 +205,115 @@ TEST(HashIndex, BucketArrayIsCacheLineAligned)
     spec.buckets = 8;
     HashIndex idx(spec, arena);
     EXPECT_EQ(idx.bucketArrayAddr() % kCacheBlockBytes, 0u);
+    EXPECT_EQ(idx.tagArrayAddr() % kCacheBlockBytes, 0u);
+}
+
+/** The tag filter must never produce a false negative: every
+ *  inserted key's bucket passes tagMayMatch for that key's hash. */
+TEST(HashIndex, TagFilterHasNoFalseNegatives)
+{
+    Rng rng(5);
+    Arena arena;
+    IndexSpec spec;
+    spec.buckets = 128;
+    HashIndex idx(spec, arena);
+    std::vector<u64> keys;
+    for (int i = 0; i < 1000; ++i) {
+        const u64 key = 1 + rng.below(5000);
+        idx.insert(key, u64(i));
+        keys.push_back(key);
+    }
+    for (u64 key : keys) {
+        const u64 h = idx.hashKey(key);
+        EXPECT_TRUE(idx.tagMayMatch(h & idx.bucketMask(), h));
+    }
+}
+
+/** The fingerprint must not collapse to a single bit. Mixing
+ *  hashes get all 8 bits; even Listing 1's near-identity MASK/XOR
+ *  hash (32 significant bits, no avalanche) must spread dense keys
+ *  over several fingerprints, not degenerate to an emptiness
+ *  check on small tables. */
+TEST(HashIndex, TagFingerprintSpreadsForNarrowHashes)
+{
+    for (const HashFn &fn :
+         {HashFn::monetdbRobust(), HashFn::fibonacciShiftAdd(),
+          HashFn::doubleKey()}) {
+        std::set<u8> bits;
+        for (u64 k = 1; k <= 512; ++k)
+            bits.insert(HashIndex::tagOf(fn(k)));
+        EXPECT_EQ(bits.size(), 8u) << fn.name();
+    }
+    // Dense keys at the kernel workload's scale (>= 4K tuples).
+    const HashFn kernel = HashFn::kernelMaskXor();
+    std::set<u8> bits;
+    for (u64 k = 1; k <= 8192; ++k)
+        bits.insert(HashIndex::tagOf(kernel(k)));
+    EXPECT_EQ(bits.size(), 8u) << kernel.name();
+}
+
+/** Empty buckets carry tag 0 and reject every probe with the one
+ *  byte load; tagged and untagged probes agree everywhere. */
+TEST(HashIndex, TaggedAndUntaggedProbesAgree)
+{
+    Rng rng(6);
+    Arena arena;
+    IndexSpec spec;
+    spec.buckets = 512;
+    HashIndex idx(spec, arena);
+    for (int i = 0; i < 300; ++i)
+        idx.insert(1 + rng.below(400), u64(i));
+    for (u64 key = 1; key <= 1200; ++key) {
+        const u64 h = idx.hashKey(key);
+        u64 tagged = idx.probeHashed(key, h, [](u64) {}, true);
+        u64 untagged = idx.probeHashed(key, h, [](u64) {}, false);
+        ASSERT_EQ(tagged, untagged) << "key " << key;
+    }
+}
+
+/** probeBatch must emit the same (position, payload) stream as the
+ *  per-key probe loop, across batch sizes and layouts. */
+TEST(HashIndex, ProbeBatchMatchesScalarProbe)
+{
+    Rng rng(9);
+    Arena arena;
+    Column build("b", ValueKind::U64, arena, 600);
+    for (int i = 0; i < 600; ++i)
+        build.push(1 + rng.below(300));
+    for (bool indirect : {false, true}) {
+        IndexSpec spec;
+        spec.buckets = 256;
+        spec.indirectKeys = indirect;
+        HashIndex idx(spec, arena);
+        idx.buildFromColumn(build);
+
+        std::vector<u64> probes;
+        for (int i = 0; i < 997; ++i)
+            probes.push_back(1 + rng.below(400));
+
+        std::vector<std::pair<std::size_t, u64>> want;
+        u64 want_n = 0;
+        for (std::size_t i = 0; i < probes.size(); ++i)
+            want_n += idx.probe(probes[i], [&](u64 p) {
+                want.push_back({i, p});
+            });
+
+        for (std::size_t batch : {1u, 7u, 64u, 1024u}) {
+            for (bool tagged : {false, true}) {
+                std::vector<std::pair<std::size_t, u64>> got;
+                u64 got_n = idx.probeBatch(
+                    probes,
+                    [&](std::size_t i, u64 key, u64 p) {
+                        EXPECT_EQ(key, probes[i]);
+                        got.push_back({i, p});
+                    },
+                    tagged, batch);
+                ASSERT_EQ(got_n, want_n);
+                ASSERT_EQ(got, want)
+                    << "batch " << batch << " tagged " << tagged;
+            }
+        }
+    }
 }
 
 /** Property: for random builds, probe() agrees with a std::multimap

@@ -1,8 +1,11 @@
 /**
  * @file
- * Tests for the software walkers: all probers must produce the exact
- * match multiset of the scalar reference, across widths, group sizes,
- * layouts, and key distributions (parameterized property suite).
+ * Tests for the software walkers: every prober and every pipeline
+ * variant (inline vs batched dispatch, tagged vs untagged buckets)
+ * must produce the exact match multiset of the scalar reference,
+ * across widths, group sizes, layouts (direct and indirect keys),
+ * and key distributions (uniform and Zipf-skewed), via a
+ * parameterized property suite.
  */
 
 #include <gtest/gtest.h>
@@ -15,6 +18,7 @@
 #include "swwalkers/coro.hh"
 #include "swwalkers/probers.hh"
 #include "workload/distributions.hh"
+#include "workload/join_kernel.hh"
 
 using namespace widx;
 using namespace widx::sw;
@@ -50,13 +54,24 @@ struct Dataset
     std::unique_ptr<db::Column> buildKeep;
 };
 
+/** (key, payload) multiset plus a check that the reported span
+ *  position i actually indexes the emitted key. */
 using Matches = std::multiset<std::pair<u64, u64>>;
 
-void
-collect(u64 key, u64 payload, void *ctx)
+struct Collector
 {
-    static_cast<Matches *>(ctx)->insert({key, payload});
-}
+    Matches matches;
+    std::span<const u64> keys;
+    bool positionsOk = true;
+
+    void
+    operator()(std::size_t i, u64 key, u64 payload)
+    {
+        matches.insert({key, payload});
+        if (i >= keys.size() || keys[i] != key)
+            positionsOk = false;
+    }
+};
 
 } // namespace
 
@@ -65,6 +80,8 @@ struct ProberCase
     bool indirect;
     double zipf;
     unsigned width;
+    unsigned batch; ///< dispatcher batch; 0 = inline hashing
+    bool tagged;
 };
 
 class ProberEquivalence
@@ -77,59 +94,69 @@ TEST_P(ProberEquivalence, AllSchedulesAgreeWithScalar)
     const ProberCase &c = GetParam();
     Dataset d(2000, 5000, c.indirect, c.zipf, 42 + c.width);
 
-    Matches ref;
-    ScalarProber scalar(*d.index);
-    u64 n_ref = scalar.probeAll(d.keys, collect, &ref);
-    EXPECT_EQ(n_ref, ref.size());
+    // Reference: inline, untagged Listing 1 loop.
+    Collector ref;
+    ref.keys = d.keys;
+    ScalarProber scalar(*d.index, {.batch = 0, .tagged = false});
+    const u64 n_ref = scalar.probeAll(d.keys, std::ref(ref));
+    EXPECT_EQ(n_ref, ref.matches.size());
+    EXPECT_TRUE(ref.positionsOk);
 
-    Matches gp;
-    GroupPrefetchProber group(*d.index, c.width);
-    EXPECT_EQ(group.probeAll(d.keys, collect, &gp), n_ref);
-    EXPECT_EQ(gp, ref);
+    const PipelineConfig cfg{.batch = c.batch, .tagged = c.tagged};
 
-    Matches am;
-    AmacProber amac(*d.index, c.width);
-    EXPECT_EQ(amac.probeAll(d.keys, collect, &am), n_ref);
-    EXPECT_EQ(am, ref);
+    auto check = [&](auto &&prober, const char *name) {
+        Collector got;
+        got.keys = d.keys;
+        EXPECT_EQ(prober.probeAll(d.keys, std::ref(got)), n_ref)
+            << name;
+        EXPECT_EQ(got.matches, ref.matches) << name;
+        EXPECT_TRUE(got.positionsOk) << name;
+    };
 
-    Matches co;
-    CoroProber coro(*d.index, c.width);
-    EXPECT_EQ(coro.probeAll(d.keys, collect, &co), n_ref);
-    EXPECT_EQ(co, ref);
+    check(ScalarProber(*d.index, cfg), "scalar");
+    check(GroupPrefetchProber(*d.index, c.width, cfg),
+          "group-prefetch");
+    check(AmacProber(*d.index, c.width, cfg), "amac");
+    check(CoroProber(*d.index, c.width, cfg), "coro");
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, ProberEquivalence,
-    ::testing::Values(ProberCase{false, 0.0, 1},
-                      ProberCase{false, 0.0, 4},
-                      ProberCase{false, 0.0, 16},
-                      ProberCase{true, 0.0, 4},
-                      ProberCase{true, 0.0, 8},
-                      ProberCase{false, 0.8, 4},
-                      ProberCase{true, 0.8, 7}));
+    ::testing::Values(
+        // Inline (unbatched) schedules, tagged and untagged.
+        ProberCase{false, 0.0, 1, 0, false},
+        ProberCase{false, 0.0, 4, 0, true},
+        ProberCase{true, 0.0, 4, 0, true},
+        // Batched dispatch at several batch sizes and widths.
+        ProberCase{false, 0.0, 4, 8, true},
+        ProberCase{false, 0.0, 16, 64, true},
+        ProberCase{false, 0.0, 16, 64, false},
+        ProberCase{true, 0.0, 4, 64, true},
+        ProberCase{true, 0.0, 8, 256, true},
+        // Zipf-skewed probes (hot buckets, repeated keys), both
+        // layouts, batched and inline.
+        ProberCase{false, 0.8, 4, 0, true},
+        ProberCase{false, 0.8, 4, 64, true},
+        ProberCase{true, 0.8, 7, 64, true},
+        ProberCase{true, 0.99, 8, 32, false}));
 
 TEST(Probers, EmptyKeySetYieldsNoMatches)
 {
     Dataset d(100, 0, false, 0.0, 1);
-    ScalarProber scalar(*d.index);
-    AmacProber amac(*d.index, 4);
-    CoroProber coro(*d.index, 4);
-    EXPECT_EQ(scalar.probeAll(d.keys, nullptr, nullptr), 0u);
-    EXPECT_EQ(amac.probeAll(d.keys, nullptr, nullptr), 0u);
-    EXPECT_EQ(coro.probeAll(d.keys, nullptr, nullptr), 0u);
+    EXPECT_EQ(ScalarProber(*d.index).probeAll(d.keys), 0u);
+    EXPECT_EQ(AmacProber(*d.index, 4).probeAll(d.keys), 0u);
+    EXPECT_EQ(CoroProber(*d.index, 4).probeAll(d.keys), 0u);
+    EXPECT_EQ(GroupPrefetchProber(*d.index, 4).probeAll(d.keys), 0u);
 }
 
 TEST(Probers, WidthLargerThanKeyCount)
 {
     Dataset d(64, 3, false, 0.0, 2);
-    ScalarProber scalar(*d.index);
-    u64 ref = scalar.probeAll(d.keys, nullptr, nullptr);
-    AmacProber amac(*d.index, 32);
-    CoroProber coro(*d.index, 32);
-    GroupPrefetchProber gp(*d.index, 32);
-    EXPECT_EQ(amac.probeAll(d.keys, nullptr, nullptr), ref);
-    EXPECT_EQ(coro.probeAll(d.keys, nullptr, nullptr), ref);
-    EXPECT_EQ(gp.probeAll(d.keys, nullptr, nullptr), ref);
+    const u64 ref = ScalarProber(*d.index).probeAll(d.keys);
+    EXPECT_EQ(AmacProber(*d.index, 32).probeAll(d.keys), ref);
+    EXPECT_EQ(CoroProber(*d.index, 32).probeAll(d.keys), ref);
+    EXPECT_EQ(GroupPrefetchProber(*d.index, 32).probeAll(d.keys),
+              ref);
 }
 
 TEST(Probers, MissingKeysProduceNoMatches)
@@ -145,10 +172,28 @@ TEST(Probers, MissingKeysProduceNoMatches)
     std::vector<u64> misses;
     for (u64 i = 1000; i < 1100; ++i)
         misses.push_back(i);
-    EXPECT_EQ(ScalarProber(idx).probeAll(misses, nullptr, nullptr),
-              0u);
-    EXPECT_EQ(AmacProber(idx, 4).probeAll(misses, nullptr, nullptr),
-              0u);
-    EXPECT_EQ(CoroProber(idx, 4).probeAll(misses, nullptr, nullptr),
-              0u);
+    for (bool tagged : {false, true}) {
+        PipelineConfig cfg{.batch = 64, .tagged = tagged};
+        EXPECT_EQ(ScalarProber(idx, cfg).probeAll(misses), 0u);
+        EXPECT_EQ(AmacProber(idx, 4, cfg).probeAll(misses), 0u);
+        EXPECT_EQ(CoroProber(idx, 4, cfg).probeAll(misses), 0u);
+        EXPECT_EQ(GroupPrefetchProber(idx, 8, cfg).probeAll(misses),
+                  0u);
+    }
+}
+
+TEST(Probers, KernelScheduleRunnerAgreesAcrossSchedules)
+{
+    wl::KernelDataset data(wl::KernelSize::small(), 7);
+    const u64 ref = wl::runKernelProbes(
+        data, wl::ProbeSchedule::Scalar, 8, false);
+    for (auto sched : {wl::ProbeSchedule::Scalar,
+                       wl::ProbeSchedule::BatchedScalar,
+                       wl::ProbeSchedule::GroupPrefetch,
+                       wl::ProbeSchedule::Amac,
+                       wl::ProbeSchedule::Coro})
+        for (bool tagged : {false, true})
+            EXPECT_EQ(wl::runKernelProbes(data, sched, 8, tagged),
+                      ref)
+                << wl::probeScheduleName(sched);
 }
