@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <span>
+#include <vector>
+
+#include "swwalkers/walker_pool.hh"
 
 namespace widx::db {
 
@@ -19,7 +22,7 @@ secondsSince(std::chrono::steady_clock::time_point start)
 
 JoinResult
 probeAll(const HashIndex &index, const Column &probe_keys,
-         bool materialize)
+         bool materialize, const sw::PipelineConfig &cfg)
 {
     JoinResult result;
     const u64 n = probe_keys.size();
@@ -29,28 +32,23 @@ probeAll(const HashIndex &index, const Column &probe_keys,
     // vector-hashed and their tag/bucket lines prefetched a batch at
     // a time before any bucket walk starts. The batched-scalar
     // schedule walks keys in row order and chains in node order, so
-    // the emitted pair sequence is identical to the classic loop's.
+    // the emitted pair sequence is identical to the classic loop's;
+    // the walker pool emits in its deterministic chunk-merged order
+    // instead.
     if (materialize)
         result.pairs.reserve(n);
 
+    auto sink = [&](std::size_t r, u64, u64 payload) {
+        if (materialize)
+            result.pairs.push_back({payload, RowId(r)});
+    };
+
     auto start = std::chrono::steady_clock::now();
-    if (probe_keys.elemWidth() == 8) {
-        // 64-bit carriers are stored verbatim: probe the column
-        // storage in place.
-        const std::span<const u64> keys{
-            reinterpret_cast<const u64 *>(
-                std::uintptr_t(probe_keys.baseAddr())),
-            n};
-        result.matches = index.probeBatch(
-            keys, [&](std::size_t r, u64, u64 payload) {
-                if (materialize)
-                    result.pairs.push_back({payload, RowId(r)});
-            });
-    } else {
+    if (probe_keys.elemWidth() != 8 && cfg.walkers <= 1) {
         // Narrow columns widen through the 64-bit carrier, staged
         // through a stack buffer of several dispatcher batches so
         // probeBatch's dispatch-ahead pipeline still overlaps
-        // batches within each chunk.
+        // batches within each chunk (O(1) staging memory).
         u64 widened[HashIndex::kMaxProbeBatch];
         for (u64 base = 0; base < n;
              base += HashIndex::kMaxProbeBatch) {
@@ -64,8 +62,43 @@ probeAll(const HashIndex &index, const Column &probe_keys,
                     if (materialize)
                         result.pairs.push_back(
                             {payload, RowId(base + i)});
-                });
+                },
+                cfg.tagged,
+                cfg.batch ? cfg.batch : HashIndex::kProbeBatch);
         }
+        result.probeSeconds = secondsSince(start);
+        return result;
+    }
+
+    // One contiguous u64 span: the column storage in place, or —
+    // for narrow columns under the pool — widened up front so
+    // walker threads can claim chunks of it.
+    std::span<const u64> keys;
+    std::vector<u64> widened;
+    if (probe_keys.elemWidth() == 8) {
+        keys = {reinterpret_cast<const u64 *>(
+                    std::uintptr_t(probe_keys.baseAddr())),
+                n};
+    } else {
+        widened.resize(n);
+        for (u64 i = 0; i < n; ++i)
+            widened[i] = probe_keys.at(i);
+        keys = widened;
+    }
+
+    if (cfg.walkers > 1) {
+        // Walker pool: the dispatcher (this thread) feeds the
+        // window ring, K walker threads drain it, and the merged
+        // matches replay into the single-threaded sink above.
+        // Count-only joins take the unbuffered overload:
+        // per-walker counters, no match records, no merge.
+        sw::WalkerPool pool(index, 8, cfg);
+        result.matches = materialize ? pool.probeAll(keys, sink)
+                                     : pool.probeAll(keys);
+    } else {
+        result.matches = index.probeBatch(
+            keys, sink, cfg.tagged,
+            cfg.batch ? cfg.batch : HashIndex::kProbeBatch);
     }
     result.probeSeconds = secondsSince(start);
     return result;
@@ -73,14 +106,15 @@ probeAll(const HashIndex &index, const Column &probe_keys,
 
 JoinResult
 hashJoin(const Column &build_keys, const Column &probe_keys,
-         const IndexSpec &spec, Arena &arena, bool materialize)
+         const IndexSpec &spec, Arena &arena, bool materialize,
+         const sw::PipelineConfig &cfg)
 {
     auto start = std::chrono::steady_clock::now();
     HashIndex index(spec, arena);
     index.buildFromColumn(build_keys);
     double build_seconds = secondsSince(start);
 
-    JoinResult result = probeAll(index, probe_keys, materialize);
+    JoinResult result = probeAll(index, probe_keys, materialize, cfg);
     result.buildSeconds = build_seconds;
     return result;
 }

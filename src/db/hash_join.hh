@@ -17,6 +17,7 @@
 #include "common/arena.hh"
 #include "db/column.hh"
 #include "db/hash_index.hh"
+#include "swwalkers/pipeline_config.hh"
 
 namespace widx::db {
 
@@ -46,18 +47,26 @@ struct JoinResult
  * @param arena storage for the index.
  * @param materialize when false, matches are counted but not stored
  *        (large joins in benchmarks).
+ * @param cfg probe-pipeline knobs: batch/tagged select the
+ *        dispatcher schedule; cfg.walkers > 1 runs the probe phase
+ *        on a sw::WalkerPool (one dispatcher thread, K walker
+ *        threads over the shared window ring) with matches merged
+ *        deterministically back onto the calling thread.
  */
 JoinResult hashJoin(const Column &build_keys, const Column &probe_keys,
                     const IndexSpec &spec, Arena &arena,
-                    bool materialize = true);
+                    bool materialize = true,
+                    const sw::PipelineConfig &cfg = {});
 
 /**
  * Probe an existing index with every key of a column; the core of
  * Listing 1's do_index. Used by tests and by the host-side Fig. 2
- * measurement.
+ * measurement. cfg.walkers > 1 probes on a sw::WalkerPool (see
+ * hashJoin).
  */
 JoinResult probeAll(const HashIndex &index, const Column &probe_keys,
-                    bool materialize = true);
+                    bool materialize = true,
+                    const sw::PipelineConfig &cfg = {});
 
 } // namespace widx::db
 

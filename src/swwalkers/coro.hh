@@ -134,6 +134,53 @@ probeOne(const db::HashIndex &index, std::size_t i, u64 key,
 
 } // namespace detail
 
+/**
+ * Drain a hashed-key stream through W interleaved probe coroutines.
+ * Stream-generic for the same reason as amacDrain: HashedWindow
+ * under the single-threaded prober, a claimed window-ring chunk
+ * under WalkerPool threads.
+ */
+template <typename Stream, typename Sink>
+u64
+coroDrain(const db::HashIndex &index, Stream &stream, unsigned width,
+          bool tagged, Sink &&sink)
+{
+    u64 matches = 0;
+    std::array<ProbeTask, kMaxWidth> slot;
+
+    // Start a fresh probe in the slot; it always reaches its first
+    // prefetch suspension (the body opens with a co_await).
+    auto refill = [&](ProbeTask &t) -> bool {
+        std::size_t i;
+        u64 key, hash;
+        if (!stream.next(i, key, hash))
+            return false;
+        t = detail::probeOne(index, i, key, hash, tagged, matches,
+                             sink);
+        t.resume(); // from initial_suspend to the first prefetch
+        return true;
+    };
+
+    unsigned live = 0;
+    for (unsigned w = 0; w < width; ++w)
+        if (refill(slot[w]))
+            ++live;
+
+    // Round-robin resume: while one probe waits on its prefetch,
+    // the other probes' lines stream in — inter-key parallelism.
+    while (live > 0) {
+        for (unsigned w = 0; w < width; ++w) {
+            ProbeTask &t = slot[w];
+            if (t.done())
+                continue;
+            t.resume();
+            if (t.done() && !refill(t))
+                --live;
+        }
+    }
+    return matches;
+}
+
 /** Coroutine-interleaved prober with W in-flight probe coroutines. */
 class CoroProber
 {
@@ -151,43 +198,9 @@ class CoroProber
     u64
     probeAll(std::span<const u64> keys, Sink &&sink) const
     {
-        u64 matches = 0;
         HashedWindow window(index_, keys, cfg_);
-        std::array<ProbeTask, kMaxWidth> slot;
-
-        // Start a fresh probe in the slot; it always reaches its
-        // first prefetch suspension (the body opens with a
-        // co_await).
-        auto refill = [&](ProbeTask &t) -> bool {
-            std::size_t i;
-            u64 key, hash;
-            if (!window.next(i, key, hash))
-                return false;
-            t = detail::probeOne(index_, i, key, hash, cfg_.tagged,
-                                 matches, sink);
-            t.resume(); // from initial_suspend to the first prefetch
-            return true;
-        };
-
-        unsigned live = 0;
-        for (unsigned w = 0; w < width_; ++w)
-            if (refill(slot[w]))
-                ++live;
-
-        // Round-robin resume: while one probe waits on its
-        // prefetch, the other probes' lines stream in — inter-key
-        // parallelism.
-        while (live > 0) {
-            for (unsigned w = 0; w < width_; ++w) {
-                ProbeTask &t = slot[w];
-                if (t.done())
-                    continue;
-                t.resume();
-                if (t.done() && !refill(t))
-                    --live;
-            }
-        }
-        return matches;
+        return coroDrain(index_, window, width_, cfg_.tagged,
+                         std::forward<Sink>(sink));
     }
 
     u64

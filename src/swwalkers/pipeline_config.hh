@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared probe-pipeline knobs, split into a leaf header so the db
+ * layer can accept a PipelineConfig (db::probeAll/hashJoin
+ * overloads) without pulling in the prober templates — the
+ * swwalkers -> db dependency stays one-directional at the template
+ * level.
+ */
+
+#ifndef WIDX_SWWALKERS_PIPELINE_CONFIG_HH
+#define WIDX_SWWALKERS_PIPELINE_CONFIG_HH
+
+#include "db/hash_index.hh"
+
+namespace widx::sw {
+
+/** Shared pipeline knobs. */
+struct PipelineConfig
+{
+    /** Keys hashed per dispatcher batch; 0 = inline (no batching,
+     *  hash each key right before its walk — the Listing 1
+     *  schedule). Clamped to HashIndex::kMaxProbeBatch. For the
+     *  WalkerPool this is also the chunk granularity walker threads
+     *  claim from the shared window ring. */
+    unsigned batch = unsigned(db::HashIndex::kProbeBatch);
+    /** Reject non-matching buckets on the one-byte tag filter. */
+    bool tagged = true;
+    /** Walker threads draining the shared dispatch window; <= 1
+     *  keeps every prober on the calling thread. Only the
+     *  WalkerPool (walker_pool.hh) and the db/workload entry points
+     *  that ride it consult this knob. */
+    unsigned walkers = 1;
+};
+
+} // namespace widx::sw
+
+#endif // WIDX_SWWALKERS_PIPELINE_CONFIG_HH

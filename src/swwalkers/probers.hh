@@ -40,9 +40,11 @@
 
 #include <array>
 #include <span>
+#include <utility>
 
 #include "common/logging.hh"
 #include "db/hash_index.hh"
+#include "swwalkers/pipeline_config.hh"
 
 namespace widx::sw {
 
@@ -57,17 +59,6 @@ prefetch(const void *p)
 struct NullSink
 {
     void operator()(std::size_t, u64, u64) const {}
-};
-
-/** Shared pipeline knobs. */
-struct PipelineConfig
-{
-    /** Keys hashed per dispatcher batch; 0 = inline (no batching,
-     *  hash each key right before its walk — the Listing 1
-     *  schedule). Clamped to HashIndex::kMaxProbeBatch. */
-    unsigned batch = unsigned(db::HashIndex::kProbeBatch);
-    /** Reject non-matching buckets on the one-byte tag filter. */
-    bool tagged = true;
 };
 
 /** Hard cap on in-flight walks so prober state fits on the stack. */
@@ -247,6 +238,83 @@ class GroupPrefetchProber
     PipelineConfig cfg_;
 };
 
+/**
+ * Drain a hashed-key stream through a ring of W AMAC probe state
+ * machines. The Stream supplies pre-hashed keys via
+ * `bool next(std::size_t &i, u64 &key, u64 &hash)` — HashedWindow
+ * for the single-threaded prober, a claimed window-ring chunk for
+ * WalkerPool threads — so the same state machine serves both.
+ */
+template <typename Stream, typename Sink>
+u64
+amacDrain(const db::HashIndex &index, Stream &stream, unsigned width,
+          bool tagged, Sink &&sink)
+{
+    using Node = db::HashIndex::Node;
+
+    /** One in-flight AMAC probe. */
+    struct Slot
+    {
+        std::size_t i = 0;
+        u64 key = 0;
+        const Node *node = nullptr; ///< null = slot free
+    };
+
+    u64 matches = 0;
+    std::array<Slot, kMaxWidth> slot{};
+    unsigned live = 0;
+
+    // Pull hashed keys from the stream until one passes the tag
+    // filter and becomes an armed walk. The dispatcher prefetched
+    // each tag byte back when its batch was hashed — a full batch
+    // of work earlier — so the check here almost never stalls, and
+    // rejected keys are skipped without ever touching a bucket
+    // line.
+    auto refill = [&](Slot &s) -> bool {
+        std::size_t i;
+        u64 key, hash;
+        while (stream.next(i, key, hash)) {
+            const u64 bidx = hash & index.bucketMask();
+            if (tagged && !index.tagMayMatch(bidx, hash))
+                continue;
+            const db::HashIndex::Bucket &b = index.bucketAt(bidx);
+            s.i = i;
+            s.key = key;
+            s.node = &b.head;
+            prefetch(&b.head);
+            return true;
+        }
+        return false;
+    };
+
+    for (unsigned w = 0; w < width; ++w)
+        if (refill(slot[w]))
+            ++live;
+
+    // Round-robin: each visit consumes the (hopefully prefetched)
+    // node, emits a match if any, and issues the next prefetch.
+    while (live > 0) {
+        for (unsigned w = 0; w < width; ++w) {
+            Slot &s = slot[w];
+            if (!s.node)
+                continue;
+            const Node *n = s.node;
+            if (index.nodeKey(*n) == s.key) {
+                ++matches;
+                sink(s.i, s.key, n->payload);
+            }
+            if (n->next) {
+                s.node = n->next;
+                prefetch(n->next);
+            } else if (!refill(s)) {
+                s.node = nullptr;
+                --live;
+            }
+        }
+    }
+    return matches;
+}
+
 /** Asynchronous memory access chaining with W in-flight probes. */
 class AmacProber
 {
@@ -264,73 +332,9 @@ class AmacProber
     u64
     probeAll(std::span<const u64> keys, Sink &&sink) const
     {
-        using Node = db::HashIndex::Node;
-
-        /** One in-flight AMAC probe. */
-        struct Slot
-        {
-            std::size_t i = 0;
-            u64 key = 0;
-            const Node *node = nullptr; ///< null = slot free
-        };
-
-        u64 matches = 0;
         HashedWindow window(index_, keys, cfg_);
-        std::array<Slot, kMaxWidth> slot{};
-        unsigned live = 0;
-
-        // Pull hashed keys from the dispatcher window until one
-        // passes the tag filter and becomes an armed walk. The
-        // window prefetched each tag byte back when its batch was
-        // hashed — a full batch of work earlier — so the check here
-        // almost never stalls, and rejected keys are skipped
-        // without ever touching a bucket line.
-        auto refill = [&](Slot &s) -> bool {
-            std::size_t i;
-            u64 key, hash;
-            while (window.next(i, key, hash)) {
-                const u64 bidx = hash & index_.bucketMask();
-                if (cfg_.tagged &&
-                    !index_.tagMayMatch(bidx, hash))
-                    continue;
-                const db::HashIndex::Bucket &b =
-                    index_.bucketAt(bidx);
-                s.i = i;
-                s.key = key;
-                s.node = &b.head;
-                prefetch(&b.head);
-                return true;
-            }
-            return false;
-        };
-
-        for (unsigned w = 0; w < width_; ++w)
-            if (refill(slot[w]))
-                ++live;
-
-        // Round-robin: each visit consumes the (hopefully
-        // prefetched) node, emits a match if any, and issues the
-        // next prefetch.
-        while (live > 0) {
-            for (unsigned w = 0; w < width_; ++w) {
-                Slot &s = slot[w];
-                if (!s.node)
-                    continue;
-                const Node *n = s.node;
-                if (index_.nodeKey(*n) == s.key) {
-                    ++matches;
-                    sink(s.i, s.key, n->payload);
-                }
-                if (n->next) {
-                    s.node = n->next;
-                    prefetch(n->next);
-                } else if (!refill(s)) {
-                    s.node = nullptr;
-                    --live;
-                }
-            }
-        }
-        return matches;
+        return amacDrain(index_, window, width_, cfg_.tagged,
+                         std::forward<Sink>(sink));
     }
 
     u64

@@ -1,0 +1,259 @@
+#include "swwalkers/walker_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "swwalkers/coro.hh"
+
+namespace widx::sw {
+
+namespace {
+
+/** One chunk slot of the shared dispatch window ring. Padded to its
+ *  own cache lines so dispatcher stores and walker loads on
+ *  neighbouring slots never false-share. */
+struct alignas(64) Slot
+{
+    /** Chunk sequence published by the dispatcher: holds c+1 once
+     *  chunk c's base/len/hashes are fully written (release). */
+    std::atomic<u64> ready{0};
+    /** Chunk sequence released by the draining walker: holds c+1
+     *  once chunk c is fully consumed and the slot may be reused
+     *  (release). */
+    std::atomic<u64> consumed{0};
+    std::size_t base = 0;
+    std::size_t len = 0;
+    std::array<u64, db::HashIndex::kMaxProbeBatch> hashes;
+};
+
+/** Bounded spin, then yield — the ring is sized so waits are rare,
+ *  and yielding keeps single-core hosts (and oversubscribed CI
+ *  runners) from burning whole scheduler quanta in the spin. */
+inline void
+pauseOrYield(unsigned spins)
+{
+    if (spins < 128) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+    } else {
+        std::this_thread::yield();
+    }
+}
+
+/** Stream over one claimed chunk: hashes were produced by the
+ *  dispatcher; i is the global position in the probed span. */
+class ChunkStream
+{
+  public:
+    ChunkStream(std::span<const u64> keys, const Slot &slot)
+        : keys_(keys), base_(slot.base), len_(slot.len),
+          hashes_(slot.hashes.data())
+    {
+    }
+
+    bool
+    next(std::size_t &i, u64 &key, u64 &hash)
+    {
+        if (pos_ == len_)
+            return false;
+        i = base_ + pos_;
+        key = keys_[i];
+        hash = hashes_[pos_++];
+        return true;
+    }
+
+  private:
+    std::span<const u64> keys_;
+    std::size_t base_;
+    std::size_t len_;
+    const u64 *hashes_;
+    std::size_t pos_ = 0;
+};
+
+/** Walker-thread body: claim chunks by ticket until the input is
+ *  exhausted, draining each through the engine's state machines. */
+template <typename Sink>
+u64
+drainClaimedChunks(const db::HashIndex &index,
+                   std::span<const u64> keys, Slot *ring,
+                   std::size_t ringSize, u64 numChunks,
+                   std::atomic<u64> &ticket, unsigned width,
+                   bool tagged, WalkerEngine engine, Sink &&sink)
+{
+    u64 matches = 0;
+    for (;;) {
+        // Chunked claiming: one relaxed fetch_add per batch of
+        // keys. Ticket order also makes each walker's claimed
+        // chunk ids strictly increasing, which the merge relies on.
+        const u64 c = ticket.fetch_add(1, std::memory_order_relaxed);
+        if (c >= numChunks)
+            return matches;
+        Slot &s = ring[c % ringSize];
+        for (unsigned spins = 0;
+             s.ready.load(std::memory_order_acquire) < c + 1;
+             ++spins)
+            pauseOrYield(spins);
+        // The dispatcher's prefetches landed in its core's cache,
+        // not ours: re-issue the tag/bucket sweep locally so this
+        // chunk's first dependent lines stream into this core while
+        // the state machines spin up.
+        index.prefetchStage(s.hashes.data(), s.len, tagged);
+        ChunkStream stream(keys, s);
+        matches += engine == WalkerEngine::Coro
+                       ? coroDrain(index, stream, width, tagged, sink)
+                       : amacDrain(index, stream, width, tagged,
+                                   sink);
+        s.consumed.store(c + 1, std::memory_order_release);
+    }
+}
+
+/** Per-walker result, padded against false sharing. */
+struct alignas(64) WalkerResult
+{
+    u64 matches = 0;
+    std::vector<WalkerPool::MatchRec> recs;
+};
+
+/**
+ * Run the pool: spawn K walker threads, then run the dispatcher
+ * loop on the calling thread. makeSink(w, result) builds walker w's
+ * private sink over its WalkerResult.
+ */
+template <typename MakeSink>
+u64
+runPool(const db::HashIndex &index, std::span<const u64> keys,
+        unsigned walkers, unsigned width, std::size_t batch,
+        bool tagged, WalkerEngine engine,
+        std::vector<WalkerResult> &results, MakeSink &&makeSink)
+{
+    if (keys.empty())
+        return 0;
+    const u64 numChunks = u64((keys.size() + batch - 1) / batch);
+    // Two chunks of run-ahead per walker bounds the dispatcher's
+    // lead (memory: one hash buffer per slot) while keeping every
+    // walker fed.
+    const std::size_t ringSize = std::size_t(
+        std::min<u64>(std::max<unsigned>(2 * walkers, 8), numChunks));
+    auto ring = std::make_unique<Slot[]>(ringSize);
+    std::atomic<u64> ticket{0};
+
+    results.clear();
+    results.resize(walkers);
+    std::vector<std::thread> threads;
+    threads.reserve(walkers);
+    for (unsigned w = 0; w < walkers; ++w)
+        threads.emplace_back([&, w] {
+            auto sink = makeSink(w, results[w]);
+            results[w].matches = drainClaimedChunks(
+                index, keys, ring.get(), ringSize, numChunks, ticket,
+                width, tagged, engine, sink);
+        });
+
+    // Dispatcher loop (this thread): vector-hash chunk c into slot
+    // c % R once the slot's previous tenant (chunk c - R) has been
+    // consumed, then publish it with a release store.
+    for (u64 c = 0; c < numChunks; ++c) {
+        Slot &s = ring[c % ringSize];
+        if (c >= ringSize)
+            for (unsigned spins = 0;
+                 s.consumed.load(std::memory_order_acquire) +
+                     ringSize < c + 1;
+                 ++spins)
+                pauseOrYield(spins);
+        s.base = std::size_t(c) * batch;
+        s.len = std::min<std::size_t>(batch, keys.size() - s.base);
+        index.hashBatch(keys.subspan(s.base, s.len),
+                        {s.hashes.data(), s.len});
+        s.ready.store(c + 1, std::memory_order_release);
+    }
+
+    u64 total = 0;
+    for (auto &t : threads)
+        t.join();
+    for (const WalkerResult &r : results)
+        total += r.matches;
+    return total;
+}
+
+} // namespace
+
+WalkerPool::WalkerPool(const db::HashIndex &index, unsigned width,
+                       PipelineConfig cfg, WalkerEngine engine)
+    : index_(index), width_(width), tagged_(cfg.tagged),
+      engine_(engine),
+      walkers_(std::clamp(cfg.walkers, 1u, kMaxWalkers)),
+      batch_(std::clamp<std::size_t>(
+          cfg.batch ? cfg.batch : db::HashIndex::kProbeBatch, 1,
+          db::HashIndex::kMaxProbeBatch))
+{
+    fatal_if(width_ == 0, "walker width must be nonzero");
+    fatal_if(width_ > kMaxWidth,
+             "walker width exceeds the in-flight cap");
+}
+
+unsigned
+WalkerPool::defaultWalkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::clamp(hw, 1u, kMaxWalkers);
+}
+
+u64
+WalkerPool::probeAll(std::span<const u64> keys) const
+{
+    std::vector<WalkerResult> results;
+    return runPool(index_, keys, walkers_, width_, batch_,
+                   tagged_, engine_, results,
+                   [](unsigned, WalkerResult &) { return NullSink{}; });
+}
+
+u64
+WalkerPool::runBuffered(std::span<const u64> keys,
+                        std::vector<MatchRec> &out) const
+{
+    std::vector<WalkerResult> results;
+    const u64 total = runPool(
+        index_, keys, walkers_, width_, batch_, tagged_, engine_,
+        results, [](unsigned, WalkerResult &r) {
+            return [&r](std::size_t i, u64 key, u64 payload) {
+                r.recs.push_back({i, key, payload});
+            };
+        });
+
+    // Deterministic merge. Every chunk's records sit contiguously
+    // in exactly one walker's buffer (exclusive chunk ownership),
+    // in the engine's single-threaded emission order, and each
+    // walker's buffer is already sorted by chunk id (ticket order).
+    // A K-way merge on chunk id = i / batch therefore reproduces
+    // the same sequence regardless of which walker drained which
+    // chunk — independent of thread timing and of K.
+    out.clear();
+    out.reserve(std::size_t(total));
+    std::vector<std::size_t> pos(results.size(), 0);
+    for (;;) {
+        std::size_t best = results.size();
+        u64 bestChunk = ~u64(0);
+        for (std::size_t w = 0; w < results.size(); ++w) {
+            const auto &recs = results[w].recs;
+            if (pos[w] == recs.size())
+                continue;
+            const u64 chunk = u64(recs[pos[w]].i / batch_);
+            if (chunk < bestChunk) {
+                bestChunk = chunk;
+                best = w;
+            }
+        }
+        if (best == results.size())
+            break;
+        const auto &recs = results[best].recs;
+        while (pos[best] < recs.size() &&
+               u64(recs[pos[best]].i / batch_) == bestChunk)
+            out.push_back(recs[pos[best]++]);
+    }
+    return total;
+}
+
+} // namespace widx::sw

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Multi-threaded walker pool: the paper's one-dispatcher / N-walker
+ * Widx design point realized across host cores.
+ *
+ * One dispatcher thread (the caller) hash-batches keys into a shared
+ * lock-light window ring — a fixed ring of chunk slots, each holding
+ * a batch of vector-hashed keys — and K walker threads drain it.
+ * Walkers claim whole chunks with a single fetch_add ticket (chunked
+ * claiming: one atomic per batch of keys, never per key), re-issue
+ * the tag/bucket prefetch sweep on their own core, and run the
+ * existing tagged AMAC or coroutine probe state machines
+ * (amacDrain/coroDrain) against the shared read-only HashIndex.
+ *
+ * Matches are emitted into per-walker sinks and merged
+ * deterministically: chunk contents and within-chunk emission order
+ * are a pure function of the keys and the engine schedule (each
+ * chunk is drained by exactly one walker's single-threaded state
+ * machine), so replaying chunks in ascending order yields a match
+ * sequence independent of thread timing AND of K. Count-only probes
+ * skip the buffering entirely.
+ *
+ * Synchronization contract (what TSan checks in CI):
+ *  - slot payload (base/len/hashes) is published by the dispatcher's
+ *    release store to `ready` and read after the walker's acquire
+ *    load — never touched concurrently;
+ *  - slot reuse waits for the previous tenant's release store to
+ *    `consumed`;
+ *  - chunk ownership is exclusive via the fetch_add ticket;
+ *  - per-walker match buffers are joined before the merge reads
+ *    them.
+ */
+
+#ifndef WIDX_SWWALKERS_WALKER_POOL_HH
+#define WIDX_SWWALKERS_WALKER_POOL_HH
+
+#include <span>
+#include <vector>
+
+#include "swwalkers/probers.hh"
+
+namespace widx::sw {
+
+/** Probe state machine run by each walker thread. */
+enum class WalkerEngine
+{
+    Amac, ///< AMAC ring of W explicit state machines
+    Coro, ///< the same schedule as C++20 coroutines
+};
+
+/** Hard cap on walker threads (ring sizing, sanity). */
+inline constexpr unsigned kMaxWalkers = 64;
+
+class WalkerPool
+{
+  public:
+    /** One buffered match, replayed into the caller's sink after
+     *  the deterministic merge. */
+    struct MatchRec
+    {
+        std::size_t i; ///< key position in the probed span
+        u64 key;
+        u64 payload;
+    };
+
+    /**
+     * @param width in-flight probes per walker (AMAC/coro W).
+     * @param cfg shared pipeline knobs; cfg.walkers is the walker
+     *        thread count K (clamped to [1, kMaxWalkers]) and
+     *        cfg.batch the chunk granularity of the window ring.
+     */
+    explicit WalkerPool(const db::HashIndex &index, unsigned width = 8,
+                        PipelineConfig cfg = {},
+                        WalkerEngine engine = WalkerEngine::Amac);
+
+    /** Host parallelism clamped to the pool cap; the natural K for
+     *  saturating the machine's aggregate MLP. */
+    static unsigned defaultWalkers();
+
+    unsigned walkers() const { return walkers_; }
+
+    /**
+     * Probe every key, replaying matches into the caller's sink as
+     * sink(i, key, payload) on the calling thread — the sink needs
+     * no thread safety. Emission order is deterministic (see file
+     * header) but is the engine's interleaved order, not the scalar
+     * reference's; the match multiset is identical by construction.
+     *
+     * @return total number of matches.
+     */
+    template <typename Sink>
+    u64
+    probeAll(std::span<const u64> keys, Sink &&sink) const
+    {
+        std::vector<MatchRec> merged;
+        const u64 matches = runBuffered(keys, merged);
+        for (const MatchRec &r : merged)
+            sink(r.i, r.key, r.payload);
+        return matches;
+    }
+
+    /** Count-only probe: per-walker counters, no match buffering. */
+    u64 probeAll(std::span<const u64> keys) const;
+
+    /** The buffered run underlying the sink overload: fills `out`
+     *  with the deterministically merged match sequence. Exposed for
+     *  tests asserting cross-K determinism. */
+    u64 runBuffered(std::span<const u64> keys,
+                    std::vector<MatchRec> &out) const;
+
+  private:
+    const db::HashIndex &index_;
+    unsigned width_;
+    bool tagged_;
+    WalkerEngine engine_;
+    unsigned walkers_; ///< cfg.walkers clamped to [1, kMaxWalkers]
+    std::size_t batch_; ///< cfg.batch clamped to [1, kMaxProbeBatch]
+};
+
+} // namespace widx::sw
+
+#endif // WIDX_SWWALKERS_WALKER_POOL_HH

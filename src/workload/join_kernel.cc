@@ -6,6 +6,7 @@
 #include "common/rng.hh"
 #include "swwalkers/coro.hh"
 #include "swwalkers/probers.hh"
+#include "swwalkers/walker_pool.hh"
 #include "workload/distributions.hh"
 
 namespace widx::wl {
@@ -57,7 +58,7 @@ probeScheduleName(ProbeSchedule sched)
 
 u64
 runKernelProbes(const KernelDataset &data, ProbeSchedule sched,
-                unsigned width, bool tagged)
+                unsigned width, bool tagged, unsigned walkers)
 {
     const std::span<const u64> keys{
         reinterpret_cast<const u64 *>(
@@ -77,6 +78,26 @@ runKernelProbes(const KernelDataset &data, ProbeSchedule sched,
     cfg.tagged = tagged;
     if (sched == ProbeSchedule::Scalar)
         cfg.batch = 0;
+
+    if (walkers > 1) {
+        // Multi-threaded pool: walker threads run the interleaved
+        // state machines; the merged matches replay into the
+        // results region on this thread, so `out` needs no
+        // synchronization. Only the interleaved schedules have a
+        // pool engine — reject the rest loudly rather than
+        // silently measuring AMAC under another schedule's name.
+        fatal_if(sched != ProbeSchedule::Amac &&
+                     sched != ProbeSchedule::Coro,
+                 "walkers > 1 requires the Amac or Coro schedule "
+                 "(got %s)",
+                 probeScheduleName(sched));
+        cfg.walkers = walkers;
+        const auto engine = sched == ProbeSchedule::Coro
+                                ? sw::WalkerEngine::Coro
+                                : sw::WalkerEngine::Amac;
+        return sw::WalkerPool(*data.index, width, cfg, engine)
+            .probeAll(keys, sink);
+    }
 
     switch (sched) {
       case ProbeSchedule::Scalar:

@@ -82,10 +82,19 @@ const char *probeScheduleName(ProbeSchedule sched);
  *
  * @param width in-flight walks (AMAC/coroutines) or group size.
  * @param tagged use the one-byte tag filter.
+ * @param walkers walker threads; > 1 runs the probes on a
+ *        sw::WalkerPool (one dispatcher thread feeding a shared
+ *        window ring, K walker threads draining it) with the
+ *        merged matches written to the results region on the
+ *        calling thread. Only the interleaved schedules have a
+ *        pool engine: sched must be Amac or Coro (anything else is
+ *        fatal, so a schedule sweep can't silently measure AMAC
+ *        under another schedule's name).
  * @return number of matches written.
  */
 u64 runKernelProbes(const KernelDataset &data, ProbeSchedule sched,
-                    unsigned width = 8, bool tagged = true);
+                    unsigned width = 8, bool tagged = true,
+                    unsigned walkers = 1);
 
 } // namespace widx::wl
 

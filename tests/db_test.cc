@@ -393,6 +393,71 @@ TEST(HashJoin, MatchesNestedLoopOracle)
     EXPECT_EQ(jr.probes, 500u);
 }
 
+TEST(HashJoin, WalkerPoolAgreesWithSingleThread)
+{
+    Rng rng(17);
+    Arena arena;
+    Column build("b", ValueKind::U64, arena, 4096);
+    Column probe("p", ValueKind::U64, arena, 20000);
+    for (int i = 0; i < 4096; ++i)
+        build.push(1 + rng.below(2048));
+    for (int i = 0; i < 20000; ++i)
+        probe.push(1 + rng.below(4096)); // ~half the probes miss
+
+    IndexSpec spec;
+    spec.buckets = 4096;
+    JoinResult ref = hashJoin(build, probe, spec, arena, true);
+
+    auto pairMultiset = [](const JoinResult &jr) {
+        std::multiset<std::pair<u64, u64>> m;
+        for (const JoinPair &p : jr.pairs)
+            m.insert({p.buildRow, p.probeRow});
+        return m;
+    };
+    const auto refPairs = pairMultiset(ref);
+
+    for (unsigned walkers : {2u, 4u})
+        for (bool tagged : {false, true}) {
+            sw::PipelineConfig cfg{.tagged = tagged,
+                                   .walkers = walkers};
+            Arena pool_arena;
+            JoinResult jr =
+                hashJoin(build, probe, spec, pool_arena, true, cfg);
+            EXPECT_EQ(jr.matches, ref.matches);
+            EXPECT_EQ(pairMultiset(jr), refPairs);
+        }
+}
+
+TEST(HashJoin, WalkerPoolWidensNarrowProbeColumns)
+{
+    Rng rng(23);
+    Arena arena;
+    Column build("b", ValueKind::U64, arena, 512);
+    Column probe("p", ValueKind::U32, arena, 5000);
+    for (int i = 0; i < 512; ++i)
+        build.push(1 + rng.below(256));
+    for (int i = 0; i < 5000; ++i)
+        probe.push(1 + rng.below(512));
+
+    IndexSpec spec;
+    spec.buckets = 512;
+    HashIndex idx(spec, arena);
+    idx.buildFromColumn(build);
+
+    JoinResult ref = probeAll(idx, probe, true);
+    sw::PipelineConfig cfg{.walkers = 3};
+    JoinResult got = probeAll(idx, probe, true, cfg);
+    EXPECT_EQ(got.matches, ref.matches);
+    EXPECT_EQ(got.probes, ref.probes);
+
+    std::multiset<std::pair<u64, u64>> refm, gotm;
+    for (const JoinPair &p : ref.pairs)
+        refm.insert({p.buildRow, p.probeRow});
+    for (const JoinPair &p : got.pairs)
+        gotm.insert({p.buildRow, p.probeRow});
+    EXPECT_EQ(gotm, refm);
+}
+
 TEST(Sort, SortRowsAndValues)
 {
     Arena arena;

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the CI smoke run.
+
+Compares a google-benchmark JSON results file (the CI smoke run of
+sw_walkers_bench) against the committed bench/baseline.json and fails
+when any pinned probe kernel regresses by more than the threshold
+(default 25% items/s).
+
+When the baseline names a "reference" kernel, every pinned kernel is
+gated on its throughput *relative to the reference measured in the
+same run* (ratio-of-ratios). Host speed then cancels out, so the
+committed baseline stays meaningful across runner generations and a
+slower CI host can't spuriously trip the gate; without a reference
+the comparison is absolute.
+
+The baseline pins a small set of kernels that must stay fast: the
+scalar pipeline and the walker-pool scaling points on the L1-resident
+smoke dataset. Pinned kernels missing from the measured run fail the
+gate too, so a rename can't silently drop coverage.
+
+Refresh the baseline with:
+
+    ./sw_walkers_bench --benchmark_min_time=0.1 \
+        --benchmark_filter='large:0' \
+        --benchmark_out=smoke.json --benchmark_out_format=json
+
+(suffix-less min_time: older libbenchmark rejects "0.1s")
+    python3 tools/bench_regression.py smoke.json bench/baseline.json \
+        --update
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_measured(path):
+    """name -> items_per_second for every benchmark in the run."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        ips = b.get("items_per_second")
+        if ips:
+            out[b["name"]] = float(ips)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("measured", help="benchmark JSON from the smoke run")
+    ap.add_argument("baseline", help="committed bench/baseline.json")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max allowed fractional regression "
+                         "(default 0.25 = 25%%)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline's pinned values from "
+                         "the measured run instead of gating")
+    args = ap.parse_args()
+
+    measured = load_measured(args.measured)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    pinned = baseline["pinned"]
+    reference = baseline.get("reference")
+
+    if args.update:
+        missing = [n for n in list(pinned) + ([reference] if reference
+                                              else [])
+                   if n not in measured]
+        if missing:
+            sys.exit("--update: measured run lacks pinned kernels:\n  "
+                     + "\n  ".join(missing))
+        baseline["pinned"] = {n: measured[n] for n in pinned}
+        if reference:
+            baseline["reference_items_per_second"] = measured[reference]
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"updated {len(pinned)} pinned kernels in {args.baseline}")
+        return
+
+    # Ratio-of-ratios normalization: divide both sides by the
+    # reference kernel's throughput so host speed cancels.
+    norm = 1.0
+    if reference:
+        ref_got = measured.get(reference)
+        ref_base = baseline.get("reference_items_per_second")
+        if ref_got is None:
+            sys.exit(f"reference kernel missing from measured run: "
+                     f"{reference}")
+        if not ref_base:
+            sys.exit("baseline has 'reference' but no "
+                     "'reference_items_per_second'; rerun --update")
+        norm = ref_base / ref_got
+        print(f"reference {reference}: {ref_got:.3e} measured vs "
+              f"{ref_base:.3e} baseline (host factor "
+              f"{1.0 / norm:.2f}x)\n")
+
+    failures = []
+    width = max(map(len, pinned), default=0)
+    for name, base_ips in sorted(pinned.items()):
+        got = measured.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from measured run")
+            print(f"  {name:<{width}}  MISSING")
+            continue
+        ratio = got * norm / base_ips
+        status = "ok"
+        if ratio < 1.0 - args.threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {got:.3e} items/s vs baseline "
+                f"{base_ips:.3e} ({ratio:.2f}x normalized, allowed "
+                f">= {1.0 - args.threshold:.2f}x)")
+        print(f"  {name:<{width}}  {got:>10.3e} vs {base_ips:>10.3e}"
+              f"  {ratio:5.2f}x  {status}")
+
+    if failures:
+        print(f"\n{len(failures)} pinned kernel(s) regressed >"
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nall {len(pinned)} pinned kernels within "
+          f"{args.threshold:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()
