@@ -211,6 +211,37 @@ BM_AmacMisses(benchmark::State &state)
 }
 BENCHMARK(BM_AmacMisses)->ArgNames({"tag"})->Arg(0)->Arg(1);
 
+// SIMD tag-filter isolation: the batched fingerprint sweep over a
+// miss-heavy hash batch — the scalar kernel vs the cpuid-dispatched
+// one (AVX2 tag-byte gathers; on a host without AVX2 both rows run
+// the scalar path and read ~1x). The end-to-end effect on probes
+// shows up in BM_ScalarMisses/tag:1, which rides this sweep inside
+// probeBatch. Args: simd.
+static void
+BM_TagFilter(benchmark::State &state)
+{
+    Dataset &d = large();
+    std::vector<u64> hashes(d.missKeys.size());
+    d.index->hashBatch(d.missKeys, hashes);
+    const std::size_t batch = db::HashIndex::kMaxProbeBatch;
+    u64 bits[db::HashIndex::kMaxProbeBatch / 64];
+    const bool simd = state.range(0) != 0;
+    u64 survivors = 0;
+    std::size_t base = 0;
+    for (auto _ : state) {
+        survivors +=
+            simd ? d.index->tagFilterBatch(hashes.data() + base,
+                                           batch, bits)
+                 : d.index->tagFilterBatchScalar(
+                       hashes.data() + base, batch, bits);
+        base = (base + batch) % (hashes.size() - batch);
+    }
+    state.SetItemsProcessed(i64(state.iterations()) * i64(batch));
+    benchmark::DoNotOptimize(survivors);
+    benchmark::DoNotOptimize(bits);
+}
+BENCHMARK(BM_TagFilter)->ArgNames({"simd"})->Arg(0)->Arg(1);
+
 // ---------------------------------------------------------------------------
 // WalkerPool: one dispatcher thread feeding K walker threads off the
 // shared window ring — the software analogue of scaling the paper's

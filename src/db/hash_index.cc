@@ -1,9 +1,93 @@
 #include "db/hash_index.hh"
 
+#include <bit>
+#include <cstring>
+
 #include "common/bitops.hh"
 #include "common/logging.hh"
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define WIDX_TAG_FILTER_AVX2 1
+#include <immintrin.h>
+#endif
+
 namespace widx::db {
+
+namespace {
+
+/** Scalar fingerprint sweep over hashes [begin, n): the reference
+ *  semantics of tagFilterBatch (and the AVX2 kernel's tail loop). */
+u64
+tagFilterScalarKernel(const u8 *tags, u64 mask, const u64 *hashes,
+                      std::size_t begin, std::size_t n, u64 *bits)
+{
+    u64 survivors = 0;
+    for (std::size_t i = begin; i < n; ++i) {
+        const u64 h = hashes[i];
+        if (tags[h & mask] & HashIndex::tagOf(h)) {
+            bits[i >> 6] |= u64(1) << (i & 63);
+            ++survivors;
+        }
+    }
+    return survivors;
+}
+
+#ifdef WIDX_TAG_FILTER_AVX2
+
+/**
+ * AVX2 fingerprint sweep: per iteration, four tag bytes arrive via
+ * one dword gather (the tag array is padded so the up-to-3-byte
+ * overread past the addressed tag stays in bounds) and the four
+ * fingerprint bits 1 << (((h>>8)^(h>>24)^(h>>44)^(h>>57)) & 7) are
+ * built with vector shifts — the whole reject decision for a batch
+ * runs without a per-key byte load or branch. Compiled with a
+ * target attribute so the TU needs no global -mavx2; callers
+ * runtime-dispatch on cpuid.
+ */
+__attribute__((target("avx2"))) u64
+tagFilterAvx2Kernel(const u8 *tags, u64 mask, const u64 *hashes,
+                    std::size_t n, u64 *bits)
+{
+    const __m256i vmask = _mm256_set1_epi64x(i64(mask));
+    const __m256i vone = _mm256_set1_epi64x(1);
+    const __m256i vseven = _mm256_set1_epi64x(7);
+    const __m256i vff = _mm256_set1_epi64x(0xFF);
+    const __m256i vzero = _mm256_setzero_si256();
+
+    u64 survivors = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i h = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(hashes + i));
+        const __m256i bidx = _mm256_and_si256(h, vmask);
+        const __m128i gathered = _mm256_i64gather_epi32(
+            reinterpret_cast<const int *>(tags), bidx, 1);
+        const __m256i tag = _mm256_and_si256(
+            _mm256_cvtepu32_epi64(gathered), vff);
+        const __m256i folded = _mm256_xor_si256(
+            _mm256_xor_si256(_mm256_srli_epi64(h, 8),
+                             _mm256_srli_epi64(h, 24)),
+            _mm256_xor_si256(_mm256_srli_epi64(h, 44),
+                             _mm256_srli_epi64(h, 57)));
+        const __m256i fp = _mm256_sllv_epi64(
+            vone, _mm256_and_si256(folded, vseven));
+        // All-ones lanes mark rejects; invert to a survivor nibble.
+        const __m256i rej = _mm256_cmpeq_epi64(
+            _mm256_and_si256(tag, fp), vzero);
+        const unsigned surv =
+            ~unsigned(_mm256_movemask_pd(_mm256_castsi256_pd(rej))) &
+            0xFu;
+        // i is a multiple of 4, so the nibble never straddles words.
+        bits[i >> 6] |= u64(surv) << (i & 63);
+        survivors += unsigned(std::popcount(surv));
+    }
+    return survivors +
+           tagFilterScalarKernel(tags, mask, hashes, i, n, bits);
+}
+
+#endif // WIDX_TAG_FILTER_AVX2
+
+} // namespace
 
 HashIndex::HashIndex(const IndexSpec &spec, Arena &arena)
     : spec_(spec), arena_(arena)
@@ -17,9 +101,11 @@ HashIndex::HashIndex(const IndexSpec &spec, Arena &arena)
     buckets_ = static_cast<Bucket *>(arena_.allocateBytes(
         numBuckets_ * sizeof(Bucket), kCacheBlockBytes));
     // Tag array: one byte per bucket, zero-initialized by the arena,
-    // so every empty bucket starts out rejecting all probes.
+    // so every empty bucket starts out rejecting all probes. Eight
+    // pad bytes at the end keep the AVX2 tag filter's dword gathers
+    // (which read up to 3 bytes past the addressed tag) in bounds.
     tags_ = static_cast<u8 *>(
-        arena_.allocateBytes(numBuckets_, kCacheBlockBytes));
+        arena_.allocateBytes(numBuckets_ + 8, kCacheBlockBytes));
     sentinelCell_ = arena_.make<u64>(kEmptyKey);
     const u64 empty_key =
         spec_.indirectKeys
@@ -69,6 +155,43 @@ HashIndex::buildFromColumn(const Column &keys)
 {
     for (RowId r = 0; r < keys.size(); ++r)
         insert(keys.at(r), r, keys.addrOf(r));
+}
+
+bool
+HashIndex::tagFilterHasSimd()
+{
+#ifdef WIDX_TAG_FILTER_AVX2
+    static const bool have = __builtin_cpu_supports("avx2");
+    return have;
+#else
+    return false;
+#endif
+}
+
+u64
+HashIndex::tagFilterBatchScalar(const u64 *hashes, std::size_t n,
+                                u64 *bits) const
+{
+    std::memset(bits, 0, ((n + 63) / 64) * sizeof(u64));
+    return tagFilterScalarKernel(tags_, bucketMask(), hashes, 0, n,
+                                 bits);
+}
+
+u64
+HashIndex::tagFilterBatch(const u64 *hashes, std::size_t n,
+                          u64 *bits) const
+{
+    u64 survivors;
+#ifdef WIDX_TAG_FILTER_AVX2
+    if (tagFilterHasSimd()) {
+        std::memset(bits, 0, ((n + 63) / 64) * sizeof(u64));
+        survivors = tagFilterAvx2Kernel(tags_, bucketMask(), hashes,
+                                        n, bits);
+    } else
+#endif
+        survivors = tagFilterBatchScalar(hashes, n, bits);
+    tagStats_.note(n, n - survivors);
+    return survivors;
 }
 
 u64

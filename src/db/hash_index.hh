@@ -50,6 +50,7 @@
 #define WIDX_DB_HASH_INDEX_HH
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <span>
 #include <string>
@@ -61,6 +62,84 @@
 #include "db/value.hh"
 
 namespace widx::db {
+
+/**
+ * Running tag-filter effectiveness stats (adaptive tagging): the
+ * batched probe paths report how many keys the one-byte fingerprint
+ * filter rejected, and consumers flip the filter off when it stops
+ * paying for itself — the filter costs a byte load per probe and
+ * only earns it back by skipping bucket lines. Counters are relaxed
+ * atomics shared by concurrent walkers: the stats guide a heuristic,
+ * not correctness, so lossy updates are fine.
+ */
+class TagFilterStats
+{
+  public:
+    /** Counters halve once this many keys accumulate, so a
+     *  long-lived service tracks traffic shifts instead of being
+     *  pinned to its first workload. */
+    static constexpr u64 kWindowKeys = u64(1) << 22;
+    /** Keys observed before the recommendation overrides the
+     *  caller's configured default. */
+    static constexpr u64 kMinSampleKeys = 4096;
+    /** Reject percentage below which the filter's byte load costs
+     *  more than the bucket lines it saves (hit-dominated probes pay
+     *  a few percent for nothing; selective ones win ~25%). */
+    static constexpr u64 kMinRejectPct = 5;
+
+    /** Record one batched sweep: n keys checked, r rejected. */
+    void
+    note(u64 n, u64 r) const
+    {
+        const u64 total =
+            keys_.fetch_add(n, std::memory_order_relaxed) + n;
+        rejects_.fetch_add(r, std::memory_order_relaxed);
+        if (total >= kWindowKeys) {
+            // Exponential aging; racy halving is benign (stats).
+            keys_.store(total / 2, std::memory_order_relaxed);
+            rejects_.store(
+                rejects_.load(std::memory_order_relaxed) / 2,
+                std::memory_order_relaxed);
+        }
+    }
+
+    u64 keys() const { return keys_.load(std::memory_order_relaxed); }
+
+    u64
+    rejects() const
+    {
+        return rejects_.load(std::memory_order_relaxed);
+    }
+
+    double
+    rejectRate() const
+    {
+        const u64 k = keys();
+        return k == 0 ? 0.0 : double(rejects()) / double(k);
+    }
+
+    /** Should the tag filter stay on? Falls back to the caller's
+     *  configured value until the sample is large enough. */
+    bool
+    worthwhile(bool fallback) const
+    {
+        const u64 k = keys();
+        if (k < kMinSampleKeys)
+            return fallback;
+        return rejects() * 100 >= k * kMinRejectPct;
+    }
+
+    void
+    reset() const
+    {
+        keys_.store(0, std::memory_order_relaxed);
+        rejects_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    mutable std::atomic<u64> keys_{0};
+    mutable std::atomic<u64> rejects_{0};
+};
 
 /** Construction-time description of a hash index. */
 struct IndexSpec
@@ -188,6 +267,30 @@ class HashIndex
     }
 
     /**
+     * Batched fingerprint filter (the dispatcher's tag sweep as one
+     * kernel): sets bit i of `bits` when hash i's bucket may match
+     * (no false negatives). `bits` must hold at least
+     * (n + 63) / 64 words; they are fully overwritten. Dispatches to
+     * an AVX2 kernel — four tag-byte gathers and a vector
+     * fingerprint compare per iteration — when the host supports it
+     * (runtime cpuid, scalar fallback otherwise), and feeds the
+     * adaptive-tagging stats either way.
+     *
+     * @return number of surviving keys.
+     */
+    u64 tagFilterBatch(const u64 *hashes, std::size_t n,
+                       u64 *bits) const;
+
+    /** Scalar reference implementation of tagFilterBatch (also the
+     *  non-AVX2 fallback). Public so benches and tests can compare
+     *  the two paths; does not touch the stats. */
+    u64 tagFilterBatchScalar(const u64 *hashes, std::size_t n,
+                             u64 *bits) const;
+
+    /** Does this host take the AVX2 tag-filter path? */
+    static bool tagFilterHasSimd();
+
+    /**
      * Decoupled batch probe: the shared software pipeline under
      * db::probeAll/hashJoin and sw::ScalarProber.
      *
@@ -244,23 +347,39 @@ class HashIndex
                                         : 0;
 
             // Walker stage: the tag sweep reads bytes prefetched a
-            // full batch ago and arms header prefetches for
-            // surviving buckets only, then the walks emit through
-            // the inlined sink.
-            if (tagged)
+            // full batch ago — one vectorized tagFilterBatch kernel
+            // instead of per-key byte loads — and arms header
+            // prefetches for surviving buckets only, then the walks
+            // emit through the inlined sink (rejected keys never
+            // touch a bucket line, and survivors skip the repeat
+            // tag check).
+            if (tagged) {
+                u64 bits[kMaxProbeBatch / 64];
+                tagFilterBatch(cur, n, bits);
+                for (std::size_t i = 0; i < n; ++i)
+                    if (bits[i >> 6] >> (i & 63) & 1)
+                        prefetchRead(&buckets_[cur[i] & bucketMask()]);
                 for (std::size_t i = 0; i < n; ++i) {
-                    const u64 bidx = cur[i] & bucketMask();
-                    if (tags_[bidx] & tagOf(cur[i]))
-                        prefetchRead(&buckets_[bidx]);
+                    if (!(bits[i >> 6] >> (i & 63) & 1))
+                        continue;
+                    const u64 key = keys[base + i];
+                    matches += probeHashed(
+                        key, cur[i],
+                        [&](u64 payload) {
+                            sink(base + i, key, payload);
+                        },
+                        false);
                 }
-            for (std::size_t i = 0; i < n; ++i) {
-                const u64 key = keys[base + i];
-                matches += probeHashed(
-                    key, cur[i],
-                    [&](u64 payload) {
-                        sink(base + i, key, payload);
-                    },
-                    tagged);
+            } else {
+                for (std::size_t i = 0; i < n; ++i) {
+                    const u64 key = keys[base + i];
+                    matches += probeHashed(
+                        key, cur[i],
+                        [&](u64 payload) {
+                            sink(base + i, key, payload);
+                        },
+                        false);
+                }
             }
 
             std::swap(cur, ahead);
@@ -340,6 +459,37 @@ class HashIndex
         return tags_[bidx & bucketMask()] & tagOf(hash);
     }
 
+    // --- Probe surface (hash-addressed) --------------------------------
+    //
+    // The interleaved drains (sw::amacDrain / sw::coroDrain) are
+    // templated on an Index type exposing these four calls, so the
+    // same state machines serve a flat HashIndex and the service's
+    // hash-range-sharded sw::ShardedIndex. Everything is addressed
+    // by the full hash: how the hash folds into an array index (one
+    // bucket mask here, shard-selector bits plus a per-shard mask
+    // there) stays the index's business.
+
+    /** tagMayMatch from the full hash. */
+    bool
+    tagMayMatchHash(u64 hash) const
+    {
+        return tags_[hash & bucketMask()] & tagOf(hash);
+    }
+
+    /** Address of the hash's tag byte (coroutine tag prefetch). */
+    const u8 *
+    tagAddrFor(u64 hash) const
+    {
+        return &tags_[hash & bucketMask()];
+    }
+
+    /** Header node of the hash's bucket. */
+    const Node *
+    bucketHeadFor(u64 hash) const
+    {
+        return &buckets_[hash & bucketMask()].head;
+    }
+
     const u8 *tagArray() const { return tags_; }
 
     Addr
@@ -349,6 +499,19 @@ class HashIndex
     }
 
     // --- Statistics ----------------------------------------------------
+
+    /** Observed tag-filter effectiveness (fed by the batched sweep
+     *  paths: probeBatch, walker-pool chunks, service windows). */
+    const TagFilterStats &tagStats() const { return tagStats_; }
+
+    /** Adaptive tagging: keep the filter on? (see TagFilterStats;
+     *  `fallback` is the caller's configured default, returned until
+     *  enough keys have been sampled). */
+    bool
+    taggedWorthwhile(bool fallback) const
+    {
+        return tagStats_.worthwhile(fallback);
+    }
 
     u64 entries() const { return entries_; }
 
@@ -379,6 +542,7 @@ class HashIndex
     unsigned bucketShift_; ///< log2(kBucketStride)
     u64 entries_ = 0;
     u64 overflowNodes_ = 0;
+    TagFilterStats tagStats_;
     /** Sentinel key cell that empty indirect headers point to. */
     u64 *sentinelCell_;
 };

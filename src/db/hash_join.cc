@@ -5,7 +5,7 @@
 #include <span>
 #include <vector>
 
-#include "swwalkers/walker_pool.hh"
+#include "service/index_service.hh"
 
 namespace widx::db {
 
@@ -18,12 +18,49 @@ secondsSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(delta).count();
 }
 
+/** One contiguous u64 view of a key column: the storage in place
+ *  for 8-byte columns, widened through `storage` otherwise. */
+std::span<const u64>
+contiguousKeys(const Column &col, std::vector<u64> &storage)
+{
+    const u64 n = col.size();
+    if (col.elemWidth() == 8)
+        return {reinterpret_cast<const u64 *>(
+                    std::uintptr_t(col.baseAddr())),
+                n};
+    storage.resize(n);
+    for (u64 i = 0; i < n; ++i)
+        storage[i] = col.at(i);
+    return storage;
+}
+
 } // namespace
 
 JoinResult
 probeAll(const HashIndex &index, const Column &probe_keys,
          bool materialize, const sw::PipelineConfig &cfg)
 {
+    if (cfg.walkers > 1) {
+        // Multi-walker one-shot: a scoped service instance — the
+        // same persistent-walker machinery long-lived callers hold
+        // onto, constructed and torn down around this single call.
+        // probeSeconds covers the service's thread spawn and join
+        // too: that per-call tax is real for one-shot callers (it's
+        // exactly what holding a service amortizes), and PR 2's
+        // pool path timed it the same way.
+        auto start = std::chrono::steady_clock::now();
+        JoinResult result;
+        {
+            sw::ServiceConfig scfg;
+            scfg.walkers = cfg.walkers;
+            scfg.pipeline = cfg;
+            sw::IndexService service(index, scfg);
+            result = probeAll(service, probe_keys, materialize);
+        }
+        result.probeSeconds = secondsSince(start);
+        return result;
+    }
+
     JoinResult result;
     const u64 n = probe_keys.size();
     result.probes = n;
@@ -32,19 +69,16 @@ probeAll(const HashIndex &index, const Column &probe_keys,
     // vector-hashed and their tag/bucket lines prefetched a batch at
     // a time before any bucket walk starts. The batched-scalar
     // schedule walks keys in row order and chains in node order, so
-    // the emitted pair sequence is identical to the classic loop's;
-    // the walker pool emits in its deterministic chunk-merged order
-    // instead.
+    // the emitted pair sequence is identical to the classic loop's.
     if (materialize)
         result.pairs.reserve(n);
 
-    auto sink = [&](std::size_t r, u64, u64 payload) {
-        if (materialize)
-            result.pairs.push_back({payload, RowId(r)});
-    };
+    const bool tagged = sw::effectiveTagged(index, cfg);
+    const std::size_t batch =
+        cfg.batch ? cfg.batch : HashIndex::kProbeBatch;
 
     auto start = std::chrono::steady_clock::now();
-    if (probe_keys.elemWidth() != 8 && cfg.walkers <= 1) {
+    if (probe_keys.elemWidth() != 8) {
         // Narrow columns widen through the 64-bit carrier, staged
         // through a stack buffer of several dispatcher batches so
         // probeBatch's dispatch-ahead pipeline still overlaps
@@ -63,43 +97,49 @@ probeAll(const HashIndex &index, const Column &probe_keys,
                         result.pairs.push_back(
                             {payload, RowId(base + i)});
                 },
-                cfg.tagged,
-                cfg.batch ? cfg.batch : HashIndex::kProbeBatch);
+                tagged, batch);
         }
         result.probeSeconds = secondsSince(start);
         return result;
     }
 
-    // One contiguous u64 span: the column storage in place, or —
-    // for narrow columns under the pool — widened up front so
-    // walker threads can claim chunks of it.
-    std::span<const u64> keys;
-    std::vector<u64> widened;
-    if (probe_keys.elemWidth() == 8) {
-        keys = {reinterpret_cast<const u64 *>(
-                    std::uintptr_t(probe_keys.baseAddr())),
-                n};
-    } else {
-        widened.resize(n);
-        for (u64 i = 0; i < n; ++i)
-            widened[i] = probe_keys.at(i);
-        keys = widened;
-    }
+    const std::span<const u64> keys{
+        reinterpret_cast<const u64 *>(
+            std::uintptr_t(probe_keys.baseAddr())),
+        n};
+    result.matches = index.probeBatch(
+        keys,
+        [&](std::size_t r, u64, u64 payload) {
+            if (materialize)
+                result.pairs.push_back({payload, RowId(r)});
+        },
+        tagged, batch);
+    result.probeSeconds = secondsSince(start);
+    return result;
+}
 
-    if (cfg.walkers > 1) {
-        // Walker pool: the dispatcher (this thread) feeds the
-        // window ring, K walker threads drain it, and the merged
-        // matches replay into the single-threaded sink above.
-        // Count-only joins take the unbuffered overload:
-        // per-walker counters, no match records, no merge.
-        sw::WalkerPool pool(index, 8, cfg);
-        result.matches = materialize ? pool.probeAll(keys, sink)
-                                     : pool.probeAll(keys);
-    } else {
-        result.matches = index.probeBatch(
-            keys, sink, cfg.tagged,
-            cfg.batch ? cfg.batch : HashIndex::kProbeBatch);
+JoinResult
+probeAll(sw::IndexService &service, const Column &probe_keys,
+         bool materialize)
+{
+    JoinResult result;
+    result.probes = probe_keys.size();
+
+    std::vector<u64> widened;
+    const std::span<const u64> keys =
+        contiguousKeys(probe_keys, widened);
+
+    auto start = std::chrono::steady_clock::now();
+    if (!materialize) {
+        result.matches = service.count(keys);
+        result.probeSeconds = secondsSince(start);
+        return result;
     }
+    sw::ServiceResult r = service.join(keys);
+    result.matches = r.matches;
+    result.pairs.reserve(r.recs.size());
+    for (const sw::MatchRec &rec : r.recs)
+        result.pairs.push_back({rec.payload, RowId(rec.i)});
     result.probeSeconds = secondsSince(start);
     return result;
 }

@@ -19,6 +19,10 @@
 #include "db/hash_index.hh"
 #include "swwalkers/pipeline_config.hh"
 
+namespace widx::sw {
+class IndexService;
+}
+
 namespace widx::db {
 
 /** One matched pair of row ids (build row, probe row). */
@@ -47,11 +51,14 @@ struct JoinResult
  * @param arena storage for the index.
  * @param materialize when false, matches are counted but not stored
  *        (large joins in benchmarks).
- * @param cfg probe-pipeline knobs: batch/tagged select the
- *        dispatcher schedule; cfg.walkers > 1 runs the probe phase
- *        on a sw::WalkerPool (one dispatcher thread, K walker
- *        threads over the shared window ring) with matches merged
- *        deterministically back onto the calling thread.
+ * @param cfg probe-pipeline knobs: batch/tagged/adaptiveTags select
+ *        the dispatcher schedule; cfg.walkers > 1 runs the probe
+ *        phase on a scoped sw::IndexService (K persistent walker
+ *        threads serving this one call) with matches merged
+ *        deterministically — probeBatch order — back onto the
+ *        calling thread. Callers probing repeatedly should hold a
+ *        service and use the IndexService overload of probeAll
+ *        instead, paying the thread-spawn tax once.
  */
 JoinResult hashJoin(const Column &build_keys, const Column &probe_keys,
                     const IndexSpec &spec, Arena &arena,
@@ -67,6 +74,17 @@ JoinResult hashJoin(const Column &build_keys, const Column &probe_keys,
 JoinResult probeAll(const HashIndex &index, const Column &probe_keys,
                     bool materialize = true,
                     const sw::PipelineConfig &cfg = {});
+
+/**
+ * Probe through a long-lived sw::IndexService: the column's keys
+ * are submitted as one join request and served by the service's
+ * parked walkers (and shards), so repeated calls pay no per-call
+ * thread spawn. The emitted pair sequence is byte-identical to the
+ * single-threaded probeBatch path.
+ */
+JoinResult probeAll(sw::IndexService &service,
+                    const Column &probe_keys,
+                    bool materialize = true);
 
 } // namespace widx::db
 

@@ -1,0 +1,323 @@
+#include "service/index_service.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "swwalkers/coro.hh"
+
+namespace widx::sw {
+
+namespace detail {
+
+/**
+ * One submitted request. Chunk c's records are written by exactly
+ * one walker (the one that drained c's window) into perChunk[c];
+ * the walker that retires the last chunk assembles the result and
+ * signals the client. `remaining` decrements with acq_rel so the
+ * assembler observes every other walker's chunk writes.
+ */
+struct ServiceRequest
+{
+    RequestKind kind = RequestKind::Count;
+    std::span<const u64> keys;
+    std::atomic<u64> remaining{0};
+    std::atomic<u64> count{0}; ///< Count-kind tally
+    std::vector<std::vector<MatchRec>> perChunk;
+
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    ServiceResult result;
+
+    void
+    finalize()
+    {
+        ServiceResult r;
+        if (kind == RequestKind::Count) {
+            r.matches = count.load(std::memory_order_relaxed);
+        } else {
+            std::size_t total = 0;
+            for (const auto &c : perChunk)
+                total += c.size();
+            r.recs.reserve(total);
+            for (auto &c : perChunk)
+                r.recs.insert(r.recs.end(), c.begin(), c.end());
+            r.matches = total;
+            perChunk.clear();
+        }
+        {
+            std::lock_guard<std::mutex> lk(m);
+            result = std::move(r);
+            done = true;
+        }
+        cv.notify_all();
+    }
+};
+
+} // namespace detail
+
+ServiceResult
+ResultTicket::get()
+{
+    fatal_if(!req_, "get() on an empty ResultTicket");
+    std::unique_lock<std::mutex> lk(req_->m);
+    req_->cv.wait(lk, [&] { return req_->done; });
+    ServiceResult r = std::move(req_->result);
+    lk.unlock();
+    req_.reset();
+    return r;
+}
+
+IndexService::IndexService(const db::HashIndex &index,
+                           const ServiceConfig &cfg)
+    : index_(index), cfg_(cfg)
+{
+    start();
+}
+
+IndexService::IndexService(const db::Column &buildKeys,
+                           const db::IndexSpec &spec,
+                           const ServiceConfig &cfg)
+    : index_(buildKeys, spec, cfg.shards, cfg.numa, cfg.pinWalkers),
+      cfg_(cfg)
+{
+    start();
+}
+
+void
+IndexService::start()
+{
+    chunk_ = std::clamp<std::size_t>(
+        cfg_.pipeline.batch ? cfg_.pipeline.batch
+                            : db::HashIndex::kProbeBatch,
+        1, db::HashIndex::kMaxProbeBatch);
+    width_ = std::clamp(cfg_.width, 1u, kMaxWidth);
+    const unsigned walkers =
+        std::clamp(cfg_.walkers, 1u, kMaxWalkers);
+    threads_.reserve(walkers);
+    for (unsigned w = 0; w < walkers; ++w)
+        threads_.emplace_back([this, w] { walkerMain(w); });
+}
+
+IndexService::~IndexService()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+ResultTicket
+IndexService::submit(RequestKind kind, std::span<const u64> keys)
+{
+    auto req = std::make_shared<detail::ServiceRequest>();
+    req->kind = kind;
+    req->keys = keys;
+
+    nRequests_.fetch_add(1, std::memory_order_relaxed);
+    nKeys_.fetch_add(keys.size(), std::memory_order_relaxed);
+
+    const u64 num_chunks = (keys.size() + chunk_ - 1) / chunk_;
+    if (num_chunks == 0) {
+        // Nothing to do: complete before the ticket escapes.
+        req->done = true;
+        return ResultTicket(req);
+    }
+    req->remaining.store(num_chunks, std::memory_order_relaxed);
+    if (kind != RequestKind::Count)
+        req->perChunk.resize(num_chunks);
+
+    unsigned added = 0;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        // Full chunks seal immediately as single-segment windows.
+        std::size_t c = 0;
+        std::size_t base = 0;
+        for (; base + chunk_ <= keys.size();
+             base += chunk_, ++c) {
+            Window w;
+            w.segs.push_back(Segment{req, c, base, u32(chunk_)});
+            w.keys = u32(chunk_);
+            sealed_.push_back(std::move(w));
+            ++added;
+        }
+        // The sub-chunk tail coalesces into the shared open window
+        // with other requests' tails (admission batching). Tails
+        // are never split: seal the open window first if this one
+        // would overflow it.
+        if (base < keys.size()) {
+            const u32 len = u32(keys.size() - base);
+            if (open_.keys + len > chunk_) {
+                sealed_.push_back(std::move(open_));
+                open_ = Window{};
+                ++added;
+            }
+            open_.segs.push_back(Segment{req, c, base, len});
+            open_.keys += len;
+            if (open_.keys == chunk_) {
+                sealed_.push_back(std::move(open_));
+                open_ = Window{};
+                ++added;
+            }
+        }
+    }
+    // Tail-only submissions still wake one walker: an idle walker
+    // grabs the open window rather than waiting for it to fill.
+    if (added > 1)
+        cv_.notify_all();
+    else
+        cv_.notify_one();
+    return ResultTicket(std::move(req));
+}
+
+void
+IndexService::walkerMain(unsigned w)
+{
+    if (cfg_.pinWalkers)
+        pinCurrentThread(w);
+    for (;;) {
+        Window win;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            cv_.wait(lk, [&] {
+                return stop_ || !sealed_.empty() || open_.keys > 0;
+            });
+            if (!sealed_.empty()) {
+                win = std::move(sealed_.front());
+                sealed_.pop_front();
+            } else if (open_.keys > 0) {
+                // Nothing sealed and this walker is idle: serve the
+                // coalescing window now instead of stalling its
+                // requests (latency floor for lone small probes).
+                win = std::move(open_);
+                open_ = Window{};
+            } else {
+                return; // stop_ and every queue drained
+            }
+        }
+        nWindows_.fetch_add(1, std::memory_order_relaxed);
+        if (win.segs.size() > 1)
+            nCoalesced_.fetch_add(1, std::memory_order_relaxed);
+        processWindow(win);
+    }
+}
+
+void
+IndexService::processWindow(Window &win)
+{
+    // Single-shard services (including views of an existing index)
+    // drain against the flat HashIndex — no per-key shard resolve,
+    // and the AVX2 tag filter applies.
+    if (const db::HashIndex *flat = index_.flatIndex())
+        drainWindow(*flat, win);
+    else
+        drainWindow(index_, win);
+}
+
+template <typename Index>
+void
+IndexService::drainWindow(const Index &idx, Window &win)
+{
+    /** Window ordinal -> owning segment and request-relative key
+     *  position. */
+    struct Ref
+    {
+        u32 seg;
+        std::size_t pos;
+    };
+
+    u64 wkeys[db::HashIndex::kMaxProbeBatch];
+    u64 hashes[db::HashIndex::kMaxProbeBatch];
+    Ref refs[db::HashIndex::kMaxProbeBatch];
+
+    // Dispatcher stage, run by the draining walker on its own core:
+    // gather the window's segments and vector-hash each one.
+    std::size_t off = 0;
+    for (std::size_t s = 0; s < win.segs.size(); ++s) {
+        const Segment &seg = win.segs[s];
+        const std::span<const u64> keys =
+            seg.req->keys.subspan(seg.base, seg.len);
+        std::copy(keys.begin(), keys.end(), wkeys + off);
+        idx.hashBatch(keys, {hashes + off, keys.size()});
+        for (u32 j = 0; j < seg.len; ++j)
+            refs[off + j] = Ref{u32(s), seg.base + j};
+        off += seg.len;
+    }
+
+    // Tag sweep: batched fingerprint filter plus survivor-only
+    // header prefetches (the drain's own tag check stays off — the
+    // stream skips rejected ordinals). Adaptive mode keeps its
+    // stats alive after flipping the filter off by running every
+    // 32nd untagged window tagged anyway: the sweep is correct
+    // either way (no false negatives), and the periodic sample is
+    // what lets the recommendation swing back on when traffic turns
+    // selective again.
+    bool tagged = effectiveTagged(idx, cfg_.pipeline);
+    if (cfg_.pipeline.adaptiveTags && !tagged &&
+        nUntagged_.fetch_add(1, std::memory_order_relaxed) % 32 ==
+            0)
+        tagged = true;
+    u64 bits[db::HashIndex::kMaxProbeBatch / 64];
+    if (tagged)
+        tagFilterAndPrefetch(idx, hashes, off, bits);
+    else
+        idx.prefetchStage(hashes, off, false);
+
+    // Drain through the interleaved engine; records land in
+    // per-segment scratch tagged with request-relative positions.
+    std::vector<std::vector<MatchRec>> seg_recs(win.segs.size());
+    std::vector<u64> seg_count(win.segs.size(), 0);
+    auto sink = [&](std::size_t o, u64 key, u64 payload) {
+        const Ref r = refs[o];
+        if (win.segs[r.seg].req->kind == RequestKind::Count)
+            ++seg_count[r.seg];
+        else
+            seg_recs[r.seg].push_back({r.pos, key, payload});
+    };
+    HashedChunkStream stream(wkeys, hashes, off,
+                             tagged ? bits : nullptr, 0);
+    if (cfg_.engine == WalkerEngine::Coro)
+        coroDrain(idx, stream, width_, false, sink);
+    else
+        amacDrain(idx, stream, width_, false, sink);
+
+    // Retire each segment: records sort back into probeBatch order
+    // (stable on key position — the engines interleave across keys
+    // but emit each key's matches in chain order), land in the
+    // request's (request, chunk) slot, and the last chunk to retire
+    // assembles and publishes the result.
+    for (std::size_t s = 0; s < win.segs.size(); ++s) {
+        Segment &seg = win.segs[s];
+        detail::ServiceRequest &req = *seg.req;
+        if (req.kind == RequestKind::Count) {
+            req.count.fetch_add(seg_count[s],
+                                std::memory_order_relaxed);
+        } else {
+            std::stable_sort(seg_recs[s].begin(), seg_recs[s].end(),
+                             [](const MatchRec &a,
+                                const MatchRec &b) {
+                                 return a.i < b.i;
+                             });
+            req.perChunk[seg.chunkIdx] = std::move(seg_recs[s]);
+        }
+        if (req.remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+            1)
+            req.finalize();
+    }
+}
+
+ServiceStats
+IndexService::stats() const
+{
+    ServiceStats s;
+    s.requests = nRequests_.load(std::memory_order_relaxed);
+    s.keys = nKeys_.load(std::memory_order_relaxed);
+    s.windows = nWindows_.load(std::memory_order_relaxed);
+    s.coalescedWindows = nCoalesced_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace widx::sw

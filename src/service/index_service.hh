@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Persistent index service: always-on walkers serving concurrent
+ * probe / count / hash-join requests.
+ *
+ * The paper's dispatcher/walker split — and PR 2's WalkerPool —
+ * assume one big probe phase: spawn K threads, drain one key span,
+ * join. A server handling many small concurrent queries inverts the
+ * shape: requests are tiny, arrive from many client threads, and
+ * never stop. IndexService turns the walker machinery into a
+ * long-lived server object:
+ *
+ *  - **Shards.** The service owns a ShardedIndex: the bucket+tag
+ *    space hash-range-partitioned into S per-arena shards (shard
+ *    selector folded into the bucket indexing, FirstTouch placement
+ *    optional), or a single-shard view of an existing HashIndex.
+ *
+ *  - **Persistent walkers.** K walker threads are spawned once and
+ *    park on a condvar between requests — no per-call thread spawn
+ *    or join. Optional round-robin CPU pinning.
+ *
+ *  - **Submission / completion.** Clients submit(kind, keys) from
+ *    any thread (the submission queue is a mutex-guarded MPSC
+ *    structure — contended per request, never per key) and get a
+ *    ResultTicket future; ticket.get() blocks until the request's
+ *    last chunk completes.
+ *
+ *  - **Admission batching.** Each request is sliced into chunks of
+ *    `pipeline.batch` keys. Full chunks become sealed dispatch
+ *    windows immediately; sub-chunk tails land in one shared *open*
+ *    window where concurrent small requests coalesce. A walker with
+ *    nothing sealed grabs the open window as-is, so a lone small
+ *    request is served immediately — but when walkers are busy the
+ *    open window keeps filling, and the AMAC/coroutine drains see
+ *    full-width windows even when every client sends a handful of
+ *    keys.
+ *
+ *  - **Determinism.** A window is drained by exactly one walker;
+ *    its per-chunk records are stable-sorted by key position
+ *    (preserving per-key chain order) and merged by (request,
+ *    chunk) id, so every request's result sequence is byte-
+ *    identical to a single-threaded HashIndex::probeBatch over its
+ *    keys — independent of walker count, shard count, coalescing,
+ *    and thread timing.
+ *
+ * See src/service/README.md for the architecture write-up.
+ */
+
+#ifndef WIDX_SERVICE_INDEX_SERVICE_HH
+#define WIDX_SERVICE_INDEX_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "service/service_config.hh"
+#include "service/sharded_index.hh"
+#include "swwalkers/probers.hh"
+
+namespace widx::sw {
+
+/** What a request asks the walkers to do with its keys. */
+enum class RequestKind
+{
+    Count, ///< tally matches; no records materialized
+    Probe, ///< materialize (i, key, payload) records
+    Join,  ///< probe-side of a hash join: identical records, read
+           ///< as (probe row i, key, build row payload)
+};
+
+/** A served request's result. For Probe/Join, `recs` is the exact
+ *  sequence a single-threaded probeBatch over the request's keys
+ *  would emit (ascending key position, chain order within a key). */
+struct ServiceResult
+{
+    u64 matches = 0;
+    std::vector<MatchRec> recs;
+};
+
+namespace detail {
+struct ServiceRequest;
+}
+
+/** One-shot future for a submitted request. */
+class ResultTicket
+{
+  public:
+    ResultTicket() = default;
+
+    bool valid() const { return req_ != nullptr; }
+
+    /** Block until served; returns the result and invalidates the
+     *  ticket. */
+    ServiceResult get();
+
+  private:
+    friend class IndexService;
+    explicit ResultTicket(std::shared_ptr<detail::ServiceRequest> r)
+        : req_(std::move(r))
+    {
+    }
+
+    std::shared_ptr<detail::ServiceRequest> req_;
+};
+
+/** Service traffic counters (relaxed; monotone since construction). */
+struct ServiceStats
+{
+    u64 requests = 0;
+    u64 keys = 0;
+    u64 windows = 0;          ///< dispatch windows drained
+    u64 coalescedWindows = 0; ///< windows spanning >1 request tail
+};
+
+class IndexService
+{
+  public:
+    /** Serve an existing index (single shard, no copy; the index
+     *  and its arena must outlive the service). */
+    explicit IndexService(const db::HashIndex &index,
+                          const ServiceConfig &cfg = {});
+
+    /** Build cfg.shards hash-range shards from a key column and
+     *  serve them (payload r = row id r). */
+    IndexService(const db::Column &buildKeys,
+                 const db::IndexSpec &spec,
+                 const ServiceConfig &cfg = {});
+
+    /** Drains every outstanding request, then parks and joins the
+     *  walkers. Submitting during destruction is undefined. */
+    ~IndexService();
+
+    IndexService(const IndexService &) = delete;
+    IndexService &operator=(const IndexService &) = delete;
+
+    /**
+     * Submit a request from any thread. The key span must stay
+     * valid until the returned ticket's get() completes. Empty key
+     * spans complete immediately.
+     */
+    ResultTicket submit(RequestKind kind, std::span<const u64> keys);
+
+    /** submit + get conveniences. */
+    ServiceResult
+    probe(std::span<const u64> keys)
+    {
+        return submit(RequestKind::Probe, keys).get();
+    }
+
+    u64
+    count(std::span<const u64> keys)
+    {
+        return submit(RequestKind::Count, keys).get().matches;
+    }
+
+    ServiceResult
+    join(std::span<const u64> keys)
+    {
+        return submit(RequestKind::Join, keys).get();
+    }
+
+    unsigned walkers() const { return unsigned(threads_.size()); }
+    unsigned shards() const { return index_.shards(); }
+    const ShardedIndex &index() const { return index_; }
+
+    ServiceStats stats() const;
+
+  private:
+    /** One contiguous run of a request's keys inside a window —
+     *  always a whole chunk (full chunks are their own window;
+     *  tails are never split across windows). */
+    struct Segment
+    {
+        std::shared_ptr<detail::ServiceRequest> req;
+        std::size_t chunkIdx;
+        std::size_t base; ///< offset into req->keys
+        u32 len;          ///< <= pipeline.batch
+    };
+
+    /** A dispatch window: what one walker drains in one pass. */
+    struct Window
+    {
+        std::vector<Segment> segs;
+        u32 keys = 0;
+    };
+
+    void start();
+    void walkerMain(unsigned w);
+    void processWindow(Window &win);
+    template <typename Index>
+    void drainWindow(const Index &idx, Window &win);
+
+    ShardedIndex index_;
+    ServiceConfig cfg_;
+    std::size_t chunk_; ///< resolved pipeline.batch
+    unsigned width_;    ///< resolved drain width
+
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::deque<Window> sealed_;
+    Window open_; ///< tails coalescing toward a full window
+    bool stop_ = false;
+    std::vector<std::thread> threads_;
+
+    std::atomic<u64> nRequests_{0};
+    std::atomic<u64> nKeys_{0};
+    std::atomic<u64> nWindows_{0};
+    std::atomic<u64> nCoalesced_{0};
+    /** Untagged-window counter for adaptive re-sampling (see
+     *  drainWindow). */
+    std::atomic<u64> nUntagged_{0};
+};
+
+} // namespace widx::sw
+
+#endif // WIDX_SERVICE_INDEX_SERVICE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Construction-time knobs for the persistent index service — a leaf
+ * header (the ServiceConfig analogue of pipeline_config.hh) so the
+ * db layer can accept a service without pulling in the service
+ * implementation or the prober templates.
+ */
+
+#ifndef WIDX_SERVICE_SERVICE_CONFIG_HH
+#define WIDX_SERVICE_SERVICE_CONFIG_HH
+
+#include "swwalkers/pipeline_config.hh"
+
+namespace widx::sw {
+
+/** Shard arena placement policy. */
+enum class NumaPolicy
+{
+    /** Build every shard on the constructing thread (all arenas
+     *  first-touched on its node). */
+    None,
+    /** Build each shard on its own thread so the OS first-touch
+     *  policy spreads the shard arenas across nodes (and the build
+     *  parallelizes); when walker pinning is on, shard build
+     *  threads are pinned round-robin over the same CPUs. Explicit
+     *  node binding (libnuma) is deliberately not a dependency —
+     *  see src/service/README.md. */
+    FirstTouch,
+};
+
+/** Construction-time description of an IndexService. */
+struct ServiceConfig
+{
+    /** Hash-range shards (power of two, clamped to [1, 64]): the
+     *  global bucket space splits into `shards` contiguous ranges,
+     *  each with its own bucket+tag arena. Ignored when the service
+     *  wraps an existing (already-built) HashIndex. */
+    unsigned shards = 1;
+    /** Persistent walker threads parked between requests (clamped
+     *  to [1, kMaxWalkers]). */
+    unsigned walkers = 1;
+    /** In-flight probes per walker drain (AMAC/coro W). */
+    unsigned width = 8;
+    /** Probe state machine the walkers run. */
+    WalkerEngine engine = WalkerEngine::Amac;
+    /** Shared pipeline knobs: `batch` is the dispatch-window size
+     *  requests are chunked into (and small requests coalesce up
+     *  to), `tagged`/`adaptiveTags` control the fingerprint filter.
+     *  `walkers` here is ignored — the service's own walker count
+     *  rules. */
+    PipelineConfig pipeline{};
+    /** Pin walker threads round-robin over the host CPUs. */
+    bool pinWalkers = false;
+    /** Shard arena placement (see NumaPolicy). */
+    NumaPolicy numa = NumaPolicy::None;
+};
+
+} // namespace widx::sw
+
+#endif // WIDX_SERVICE_SERVICE_CONFIG_HH

@@ -1,0 +1,149 @@
+#include "service/sharded_index.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace widx::sw {
+
+void
+pinCurrentThread(unsigned cpu)
+{
+#if defined(__linux__)
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu % hw, &set);
+    // Best effort: an unpinnable host (cgroup masks, exotic
+    // schedulers) just leaves the thread floating.
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+    (void)cpu;
+#endif
+}
+
+ShardedIndex::ShardedIndex(const db::HashIndex &index)
+    : shards_{&index}, flat_(&index), shardShift_(0), shardMask_(0),
+      indirect_(index.indirectKeys())
+{
+}
+
+ShardedIndex::ShardedIndex(const db::Column &keys,
+                           const db::IndexSpec &spec, unsigned shards,
+                           NumaPolicy numa, bool pinBuilders)
+{
+    const u64 total = nextPowerOfTwo(std::max<u64>(spec.buckets, 1));
+    u64 s = nextPowerOfTwo(std::max<u64>(shards, 1));
+    s = std::min<u64>(s, std::min<u64>(kMaxShards, total));
+
+    db::IndexSpec shard_spec = spec;
+    shard_spec.buckets = total / s;
+    shardShift_ = log2Exact(total / s);
+    shardMask_ = s - 1;
+    indirect_ = spec.indirectKeys;
+
+    arenas_.resize(std::size_t(s));
+    owned_.resize(std::size_t(s));
+    shards_.resize(std::size_t(s));
+
+    // Shard sh owns the keys whose global bucket index falls in its
+    // hash range; duplicates of a key share a hash, so they share a
+    // shard and keep the flat index's per-key chain order.
+    auto buildShard = [&](unsigned sh) {
+        arenas_[sh] = std::make_unique<Arena>();
+        auto idx =
+            std::make_unique<db::HashIndex>(shard_spec, *arenas_[sh]);
+        for (RowId r = 0; r < keys.size(); ++r) {
+            const u64 key = keys.at(r);
+            if (shardOf(shard_spec.hashFn(key)) == sh)
+                idx->insert(key, r, keys.addrOf(r));
+        }
+        owned_[sh] = std::move(idx);
+        shards_[sh] = owned_[sh].get();
+    };
+
+    if (numa == NumaPolicy::FirstTouch && s > 1) {
+        // One build thread per shard: the arena pages are
+        // first-touched where the builder runs, so the OS spreads
+        // shard storage across nodes (and the build parallelizes).
+        std::vector<std::thread> builders;
+        builders.reserve(std::size_t(s));
+        for (unsigned sh = 0; sh < s; ++sh)
+            builders.emplace_back([&, sh] {
+                if (pinBuilders)
+                    pinCurrentThread(sh);
+                buildShard(sh);
+            });
+        for (auto &t : builders)
+            t.join();
+    } else {
+        for (unsigned sh = 0; sh < s; ++sh)
+            buildShard(sh);
+    }
+
+    flat_ = s == 1 ? shards_[0] : nullptr;
+}
+
+void
+ShardedIndex::prefetchStage(const u64 *hashes, std::size_t n,
+                            bool tagged) const
+{
+    if (flat_) {
+        flat_->prefetchStage(hashes, n, tagged);
+        return;
+    }
+    if (tagged)
+        for (std::size_t i = 0; i < n; ++i)
+            prefetchRead(tagAddrFor(hashes[i]));
+    else
+        for (std::size_t i = 0; i < n; ++i)
+            prefetchRead(bucketHeadFor(hashes[i]));
+}
+
+u64
+ShardedIndex::tagFilterBatch(const u64 *hashes, std::size_t n,
+                             u64 *bits) const
+{
+    if (flat_)
+        return flat_->tagFilterBatch(hashes, n, bits);
+    std::memset(bits, 0, ((n + 63) / 64) * sizeof(u64));
+    u64 survivors = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const u64 h = hashes[i];
+        if (shards_[shardOf(h)]->tagMayMatchHash(h)) {
+            bits[i >> 6] |= u64(1) << (i & 63);
+            ++survivors;
+        }
+    }
+    stats_.note(n, n - survivors);
+    return survivors;
+}
+
+u64
+ShardedIndex::entries() const
+{
+    u64 total = 0;
+    for (const db::HashIndex *s : shards_)
+        total += s->entries();
+    return total;
+}
+
+u64
+ShardedIndex::footprintBytes() const
+{
+    u64 total = 0;
+    for (const db::HashIndex *s : shards_)
+        total += s->footprintBytes();
+    return total;
+}
+
+} // namespace widx::sw

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Hash-range-sharded index: the global bucket space of a chained
+ * hash index split into S contiguous ranges, each backed by its own
+ * bucket+tag arena.
+ *
+ * A flat HashIndex computes bucket = hash & (B - 1). The sharded
+ * index keeps exactly that bucket space but sizes it as S * B'
+ * buckets and folds a shard selector into the indexing:
+ *
+ *     global bucket = hash & (S * B' - 1)
+ *     shard         = global bucket >> log2(B')   (top bits)
+ *     local bucket  = hash & (B' - 1)             (low bits)
+ *
+ * Each shard is an ordinary db::HashIndex over its own Arena, so
+ * shard arenas can be placed independently (NumaPolicy::FirstTouch
+ * builds each shard on its own thread and lets the OS first-touch
+ * policy spread the pages across memory controllers). Every key —
+ * and every duplicate of a key — lands in exactly one shard, so
+ * per-key match sets and chain order match the flat index.
+ *
+ * The class exposes the same hash-addressed probe surface the
+ * interleaved drains are templated on (tagMayMatchHash /
+ * tagAddrFor / bucketHeadFor / nodeKey, plus the batched dispatch
+ * kernels), so amacDrain/coroDrain run unchanged against it. A
+ * single-shard instance — including the view-of-an-existing-index
+ * mode the service uses for one-shot calls — short-circuits to the
+ * flat index, keeping the AVX2 tag filter and skipping the shard
+ * resolve.
+ */
+
+#ifndef WIDX_SERVICE_SHARDED_INDEX_HH
+#define WIDX_SERVICE_SHARDED_INDEX_HH
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/arena.hh"
+#include "db/column.hh"
+#include "db/hash_index.hh"
+#include "service/service_config.hh"
+
+namespace widx::sw {
+
+/** Hard cap on shards (thread fan-out at build, sanity). */
+inline constexpr unsigned kMaxShards = 64;
+
+/** Pin the calling thread to one host CPU (round-robin helper for
+ *  walker and shard-build threads; no-op off Linux or on failure). */
+void pinCurrentThread(unsigned cpu);
+
+class ShardedIndex
+{
+  public:
+    using Node = db::HashIndex::Node;
+
+    /** View an existing index as a single shard (no copy; the index
+     *  must outlive the view). */
+    explicit ShardedIndex(const db::HashIndex &index);
+
+    /**
+     * Build S shards from a key column (payload r = row id r, as in
+     * HashIndex::buildFromColumn).
+     *
+     * @param spec global geometry: spec.buckets is the total bucket
+     *        count across shards (rounded up to a power of two).
+     * @param shards shard count; clamped to a power of two in
+     *        [1, min(kMaxShards, total buckets)].
+     * @param numa arena placement (see NumaPolicy).
+     * @param pinBuilders with FirstTouch, pin shard build threads
+     *        round-robin over the host CPUs.
+     */
+    ShardedIndex(const db::Column &keys, const db::IndexSpec &spec,
+                 unsigned shards, NumaPolicy numa = NumaPolicy::None,
+                 bool pinBuilders = false);
+
+    ShardedIndex(const ShardedIndex &) = delete;
+    ShardedIndex &operator=(const ShardedIndex &) = delete;
+
+    unsigned shards() const { return unsigned(shards_.size()); }
+    const db::HashIndex &shard(unsigned s) const { return *shards_[s]; }
+
+    /** The flat index when there is exactly one shard (owned or
+     *  viewed), else null — the service's fast-path dispatch. */
+    const db::HashIndex *flatIndex() const { return flat_; }
+
+    /** Shard selector: the top bits of the global bucket index. */
+    unsigned
+    shardOf(u64 hash) const
+    {
+        return unsigned((hash >> shardShift_) & shardMask_);
+    }
+
+    // --- Probe surface (hash-addressed; see db/hash_index.hh) ----------
+
+    bool
+    tagMayMatchHash(u64 hash) const
+    {
+        return shards_[shardOf(hash)]->tagMayMatchHash(hash);
+    }
+
+    const u8 *
+    tagAddrFor(u64 hash) const
+    {
+        return shards_[shardOf(hash)]->tagAddrFor(hash);
+    }
+
+    const Node *
+    bucketHeadFor(u64 hash) const
+    {
+        return shards_[shardOf(hash)]->bucketHeadFor(hash);
+    }
+
+    /** Resolve a node's key (layout is uniform across shards). */
+    u64
+    nodeKey(const Node &n) const
+    {
+        if (indirect_)
+            return *reinterpret_cast<const u64 *>(
+                std::uintptr_t(n.key));
+        return n.key;
+    }
+
+    void
+    hashBatch(std::span<const u64> keys, std::span<u64> hashes) const
+    {
+        shards_[0]->hashBatch(keys, hashes);
+    }
+
+    /** Dispatcher prefetch sweep, shard-resolved per key. */
+    void prefetchStage(const u64 *hashes, std::size_t n,
+                       bool tagged) const;
+
+    /** Batched fingerprint filter (see HashIndex::tagFilterBatch).
+     *  Single-shard instances take the flat (AVX2-dispatched) path;
+     *  true sharding resolves per key — the tag arenas are disjoint
+     *  allocations, so there is no single gather base. */
+    u64 tagFilterBatch(const u64 *hashes, std::size_t n,
+                       u64 *bits) const;
+
+    /** Adaptive tagging (aggregated across shards when owned). */
+    bool
+    taggedWorthwhile(bool fallback) const
+    {
+        return flat_ ? flat_->taggedWorthwhile(fallback)
+                     : stats_.worthwhile(fallback);
+    }
+
+    const db::TagFilterStats &
+    tagStats() const
+    {
+        return flat_ ? flat_->tagStats() : stats_;
+    }
+
+    // --- Statistics ----------------------------------------------------
+
+    u64 entries() const;
+    u64 footprintBytes() const;
+
+  private:
+    /** Per-shard arenas and indexes (empty in view mode). */
+    std::vector<std::unique_ptr<Arena>> arenas_;
+    std::vector<std::unique_ptr<db::HashIndex>> owned_;
+    /** Uniform shard access for both modes. */
+    std::vector<const db::HashIndex *> shards_;
+    const db::HashIndex *flat_ = nullptr;
+    unsigned shardShift_ = 0; ///< log2(per-shard buckets)
+    u64 shardMask_ = 0;       ///< shards - 1
+    bool indirect_ = false;
+    db::TagFilterStats stats_; ///< cross-shard filter stats
+};
+
+} // namespace widx::sw
+
+#endif // WIDX_SERVICE_SHARDED_INDEX_HH

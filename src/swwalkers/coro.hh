@@ -105,21 +105,22 @@ struct PrefetchAwait
 namespace detail {
 
 /** One pre-hashed probe as a coroutine: suspend at each dependent
- *  access, starting with the tag byte when the filter is on. */
-template <typename Sink>
+ *  access, starting with the tag byte when the filter is on. The
+ *  Index supplies the hash-addressed probe surface (see amacDrain),
+ *  so flat and sharded indexes run the same schedule. */
+template <typename Index, typename Sink>
 ProbeTask
-probeOne(const db::HashIndex &index, std::size_t i, u64 key,
+probeOne(const Index &index, std::size_t i, u64 key,
          u64 hash, bool tagged, u64 &matches, Sink &sink)
 {
-    const u64 bidx = hash & index.bucketMask();
     if (tagged) {
-        co_await PrefetchAwait{&index.tagArray()[bidx]};
-        if (!index.tagMayMatch(bidx, hash))
+        co_await PrefetchAwait{index.tagAddrFor(hash)};
+        if (!index.tagMayMatchHash(hash))
             co_return;
     }
-    const db::HashIndex::Bucket &b = index.bucketAt(bidx);
-    co_await PrefetchAwait{&b.head};
-    for (const db::HashIndex::Node *n = &b.head; n;) {
+    const db::HashIndex::Node *head = index.bucketHeadFor(hash);
+    co_await PrefetchAwait{head};
+    for (const db::HashIndex::Node *n = head; n;) {
         if (index.nodeKey(*n) == key) {
             ++matches;
             sink(i, key, n->payload);
@@ -140,9 +141,9 @@ probeOne(const db::HashIndex &index, std::size_t i, u64 key,
  * under the single-threaded prober, a claimed window-ring chunk
  * under WalkerPool threads.
  */
-template <typename Stream, typename Sink>
+template <typename Index, typename Stream, typename Sink>
 u64
-coroDrain(const db::HashIndex &index, Stream &stream, unsigned width,
+coroDrain(const Index &index, Stream &stream, unsigned width,
           bool tagged, Sink &&sink)
 {
     u64 matches = 0;
@@ -198,8 +199,10 @@ class CoroProber
     u64
     probeAll(std::span<const u64> keys, Sink &&sink) const
     {
-        HashedWindow window(index_, keys, cfg_);
-        return coroDrain(index_, window, width_, cfg_.tagged,
+        PipelineConfig cfg = cfg_;
+        cfg.tagged = effectiveTagged(index_, cfg_);
+        HashedWindow window(index_, keys, cfg);
+        return coroDrain(index_, window, width_, cfg.tagged,
                          std::forward<Sink>(sink));
     }
 

@@ -14,6 +14,18 @@
 
 namespace widx::sw {
 
+/** Hard cap on walker threads (ring sizing, sanity) — shared by
+ *  the WalkerPool and the IndexService. */
+inline constexpr unsigned kMaxWalkers = 64;
+
+/** Probe state machine run by each walker thread (WalkerPool and
+ *  IndexService walkers alike). */
+enum class WalkerEngine
+{
+    Amac, ///< AMAC ring of W explicit state machines
+    Coro, ///< the same schedule as C++20 coroutines
+};
+
 /** Shared pipeline knobs. */
 struct PipelineConfig
 {
@@ -21,16 +33,39 @@ struct PipelineConfig
      *  hash each key right before its walk — the Listing 1
      *  schedule). Clamped to HashIndex::kMaxProbeBatch. For the
      *  WalkerPool this is also the chunk granularity walker threads
-     *  claim from the shared window ring. */
+     *  claim from the shared window ring, and for the IndexService
+     *  the dispatch-window size small requests coalesce into. */
     unsigned batch = unsigned(db::HashIndex::kProbeBatch);
     /** Reject non-matching buckets on the one-byte tag filter. */
     bool tagged = true;
+    /** Adaptive tagging: when set, `tagged` is only the cold-start
+     *  default — effectiveTagged() lets the index's observed reject
+     *  rate (db::TagFilterStats, fed by the batched tag sweeps)
+     *  flip the filter off once it rejects too few buckets to pay
+     *  for its byte loads. Because only tagged sweeps feed the
+     *  stats, a flipped-off filter needs a re-sampling consumer to
+     *  swing back on: the IndexService runs every 32nd untagged
+     *  window tagged for exactly that, so a long-lived service
+     *  recovers the filter when traffic turns selective again. */
+    bool adaptiveTags = false;
     /** Walker threads draining the shared dispatch window; <= 1
      *  keeps every prober on the calling thread. Only the
-     *  WalkerPool (walker_pool.hh) and the db/workload entry points
-     *  that ride it consult this knob. */
+     *  WalkerPool (walker_pool.hh), the IndexService, and the
+     *  db/workload entry points that ride them consult this knob. */
     unsigned walkers = 1;
 };
+
+/** Resolve the tag knob against the index's observed reject rate
+ *  (identity unless cfg.adaptiveTags). Templated for the same
+ *  reason as the drains: db::HashIndex and sw::ShardedIndex both
+ *  expose taggedWorthwhile(). */
+template <typename Index>
+inline bool
+effectiveTagged(const Index &index, const PipelineConfig &cfg)
+{
+    return cfg.adaptiveTags ? index.taggedWorthwhile(cfg.tagged)
+                            : cfg.tagged;
+}
 
 } // namespace widx::sw
 

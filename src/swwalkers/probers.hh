@@ -61,8 +61,86 @@ struct NullSink
     void operator()(std::size_t, u64, u64) const {}
 };
 
+/** One buffered match, replayed into a caller's sink after a
+ *  deterministic merge (WalkerPool and IndexService results). */
+struct MatchRec
+{
+    std::size_t i; ///< key position in the probed span / request
+    u64 key;
+    u64 payload;
+};
+
 /** Hard cap on in-flight walks so prober state fits on the stack. */
 inline constexpr unsigned kMaxWidth = 64;
+
+/**
+ * Stream over one hashed chunk of keys for the interleaved drains:
+ * yields (base + pos, key, hash) and — when a survivor bitmap from
+ * the batched tag sweep is supplied — skips rejected positions, so
+ * the drain runs with its own tag check off and never loads a tag
+ * byte per key. Shared by WalkerPool chunk drains (base = the
+ * chunk's offset in the probed span) and IndexService dispatch
+ * windows (base = 0: window-local ordinals).
+ */
+class HashedChunkStream
+{
+  public:
+    /** keys/hashes point at the chunk's first entry; bits may be
+     *  null (no filtering). */
+    HashedChunkStream(const u64 *keys, const u64 *hashes,
+                      std::size_t len, const u64 *bits,
+                      std::size_t base)
+        : keys_(keys), hashes_(hashes), len_(len), bits_(bits),
+          base_(base)
+    {
+    }
+
+    bool
+    next(std::size_t &i, u64 &key, u64 &hash)
+    {
+        while (pos_ < len_) {
+            if (bits_ && !(bits_[pos_ >> 6] >> (pos_ & 63) & 1)) {
+                ++pos_;
+                continue;
+            }
+            i = base_ + pos_;
+            key = keys_[pos_];
+            hash = hashes_[pos_++];
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    const u64 *keys_;
+    const u64 *hashes_;
+    std::size_t len_;
+    const u64 *bits_;
+    std::size_t base_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Walker-side tag sweep over a hashed chunk: run the index's
+ * batched fingerprint filter (AVX2 when the host has it), then arm
+ * a bucket-header prefetch for every survivor, so by the time the
+ * interleaved drain touches a bucket its line is streaming in and
+ * rejected keys were never armed at all. The drain is then run with
+ * its own tag check off — a HashedChunkStream skips cleared bits
+ * instead. `bits` must hold (n + 63) / 64 words. Returns the
+ * survivor count.
+ */
+template <typename Index>
+u64
+tagFilterAndPrefetch(const Index &index, const u64 *hashes,
+                     std::size_t n, u64 *bits)
+{
+    const u64 survivors = index.tagFilterBatch(hashes, n, bits);
+    for (std::size_t i = 0; i < n; ++i)
+        if (bits[i >> 6] >> (i & 63) & 1)
+            prefetchRead(index.bucketHeadFor(hashes[i]));
+    return survivors;
+}
 
 /**
  * Dispatcher-side hashed-key window shared by the interleaved
@@ -118,6 +196,7 @@ class ScalarProber
     u64
     probeAll(std::span<const u64> keys, Sink &&sink) const
     {
+        const bool tagged = effectiveTagged(index_, cfg_);
         if (cfg_.batch == 0) {
             // Inline schedule: hash, walk, emit, one key at a time.
             u64 matches = 0;
@@ -126,12 +205,11 @@ class ScalarProber
                 matches += index_.probeHashed(
                     key, index_.hashKey(key),
                     [&](u64 payload) { sink(i, key, payload); },
-                    cfg_.tagged);
+                    tagged);
             }
             return matches;
         }
-        return index_.probeBatch(keys, sink, cfg_.tagged,
-                                 cfg_.batch);
+        return index_.probeBatch(keys, sink, tagged, cfg_.batch);
     }
 
     u64
@@ -243,11 +321,15 @@ class GroupPrefetchProber
  * machines. The Stream supplies pre-hashed keys via
  * `bool next(std::size_t &i, u64 &key, u64 &hash)` — HashedWindow
  * for the single-threaded prober, a claimed window-ring chunk for
- * WalkerPool threads — so the same state machine serves both.
+ * WalkerPool threads, a coalesced dispatch window for IndexService
+ * walkers — and the Index supplies the hash-addressed probe surface
+ * (tagMayMatchHash / bucketHeadFor / nodeKey), so the same state
+ * machine serves a flat db::HashIndex and the sharded service
+ * index.
  */
-template <typename Stream, typename Sink>
+template <typename Index, typename Stream, typename Sink>
 u64
-amacDrain(const db::HashIndex &index, Stream &stream, unsigned width,
+amacDrain(const Index &index, Stream &stream, unsigned width,
           bool tagged, Sink &&sink)
 {
     using Node = db::HashIndex::Node;
@@ -274,14 +356,13 @@ amacDrain(const db::HashIndex &index, Stream &stream, unsigned width,
         std::size_t i;
         u64 key, hash;
         while (stream.next(i, key, hash)) {
-            const u64 bidx = hash & index.bucketMask();
-            if (tagged && !index.tagMayMatch(bidx, hash))
+            if (tagged && !index.tagMayMatchHash(hash))
                 continue;
-            const db::HashIndex::Bucket &b = index.bucketAt(bidx);
+            const Node *head = index.bucketHeadFor(hash);
             s.i = i;
             s.key = key;
-            s.node = &b.head;
-            prefetch(&b.head);
+            s.node = head;
+            prefetch(head);
             return true;
         }
         return false;
@@ -332,8 +413,10 @@ class AmacProber
     u64
     probeAll(std::span<const u64> keys, Sink &&sink) const
     {
-        HashedWindow window(index_, keys, cfg_);
-        return amacDrain(index_, window, width_, cfg_.tagged,
+        PipelineConfig cfg = cfg_;
+        cfg.tagged = effectiveTagged(index_, cfg_);
+        HashedWindow window(index_, keys, cfg);
+        return amacDrain(index_, window, width_, cfg.tagged,
                          std::forward<Sink>(sink));
     }
 

@@ -43,36 +43,6 @@ pauseOrYield(unsigned spins)
     }
 }
 
-/** Stream over one claimed chunk: hashes were produced by the
- *  dispatcher; i is the global position in the probed span. */
-class ChunkStream
-{
-  public:
-    ChunkStream(std::span<const u64> keys, const Slot &slot)
-        : keys_(keys), base_(slot.base), len_(slot.len),
-          hashes_(slot.hashes.data())
-    {
-    }
-
-    bool
-    next(std::size_t &i, u64 &key, u64 &hash)
-    {
-        if (pos_ == len_)
-            return false;
-        i = base_ + pos_;
-        key = keys_[i];
-        hash = hashes_[pos_++];
-        return true;
-    }
-
-  private:
-    std::span<const u64> keys_;
-    std::size_t base_;
-    std::size_t len_;
-    const u64 *hashes_;
-    std::size_t pos_ = 0;
-};
-
 /** Walker-thread body: claim chunks by ticket until the input is
  *  exhausted, draining each through the engine's state machines. */
 template <typename Sink>
@@ -97,14 +67,26 @@ drainClaimedChunks(const db::HashIndex &index,
              ++spins)
             pauseOrYield(spins);
         // The dispatcher's prefetches landed in its core's cache,
-        // not ours: re-issue the tag/bucket sweep locally so this
-        // chunk's first dependent lines stream into this core while
-        // the state machines spin up.
-        index.prefetchStage(s.hashes.data(), s.len, tagged);
-        ChunkStream stream(keys, s);
+        // not ours: re-run the tag sweep locally — the batched
+        // (AVX2-dispatched) fingerprint filter plus survivor-only
+        // header prefetches — so this chunk's first dependent lines
+        // stream into this core while the state machines spin up.
+        u64 bits[db::HashIndex::kMaxProbeBatch / 64];
+        const u64 *bp = nullptr;
+        if (tagged) {
+            tagFilterAndPrefetch(index, s.hashes.data(), s.len,
+                                 bits);
+            bp = bits;
+        } else {
+            index.prefetchStage(s.hashes.data(), s.len, false);
+        }
+        HashedChunkStream stream(keys.data() + s.base,
+                                 s.hashes.data(), s.len, bp,
+                                 s.base);
         matches += engine == WalkerEngine::Coro
-                       ? coroDrain(index, stream, width, tagged, sink)
-                       : amacDrain(index, stream, width, tagged,
+                       ? coroDrain(index, stream, width, false,
+                                   sink)
+                       : amacDrain(index, stream, width, false,
                                    sink);
         s.consumed.store(c + 1, std::memory_order_release);
     }
@@ -183,7 +165,7 @@ runPool(const db::HashIndex &index, std::span<const u64> keys,
 WalkerPool::WalkerPool(const db::HashIndex &index, unsigned width,
                        PipelineConfig cfg, WalkerEngine engine)
     : index_(index), width_(width), tagged_(cfg.tagged),
-      engine_(engine),
+      adaptiveTags_(cfg.adaptiveTags), engine_(engine),
       walkers_(std::clamp(cfg.walkers, 1u, kMaxWalkers)),
       batch_(std::clamp<std::size_t>(
           cfg.batch ? cfg.batch : db::HashIndex::kProbeBatch, 1,
@@ -204,9 +186,11 @@ WalkerPool::defaultWalkers()
 u64
 WalkerPool::probeAll(std::span<const u64> keys) const
 {
+    const bool tagged =
+        adaptiveTags_ ? index_.taggedWorthwhile(tagged_) : tagged_;
     std::vector<WalkerResult> results;
     return runPool(index_, keys, walkers_, width_, batch_,
-                   tagged_, engine_, results,
+                   tagged, engine_, results,
                    [](unsigned, WalkerResult &) { return NullSink{}; });
 }
 
@@ -214,9 +198,11 @@ u64
 WalkerPool::runBuffered(std::span<const u64> keys,
                         std::vector<MatchRec> &out) const
 {
+    const bool tagged =
+        adaptiveTags_ ? index_.taggedWorthwhile(tagged_) : tagged_;
     std::vector<WalkerResult> results;
     const u64 total = runPool(
-        index_, keys, walkers_, width_, batch_, tagged_, engine_,
+        index_, keys, walkers_, width_, batch_, tagged, engine_,
         results, [](unsigned, WalkerResult &r) {
             return [&r](std::size_t i, u64 key, u64 payload) {
                 r.recs.push_back({i, key, payload});

@@ -41,27 +41,25 @@
 
 namespace widx::sw {
 
-/** Probe state machine run by each walker thread. */
-enum class WalkerEngine
-{
-    Amac, ///< AMAC ring of W explicit state machines
-    Coro, ///< the same schedule as C++20 coroutines
-};
-
-/** Hard cap on walker threads (ring sizing, sanity). */
-inline constexpr unsigned kMaxWalkers = 64;
-
+/**
+ * One-shot pool: every probeAll call spawns K std::threads and
+ * joins them before returning. That amortizes fine over DRAM-
+ * resident probe phases (~100K+ keys) but taxes every call on
+ * repeated small probes — the regime the persistent
+ * sw::IndexService (src/service/) exists for: it parks the same
+ * walker machinery on a condvar between requests, so the spawn cost
+ * is paid once per service lifetime instead of once per call.
+ * db::probeAll / db::hashJoin / wl::runKernelProbes route
+ * cfg.walkers > 1 through a scoped service; WalkerPool stays the
+ * spawn-per-call comparator (bench/service_bench.cc measures the
+ * gap) and the home of the shared window-ring machinery.
+ */
 class WalkerPool
 {
   public:
     /** One buffered match, replayed into the caller's sink after
-     *  the deterministic merge. */
-    struct MatchRec
-    {
-        std::size_t i; ///< key position in the probed span
-        u64 key;
-        u64 payload;
-    };
+     *  the deterministic merge (the shared sw::MatchRec). */
+    using MatchRec = sw::MatchRec;
 
     /**
      * @param width in-flight probes per walker (AMAC/coro W).
@@ -112,6 +110,8 @@ class WalkerPool
     const db::HashIndex &index_;
     unsigned width_;
     bool tagged_;
+    bool adaptiveTags_; ///< re-resolve tagged_ per call (see
+                        ///< PipelineConfig::adaptiveTags)
     WalkerEngine engine_;
     unsigned walkers_; ///< cfg.walkers clamped to [1, kMaxWalkers]
     std::size_t batch_; ///< cfg.batch clamped to [1, kMaxProbeBatch]

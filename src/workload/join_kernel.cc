@@ -4,9 +4,9 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "service/index_service.hh"
 #include "swwalkers/coro.hh"
 #include "swwalkers/probers.hh"
-#include "swwalkers/walker_pool.hh"
 #include "workload/distributions.hh"
 
 namespace widx::wl {
@@ -80,23 +80,32 @@ runKernelProbes(const KernelDataset &data, ProbeSchedule sched,
         cfg.batch = 0;
 
     if (walkers > 1) {
-        // Multi-threaded pool: walker threads run the interleaved
-        // state machines; the merged matches replay into the
-        // results region on this thread, so `out` needs no
-        // synchronization. Only the interleaved schedules have a
-        // pool engine — reject the rest loudly rather than
-        // silently measuring AMAC under another schedule's name.
+        // Multi-threaded: a scoped IndexService runs the interleaved
+        // state machines on K persistent walker threads; the merged
+        // matches (probeBatch order) replay into the results region
+        // on this thread, so `out` needs no synchronization. Only
+        // the interleaved schedules have a walker engine — reject
+        // the rest loudly rather than silently measuring AMAC under
+        // another schedule's name.
         fatal_if(sched != ProbeSchedule::Amac &&
                      sched != ProbeSchedule::Coro,
                  "walkers > 1 requires the Amac or Coro schedule "
                  "(got %s)",
                  probeScheduleName(sched));
-        cfg.walkers = walkers;
-        const auto engine = sched == ProbeSchedule::Coro
-                                ? sw::WalkerEngine::Coro
-                                : sw::WalkerEngine::Amac;
-        return sw::WalkerPool(*data.index, width, cfg, engine)
-            .probeAll(keys, sink);
+        sw::ServiceConfig scfg;
+        scfg.walkers = walkers;
+        scfg.width = width;
+        scfg.engine = sched == ProbeSchedule::Coro
+                          ? sw::WalkerEngine::Coro
+                          : sw::WalkerEngine::Amac;
+        scfg.pipeline = cfg;
+        sw::IndexService service(*data.index, scfg);
+        sw::ServiceResult r = service.probe(keys);
+        for (const sw::MatchRec &rec : r.recs) {
+            out[cursor++] = rec.key;
+            out[cursor++] = rec.payload;
+        }
+        return r.matches;
     }
 
     switch (sched) {

@@ -82,13 +82,13 @@ const char *probeScheduleName(ProbeSchedule sched);
  *
  * @param width in-flight walks (AMAC/coroutines) or group size.
  * @param tagged use the one-byte tag filter.
- * @param walkers walker threads; > 1 runs the probes on a
- *        sw::WalkerPool (one dispatcher thread feeding a shared
- *        window ring, K walker threads draining it) with the
- *        merged matches written to the results region on the
- *        calling thread. Only the interleaved schedules have a
- *        pool engine: sched must be Amac or Coro (anything else is
- *        fatal, so a schedule sweep can't silently measure AMAC
+ * @param walkers walker threads; > 1 runs the probes on a scoped
+ *        sw::IndexService (K persistent walker threads draining
+ *        coalesced dispatch windows) with the merged matches
+ *        written to the results region on the calling thread in
+ *        probeBatch order. Only the interleaved schedules have a
+ *        walker engine: sched must be Amac or Coro (anything else
+ *        is fatal, so a schedule sweep can't silently measure AMAC
  *        under another schedule's name).
  * @return number of matches written.
  */

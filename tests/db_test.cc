@@ -252,6 +252,101 @@ TEST(HashIndex, TagFingerprintSpreadsForNarrowHashes)
     EXPECT_EQ(bits.size(), 8u) << kernel.name();
 }
 
+/** The batched fingerprint filter — AVX2-dispatched and scalar —
+ *  must agree bit-for-bit with the per-key tag check, including at
+ *  non-multiple-of-4 lengths (the SIMD kernel's tail) and at the
+ *  very end of the tag array (the gather's padded overread). */
+TEST(HashIndex, TagFilterBatchAgreesWithPerKeyCheck)
+{
+    Rng rng(12);
+    Arena arena;
+    IndexSpec spec;
+    spec.buckets = 512;
+    HashIndex idx(spec, arena);
+    for (int i = 0; i < 400; ++i)
+        idx.insert(1 + rng.below(600), u64(i));
+
+    for (std::size_t n : {std::size_t(1), std::size_t(3),
+                          std::size_t(64), std::size_t(257),
+                          std::size_t(1024)}) {
+        std::vector<u64> hashes(n);
+        for (std::size_t i = 0; i < n; ++i)
+            hashes[i] = idx.hashKey(1 + rng.below(1200));
+        // Force some hashes onto the last bucket so the AVX2 gather
+        // exercises the padded tail of the tag array.
+        if (n >= 4)
+            hashes[n - 1] |= idx.bucketMask();
+
+        std::vector<u64> bits((n + 63) / 64, ~u64(0));
+        std::vector<u64> bits_scalar((n + 63) / 64, ~u64(0));
+        const u64 got = idx.tagFilterBatch(hashes.data(), n,
+                                           bits.data());
+        const u64 got_scalar = idx.tagFilterBatchScalar(
+            hashes.data(), n, bits_scalar.data());
+        ASSERT_EQ(got, got_scalar) << "n " << n;
+
+        u64 want = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const bool may =
+                idx.tagMayMatch(hashes[i] & idx.bucketMask(),
+                                hashes[i]);
+            want += may;
+            ASSERT_EQ(bool(bits[i >> 6] >> (i & 63) & 1), may)
+                << "n " << n << " i " << i;
+            ASSERT_EQ(bits[i >> 6], bits_scalar[i >> 6]);
+        }
+        ASSERT_EQ(got, want) << "n " << n;
+    }
+}
+
+/** tagFilterBatch feeds the adaptive-tagging stats; the
+ *  recommendation follows the observed reject rate once the sample
+ *  is large enough (and honors the fallback before that). */
+TEST(HashIndex, TagFilterStatsDriveAdaptiveRecommendation)
+{
+    Rng rng(13);
+    Arena arena;
+    IndexSpec spec;
+    spec.buckets = 1024;
+    HashIndex idx(spec, arena);
+    for (u64 k = 1; k <= 1024; ++k)
+        idx.insert(k, k);
+
+    // Cold: no sample yet, recommendation echoes the fallback.
+    EXPECT_TRUE(idx.taggedWorthwhile(true));
+    EXPECT_FALSE(idx.taggedWorthwhile(false));
+
+    u64 bits[HashIndex::kMaxProbeBatch / 64];
+    u64 hashes[HashIndex::kMaxProbeBatch];
+
+    // Hit-dominated sweeps: every key present, nothing rejected.
+    for (int round = 0;
+         round * HashIndex::kMaxProbeBatch <
+         TagFilterStats::kMinSampleKeys;
+         ++round) {
+        for (std::size_t i = 0; i < HashIndex::kMaxProbeBatch; ++i)
+            hashes[i] = idx.hashKey(1 + rng.below(1024));
+        idx.tagFilterBatch(hashes, HashIndex::kMaxProbeBatch, bits);
+    }
+    EXPECT_GE(idx.tagStats().keys(),
+              TagFilterStats::kMinSampleKeys);
+    EXPECT_LT(idx.tagStats().rejectRate(), 0.05);
+    EXPECT_FALSE(idx.taggedWorthwhile(true)); // filter off
+
+    // Miss-heavy sweeps swing the recommendation back on.
+    idx.tagStats().reset();
+    for (int round = 0;
+         round * HashIndex::kMaxProbeBatch <
+         TagFilterStats::kMinSampleKeys;
+         ++round) {
+        for (std::size_t i = 0; i < HashIndex::kMaxProbeBatch; ++i)
+            hashes[i] = idx.hashKey(100000 + rng.below(100000));
+        idx.tagFilterBatch(hashes, HashIndex::kMaxProbeBatch, bits);
+    }
+    EXPECT_GT(idx.tagStats().rejectRate(), 0.3);
+    EXPECT_TRUE(idx.taggedWorthwhile(false)); // filter on
+}
+
 /** Empty buckets carry tag 0 and reject every probe with the one
  *  byte load; tagged and untagged probes agree everywhere. */
 TEST(HashIndex, TaggedAndUntaggedProbesAgree)

@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Tests for the persistent index service (src/service/): sharded
+ * index construction, request equivalence, admission batching, and
+ * — the one that matters under TSan — concurrent clients racing the
+ * submission queue and the parked walkers.
+ *
+ * The service's contract is strict: every request's result sequence
+ * must be byte-identical to a single-threaded
+ * HashIndex::probeBatch over the request's keys, for any shard
+ * count, walker count, engine, coalescing pattern, and thread
+ * timing. The tests compare full (i, key, payload) sequences, not
+ * multisets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/arena.hh"
+#include "common/rng.hh"
+#include "db/hash_join.hh"
+#include "service/index_service.hh"
+#include "workload/distributions.hh"
+
+using namespace widx;
+using namespace widx::sw;
+
+namespace {
+
+/** Build column with duplicates + a flat reference index. */
+struct Dataset
+{
+    Arena arena;
+    std::unique_ptr<db::Column> build;
+    db::IndexSpec spec;
+    std::unique_ptr<db::HashIndex> flat;
+    std::vector<u64> keys;
+
+    Dataset(u64 tuples, u64 probes, bool indirect, double zipf_theta,
+            u64 seed)
+    {
+        Rng rng(seed);
+        build = std::make_unique<db::Column>(
+            "b", db::ValueKind::U64, arena, tuples);
+        for (u64 k : wl::uniformKeys(tuples, tuples / 2 + 1, rng))
+            build->push(k); // duplicates on purpose
+        spec.buckets = tuples / 2;
+        spec.indirectKeys = indirect;
+        flat = std::make_unique<db::HashIndex>(spec, arena);
+        flat->buildFromColumn(*build);
+        keys = zipf_theta > 0.0
+                   ? wl::zipfKeys(probes, tuples / 2 + 1, zipf_theta,
+                                  rng)
+                   : wl::uniformKeys(probes, tuples / 2 + 1, rng);
+    }
+};
+
+/** The single-threaded reference sequence for a key span. */
+std::vector<MatchRec>
+refSequence(const db::HashIndex &idx, std::span<const u64> keys,
+            bool tagged = true)
+{
+    std::vector<MatchRec> out;
+    idx.probeBatch(
+        keys,
+        [&](std::size_t i, u64 key, u64 payload) {
+            out.push_back({i, key, payload});
+        },
+        tagged);
+    return out;
+}
+
+void
+expectSameSequence(const std::vector<MatchRec> &got,
+                   const std::vector<MatchRec> &want,
+                   const char *what)
+{
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (std::size_t r = 0; r < got.size(); ++r) {
+        ASSERT_EQ(got[r].i, want[r].i) << what << " rec " << r;
+        ASSERT_EQ(got[r].key, want[r].key) << what << " rec " << r;
+        ASSERT_EQ(got[r].payload, want[r].payload)
+            << what << " rec " << r;
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// ShardedIndex
+// ---------------------------------------------------------------------------
+
+TEST(ShardedIndex, PartitionsEveryKeyExactlyOnce)
+{
+    Dataset d(4000, 0, false, 0.0, 3);
+    for (unsigned shards : {1u, 2u, 4u, 8u}) {
+        ShardedIndex sharded(*d.build, d.spec, shards);
+        EXPECT_EQ(sharded.shards(), shards);
+        EXPECT_EQ(sharded.entries(), d.build->size());
+        u64 buckets = 0;
+        for (unsigned s = 0; s < sharded.shards(); ++s)
+            buckets += sharded.shard(s).numBuckets();
+        EXPECT_EQ(buckets, d.flat->numBuckets());
+    }
+}
+
+TEST(ShardedIndex, ShardCountClampsToPowerOfTwo)
+{
+    Dataset d(256, 0, false, 0.0, 4);
+    ShardedIndex three(*d.build, d.spec, 3);
+    EXPECT_EQ(three.shards(), 4u);
+    db::IndexSpec tiny = d.spec;
+    tiny.buckets = 2;
+    ShardedIndex clamped(*d.build, tiny, 64);
+    EXPECT_EQ(clamped.shards(), 2u); // can't out-shard the buckets
+}
+
+TEST(ShardedIndex, ProbeSurfaceHasNoFalseNegatives)
+{
+    Dataset d(4000, 0, false, 0.0, 5);
+    ShardedIndex sharded(*d.build, d.spec, 4);
+    EXPECT_EQ(sharded.flatIndex(), nullptr);
+    // Every inserted key must pass the shard-resolved tag check and
+    // be reachable through the shard-resolved bucket head.
+    for (RowId r = 0; r < d.build->size(); ++r) {
+        const u64 key = d.build->at(r);
+        const u64 h = d.flat->hashKey(key);
+        ASSERT_TRUE(sharded.tagMayMatchHash(h)) << "key " << key;
+        bool found = false;
+        for (const ShardedIndex::Node *n = sharded.bucketHeadFor(h);
+             n && !found; n = n->next)
+            found = sharded.nodeKey(*n) == key;
+        ASSERT_TRUE(found) << "key " << key;
+    }
+}
+
+TEST(ShardedIndex, FirstTouchBuildMatchesSequentialBuild)
+{
+    Dataset d(4000, 2000, true, 0.0, 6);
+    ShardedIndex seq(*d.build, d.spec, 4, NumaPolicy::None);
+    ShardedIndex par(*d.build, d.spec, 4, NumaPolicy::FirstTouch,
+                     true);
+    EXPECT_EQ(par.entries(), seq.entries());
+    for (unsigned s = 0; s < 4; ++s) {
+        EXPECT_EQ(par.shard(s).entries(), seq.shard(s).entries());
+        for (u64 key : d.keys)
+            EXPECT_EQ(par.shard(s).lookup(key),
+                      seq.shard(s).lookup(key));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IndexService: request equivalence
+// ---------------------------------------------------------------------------
+
+struct ServiceCase
+{
+    unsigned shards;
+    unsigned walkers;
+    WalkerEngine engine;
+    bool indirect;
+    double zipf;
+    unsigned batch;
+    bool tagged;
+};
+
+class ServiceEquivalence
+    : public ::testing::TestWithParam<ServiceCase>
+{
+};
+
+TEST_P(ServiceEquivalence, ByteIdenticalToProbeBatch)
+{
+    const ServiceCase &c = GetParam();
+    Dataset d(2000, 5000, c.indirect, c.zipf, 31 + c.walkers);
+    const auto want = refSequence(*d.flat, d.keys, c.tagged);
+
+    ServiceConfig cfg;
+    cfg.shards = c.shards;
+    cfg.walkers = c.walkers;
+    cfg.engine = c.engine;
+    cfg.pipeline.batch = c.batch;
+    cfg.pipeline.tagged = c.tagged;
+    IndexService service(*d.build, d.spec, cfg);
+
+    ServiceResult probe = service.probe(d.keys);
+    EXPECT_EQ(probe.matches, want.size());
+    expectSameSequence(probe.recs, want, "probe");
+
+    EXPECT_EQ(service.count(d.keys), want.size());
+
+    ServiceResult join = service.join(d.keys);
+    expectSameSequence(join.recs, want, "join");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ServiceEquivalence,
+    ::testing::Values(
+        // Walker ladder, flat (single shard).
+        ServiceCase{1, 1, WalkerEngine::Amac, false, 0.0, 64, true},
+        ServiceCase{1, 2, WalkerEngine::Amac, false, 0.0, 64, true},
+        ServiceCase{1, 4, WalkerEngine::Amac, false, 0.0, 64, true},
+        // Shard ladder at fixed walkers.
+        ServiceCase{2, 2, WalkerEngine::Amac, false, 0.0, 64, true},
+        ServiceCase{4, 4, WalkerEngine::Amac, false, 0.0, 64, true},
+        ServiceCase{8, 2, WalkerEngine::Amac, false, 0.0, 64, true},
+        // Coroutine engine, both sharded and flat.
+        ServiceCase{1, 2, WalkerEngine::Coro, false, 0.0, 64, true},
+        ServiceCase{4, 2, WalkerEngine::Coro, false, 0.0, 64, true},
+        // Tag modes, chunk sizes (incl. inline batch=0 -> default
+        // chunking), layouts, skew.
+        ServiceCase{4, 4, WalkerEngine::Amac, false, 0.0, 64, false},
+        ServiceCase{4, 4, WalkerEngine::Amac, false, 0.0, 16, true},
+        ServiceCase{2, 4, WalkerEngine::Amac, false, 0.0, 0, true},
+        ServiceCase{4, 4, WalkerEngine::Amac, true, 0.0, 64, true},
+        ServiceCase{4, 4, WalkerEngine::Amac, false, 0.8, 64, true},
+        ServiceCase{4, 2, WalkerEngine::Coro, true, 0.99, 32,
+                    false}));
+
+TEST(IndexService, WrapsAnExistingIndex)
+{
+    Dataset d(2000, 4000, false, 0.6, 7);
+    const auto want = refSequence(*d.flat, d.keys);
+    ServiceConfig cfg;
+    cfg.walkers = 4;
+    IndexService service(*d.flat, cfg);
+    EXPECT_EQ(service.shards(), 1u);
+    ServiceResult got = service.probe(d.keys);
+    expectSameSequence(got.recs, want, "wrapped");
+}
+
+TEST(IndexService, EmptyAndTinyRequests)
+{
+    Dataset d(256, 5, false, 0.0, 8);
+    ServiceConfig cfg;
+    cfg.walkers = 2;
+    IndexService service(*d.flat, cfg);
+    EXPECT_EQ(service.count({}), 0u);
+    ResultTicket empty =
+        service.submit(RequestKind::Probe, std::span<const u64>{});
+    EXPECT_TRUE(empty.valid());
+    EXPECT_EQ(empty.get().matches, 0u);
+    const auto want = refSequence(*d.flat, d.keys);
+    expectSameSequence(service.probe(d.keys).recs, want, "tiny");
+}
+
+TEST(IndexService, ServiceWithNoRequestsTearsDownCleanly)
+{
+    Dataset d(128, 0, false, 0.0, 9);
+    ServiceConfig cfg;
+    cfg.walkers = 4;
+    cfg.pinWalkers = true;
+    IndexService service(*d.flat, cfg);
+    EXPECT_EQ(service.walkers(), 4u);
+    // Destructor parks -> joins with zero traffic.
+}
+
+TEST(IndexService, ResultsIndependentOfWalkersAndShards)
+{
+    Dataset d(4000, 20000, false, 0.6, 11);
+    std::vector<MatchRec> first;
+    bool have_first = false;
+    for (unsigned shards : {1u, 4u})
+        for (unsigned walkers : {1u, 2u, 4u}) {
+            ServiceConfig cfg;
+            cfg.shards = shards;
+            cfg.walkers = walkers;
+            IndexService service(*d.build, d.spec, cfg);
+            ServiceResult got = service.probe(d.keys);
+            if (!have_first) {
+                first = std::move(got.recs);
+                have_first = true;
+                continue;
+            }
+            expectSameSequence(got.recs, first, "cross-config");
+        }
+}
+
+TEST(IndexService, CoalescesSmallRequestsIntoSharedWindows)
+{
+    Dataset d(2000, 6000, false, 0.0, 13);
+    ServiceConfig cfg;
+    cfg.walkers = 1;
+    cfg.pipeline.batch = 64;
+    IndexService service(*d.flat, cfg);
+
+    // Occupy the lone walker with a multi-chunk request, then fire
+    // many sub-chunk requests before waiting on any ticket: their
+    // tails coalesce into shared dispatch windows while the walker
+    // works through the big request's sealed chunks.
+    ResultTicket big = service.submit(
+        RequestKind::Count, std::span<const u64>(d.keys));
+    std::vector<ResultTicket> tickets;
+    std::vector<std::span<const u64>> spans;
+    for (std::size_t base = 0; base + 7 <= d.keys.size() &&
+                               tickets.size() < 200;
+         base += 7) {
+        spans.push_back(std::span<const u64>(d.keys).subspan(base, 7));
+        tickets.push_back(
+            service.submit(RequestKind::Probe, spans.back()));
+    }
+    EXPECT_EQ(big.get().matches,
+              refSequence(*d.flat, d.keys).size());
+    for (std::size_t t = 0; t < tickets.size(); ++t) {
+        const auto want = refSequence(*d.flat, spans[t]);
+        ServiceResult got = tickets[t].get();
+        expectSameSequence(got.recs, want, "coalesced");
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.requests, tickets.size() + 1);
+    EXPECT_GT(stats.coalescedWindows, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent clients (the TSan target)
+// ---------------------------------------------------------------------------
+
+/** Multi-threaded submitter stress: concurrent clients fire mixed
+ *  probe/count/join requests — uniform and zipf keys, sub-chunk
+ *  through multi-chunk sizes — and each verifies its results
+ *  against the single-threaded reference. Raced under the CI TSan
+ *  job (ctest PROCESSORS is set in CMakeLists.txt). */
+TEST(IndexService, ConcurrentClientsStress)
+{
+    Dataset d(8192, 0, false, 0.0, 17);
+    ServiceConfig cfg;
+    cfg.shards = 4;
+    cfg.walkers = 4;
+    cfg.pipeline.batch = 64;
+    IndexService service(*d.build, d.spec, cfg);
+
+    constexpr unsigned kClients = 6;
+    constexpr unsigned kRequests = 24;
+    std::vector<std::thread> clients;
+    std::vector<std::string> failures(kClients);
+    for (unsigned cl = 0; cl < kClients; ++cl)
+        clients.emplace_back([&, cl] {
+            Rng rng(100 + cl);
+            for (unsigned r = 0; r < kRequests; ++r) {
+                // Sizes: mostly tails, some multi-chunk, a couple
+                // of big spans per client.
+                const u64 pick = rng.below(10);
+                const u64 n = pick < 6   ? 1 + rng.below(17)
+                              : pick < 9 ? 65 + rng.below(400)
+                                         : 5000;
+                std::vector<u64> keys =
+                    r % 2 ? wl::zipfKeys(n, 4097, 0.8, rng)
+                          : wl::uniformKeys(n, 4097, rng);
+                const auto kind = RequestKind(r % 3);
+                ServiceResult got =
+                    service.submit(kind, keys).get();
+                const auto want = refSequence(*d.flat, keys);
+                if (got.matches != want.size()) {
+                    failures[cl] = "match count mismatch";
+                    return;
+                }
+                if (kind == RequestKind::Count)
+                    continue;
+                if (got.recs.size() != want.size()) {
+                    failures[cl] = "rec count mismatch";
+                    return;
+                }
+                for (std::size_t i = 0; i < want.size(); ++i)
+                    if (got.recs[i].i != want[i].i ||
+                        got.recs[i].key != want[i].key ||
+                        got.recs[i].payload != want[i].payload) {
+                        failures[cl] = "sequence mismatch";
+                        return;
+                    }
+            }
+        });
+    for (auto &t : clients)
+        t.join();
+    for (unsigned cl = 0; cl < kClients; ++cl)
+        EXPECT_EQ(failures[cl], "") << "client " << cl;
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.requests, u64(kClients) * kRequests);
+}
+
+// ---------------------------------------------------------------------------
+// db-layer integration
+// ---------------------------------------------------------------------------
+
+TEST(IndexService, DbProbeAllRidesALongLivedService)
+{
+    Rng rng(23);
+    Arena arena;
+    db::Column build("b", db::ValueKind::U64, arena, 2048);
+    db::Column probe("p", db::ValueKind::U32, arena, 9000);
+    for (int i = 0; i < 2048; ++i)
+        build.push(1 + rng.below(1024));
+    for (int i = 0; i < 9000; ++i)
+        probe.push(1 + rng.below(2048));
+
+    db::IndexSpec spec;
+    spec.buckets = 2048;
+    db::HashIndex idx(spec, arena);
+    idx.buildFromColumn(build);
+    db::JoinResult ref = db::probeAll(idx, probe, true);
+
+    ServiceConfig cfg;
+    cfg.walkers = 3;
+    IndexService service(idx, cfg);
+    for (int round = 0; round < 3; ++round) {
+        db::JoinResult got = db::probeAll(service, probe, true);
+        ASSERT_EQ(got.matches, ref.matches);
+        ASSERT_EQ(got.pairs.size(), ref.pairs.size());
+        for (std::size_t i = 0; i < ref.pairs.size(); ++i) {
+            ASSERT_EQ(got.pairs[i].buildRow, ref.pairs[i].buildRow);
+            ASSERT_EQ(got.pairs[i].probeRow, ref.pairs[i].probeRow);
+        }
+        ASSERT_EQ(db::probeAll(service, probe, false).matches,
+                  ref.matches);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive tagging through the service
+// ---------------------------------------------------------------------------
+
+TEST(IndexService, AdaptiveTaggingTracksTrafficShape)
+{
+    Rng rng(29);
+    Arena arena;
+    db::Column build("b", db::ValueKind::U64, arena, 4096);
+    for (u64 k : wl::shuffledDenseKeys(4096, rng))
+        build.push(k);
+    db::IndexSpec spec;
+    spec.buckets = 4096;
+
+    ServiceConfig cfg;
+    cfg.pipeline.adaptiveTags = true;
+    IndexService service(build, spec, cfg);
+
+    // Phase 1 — hit-dominated traffic: nearly every probe finds its
+    // key, the filter rejects almost nothing, and adaptive mode
+    // turns it off once the sample is in.
+    std::vector<u64> hits = wl::uniformKeys(20000, 4096, rng);
+    service.count(hits);
+    EXPECT_GE(service.index().tagStats().keys(),
+              db::TagFilterStats::kMinSampleKeys);
+    EXPECT_LT(service.index().tagStats().rejectRate(), 0.05);
+    EXPECT_FALSE(service.index().taggedWorthwhile(true));
+
+    // Phase 2 — the same service's traffic turns miss-heavy. The
+    // filter is off, but the periodic re-sampling windows (1 in 32)
+    // keep feeding the stats, so the reject rate climbs past the
+    // threshold and the recommendation swings back on.
+    std::vector<u64> misses = wl::uniformKeys(80000, 4096, rng);
+    for (u64 &k : misses)
+        k += 4096;
+    service.count(misses);
+    EXPECT_GT(service.index().tagStats().rejectRate(), 0.05);
+    EXPECT_TRUE(service.index().taggedWorthwhile(false));
+}

@@ -50,7 +50,11 @@ def load_measured(path):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("measured", help="benchmark JSON from the smoke run")
+    ap.add_argument("measured", nargs="+",
+                    help="benchmark JSON file(s) from the smoke "
+                         "run(s); several files (e.g. the "
+                         "sw_walkers and service smoke runs) merge "
+                         "into one kernel namespace")
     ap.add_argument("baseline", help="committed bench/baseline.json")
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="max allowed fractional regression "
@@ -60,7 +64,9 @@ def main():
                          "the measured run instead of gating")
     args = ap.parse_args()
 
-    measured = load_measured(args.measured)
+    measured = {}
+    for path in args.measured:
+        measured.update(load_measured(path))
     with open(args.baseline) as f:
         baseline = json.load(f)
     pinned = baseline["pinned"]
