@@ -147,6 +147,42 @@ BENCHMARK(BM_ServiceSmallProbe)
     ->MeasureProcessCPUTime();
 
 // ---------------------------------------------------------------------------
+// Shard-affine routing on/off at fixed shape (4 shards, 1 walker):
+// the admission-scatter tax on repeated small probes. Routing buys
+// per-shard drains (no per-key shard resolve, per-shard AVX2 tag
+// filter, node-local arenas on NUMA hosts) for per-key scatter work
+// at submit; this pair pins both sides so neither path regresses
+// silently. K is fixed at 1 (the portable row — see the note above)
+// and the pair rides the CI smoke run + bench gate.
+// ---------------------------------------------------------------------------
+
+// Args: route (0 = shared windows, 1 = shard-affine).
+static void
+BM_ServiceAffineSmallProbe(benchmark::State &state)
+{
+    Dataset &d = small();
+    sw::ServiceConfig cfg;
+    cfg.shards = 4;
+    cfg.walkers = 1;
+    cfg.affineRouting = state.range(0) != 0;
+    sw::IndexService service(*d.build, d.spec, cfg);
+    u64 matches = 0;
+    std::size_t base = 0;
+    for (auto _ : state) {
+        matches += service.count(
+            {d.keys.data() + base, kSmallProbe});
+        base = (base + kSmallProbe) % (d.keys.size() - kSmallProbe);
+    }
+    reportKeys(state, kSmallProbe, matches);
+}
+BENCHMARK(BM_ServiceAffineSmallProbe)
+    ->ArgNames({"route"})
+    ->Arg(0)
+    ->Arg(1)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// ---------------------------------------------------------------------------
 // Closed-loop multi-client throughput: C client threads each submit
 // small probes back-to-back against one shared service. Items/s is
 // aggregate probed keys/s; the "requests" counter is the aggregate
@@ -208,7 +244,10 @@ BENCHMARK(BM_ServiceMultiClient)
 // traffic on multi-controller hosts).
 // ---------------------------------------------------------------------------
 
-// Args: K, shards.
+// Args: K, shards, route (0 = shared windows, 1 = shard-affine;
+// on multi-socket hosts pair route:1 with the NodeBound rows
+// below to see the locality win — on one socket it mostly shows
+// the scatter tax against the saved per-key shard resolve).
 static void
 BM_ServiceLargeProbe(benchmark::State &state)
 {
@@ -216,6 +255,11 @@ BM_ServiceLargeProbe(benchmark::State &state)
     sw::ServiceConfig cfg;
     cfg.walkers = unsigned(state.range(0));
     cfg.shards = unsigned(state.range(1));
+    cfg.affineRouting = state.range(2) != 0;
+    if (cfg.affineRouting) {
+        cfg.numa = sw::NumaPolicy::NodeBound;
+        cfg.pinWalkers = true;
+    }
     sw::IndexService service(*d.build, d.spec, cfg);
     u64 matches = 0;
     for (auto _ : state)
@@ -223,11 +267,12 @@ BM_ServiceLargeProbe(benchmark::State &state)
     reportKeys(state, d.keys.size(), matches);
 }
 BENCHMARK(BM_ServiceLargeProbe)
-    ->ArgNames({"K", "shards"})
-    ->Args({1, 1})
-    ->Args({2, 1})
-    ->Args({4, 1})
-    ->Args({4, 4})
+    ->ArgNames({"K", "shards", "route"})
+    ->Args({1, 1, 0})
+    ->Args({2, 1, 0})
+    ->Args({4, 1, 0})
+    ->Args({4, 4, 0})
+    ->Args({4, 4, 1})
     ->UseRealTime()
     ->MeasureProcessCPUTime();
 

@@ -8,8 +8,11 @@
  *
  * Walks through the service API:
  *   1. load a build relation into a column;
- *   2. start an IndexService owning 4 hash-range shards, with 4
- *      persistent walker threads parked between requests;
+ *   2. start an IndexService owning 4 hash-range shards placed by
+ *      the host topology (NodeBound first-touch builds), with 4
+ *      persistent walker threads parked between requests and
+ *      shard-affine dispatch routing (each walker homes on the
+ *      shards of its node, stealing across shards when idle);
  *   3. fire closed-loop clients that submit small probe / count /
  *      join requests and block on their tickets;
  *   4. verify a sample request byte-for-byte against the
@@ -45,7 +48,11 @@ main()
     std::vector<u64> probePool = wl::uniformKeys(1u << 20, tuples, rng);
 
     // 2. Service: 4 hash-range shards (each with its own bucket+tag
-    //    arena), 4 walkers parked on a condvar between requests.
+    //    arena, first-touched on its target node), 4 walkers parked
+    //    on a condvar between requests, shard-affine routing on.
+    const Topology &topo = Topology::host();
+    std::printf("topology: %u node(s), %u usable CPU(s)\n",
+                topo.nodes(), topo.cpus());
     db::IndexSpec ispec;
     ispec.buckets = tuples;
     ispec.hashFn = db::HashFn::monetdbRobust();
@@ -53,6 +60,8 @@ main()
     cfg.shards = 4;
     cfg.walkers = 4;
     cfg.pipeline.adaptiveTags = true;
+    cfg.numa = sw::NumaPolicy::NodeBound;
+    cfg.affineRouting = true;
     sw::IndexService service(build, ispec, cfg);
     std::printf("service: %u shards x %llu buckets, %u walkers, "
                 "%.1f MB footprint\n",
@@ -61,6 +70,13 @@ main()
                     .numBuckets(),
                 service.walkers(),
                 double(service.index().footprintBytes()) / 1048576.0);
+    for (unsigned w = 0; w < service.walkers(); ++w) {
+        std::printf("  walker %u home shards:", w);
+        for (unsigned s : service.homeShards(w))
+            std::printf(" %u(node %u)", s,
+                        service.index().shardNode(s));
+        std::printf("\n");
+    }
 
     // 3. Closed-loop clients: each submits back-to-back small
     //    requests (a handful of keys — the admission batcher
@@ -123,9 +139,12 @@ main()
                 secs, double(totalReqs) / secs,
                 double(totalReqs * requestKeys) / secs / 1e6);
     std::printf("dispatch windows: %llu (%llu coalesced across "
-                "requests), tag reject rate %.1f%%\n",
+                "requests, %llu shard-affine, %llu stolen), tag "
+                "reject rate %.1f%%\n",
                 (unsigned long long)stats.windows,
                 (unsigned long long)stats.coalescedWindows,
+                (unsigned long long)stats.affineWindows,
+                (unsigned long long)stats.stolenWindows,
                 100.0 * service.index().tagStats().rejectRate());
     return identical ? 0 : 1;
 }

@@ -87,23 +87,57 @@ class TagFilterStats
      *  a few percent for nothing; selective ones win ~25%). */
     static constexpr u64 kMinRejectPct = 5;
 
-    /** Record one batched sweep: n keys checked, r rejected. */
+    /**
+     * Record one batched sweep: n keys checked, r rejected.
+     *
+     * Aging is idempotent per window: the lifetime key count (never
+     * halved) defines window epochs, and a single CAS on the epoch
+     * counter elects exactly one aging thread per crossing. The old
+     * "racy halving is benign" scheme let two sweeps that crossed
+     * the window boundary concurrently halve twice (quartering the
+     * counters and skewing the reject rate a long-lived service's
+     * adaptive tagging steers by). The hot path stays relaxed
+     * increments; the CAS only runs on a crossing, once per ~4M
+     * keys.
+     */
     void
     note(u64 n, u64 r) const
     {
-        const u64 total =
-            keys_.fetch_add(n, std::memory_order_relaxed) + n;
+        const u64 life =
+            lifetime_.fetch_add(n, std::memory_order_relaxed) + n;
+        keys_.fetch_add(n, std::memory_order_relaxed);
         rejects_.fetch_add(r, std::memory_order_relaxed);
-        if (total >= kWindowKeys) {
-            // Exponential aging; racy halving is benign (stats).
-            keys_.store(total / 2, std::memory_order_relaxed);
-            rejects_.store(
-                rejects_.load(std::memory_order_relaxed) / 2,
-                std::memory_order_relaxed);
+        const u64 target = life / kWindowKeys;
+        u64 e = epoch_.load(std::memory_order_relaxed);
+        while (e < target) {
+            if (epoch_.compare_exchange_weak(
+                    e, target, std::memory_order_relaxed)) {
+                // Sole ager for this crossing (a sweep spanning
+                // several windows still halves once — aging is a
+                // heuristic decay, not bookkeeping). Concurrent
+                // increments may be lost to the store; that
+                // lossiness is bounded by one window's traffic and
+                // does not compound the way double-halving did.
+                keys_.store(
+                    keys_.load(std::memory_order_relaxed) / 2,
+                    std::memory_order_relaxed);
+                rejects_.store(
+                    rejects_.load(std::memory_order_relaxed) / 2,
+                    std::memory_order_relaxed);
+                break;
+            }
         }
     }
 
     u64 keys() const { return keys_.load(std::memory_order_relaxed); }
+
+    /** Aging windows crossed so far (exactly lifetime / kWindowKeys
+     *  — the idempotency the raced test asserts). */
+    u64
+    agings() const
+    {
+        return epoch_.load(std::memory_order_relaxed);
+    }
 
     u64
     rejects() const
@@ -134,11 +168,17 @@ class TagFilterStats
     {
         keys_.store(0, std::memory_order_relaxed);
         rejects_.store(0, std::memory_order_relaxed);
+        lifetime_.store(0, std::memory_order_relaxed);
+        epoch_.store(0, std::memory_order_relaxed);
     }
 
   private:
     mutable std::atomic<u64> keys_{0};
     mutable std::atomic<u64> rejects_{0};
+    /** Monotone key count (never halved): defines aging epochs. */
+    mutable std::atomic<u64> lifetime_{0};
+    /** Aging windows already applied (CAS-elected, one per window). */
+    mutable std::atomic<u64> epoch_{0};
 };
 
 /** Construction-time description of a hash index. */

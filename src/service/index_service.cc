@@ -10,11 +10,12 @@ namespace widx::sw {
 namespace detail {
 
 /**
- * One submitted request. Chunk c's records are written by exactly
- * one walker (the one that drained c's window) into perChunk[c];
- * the walker that retires the last chunk assembles the result and
- * signals the client. `remaining` decrements with acq_rel so the
- * assembler observes every other walker's chunk writes.
+ * One submitted request. Merge slot s's records are written by
+ * exactly one walker (the one that drained s's window) into
+ * perSlot[s]; the walker that retires the last slot assembles the
+ * result and signals the client. `remaining` decrements with
+ * acq_rel so the assembler observes every other walker's slot
+ * writes.
  */
 struct ServiceRequest
 {
@@ -22,7 +23,11 @@ struct ServiceRequest
     std::span<const u64> keys;
     std::atomic<u64> remaining{0};
     std::atomic<u64> count{0}; ///< Count-kind tally
-    std::vector<std::vector<MatchRec>> perChunk;
+    std::vector<std::vector<MatchRec>> perSlot;
+    /** Affine-routed: slots are scatter segments, not contiguous
+     *  chunks, so the assembler merges them with one stable sort on
+     *  key position (see finalize). */
+    bool scattered = false;
 
     std::mutex m;
     std::condition_variable cv;
@@ -37,13 +42,26 @@ struct ServiceRequest
             r.matches = count.load(std::memory_order_relaxed);
         } else {
             std::size_t total = 0;
-            for (const auto &c : perChunk)
+            for (const auto &c : perSlot)
                 total += c.size();
             r.recs.reserve(total);
-            for (auto &c : perChunk)
+            for (auto &c : perSlot)
                 r.recs.insert(r.recs.end(), c.begin(), c.end());
+            // Shared-mode slots are position-contiguous chunks, so
+            // concatenation is already probeBatch order. Scattered
+            // slots partition the positions by shard instead; each
+            // slot is sorted by position and every position (and
+            // every duplicate of a key — one hash, one shard) lives
+            // in exactly one slot, so a stable sort on position
+            // restores the exact probeBatch sequence.
+            if (scattered)
+                std::stable_sort(r.recs.begin(), r.recs.end(),
+                                 [](const MatchRec &a,
+                                    const MatchRec &b) {
+                                     return a.i < b.i;
+                                 });
             r.matches = total;
-            perChunk.clear();
+            perSlot.clear();
         }
         {
             std::lock_guard<std::mutex> lk(m);
@@ -78,7 +96,8 @@ IndexService::IndexService(const db::HashIndex &index,
 IndexService::IndexService(const db::Column &buildKeys,
                            const db::IndexSpec &spec,
                            const ServiceConfig &cfg)
-    : index_(buildKeys, spec, cfg.shards, cfg.numa, cfg.pinWalkers),
+    : index_(buildKeys, spec, cfg.shards, cfg.numa,
+             cfg.pinWalkers, cfg.topology),
       cfg_(cfg)
 {
     start();
@@ -92,8 +111,58 @@ IndexService::start()
                             : db::HashIndex::kProbeBatch,
         1, db::HashIndex::kMaxProbeBatch);
     width_ = std::clamp(cfg_.width, 1u, kMaxWidth);
+    topo_ = cfg_.topology ? cfg_.topology : &Topology::host();
+    affine_ = cfg_.affineRouting && index_.shards() > 1;
     const unsigned walkers =
         std::clamp(cfg_.walkers, 1u, kMaxWalkers);
+
+    if (affine_) {
+        const unsigned S = index_.shards();
+        const unsigned N = topo_->nodes();
+        shardSealed_.resize(S);
+        shardOpen_.resize(S);
+        for (unsigned s = 0; s < S; ++s)
+            shardOpen_[s].shard = int(s);
+
+        // Home shard sets: walkers block-distribute over the nodes
+        // exactly like shards do, and each node's shards deal
+        // round-robin to its walkers — so a shard's home walkers
+        // sit on the node holding (under NodeBound) its arena.
+        // Shards whose node has no walker deal round-robin across
+        // all walkers, preserving the exactly-one-home-walker
+        // invariant (homeShards() exposes it; stealing covers the
+        // rest of the pool).
+        walkerNode_.resize(walkers);
+        std::vector<std::vector<unsigned>> nodeWalkers(N);
+        for (unsigned w = 0; w < walkers; ++w) {
+            walkerNode_[w] = topo_->nodeForSlot(w, walkers);
+            nodeWalkers[walkerNode_[w]].push_back(w);
+        }
+        home_.assign(walkers, {});
+        std::vector<unsigned> deal(N, 0);
+        std::vector<unsigned> orphans;
+        for (unsigned s = 0; s < S; ++s) {
+            const unsigned node = index_.shardNode(s);
+            if (node < N && !nodeWalkers[node].empty()) {
+                const auto &ws = nodeWalkers[node];
+                home_[ws[deal[node]++ % ws.size()]].push_back(s);
+            } else {
+                orphans.push_back(s);
+            }
+        }
+        for (unsigned i = 0; i < orphans.size(); ++i)
+            home_[i % walkers].push_back(orphans[i]);
+
+        // Pin targets: cycle each node's walkers over its CPUs.
+        walkerCpu_.resize(walkers);
+        std::vector<unsigned> next(N, 0);
+        for (unsigned w = 0; w < walkers; ++w)
+            walkerCpu_[w] = topo_->cpuOnNode(
+                walkerNode_[w], next[walkerNode_[w]]++);
+    } else {
+        home_.assign(walkers, {});
+    }
+
     threads_.reserve(walkers);
     for (unsigned w = 0; w < walkers; ++w)
         threads_.emplace_back([this, w] { walkerMain(w); });
@@ -120,15 +189,27 @@ IndexService::submit(RequestKind kind, std::span<const u64> keys)
     nRequests_.fetch_add(1, std::memory_order_relaxed);
     nKeys_.fetch_add(keys.size(), std::memory_order_relaxed);
 
-    const u64 num_chunks = (keys.size() + chunk_ - 1) / chunk_;
-    if (num_chunks == 0) {
+    if (keys.empty()) {
         // Nothing to do: complete before the ticket escapes.
         req->done = true;
         return ResultTicket(req);
     }
+    if (affine_)
+        submitAffine(req, kind, keys);
+    else
+        submitShared(req, kind, keys);
+    return ResultTicket(std::move(req));
+}
+
+void
+IndexService::submitShared(
+    std::shared_ptr<detail::ServiceRequest> req, RequestKind kind,
+    std::span<const u64> keys)
+{
+    const u64 num_chunks = (keys.size() + chunk_ - 1) / chunk_;
     req->remaining.store(num_chunks, std::memory_order_relaxed);
     if (kind != RequestKind::Count)
-        req->perChunk.resize(num_chunks);
+        req->perSlot.resize(num_chunks);
 
     unsigned added = 0;
     {
@@ -170,44 +251,226 @@ IndexService::submit(RequestKind kind, std::span<const u64> keys)
         cv_.notify_all();
     else
         cv_.notify_one();
-    return ResultTicket(std::move(req));
+}
+
+void
+IndexService::submitAffine(
+    std::shared_ptr<detail::ServiceRequest> req, RequestKind kind,
+    std::span<const u64> keys)
+{
+    // Admission hashing: the dispatcher stage's vector hash runs on
+    // the submitting thread, once, so the scatter can route by
+    // shard and the drains start from pre-hashed keys.
+    const std::size_t n = keys.size();
+    std::vector<u64> hashes(n);
+    for (std::size_t base = 0; base < n;
+         base += db::HashIndex::kMaxProbeBatch) {
+        const std::size_t len = std::min<std::size_t>(
+            db::HashIndex::kMaxProbeBatch, n - base);
+        index_.hashBatch(keys.subspan(base, len),
+                         {hashes.data() + base, len});
+    }
+    req->scattered = kind != RequestKind::Count;
+
+    // Classify outside the lock: per-shard staging runs of
+    // (key, hash, position), exactly sized. Walkers and concurrent
+    // submitters must not stall behind per-key work on m_ — under
+    // the lock the scatter is only bulk splices of these runs plus
+    // O(segments) bookkeeping.
+    const unsigned S = index_.shards();
+    struct Staged
+    {
+        std::vector<u64> keys, hashes;
+        std::vector<std::size_t> pos;
+    };
+    std::vector<u32> shard_of(n);
+    std::vector<std::size_t> cnt(S, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        shard_of[i] = index_.shardOf(hashes[i]);
+        ++cnt[shard_of[i]];
+    }
+    std::vector<Staged> staged(S);
+    for (unsigned s = 0; s < S; ++s) {
+        staged[s].keys.reserve(cnt[s]);
+        staged[s].hashes.reserve(cnt[s]);
+        staged[s].pos.reserve(cnt[s]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        Staged &st = staged[shard_of[i]];
+        st.keys.push_back(keys[i]);
+        st.hashes.push_back(hashes[i]);
+        st.pos.push_back(i);
+    }
+
+    std::size_t slots = 0;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        for (unsigned s = 0; s < S; ++s) {
+            const Staged &st = staged[s];
+            std::size_t done = 0;
+            while (done < st.keys.size()) {
+                // Fill the shard's open window up to the chunk
+                // size: one new segment per (request, window),
+                // coalescing with other requests' tails already
+                // parked there.
+                Window &w = shardOpen_[s];
+                const std::size_t take = std::min<std::size_t>(
+                    chunk_ - w.keys, st.keys.size() - done);
+                w.segs.push_back(Segment{req, slots++,
+                                         w.wkeys.size(),
+                                         u32(take)});
+                w.wkeys.insert(w.wkeys.end(),
+                               st.keys.begin() + done,
+                               st.keys.begin() + done + take);
+                w.whashes.insert(w.whashes.end(),
+                                 st.hashes.begin() + done,
+                                 st.hashes.begin() + done + take);
+                w.wpos.insert(w.wpos.end(), st.pos.begin() + done,
+                              st.pos.begin() + done + take);
+                w.keys += u32(take);
+                openKeys_ += take;
+                done += take;
+                if (w.keys == chunk_) {
+                    openKeys_ -= w.keys;
+                    shardSealed_[s].push_back(std::move(w));
+                    shardOpen_[s] = Window{};
+                    shardOpen_[s].shard = int(s);
+                    ++sealedCount_;
+                }
+            }
+        }
+        // Published under the lock, before any walker can pop a
+        // window referencing these slots: the count is only known
+        // once the scatter has run, and perSlot must never resize
+        // concurrently with a drainer's write.
+        req->remaining.store(slots, std::memory_order_relaxed);
+        if (kind != RequestKind::Count)
+            req->perSlot.resize(slots);
+    }
+    // A scatter typically touches several shard queues; wake the
+    // pool and let home-first claiming sort out who drains what.
+    cv_.notify_all();
 }
 
 void
 IndexService::walkerMain(unsigned w)
 {
-    if (cfg_.pinWalkers)
-        pinCurrentThread(w);
+    if (cfg_.pinWalkers) {
+        // Affine routing pins each walker onto its home node so
+        // home windows drain next to (NodeBound) their shard's
+        // arena; otherwise fold the walker index over the usable
+        // CPUs.
+        if (affine_)
+            pinThreadToCpu(*topo_, walkerCpu_[w]);
+        else
+            pinCurrentThread(w);
+    }
     for (;;) {
         Window win;
+        bool stolen = false;
         {
             std::unique_lock<std::mutex> lk(m_);
             cv_.wait(lk, [&] {
-                return stop_ || !sealed_.empty() || open_.keys > 0;
+                if (stop_)
+                    return true;
+                return affine_
+                           ? sealedCount_ > 0 || openKeys_ > 0
+                           : !sealed_.empty() || open_.keys > 0;
             });
-            if (!sealed_.empty()) {
-                win = std::move(sealed_.front());
-                sealed_.pop_front();
-            } else if (open_.keys > 0) {
-                // Nothing sealed and this walker is idle: serve the
-                // coalescing window now instead of stalling its
-                // requests (latency floor for lone small probes).
-                win = std::move(open_);
-                open_ = Window{};
-            } else {
+            const bool got = affine_ ? claimAffine(w, win, stolen)
+                                     : claimShared(win);
+            if (!got)
                 return; // stop_ and every queue drained
-            }
         }
         nWindows_.fetch_add(1, std::memory_order_relaxed);
         if (win.segs.size() > 1)
             nCoalesced_.fetch_add(1, std::memory_order_relaxed);
+        if (win.shard >= 0)
+            nAffine_.fetch_add(1, std::memory_order_relaxed);
+        if (stolen)
+            nStolen_.fetch_add(1, std::memory_order_relaxed);
         processWindow(win);
     }
+}
+
+bool
+IndexService::claimShared(Window &win)
+{
+    if (!sealed_.empty()) {
+        win = std::move(sealed_.front());
+        sealed_.pop_front();
+        return true;
+    }
+    if (open_.keys > 0) {
+        // Nothing sealed and this walker is idle: serve the
+        // coalescing window now instead of stalling its requests
+        // (latency floor for lone small probes).
+        win = std::move(open_);
+        open_ = Window{};
+        return true;
+    }
+    return false;
+}
+
+bool
+IndexService::claimAffine(unsigned w, Window &win, bool &stolen)
+{
+    const unsigned S = index_.shards();
+    auto popSealed = [&](unsigned s) {
+        win = std::move(shardSealed_[s].front());
+        shardSealed_[s].pop_front();
+        --sealedCount_;
+    };
+    auto grabOpen = [&](unsigned s) {
+        openKeys_ -= shardOpen_[s].keys;
+        win = std::move(shardOpen_[s]);
+        shardOpen_[s] = Window{};
+        shardOpen_[s].shard = int(s);
+    };
+    // Home queues first — sealed before open, same as the shared
+    // path — then steal across the other shards so a skewed shard
+    // never idles the pool while its home walkers are behind.
+    if (sealedCount_ > 0) {
+        for (unsigned s : home_[w])
+            if (!shardSealed_[s].empty()) {
+                popSealed(s);
+                stolen = false;
+                return true;
+            }
+        for (unsigned s = 0; s < S; ++s)
+            if (!shardSealed_[s].empty()) {
+                popSealed(s);
+                stolen = true;
+                return true;
+            }
+    }
+    if (openKeys_ > 0) {
+        for (unsigned s : home_[w])
+            if (shardOpen_[s].keys > 0) {
+                grabOpen(s);
+                stolen = false;
+                return true;
+            }
+        for (unsigned s = 0; s < S; ++s)
+            if (shardOpen_[s].keys > 0) {
+                grabOpen(s);
+                stolen = true;
+                return true;
+            }
+    }
+    return false;
 }
 
 void
 IndexService::processWindow(Window &win)
 {
+    if (win.shard >= 0) {
+        // Affine window: every key belongs to one shard, so the
+        // drain runs against that shard's flat HashIndex (no
+        // per-key shard resolve; per-shard AVX2 tag filter).
+        drainAffine(win);
+        return;
+    }
     // Single-shard services (including views of an existing index)
     // drain against the flat HashIndex — no per-key shard resolve,
     // and the AVX2 tag filter applies.
@@ -221,14 +484,6 @@ template <typename Index>
 void
 IndexService::drainWindow(const Index &idx, Window &win)
 {
-    /** Window ordinal -> owning segment and request-relative key
-     *  position. */
-    struct Ref
-    {
-        u32 seg;
-        std::size_t pos;
-    };
-
     u64 wkeys[db::HashIndex::kMaxProbeBatch];
     u64 hashes[db::HashIndex::kMaxProbeBatch];
     Ref refs[db::HashIndex::kMaxProbeBatch];
@@ -247,6 +502,33 @@ IndexService::drainWindow(const Index &idx, Window &win)
         off += seg.len;
     }
 
+    drainGathered(idx, win, wkeys, hashes, refs, off, false);
+}
+
+void
+IndexService::drainAffine(Window &win)
+{
+    // Keys and hashes were materialized at admission; only the
+    // ordinal -> (segment, position) map is built here.
+    Ref refs[db::HashIndex::kMaxProbeBatch];
+    for (std::size_t s = 0; s < win.segs.size(); ++s) {
+        const Segment &seg = win.segs[s];
+        for (u32 j = 0; j < seg.len; ++j)
+            refs[seg.base + j] =
+                Ref{u32(s), win.wpos[seg.base + j]};
+    }
+    drainGathered(index_.shard(unsigned(win.shard)), win,
+                  win.wkeys.data(), win.whashes.data(), refs,
+                  win.wkeys.size(), true);
+}
+
+template <typename Index>
+void
+IndexService::drainGathered(const Index &idx, Window &win,
+                            const u64 *wkeys, const u64 *hashes,
+                            const Ref *refs, std::size_t off,
+                            bool noteAggregate)
+{
     // Tag sweep: batched fingerprint filter plus survivor-only
     // header prefetches (the drain's own tag check stays off — the
     // stream skips rejected ordinals). Adaptive mode keeps its
@@ -254,17 +536,25 @@ IndexService::drainWindow(const Index &idx, Window &win)
     // 32nd untagged window tagged anyway: the sweep is correct
     // either way (no false negatives), and the periodic sample is
     // what lets the recommendation swing back on when traffic turns
-    // selective again.
-    bool tagged = effectiveTagged(idx, cfg_.pipeline);
+    // selective again. The adaptive decision always reads the
+    // service-level aggregate (index_), not a single shard's view.
+    bool tagged = effectiveTagged(index_, cfg_.pipeline);
     if (cfg_.pipeline.adaptiveTags && !tagged &&
         nUntagged_.fetch_add(1, std::memory_order_relaxed) % 32 ==
             0)
         tagged = true;
     u64 bits[db::HashIndex::kMaxProbeBatch / 64];
-    if (tagged)
-        tagFilterAndPrefetch(idx, hashes, off, bits);
-    else
+    if (tagged) {
+        const u64 survivors =
+            tagFilterAndPrefetch(idx, hashes, off, bits);
+        // Affine drains filter against one shard's index, which
+        // feeds only that shard's counters; mirror the sweep into
+        // the cross-shard aggregate the adaptive decision reads.
+        if (noteAggregate)
+            index_.noteTagSweep(off, off - survivors);
+    } else {
         idx.prefetchStage(hashes, off, false);
+    }
 
     // Drain through the interleaved engine; records land in
     // per-segment scratch tagged with request-relative positions.
@@ -287,8 +577,8 @@ IndexService::drainWindow(const Index &idx, Window &win)
     // Retire each segment: records sort back into probeBatch order
     // (stable on key position — the engines interleave across keys
     // but emit each key's matches in chain order), land in the
-    // request's (request, chunk) slot, and the last chunk to retire
-    // assembles and publishes the result.
+    // request's (request, slot) merge slot, and the last slot to
+    // retire assembles and publishes the result.
     for (std::size_t s = 0; s < win.segs.size(); ++s) {
         Segment &seg = win.segs[s];
         detail::ServiceRequest &req = *seg.req;
@@ -301,7 +591,7 @@ IndexService::drainWindow(const Index &idx, Window &win)
                                 const MatchRec &b) {
                                  return a.i < b.i;
                              });
-            req.perChunk[seg.chunkIdx] = std::move(seg_recs[s]);
+            req.perSlot[seg.slot] = std::move(seg_recs[s]);
         }
         if (req.remaining.fetch_sub(1, std::memory_order_acq_rel) ==
             1)
@@ -317,6 +607,8 @@ IndexService::stats() const
     s.keys = nKeys_.load(std::memory_order_relaxed);
     s.windows = nWindows_.load(std::memory_order_relaxed);
     s.coalescedWindows = nCoalesced_.load(std::memory_order_relaxed);
+    s.affineWindows = nAffine_.load(std::memory_order_relaxed);
+    s.stolenWindows = nStolen_.load(std::memory_order_relaxed);
     return s;
 }
 

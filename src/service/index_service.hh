@@ -12,12 +12,14 @@
  *
  *  - **Shards.** The service owns a ShardedIndex: the bucket+tag
  *    space hash-range-partitioned into S per-arena shards (shard
- *    selector folded into the bucket indexing, FirstTouch placement
- *    optional), or a single-shard view of an existing HashIndex.
+ *    selector folded into the bucket indexing, FirstTouch or
+ *    topology-aware NodeBound placement), or a single-shard view of
+ *    an existing HashIndex.
  *
  *  - **Persistent walkers.** K walker threads are spawned once and
  *    park on a condvar between requests — no per-call thread spawn
- *    or join. Optional round-robin CPU pinning.
+ *    or join. Optional CPU pinning (slot-folded over the usable
+ *    CPUs; home-node CPUs under affine routing).
  *
  *  - **Submission / completion.** Clients submit(kind, keys) from
  *    any thread (the submission queue is a mutex-guarded MPSC
@@ -35,13 +37,31 @@
  *    full-width windows even when every client sends a handful of
  *    keys.
  *
+ *  - **Shard-affine routing** (ServiceConfig::affineRouting, the
+ *    topology path). submit() vector-hashes the request's keys at
+ *    admission and scatters them into *per-shard* dispatch windows
+ *    (one open window per shard — small requests still coalesce,
+ *    now per shard). Each walker owns a home shard set derived from
+ *    the topology (walkers and shards block-distribute over the
+ *    same NUMA nodes) and serves its home windows first, stealing
+ *    from other shards only when its own queues are empty, so a
+ *    skewed shard never idles the pool. An affine window holds keys
+ *    of exactly one shard, so its drain runs against that shard's
+ *    flat HashIndex — no per-key shard resolve, per-shard AVX2 tag
+ *    filter — on arena pages that NodeBound placement put on the
+ *    walker's own node.
+ *
  *  - **Determinism.** A window is drained by exactly one walker;
- *    its per-chunk records are stable-sorted by key position
- *    (preserving per-key chain order) and merged by (request,
- *    chunk) id, so every request's result sequence is byte-
- *    identical to a single-threaded HashIndex::probeBatch over its
- *    keys — independent of walker count, shard count, coalescing,
- *    and thread timing.
+ *    its per-segment records are stable-sorted by key position
+ *    (preserving per-key chain order) and merged by (request, slot)
+ *    id — with affine routing the request's records are additionally
+ *    merged across shard slots by one final stable sort on key
+ *    position (every position lives in exactly one shard, and all
+ *    duplicates of a key share a shard, so chain order survives) —
+ *    making every request's result sequence byte-identical to a
+ *    single-threaded HashIndex::probeBatch over its keys,
+ *    independent of walker count, shard count, routing mode,
+ *    coalescing, stealing, and thread timing.
  *
  * See src/service/README.md for the architecture write-up.
  */
@@ -115,6 +135,8 @@ struct ServiceStats
     u64 keys = 0;
     u64 windows = 0;          ///< dispatch windows drained
     u64 coalescedWindows = 0; ///< windows spanning >1 request tail
+    u64 affineWindows = 0;    ///< single-shard windows (routing on)
+    u64 stolenWindows = 0;    ///< drained by a non-home walker
 };
 
 class IndexService
@@ -168,51 +190,110 @@ class IndexService
     unsigned shards() const { return index_.shards(); }
     const ShardedIndex &index() const { return index_; }
 
+    /** Is shard-affine routing live (configured on and > 1 shard)? */
+    bool affineRouting() const { return affine_; }
+
+    /** A walker's home shard set (affine routing only; empty sets
+     *  mean the walker only steals). */
+    std::span<const unsigned>
+    homeShards(unsigned walker) const
+    {
+        return home_[walker];
+    }
+
     ServiceStats stats() const;
 
   private:
-    /** One contiguous run of a request's keys inside a window —
-     *  always a whole chunk (full chunks are their own window;
-     *  tails are never split across windows). */
+    /** One contiguous run of keys inside a window, owned by one
+     *  request. In shared windows `base` offsets into req->keys and
+     *  a segment is always a whole admission chunk; in affine
+     *  windows `base` offsets into the window's scattered key
+     *  arrays. `slot` is the request's merge slot (chunk index, or
+     *  scatter-segment ordinal under affine routing). */
     struct Segment
     {
         std::shared_ptr<detail::ServiceRequest> req;
-        std::size_t chunkIdx;
-        std::size_t base; ///< offset into req->keys
-        u32 len;          ///< <= pipeline.batch
+        std::size_t slot;
+        std::size_t base;
+        u32 len; ///< <= pipeline.batch
     };
 
-    /** A dispatch window: what one walker drains in one pass. */
+    /** A dispatch window: what one walker drains in one pass.
+     *  shard >= 0 marks a shard-affine window, which owns its
+     *  admission-hashed keys (wkeys/whashes) and their
+     *  request-relative positions (wpos). */
     struct Window
     {
         std::vector<Segment> segs;
         u32 keys = 0;
+        int shard = -1;
+        std::vector<u64> wkeys;
+        std::vector<u64> whashes;
+        std::vector<std::size_t> wpos;
+    };
+
+    /** Window ordinal -> owning segment and request-relative key
+     *  position (drain scratch). */
+    struct Ref
+    {
+        u32 seg;
+        std::size_t pos;
     };
 
     void start();
     void walkerMain(unsigned w);
+    void submitShared(std::shared_ptr<detail::ServiceRequest> req,
+                      RequestKind kind, std::span<const u64> keys);
+    void submitAffine(std::shared_ptr<detail::ServiceRequest> req,
+                      RequestKind kind, std::span<const u64> keys);
+    bool claimShared(Window &win);
+    bool claimAffine(unsigned w, Window &win, bool &stolen);
     void processWindow(Window &win);
     template <typename Index>
     void drainWindow(const Index &idx, Window &win);
+    void drainAffine(Window &win);
+    template <typename Index>
+    void drainGathered(const Index &idx, Window &win,
+                       const u64 *wkeys, const u64 *hashes,
+                       const Ref *refs, std::size_t off,
+                       bool noteAggregate);
 
     ShardedIndex index_;
     ServiceConfig cfg_;
     std::size_t chunk_; ///< resolved pipeline.batch
     unsigned width_;    ///< resolved drain width
+    bool affine_ = false;
+    const Topology *topo_ = nullptr;
 
     std::mutex m_;
     std::condition_variable cv_;
+    // Shared-mode queues (affine off): one sealed deque, one open
+    // coalescing window.
     std::deque<Window> sealed_;
-    Window open_; ///< tails coalescing toward a full window
+    Window open_;
+    // Affine-mode queues: per-shard sealed deques and open windows,
+    // plus O(1) occupancy counters for the park predicate.
+    std::vector<std::deque<Window>> shardSealed_;
+    std::vector<Window> shardOpen_;
+    std::size_t sealedCount_ = 0;
+    u64 openKeys_ = 0;
     bool stop_ = false;
     std::vector<std::thread> threads_;
+
+    /** Per-walker home shard sets, nodes, and pin targets (affine
+     *  routing; fixed after start()). */
+    std::vector<std::vector<unsigned>> home_;
+    std::vector<unsigned> walkerNode_;
+    std::vector<unsigned> walkerCpu_;
 
     std::atomic<u64> nRequests_{0};
     std::atomic<u64> nKeys_{0};
     std::atomic<u64> nWindows_{0};
     std::atomic<u64> nCoalesced_{0};
+    std::atomic<u64> nAffine_{0};
+    std::atomic<u64> nStolen_{0};
     /** Untagged-window counter for adaptive re-sampling (see
-     *  drainWindow). */
+     *  drainGathered). */
     std::atomic<u64> nUntagged_{0};
 };
 

@@ -11,6 +11,10 @@
 
 #include "swwalkers/pipeline_config.hh"
 
+namespace widx {
+class Topology;
+}
+
 namespace widx::sw {
 
 /** Shard arena placement policy. */
@@ -22,10 +26,18 @@ enum class NumaPolicy
     /** Build each shard on its own thread so the OS first-touch
      *  policy spreads the shard arenas across nodes (and the build
      *  parallelizes); when walker pinning is on, shard build
-     *  threads are pinned round-robin over the same CPUs. Explicit
+     *  threads are pinned round-robin over the host's *usable* CPUs
+     *  (Topology::host() — the affinity mask is honored). Explicit
      *  node binding (libnuma) is deliberately not a dependency —
      *  see src/service/README.md. */
     FirstTouch,
+    /** Topology-aware first touch: each shard is assigned a target
+     *  node (Topology::nodeForSlot block distribution) and its
+     *  build thread is pinned to a CPU *on that node*, so the
+     *  arena's pages are first-touched where the shard's home
+     *  walkers run. Build threads are always pinned under this
+     *  policy (pinning is the point). */
+    NodeBound,
 };
 
 /** Construction-time description of an IndexService. */
@@ -49,10 +61,30 @@ struct ServiceConfig
      *  `walkers` here is ignored — the service's own walker count
      *  rules. */
     PipelineConfig pipeline{};
-    /** Pin walker threads round-robin over the host CPUs. */
+    /** Pin walker threads. Without affine routing, walkers pin
+     *  round-robin over the usable CPUs; with it, each walker pins
+     *  to a CPU on its home node (see affineRouting). */
     bool pinWalkers = false;
     /** Shard arena placement (see NumaPolicy). */
     NumaPolicy numa = NumaPolicy::None;
+    /**
+     * Shard-affine dispatch routing. Off, every walker serves every
+     * window and resolves each key's shard per key mid-drain. On
+     * (and the service owns > 1 shard), submit() scatters a
+     * request's keys into per-shard dispatch windows (keys are
+     * hashed at admission), every walker gets a *home shard set*
+     * from the topology (walkers and shards block-distribute over
+     * the same nodes), and windows route to home walkers first with
+     * work-stealing fallback so skewed shards don't idle the pool.
+     * A window then drains against one shard's flat HashIndex — no
+     * per-key shard resolve, per-shard AVX2 tag filter — and, with
+     * NodeBound placement + pinWalkers, against arena pages on the
+     * walker's own node. Results stay byte-identical to flat
+     * probeBatch (see src/service/README.md). */
+    bool affineRouting = false;
+    /** Topology override for tests (synthetic multi-node trees);
+     *  null = Topology::host(). Must outlive the service. */
+    const Topology *topology = nullptr;
 };
 
 } // namespace widx::sw

@@ -7,29 +7,7 @@
 #include "common/bitops.hh"
 #include "common/logging.hh"
 
-#if defined(__linux__)
-#include <pthread.h>
-#include <sched.h>
-#endif
-
 namespace widx::sw {
-
-void
-pinCurrentThread(unsigned cpu)
-{
-#if defined(__linux__)
-    const unsigned hw =
-        std::max(1u, std::thread::hardware_concurrency());
-    cpu_set_t set;
-    CPU_ZERO(&set);
-    CPU_SET(cpu % hw, &set);
-    // Best effort: an unpinnable host (cgroup masks, exotic
-    // schedulers) just leaves the thread floating.
-    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
-#else
-    (void)cpu;
-#endif
-}
 
 ShardedIndex::ShardedIndex(const db::HashIndex &index)
     : shards_{&index}, flat_(&index), shardShift_(0), shardMask_(0),
@@ -39,7 +17,8 @@ ShardedIndex::ShardedIndex(const db::HashIndex &index)
 
 ShardedIndex::ShardedIndex(const db::Column &keys,
                            const db::IndexSpec &spec, unsigned shards,
-                           NumaPolicy numa, bool pinBuilders)
+                           NumaPolicy numa, bool pinBuilders,
+                           const Topology *topo)
 {
     const u64 total = nextPowerOfTwo(std::max<u64>(spec.buckets, 1));
     u64 s = nextPowerOfTwo(std::max<u64>(shards, 1));
@@ -54,6 +33,15 @@ ShardedIndex::ShardedIndex(const db::Column &keys,
     arenas_.resize(std::size_t(s));
     owned_.resize(std::size_t(s));
     shards_.resize(std::size_t(s));
+
+    // Target nodes: shards block-distribute over the nodes, so a
+    // node owns a contiguous hash range and the walkers homed there
+    // (same distribution) serve it. Computed for every policy —
+    // dispatch routing wants the mapping even when arenas float.
+    const Topology &t = topo ? *topo : Topology::host();
+    shardNode_.resize(std::size_t(s));
+    for (unsigned sh = 0; sh < s; ++sh)
+        shardNode_[sh] = t.nodeForSlot(sh, unsigned(s));
 
     // Shard sh owns the keys whose global bucket index falls in its
     // hash range; duplicates of a key share a hash, so they share a
@@ -71,20 +59,31 @@ ShardedIndex::ShardedIndex(const db::Column &keys,
         shards_[sh] = owned_[sh].get();
     };
 
-    if (numa == NumaPolicy::FirstTouch && s > 1) {
+    if (numa != NumaPolicy::None && s > 1) {
         // One build thread per shard: the arena pages are
-        // first-touched where the builder runs, so the OS spreads
-        // shard storage across nodes (and the build parallelizes).
+        // first-touched where the builder runs. FirstTouch lets the
+        // OS spread them (optionally pinning builders round-robin
+        // over the usable CPUs); NodeBound pins each builder to a
+        // CPU on the shard's target node, cycling within the node
+        // when shards outnumber its CPUs.
+        std::vector<unsigned> nextOnNode(t.nodes(), 0);
         std::vector<std::thread> builders;
         builders.reserve(std::size_t(s));
-        for (unsigned sh = 0; sh < s; ++sh)
-            builders.emplace_back([&, sh] {
-                if (pinBuilders)
+        for (unsigned sh = 0; sh < s; ++sh) {
+            int cpu = -1;
+            if (numa == NumaPolicy::NodeBound)
+                cpu = int(t.cpuOnNode(shardNode_[sh],
+                                      nextOnNode[shardNode_[sh]]++));
+            builders.emplace_back([&, sh, cpu] {
+                if (cpu >= 0)
+                    pinThreadToCpu(t, unsigned(cpu));
+                else if (pinBuilders)
                     pinCurrentThread(sh);
                 buildShard(sh);
             });
-        for (auto &t : builders)
-            t.join();
+        }
+        for (auto &t_ : builders)
+            t_.join();
     } else {
         for (unsigned sh = 0; sh < s; ++sh)
             buildShard(sh);

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/arena.hh"
+#include "common/topology.hh"
 #include "db/column.hh"
 #include "db/hash_index.hh"
 #include "service/service_config.hh"
@@ -45,10 +46,6 @@ namespace widx::sw {
 
 /** Hard cap on shards (thread fan-out at build, sanity). */
 inline constexpr unsigned kMaxShards = 64;
-
-/** Pin the calling thread to one host CPU (round-robin helper for
- *  walker and shard-build threads; no-op off Linux or on failure). */
-void pinCurrentThread(unsigned cpu);
 
 class ShardedIndex
 {
@@ -67,13 +64,20 @@ class ShardedIndex
      *        count across shards (rounded up to a power of two).
      * @param shards shard count; clamped to a power of two in
      *        [1, min(kMaxShards, total buckets)].
-     * @param numa arena placement (see NumaPolicy).
+     * @param numa arena placement (see NumaPolicy). NodeBound pins
+     *        each shard's build thread to a CPU on the shard's
+     *        target node (Topology::nodeForSlot), so first-touch
+     *        lands the arena pages node-local to the shard's home
+     *        walkers.
      * @param pinBuilders with FirstTouch, pin shard build threads
-     *        round-robin over the host CPUs.
+     *        round-robin over the usable CPUs (NodeBound always
+     *        pins).
+     * @param topo topology override for tests; null = host.
      */
     ShardedIndex(const db::Column &keys, const db::IndexSpec &spec,
                  unsigned shards, NumaPolicy numa = NumaPolicy::None,
-                 bool pinBuilders = false);
+                 bool pinBuilders = false,
+                 const Topology *topo = nullptr);
 
     ShardedIndex(const ShardedIndex &) = delete;
     ShardedIndex &operator=(const ShardedIndex &) = delete;
@@ -90,6 +94,20 @@ class ShardedIndex
     shardOf(u64 hash) const
     {
         return unsigned((hash >> shardShift_) & shardMask_);
+    }
+
+    /** The shard's target NUMA node (block distribution over the
+     *  build topology; 0 for views and single-node hosts). The
+     *  mapping is computed for every placement policy so dispatch
+     *  routing can home walkers even when arenas float. */
+    unsigned shardNode(unsigned s) const { return shardNode_[s]; }
+
+    /** Record one batched tag sweep in the cross-shard aggregate
+     *  stats (the shard-affine drains filter against a single
+     *  shard's index, which feeds only that shard's counters). */
+    void noteTagSweep(u64 n, u64 rejected) const
+    {
+        stats_.note(n, rejected);
     }
 
     // --- Probe surface (hash-addressed; see db/hash_index.hh) ----------
@@ -167,6 +185,7 @@ class ShardedIndex
     const db::HashIndex *flat_ = nullptr;
     unsigned shardShift_ = 0; ///< log2(per-shard buckets)
     u64 shardMask_ = 0;       ///< shards - 1
+    std::vector<unsigned> shardNode_{0}; ///< target node per shard
     bool indirect_ = false;
     db::TagFilterStats stats_; ///< cross-shard filter stats
 };

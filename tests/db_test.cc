@@ -8,6 +8,8 @@
 
 #include <map>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/rng.hh"
 #include "db/aggregate.hh"
@@ -345,6 +347,65 @@ TEST(HashIndex, TagFilterStatsDriveAdaptiveRecommendation)
     }
     EXPECT_GT(idx.tagStats().rejectRate(), 0.3);
     EXPECT_TRUE(idx.taggedWorthwhile(false)); // filter on
+}
+
+/** Exponential aging is idempotent per window: exactly one halving
+ *  per kWindowKeys of lifetime traffic, however the sweeps land. */
+TEST(HashIndex, TagFilterStatsAgingIsIdempotent)
+{
+    TagFilterStats stats;
+
+    // Single-threaded reference: one crossing, one halving.
+    stats.note(TagFilterStats::kWindowKeys, 0);
+    EXPECT_EQ(stats.agings(), 1u);
+    EXPECT_EQ(stats.keys(), TagFilterStats::kWindowKeys / 2);
+
+    // A second window crossing ages exactly once more.
+    stats.note(TagFilterStats::kWindowKeys, 0);
+    EXPECT_EQ(stats.agings(), 2u);
+    EXPECT_EQ(stats.keys(),
+              (TagFilterStats::kWindowKeys / 2 +
+               TagFilterStats::kWindowKeys) /
+                  2);
+}
+
+/** The TSan-raced version of the aging test: threads that cross the
+ *  window boundary concurrently must age the counters exactly once
+ *  per window (the old racy halving could halve twice, quartering
+ *  the counters), and the observed reject rate must survive aging.
+ *  Raced under the CI TSan job. */
+TEST(HashIndex, TagFilterStatsAgingRacesHalveOncePerWindow)
+{
+    TagFilterStats stats;
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kNotesPerThread = 64;
+    // Each note lands half a window with a 50% reject rate, so
+    // every second note (somewhere) crosses a window boundary and
+    // several threads routinely cross the same one together.
+    constexpr u64 kNoteKeys = TagFilterStats::kWindowKeys / 2;
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            for (unsigned i = 0; i < kNotesPerThread; ++i)
+                stats.note(kNoteKeys, kNoteKeys / 2);
+        });
+    for (auto &t : threads)
+        t.join();
+
+    const u64 lifetime = u64(kThreads) * kNotesPerThread * kNoteKeys;
+    // Idempotency: agings is exactly lifetime / window, not "at
+    // least" — a double halving would need a second epoch bump.
+    EXPECT_EQ(stats.agings(),
+              lifetime / TagFilterStats::kWindowKeys);
+    // Aging halves keys and rejects together, so the steered-by
+    // signal — the reject rate — stays at the true 50% (store/add
+    // races may lose boundary increments; allow a small wobble).
+    EXPECT_NEAR(stats.rejectRate(), 0.5, 0.05);
+    // And the counters stay within one window of traffic instead of
+    // collapsing toward zero under repeated double-halving.
+    EXPECT_LE(stats.keys(), 2 * TagFilterStats::kWindowKeys);
+    EXPECT_GE(stats.keys(), TagFilterStats::kWindowKeys / 4);
 }
 
 /** Empty buckets carry tag 0 and reject every probe with the one

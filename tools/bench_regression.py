@@ -31,6 +31,8 @@ Refresh the baseline with:
 
 import argparse
 import json
+import os
+import re
 import sys
 
 
@@ -46,6 +48,36 @@ def load_measured(path):
         if ips:
             out[b["name"]] = float(ips)
     return out
+
+
+def merge_measured(paths):
+    """Merge runs into one kernel namespace, refusing duplicates.
+
+    A benchmark name appearing in two measured files used to let the
+    last file win silently — a renamed or copy-pasted kernel could
+    shadow the one the baseline pins and fake a pass. Cross-file
+    duplicates are a merge error; fail loudly with the offenders.
+    """
+    merged = {}
+    origin = {}
+    dups = []
+    for path in paths:
+        for name, ips in load_measured(path).items():
+            if name in merged:
+                dups.append(f"{name} (in {origin[name]} and {path})")
+                continue
+            merged[name] = ips
+            origin[name] = path
+    if dups:
+        sys.exit("duplicate benchmark name(s) across measured "
+                 "files:\n  " + "\n  ".join(dups))
+    return merged
+
+
+def walkers_of(name):
+    """The K:<n> walker count encoded in a benchmark name, or None."""
+    m = re.search(r"/K:(\d+)(/|$)", name)
+    return int(m.group(1)) if m else None
 
 
 def main():
@@ -64,9 +96,7 @@ def main():
                          "the measured run instead of gating")
     args = ap.parse_args()
 
-    measured = {}
-    for path in args.measured:
-        measured.update(load_measured(path))
+    measured = merge_measured(args.measured)
     with open(args.baseline) as f:
         baseline = json.load(f)
     pinned = baseline["pinned"]
@@ -107,7 +137,16 @@ def main():
 
     failures = []
     width = max(map(len, pinned), default=0)
+    cores = os.cpu_count() or 1
     for name, base_ips in sorted(pinned.items()):
+        # K-walker rows need K real cores: on a smaller runner the
+        # walkers time-share and the measurement gates scheduler
+        # noise, not the kernel. Skip visibly rather than flake.
+        k = walkers_of(name)
+        if k is not None and k > cores:
+            print(f"  {name:<{width}}  SKIPPED (K:{k} > "
+                  f"{cores} hardware threads on this runner)")
+            continue
         got = measured.get(name)
         if got is None:
             failures.append(f"{name}: missing from measured run")
