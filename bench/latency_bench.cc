@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Open-loop tail-latency ladder for the index service: arrival rate
+ * x {coalescing on/off} x {shard-affine routing on/off}, Poisson
+ * arrivals (plus bursty and uniform reference rows), per-request
+ * percentiles measured from *scheduled* arrival time so coordinated
+ * omission cannot hide stalls (see src/service/open_loop.hh).
+ *
+ *   $ ./latency_bench [--smoke] [--out=PATH]
+ *
+ * Results land in BENCH_latency.json (google-benchmark-compatible
+ * JSON, extended with p50_ns/p99_ns/... fields) so
+ * tools/bench_regression.py can schema-validate and gate the
+ * percentile rows next to the throughput kernels. Row names carry
+ * the walker count (K:) so the gate's small-runner skip rule
+ * applies.
+ *
+ * Each row also splits the service-side view into queue-wait vs
+ * drain-time means (from ServiceStats), which is what attributes
+ * coalescing delay: with coalescing on, a tail that waits for
+ * co-runners accrues the hold in queue-wait while drain-time stays
+ * flat.
+ *
+ * NOTE: on a single-core host the generator, reaper, and walker
+ * time-share one CPU, so absolute percentiles are pessimistic; the
+ * rate ladder's *shape* (flat, then a knee at saturation) and the
+ * coalescing/routing deltas remain meaningful, and the CI gate
+ * normalizes by the host factor.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/arena.hh"
+#include "common/rng.hh"
+#include "service/open_loop.hh"
+#include "workload/distributions.hh"
+
+using namespace widx;
+
+namespace {
+
+constexpr std::size_t kKeysPerRequest = 32;
+
+struct Row
+{
+    std::string name;
+    sw::OpenLoopReport rep;
+    sw::KindLatency svc; ///< service-side Count-kind breakdown
+};
+
+void
+writeJson(const char *path, const std::vector<Row> &rows, bool smoke)
+{
+    FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path);
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n  \"context\": {\n"
+                    "    \"executable\": \"latency_bench\",\n"
+                    "    \"smoke\": %s,\n"
+                    "    \"keys_per_request\": %zu\n  },\n"
+                    "  \"benchmarks\": [\n",
+                 smoke ? "true" : "false", kKeysPerRequest);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        const sw::OpenLoopReport &p = r.rep;
+        const LatencySnapshot &l = p.latency;
+        std::fprintf(
+            f,
+            "    {\n"
+            "      \"name\": \"%s\",\n"
+            "      \"run_type\": \"iteration\",\n"
+            "      \"scheduled\": %llu,\n"
+            "      \"submitted\": %llu,\n"
+            "      \"shed\": %llu,\n"
+            "      \"timed_out\": %llu,\n"
+            "      \"completed\": %llu,\n"
+            "      \"offered_rate\": %.1f,\n"
+            "      \"achieved_rate\": %.1f,\n"
+            "      \"items_per_second\": %.1f,\n"
+            "      \"p50_ns\": %llu,\n"
+            "      \"p90_ns\": %llu,\n"
+            "      \"p99_ns\": %llu,\n"
+            "      \"p999_ns\": %llu,\n"
+            "      \"max_ns\": %llu,\n"
+            "      \"mean_ns\": %.1f,\n"
+            "      \"queue_mean_ns\": %.1f,\n"
+            "      \"queue_p99_ns\": %llu,\n"
+            "      \"drain_mean_ns\": %.1f,\n"
+            "      \"drain_p99_ns\": %llu\n"
+            "    }%s\n",
+            r.name.c_str(), (unsigned long long)p.scheduled,
+            (unsigned long long)p.submitted,
+            (unsigned long long)p.shed,
+            (unsigned long long)p.timedOut,
+            (unsigned long long)p.completed, p.offeredRate,
+            p.achievedRate,
+            p.achievedRate * double(kKeysPerRequest),
+            (unsigned long long)l.p50Ns, (unsigned long long)l.p90Ns,
+            (unsigned long long)l.p99Ns,
+            (unsigned long long)l.p999Ns,
+            (unsigned long long)l.maxNs, l.meanNs(),
+            r.svc.queueWait.meanNs(),
+            (unsigned long long)r.svc.queueWait.p99Ns,
+            r.svc.drainTime.meanNs(),
+            (unsigned long long)r.svc.drainTime.p99Ns,
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    int repeat = 0; // 0 = default (3: best-of damps scheduler noise)
+    const char *out = "BENCH_latency.json";
+    std::string outBuf;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            outBuf = argv[i] + 6;
+            out = outBuf.c_str();
+        } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+            repeat = std::atoi(argv[i] + 9);
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--smoke] [--repeat=N] [--out=PATH]\n",
+                argv[0]);
+            return 1;
+        }
+    }
+    if (repeat < 1)
+        repeat = 3;
+
+    // Dataset: L2-resident in smoke mode (CI runners, fast build),
+    // larger for the committed ladder. Unique dense keys, uniform
+    // probe draws.
+    const u64 tuples = smoke ? u64(64) << 10 : u64(1) << 20;
+    Arena arena;
+    Rng rng(42);
+    db::Column build("b", db::ValueKind::U64, arena, tuples);
+    for (u64 k : wl::shuffledDenseKeys(tuples, rng))
+        build.push(k);
+    db::IndexSpec spec;
+    spec.buckets = tuples;
+    spec.hashFn = db::HashFn::monetdbRobust();
+    std::vector<u64> pool = wl::uniformKeys(1u << 20, tuples, rng);
+
+    // The ladder. The lowest rate doubles as the CI gate row (low
+    // utilization on any runner: queueing is minimal, so the number
+    // is a stable service-time floor rather than a saturation
+    // measurement).
+    const std::vector<double> rates =
+        smoke ? std::vector<double>{2000.0, 8000.0}
+              : std::vector<double>{2000.0, 8000.0, 20000.0,
+                                    50000.0};
+    const u64 requests = smoke ? 1200 : 4000;
+
+    std::vector<Row> rows;
+
+    // Best-of-N row runner: each attempt is a full open-loop run;
+    // keep the attempt with the lowest p99. Open-loop percentiles
+    // on shared (and single-core) runners carry multi-ms scheduler
+    // spikes that have nothing to do with the service under test;
+    // the least-polluted attempt is the reproducible one, which is
+    // what a regression gate needs (same spirit as google-benchmark
+    // min-of-repetitions).
+    auto runRow = [&](sw::IndexService &service,
+                      const std::string &rowName,
+                      sw::OpenLoopOptions opt) {
+        Row best;
+        for (int r = 0; r < repeat; ++r) {
+            service.resetLatencyStats();
+            opt.seed = u64(r + 1);
+            sw::OpenLoopReport rep = runOpenLoop(service, pool, opt);
+            sw::KindLatency svc =
+                service.stats().latencyFor(opt.kind);
+            if (r == 0 || rep.latency.p99Ns < best.rep.latency.p99Ns)
+                best = Row{rowName, std::move(rep), svc};
+        }
+        rows.push_back(std::move(best));
+        const Row &r = rows.back();
+        std::printf("%-48s p50 %7.1fus  p99 %7.1fus  p99.9 "
+                    "%7.1fus  achieved %8.0f/s  shed %llu\n",
+                    r.name.c_str(),
+                    double(r.rep.latency.p50Ns) / 1e3,
+                    double(r.rep.latency.p99Ns) / 1e3,
+                    double(r.rep.latency.p999Ns) / 1e3,
+                    r.rep.achievedRate,
+                    (unsigned long long)r.rep.shed);
+    };
+
+    char name[160];
+    for (int coalesce : {1, 0}) {
+        for (int route : {0, 1}) {
+            sw::ServiceConfig cfg;
+            cfg.shards = 4;
+            cfg.walkers = 1; // the portable row (see file note)
+            cfg.affineRouting = route != 0;
+            cfg.coalesceTails = coalesce != 0;
+            sw::IndexService service(build, spec, cfg);
+            for (double rate : rates) {
+                sw::OpenLoopOptions opt;
+                opt.ratePerSec = rate;
+                opt.requests = requests;
+                opt.keysPerRequest = kKeysPerRequest;
+                opt.arrivals = sw::ArrivalProcess::Poisson;
+                std::snprintf(
+                    name, sizeof(name),
+                    "OL_Latency/coalesce:%d/route:%d/K:1/rate:%d",
+                    coalesce, route, int(rate));
+                runRow(service, name, opt);
+            }
+        }
+    }
+
+    // Arrival-process reference rows at the mid rate, default
+    // shape: deterministic pacing vs the bursty on-off train whose
+    // bursts are what admission coalescing feeds on.
+    {
+        sw::ServiceConfig cfg;
+        cfg.shards = 4;
+        cfg.walkers = 1;
+        sw::IndexService service(build, spec, cfg);
+        for (auto [proc, tag] :
+             {std::pair{sw::ArrivalProcess::Uniform, "uniform"},
+              std::pair{sw::ArrivalProcess::OnOff, "onoff"}}) {
+            sw::OpenLoopOptions opt;
+            opt.ratePerSec = rates[1];
+            opt.requests = requests;
+            opt.keysPerRequest = kKeysPerRequest;
+            opt.arrivals = proc;
+            std::snprintf(name, sizeof(name),
+                          "OL_Latency/arrivals:%s/K:1/rate:%d", tag,
+                          int(rates[1]));
+            runRow(service, name, opt);
+        }
+    }
+
+    writeJson(out, rows, smoke);
+    std::printf("wrote %zu rows to %s\n", rows.size(), out);
+    return 0;
+}

@@ -32,6 +32,7 @@
 #include "common/arena.hh"
 #include "common/rng.hh"
 #include "service/index_service.hh"
+#include "service/open_loop.hh"
 #include "swwalkers/walker_pool.hh"
 #include "workload/distributions.hh"
 
@@ -235,6 +236,53 @@ BENCHMARK(BM_ServiceMultiClient)
     ->Args({4, 4, 1})
     ->Args({4, 4, 4})
     ->Args({8, 4, 4})
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// ---------------------------------------------------------------------------
+// Open-loop arrival-rate injection: Poisson arrivals at a fixed
+// rate, submissions never wait for completions, latency measured
+// from the *scheduled* arrival (no coordinated omission — a stalled
+// walker cannot stall the generator the way the closed-loop rows
+// above let it). p50/p99 land in the counters; the full
+// rate -> percentile ladder across coalescing/routing lives in
+// latency_bench (BENCH_latency.json).
+// ---------------------------------------------------------------------------
+
+// Args: rate (req/s), coalesce.
+static void
+BM_ServiceOpenLoop(benchmark::State &state)
+{
+    Dataset &d = small();
+    sw::ServiceConfig cfg;
+    cfg.walkers = 1;
+    cfg.coalesceTails = state.range(1) != 0;
+    sw::IndexService service(*d.index, cfg);
+
+    sw::OpenLoopOptions opt;
+    opt.ratePerSec = double(state.range(0));
+    opt.requests = 1000;
+    opt.keysPerRequest = kSmallProbe;
+    opt.arrivals = sw::ArrivalProcess::Poisson;
+
+    LatencyHistogram hist;
+    u64 completed = 0;
+    for (auto _ : state) {
+        const sw::OpenLoopReport rep =
+            sw::runOpenLoop(service, d.keys, opt);
+        hist.merge(rep.hist);
+        completed += rep.completed;
+    }
+    const LatencySnapshot l = hist.summarize();
+    state.counters["p50_ns"] = double(l.p50Ns);
+    state.counters["p99_ns"] = double(l.p99Ns);
+    state.SetItemsProcessed(i64(completed) * i64(kSmallProbe));
+}
+BENCHMARK(BM_ServiceOpenLoop)
+    ->ArgNames({"rate", "coalesce"})
+    ->Args({8000, 1})
+    ->Args({8000, 0})
+    ->Args({40000, 1})
     ->UseRealTime()
     ->MeasureProcessCPUTime();
 

@@ -17,7 +17,13 @@
  *      join requests and block on their tickets;
  *   4. verify a sample request byte-for-byte against the
  *      single-threaded probeBatch reference and print the service's
- *      traffic counters.
+ *      traffic counters;
+ *   5. print the per-kind latency report (end-to-end percentiles
+ *      plus the queue-wait vs drain-time split that attributes
+ *      admission-coalescing delay) and drive a short *open-loop*
+ *      phase — Poisson arrivals at a fixed rate, no waiting between
+ *      submissions — whose percentiles are free of coordinated
+ *      omission (a stalled walker can't stall this generator).
  */
 
 #include <chrono>
@@ -29,6 +35,7 @@
 #include "common/arena.hh"
 #include "common/rng.hh"
 #include "service/index_service.hh"
+#include "service/open_loop.hh"
 #include "workload/distributions.hh"
 
 using namespace widx;
@@ -146,5 +153,54 @@ main()
                 (unsigned long long)stats.affineWindows,
                 (unsigned long long)stats.stolenWindows,
                 100.0 * service.index().tagStats().rejectRate());
+
+    // 4c. Latency report: every request was timestamped at submit,
+    //     first window claim, and publication, so end-to-end splits
+    //     exactly into queue-wait (where coalescing hold lands) and
+    //     drain-time.
+    std::printf("latency (closed-loop phase):\n"
+                "  %-6s %8s %9s %9s %9s %9s %11s %11s\n", "kind",
+                "count", "p50", "p99", "p99.9", "max", "queue-mean",
+                "drain-mean");
+    const char *kindName[] = {"count", "probe", "join"};
+    for (sw::RequestKind k :
+         {sw::RequestKind::Count, sw::RequestKind::Probe,
+          sw::RequestKind::Join}) {
+        const sw::KindLatency &kl = stats.latencyFor(k);
+        if (kl.endToEnd.count == 0)
+            continue;
+        std::printf("  %-6s %8llu %8.1fu %8.1fu %8.1fu %8.1fu "
+                    "%10.1fu %10.1fu\n",
+                    kindName[unsigned(k)],
+                    (unsigned long long)kl.endToEnd.count,
+                    double(kl.endToEnd.p50Ns) / 1e3,
+                    double(kl.endToEnd.p99Ns) / 1e3,
+                    double(kl.endToEnd.p999Ns) / 1e3,
+                    double(kl.endToEnd.maxNs) / 1e3,
+                    kl.queueWait.meanNs() / 1e3,
+                    kl.drainTime.meanNs() / 1e3);
+    }
+
+    // 5. Open-loop phase: arrivals at a fixed rate, submissions
+    //    never wait for completions, latency measured from each
+    //    request's *scheduled* arrival (no coordinated omission).
+    service.resetLatencyStats();
+    sw::OpenLoopOptions ol;
+    ol.ratePerSec = 20000;
+    ol.requests = 5000;
+    ol.keysPerRequest = requestKeys;
+    sw::OpenLoopReport rep = sw::runOpenLoop(service, probePool, ol);
+    std::printf("open-loop phase: %llu arrivals at %.0f/s "
+                "(achieved %.0f/s), %llu shed, %llu timed out\n"
+                "  p50 %.1fus  p90 %.1fus  p99 %.1fus  p99.9 "
+                "%.1fus  max %.1fus\n",
+                (unsigned long long)rep.scheduled, ol.ratePerSec,
+                rep.achievedRate, (unsigned long long)rep.shed,
+                (unsigned long long)rep.timedOut,
+                double(rep.latency.p50Ns) / 1e3,
+                double(rep.latency.p90Ns) / 1e3,
+                double(rep.latency.p99Ns) / 1e3,
+                double(rep.latency.p999Ns) / 1e3,
+                double(rep.latency.maxNs) / 1e3);
     return identical ? 0 : 1;
 }

@@ -1,0 +1,83 @@
+#include "common/latency.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace widx {
+
+u64
+LatencyHistogram::percentileNs(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    u64 rank = u64(std::ceil(p / 100.0 * double(count_)));
+    rank = std::clamp<u64>(rank, 1, count_);
+    u64 cum = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        cum += counts_[b];
+        if (cum >= rank)
+            return std::min(bucketHighNs(b), max_);
+    }
+    return max_;
+}
+
+LatencySnapshot
+LatencyHistogram::summarize() const
+{
+    LatencySnapshot s;
+    s.count = count_;
+    s.sumNs = sum_;
+    s.p50Ns = percentileNs(50.0);
+    s.p90Ns = percentileNs(90.0);
+    s.p99Ns = percentileNs(99.0);
+    s.p999Ns = percentileNs(99.9);
+    s.maxNs = max_;
+    return s;
+}
+
+LatencyRecorder::LatencyRecorder(unsigned shards)
+    : nShards_(std::max(1u, shards)),
+      shards_(new Shard[nShards_])
+{
+}
+
+unsigned
+LatencyRecorder::threadSlot()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned slot =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+}
+
+LatencyHistogram
+LatencyRecorder::snapshot() const
+{
+    LatencyHistogram h;
+    for (unsigned s = 0; s < nShards_; ++s) {
+        const Shard &sh = shards_[s];
+        for (unsigned b = 0; b < LatencyHistogram::kBuckets; ++b)
+            h.counts_[b] +=
+                sh.counts[b].load(std::memory_order_relaxed);
+        h.count_ += sh.count.load(std::memory_order_relaxed);
+        h.sum_ += sh.sum.load(std::memory_order_relaxed);
+        h.max_ = std::max(h.max_,
+                          sh.max.load(std::memory_order_relaxed));
+    }
+    return h;
+}
+
+void
+LatencyRecorder::reset()
+{
+    for (unsigned s = 0; s < nShards_; ++s) {
+        Shard &sh = shards_[s];
+        for (unsigned b = 0; b < LatencyHistogram::kBuckets; ++b)
+            sh.counts[b].store(0, std::memory_order_relaxed);
+        sh.count.store(0, std::memory_order_relaxed);
+        sh.sum.store(0, std::memory_order_relaxed);
+        sh.max.store(0, std::memory_order_relaxed);
+    }
+}
+
+} // namespace widx

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Per-request latency instrumentation: a log-bucketed histogram and
+ * a lock-light sharded recorder for the hot request path.
+ *
+ * The service bench only reported closed-loop request rates, which
+ * hides exactly the numbers that matter for the walkers design's
+ * central trade (admission coalescing holds a tail window open
+ * waiting for co-runners). These types make latency a first-class
+ * metric:
+ *
+ *  - `LatencyHistogram` — log-bucketed counts (every power-of-two
+ *    range split into 32 linear sub-buckets, <= 1/32 ~ 3.1% relative
+ *    bucket error; values below 64 ns are exact). Fixed-size inline
+ *    storage, so recording never allocates. Mergeable (bucket-wise
+ *    addition — associative and commutative), with exact count /
+ *    sum / max carried alongside the buckets so means are exact even
+ *    though percentiles are bucketed.
+ *
+ *  - `LatencyRecorder` — the concurrent form: N cache-line-padded
+ *    shards of relaxed atomic counters, one picked per recording
+ *    thread, merged into a `LatencyHistogram` at snapshot() time.
+ *    record() is wait-free (a handful of relaxed atomic RMWs) and
+ *    allocation-free; walkers on different shards never contend.
+ *
+ *  - `LatencySnapshot` — the summary the service and benches report:
+ *    count, sum, p50/p90/p99/p99.9, max.
+ *
+ * All values are nanoseconds on std::chrono::steady_clock (see
+ * monotonicNowNs), the only clock that is monotonic across threads.
+ */
+
+#ifndef WIDX_COMMON_LATENCY_HH
+#define WIDX_COMMON_LATENCY_HH
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace widx {
+
+/** steady_clock now, as nanoseconds since the clock's epoch.
+ *  Comparable across threads (steady_clock is system-wide
+ *  monotonic); never compare against wall-clock time. */
+inline u64
+monotonicNowNs()
+{
+    return u64(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+                   .count());
+}
+
+/** Percentile summary of a latency population (nanoseconds).
+ *  Percentiles are bucketed upper bounds (<= 3.1% high); mean is
+ *  exact (carried sum / count). */
+struct LatencySnapshot
+{
+    u64 count = 0;
+    u64 sumNs = 0;
+    u64 p50Ns = 0;
+    u64 p90Ns = 0;
+    u64 p99Ns = 0;
+    u64 p999Ns = 0;
+    u64 maxNs = 0;
+
+    double
+    meanNs() const
+    {
+        return count ? double(sumNs) / double(count) : 0.0;
+    }
+};
+
+/**
+ * Log-bucketed latency histogram: single-writer / snapshot form.
+ * Bucket layout (kSubBits = 5): values < 2 * kSub are their own
+ * bucket (exact); above that, each power-of-two range [2^(h-1), 2^h)
+ * splits into kSub linear sub-buckets, so the relative bucket width
+ * is <= 2^-kSubBits everywhere.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr unsigned kSubBits = 5;
+    static constexpr unsigned kSub = 1u << kSubBits;
+    /** 32 exact buckets + 32 per power-of-two range up to 2^64. */
+    static constexpr unsigned kBuckets = (64 - kSubBits + 1) * kSub;
+
+    /** Bucket index for a nanosecond value (total order, dense). */
+    static unsigned
+    bucketOf(u64 ns)
+    {
+        const unsigned h = unsigned(std::bit_width(ns));
+        if (h <= kSubBits + 1) // ns < 2 * kSub: exact
+            return unsigned(ns);
+        return (h - kSubBits) * kSub +
+               unsigned((ns >> (h - kSubBits - 1)) & (kSub - 1));
+    }
+
+    /** Smallest value mapping to bucket b. */
+    static u64
+    bucketLowNs(unsigned b)
+    {
+        if (b < 2 * kSub)
+            return b;
+        const unsigned range = b >> kSubBits; // >= 2
+        const unsigned sub = b & (kSub - 1);
+        return (u64(kSub) + sub) << (range - 1);
+    }
+
+    /** Largest value mapping to bucket b (inclusive). */
+    static u64
+    bucketHighNs(unsigned b)
+    {
+        return b + 1 < kBuckets ? bucketLowNs(b + 1) - 1
+                                : ~u64{0};
+    }
+
+    void
+    record(u64 ns)
+    {
+        ++counts_[bucketOf(ns)];
+        ++count_;
+        sum_ += ns;
+        if (ns > max_)
+            max_ = ns;
+    }
+
+    /** Bucket-wise addition; associative and commutative. */
+    void
+    merge(const LatencyHistogram &o)
+    {
+        for (unsigned b = 0; b < kBuckets; ++b)
+            counts_[b] += o.counts_[b];
+        count_ += o.count_;
+        sum_ += o.sum_;
+        if (o.max_ > max_)
+            max_ = o.max_;
+    }
+
+    u64 count() const { return count_; }
+    u64 sumNs() const { return sum_; }
+    u64 maxNs() const { return max_; }
+    u64 bucketCount(unsigned b) const { return counts_[b]; }
+
+    /**
+     * Value at percentile p (0 < p <= 100): the upper bound of the
+     * bucket holding the rank-ceil(p/100 * count) sample, clamped to
+     * the exact recorded max — so estimates are >= the true sample
+     * and <= ~3.1% above it, and p -> percentileNs(p) is monotone.
+     * 0 when empty.
+     */
+    u64 percentileNs(double p) const;
+
+    /** count/sum/max plus the standard percentile ladder. */
+    LatencySnapshot summarize() const;
+
+  private:
+    friend class LatencyRecorder;
+    std::array<u64, kBuckets> counts_{};
+    u64 count_ = 0;
+    u64 sum_ = 0;
+    u64 max_ = 0;
+};
+
+/**
+ * Concurrent recorder: per-thread-sharded atomic histograms merged
+ * at snapshot. record() is allocation-free and wait-free apart from
+ * the bounded max CAS loop; shards are cache-line padded so walkers
+ * on different shards never share counter lines. Snapshots taken
+ * while writers are live are internally consistent per shard only
+ * to within the relaxed ordering — exact once writers quiesce
+ * (which is when the service reads them: after tickets complete).
+ */
+class LatencyRecorder
+{
+  public:
+    /** @param shards concurrency shards (clamped to >= 1); size to
+     *  the expected writer count, e.g. walkers + 1. */
+    explicit LatencyRecorder(unsigned shards = 4);
+
+    void
+    record(u64 ns)
+    {
+        Shard &s = shards_[threadSlot() % nShards_];
+        s.counts[LatencyHistogram::bucketOf(ns)].fetch_add(
+            1, std::memory_order_relaxed);
+        s.sum.fetch_add(ns, std::memory_order_relaxed);
+        s.count.fetch_add(1, std::memory_order_relaxed);
+        u64 cur = s.max.load(std::memory_order_relaxed);
+        while (ns > cur &&
+               !s.max.compare_exchange_weak(
+                   cur, ns, std::memory_order_relaxed))
+            ;
+    }
+
+    /** Merged copy of all shards (relaxed reads; see class note). */
+    LatencyHistogram snapshot() const;
+
+    LatencySnapshot
+    summarize() const
+    {
+        return snapshot().summarize();
+    }
+
+    /** Zero every shard. Only exact while no writer is recording
+     *  (e.g. a bench between rate rows with all tickets drained). */
+    void reset();
+
+  private:
+    struct alignas(kCacheBlockBytes) Shard
+    {
+        std::array<std::atomic<u64>, LatencyHistogram::kBuckets>
+            counts{};
+        std::atomic<u64> count{0};
+        std::atomic<u64> sum{0};
+        std::atomic<u64> max{0};
+    };
+
+    /** Stable per-thread slot (monotone assignment at first use). */
+    static unsigned threadSlot();
+
+    unsigned nShards_;
+    std::unique_ptr<Shard[]> shards_;
+};
+
+} // namespace widx
+
+#endif // WIDX_COMMON_LATENCY_HH

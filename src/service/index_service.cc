@@ -9,6 +9,30 @@ namespace widx::sw {
 
 namespace detail {
 
+/** Per-kind x per-component latency recorders. Kind indexes rows;
+ *  columns are the timestamped components (see KindLatency). */
+struct LatencyBoard
+{
+    enum Component
+    {
+        E2E = 0,
+        Queue = 1,
+        Drain = 2,
+    };
+
+    explicit LatencyBoard(unsigned shards)
+        : rec{{{LatencyRecorder(shards), LatencyRecorder(shards),
+                LatencyRecorder(shards)},
+               {LatencyRecorder(shards), LatencyRecorder(shards),
+                LatencyRecorder(shards)},
+               {LatencyRecorder(shards), LatencyRecorder(shards),
+                LatencyRecorder(shards)}}}
+    {
+    }
+
+    std::array<std::array<LatencyRecorder, 3>, 3> rec;
+};
+
 /**
  * One submitted request. Merge slot s's records are written by
  * exactly one walker (the one that drained s's window) into
@@ -28,6 +52,16 @@ struct ServiceRequest
      *  chunks, so the assembler merges them with one stable sort on
      *  key position (see finalize). */
     bool scattered = false;
+
+    /** Latency accounting (board null when recording is off).
+     *  tSubmit is stamped in submit(); tFirstDrain by the first
+     *  walker to claim a window holding one of this request's
+     *  segments (CAS from 0, so exactly one claim wins). The
+     *  claim's release on the remaining-countdown orders the stamp
+     *  before the finalizer's reads. */
+    LatencyBoard *board = nullptr;
+    u64 tSubmit = 0;
+    std::atomic<u64> tFirstDrain{0};
 
     std::mutex m;
     std::condition_variable cv;
@@ -63,6 +97,22 @@ struct ServiceRequest
             r.matches = total;
             perSlot.clear();
         }
+        // Publication timestamp and latency accounting. The same
+        // `now` closes both components, so per request
+        // queueWait + drainTime == endToEnd exactly (the service
+        // test asserts the sums match to the nanosecond). Requests
+        // that never hit a walker (empty spans) have
+        // tFirstDrain == tSubmit: all latency is queue-wait-free.
+        const u64 now = monotonicNowNs();
+        r.completedAtNs = now;
+        if (board) {
+            const u64 fd = tFirstDrain.load(std::memory_order_relaxed);
+            const u64 first = fd ? fd : now;
+            auto &row = board->rec[unsigned(kind)];
+            row[LatencyBoard::E2E].record(now - tSubmit);
+            row[LatencyBoard::Queue].record(first - tSubmit);
+            row[LatencyBoard::Drain].record(now - first);
+        }
         {
             std::lock_guard<std::mutex> lk(m);
             result = std::move(r);
@@ -84,6 +134,17 @@ ResultTicket::get()
     lk.unlock();
     req_.reset();
     return r;
+}
+
+WaitStatus
+ResultTicket::waitFor(std::chrono::nanoseconds timeout) const
+{
+    fatal_if(!req_, "waitFor() on an empty ResultTicket");
+    std::unique_lock<std::mutex> lk(req_->m);
+    return req_->cv.wait_for(lk, timeout,
+                             [&] { return req_->done; })
+               ? WaitStatus::Ready
+               : WaitStatus::Timeout;
 }
 
 IndexService::IndexService(const db::HashIndex &index,
@@ -115,6 +176,9 @@ IndexService::start()
     affine_ = cfg_.affineRouting && index_.shards() > 1;
     const unsigned walkers =
         std::clamp(cfg_.walkers, 1u, kMaxWalkers);
+    if (cfg_.recordLatency)
+        board_ = std::make_unique<detail::LatencyBoard>(
+            walkers + 1); // walkers finalize; submitters do empties
 
     if (affine_) {
         const unsigned S = index_.shards();
@@ -185,13 +249,20 @@ IndexService::submit(RequestKind kind, std::span<const u64> keys)
     auto req = std::make_shared<detail::ServiceRequest>();
     req->kind = kind;
     req->keys = keys;
+    req->board = board_.get();
+    if (board_)
+        req->tSubmit = monotonicNowNs();
 
     nRequests_.fetch_add(1, std::memory_order_relaxed);
     nKeys_.fetch_add(keys.size(), std::memory_order_relaxed);
 
     if (keys.empty()) {
-        // Nothing to do: complete before the ticket escapes.
-        req->done = true;
+        // Nothing to do: complete before the ticket escapes. No
+        // walker ever claims this request, so it accrues no
+        // queue-wait (tFirstDrain == tSubmit).
+        req->tFirstDrain.store(req->tSubmit,
+                               std::memory_order_relaxed);
+        req->finalize();
         return ResultTicket(req);
     }
     if (affine_)
@@ -228,8 +299,17 @@ IndexService::submitShared(
         // The sub-chunk tail coalesces into the shared open window
         // with other requests' tails (admission batching). Tails
         // are never split: seal the open window first if this one
-        // would overflow it.
-        if (base < keys.size()) {
+        // would overflow it. With coalescing off, the tail seals
+        // its own single-segment window instead — no cross-request
+        // batching, and no waiting behind co-runners' traffic.
+        if (base < keys.size() && !cfg_.coalesceTails) {
+            Window w;
+            w.segs.push_back(Segment{req, c, base,
+                                     u32(keys.size() - base)});
+            w.keys = u32(keys.size() - base);
+            sealed_.push_back(std::move(w));
+            ++added;
+        } else if (base < keys.size()) {
             const u32 len = u32(keys.size() - base);
             if (open_.keys + len > chunk_) {
                 sealed_.push_back(std::move(open_));
@@ -312,7 +392,10 @@ IndexService::submitAffine(
                 // Fill the shard's open window up to the chunk
                 // size: one new segment per (request, window),
                 // coalescing with other requests' tails already
-                // parked there.
+                // parked there. With coalescing off the open
+                // window is always empty here (every fill seals
+                // behind itself), so each pass takes a whole
+                // chunk-or-remainder and nothing is ever shared.
                 Window &w = shardOpen_[s];
                 const std::size_t take = std::min<std::size_t>(
                     chunk_ - w.keys, st.keys.size() - done);
@@ -330,7 +413,7 @@ IndexService::submitAffine(
                 w.keys += u32(take);
                 openKeys_ += take;
                 done += take;
-                if (w.keys == chunk_) {
+                if (w.keys == chunk_ || !cfg_.coalesceTails) {
                     openKeys_ -= w.keys;
                     shardSealed_[s].push_back(std::move(w));
                     shardOpen_[s] = Window{};
@@ -464,6 +547,19 @@ IndexService::claimAffine(unsigned w, Window &win, bool &stolen)
 void
 IndexService::processWindow(Window &win)
 {
+    // Queue-wait ends here: one clock read per window, CASed into
+    // each distinct request's first-drain slot (only the first
+    // claim of a request's segments wins — for single-segment
+    // requests that puts coalescing hold and sealed-queue depth
+    // entirely in the queue-wait component; see KindLatency).
+    if (board_) {
+        const u64 now = monotonicNowNs();
+        for (const Segment &seg : win.segs) {
+            u64 expect = 0;
+            seg.req->tFirstDrain.compare_exchange_strong(
+                expect, now, std::memory_order_relaxed);
+        }
+    }
     if (win.shard >= 0) {
         // Affine window: every key belongs to one shard, so the
         // drain runs against that shard's flat HashIndex (no
@@ -609,7 +705,29 @@ IndexService::stats() const
     s.coalescedWindows = nCoalesced_.load(std::memory_order_relaxed);
     s.affineWindows = nAffine_.load(std::memory_order_relaxed);
     s.stolenWindows = nStolen_.load(std::memory_order_relaxed);
+    if (board_) {
+        using detail::LatencyBoard;
+        for (unsigned k = 0; k < 3; ++k) {
+            KindLatency &kl = s.latency[k];
+            kl.endToEnd =
+                board_->rec[k][LatencyBoard::E2E].summarize();
+            kl.queueWait =
+                board_->rec[k][LatencyBoard::Queue].summarize();
+            kl.drainTime =
+                board_->rec[k][LatencyBoard::Drain].summarize();
+        }
+    }
     return s;
+}
+
+void
+IndexService::resetLatencyStats()
+{
+    if (!board_)
+        return;
+    for (auto &row : board_->rec)
+        for (auto &rec : row)
+            rec.reset();
 }
 
 } // namespace widx::sw

@@ -69,7 +69,9 @@
 #ifndef WIDX_SERVICE_INDEX_SERVICE_HH
 #define WIDX_SERVICE_INDEX_SERVICE_HH
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -78,6 +80,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/latency.hh"
 #include "service/service_config.hh"
 #include "service/sharded_index.hh"
 #include "swwalkers/probers.hh"
@@ -100,11 +103,24 @@ struct ServiceResult
 {
     u64 matches = 0;
     std::vector<MatchRec> recs;
+    /** steady_clock time (monotonicNowNs) at which the result was
+     *  published — always stamped, so open-loop clients can compute
+     *  scheduled-arrival latency without a reap-time clock read
+     *  (reap delay never inflates the measurement). */
+    u64 completedAtNs = 0;
 };
 
 namespace detail {
 struct ServiceRequest;
+struct LatencyBoard;
 }
+
+/** Outcome of a bounded ticket wait. */
+enum class WaitStatus
+{
+    Ready,   ///< the request completed; get() will not block
+    Timeout, ///< still in flight; the ticket stays valid
+};
 
 /** One-shot future for a submitted request. */
 class ResultTicket
@@ -118,6 +134,15 @@ class ResultTicket
      *  ticket. */
     ServiceResult get();
 
+    /**
+     * Block until served or until `timeout` elapses, whichever is
+     * first. Timeout leaves the ticket valid (the request keeps
+     * running; its key span must stay alive until it completes) so
+     * an open-loop client can shed or re-poll instead of blocking
+     * forever; Ready means get() returns without blocking.
+     */
+    WaitStatus waitFor(std::chrono::nanoseconds timeout) const;
+
   private:
     friend class IndexService;
     explicit ResultTicket(std::shared_ptr<detail::ServiceRequest> r)
@@ -126,6 +151,24 @@ class ResultTicket
     }
 
     std::shared_ptr<detail::ServiceRequest> req_;
+};
+
+/** One request kind's latency breakdown. Per request, end-to-end
+ *  splits exactly into queue-wait (submit -> the first claim of any
+ *  of the request's segments: time spent parked in the admission
+ *  queues) plus drain-time (first claim -> result publication),
+ *  measured with the same clock reads — the component sums add up
+ *  to the end-to-end sum to the nanosecond. For sub-chunk requests
+ *  — the single-segment shape that populates the coalescing window
+ *  — the whole coalescing hold is therefore in the queue-wait
+ *  column; a multi-chunk request's first sealed chunk ends its
+ *  queue-wait, so a hold on its *tail* lands in drain-time
+ *  (completion still waits for the last segment). */
+struct KindLatency
+{
+    LatencySnapshot endToEnd;
+    LatencySnapshot queueWait;
+    LatencySnapshot drainTime;
 };
 
 /** Service traffic counters (relaxed; monotone since construction). */
@@ -137,6 +180,15 @@ struct ServiceStats
     u64 coalescedWindows = 0; ///< windows spanning >1 request tail
     u64 affineWindows = 0;    ///< single-shard windows (routing on)
     u64 stolenWindows = 0;    ///< drained by a non-home walker
+    /** Per-kind request latency, indexed by RequestKind (zeroed
+     *  when ServiceConfig::recordLatency is off). */
+    std::array<KindLatency, 3> latency{};
+
+    const KindLatency &
+    latencyFor(RequestKind k) const
+    {
+        return latency[unsigned(k)];
+    }
 };
 
 class IndexService
@@ -202,6 +254,12 @@ class IndexService
     }
 
     ServiceStats stats() const;
+
+    /** Zero the latency histograms (traffic counters keep running).
+     *  Only exact while no request is in flight — intended for
+     *  benches resetting between rate rows. No-op when
+     *  ServiceConfig::recordLatency is off. */
+    void resetLatencyStats();
 
   private:
     /** One contiguous run of keys inside a window, owned by one
@@ -295,6 +353,11 @@ class IndexService
     /** Untagged-window counter for adaptive re-sampling (see
      *  drainGathered). */
     std::atomic<u64> nUntagged_{0};
+
+    /** Per-kind x per-component latency recorders (null when
+     *  recording is off). Requests hold a raw pointer into it; the
+     *  destructor drains every request before the board dies. */
+    std::unique_ptr<detail::LatencyBoard> board_;
 };
 
 } // namespace widx::sw

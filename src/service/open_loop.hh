@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Open-loop (arrival-rate) load generator for the index service.
+ *
+ * The closed-loop clients in service_bench submit a request, block
+ * on its ticket, and only then submit the next one — so a stalled
+ * walker stalls the *generator*, and the requests that would have
+ * arrived during the stall (exactly the ones that would have seen
+ * the tail latency) are simply never sent. That is coordinated
+ * omission, and it makes closed-loop percentile numbers flatter the
+ * system under test. The load-generation literature's fix is
+ * open-loop injection: arrivals follow an external stochastic
+ * process (Poisson for independent clients) that does not care how
+ * the server is doing, and each request's latency is measured from
+ * its *scheduled arrival time* — so when the generator falls behind
+ * a stall, the backlog shows up in the recorded latencies instead
+ * of disappearing.
+ *
+ * `runOpenLoop` drives an IndexService that way:
+ *
+ *  - arrivals are drawn from a configurable process (Poisson
+ *    exponential gaps, deterministic uniform gaps, or an on-off
+ *    bursty train that packs the same average rate into periodic
+ *    bursts);
+ *  - submissions never wait for completions — a reaper thread
+ *    polls the outstanding tickets *out of order* (a stalled
+ *    request must not pin completed ones behind it) and records
+ *    `result.completedAtNs - scheduledArrival` (the service stamps
+ *    completion, so reap delay never inflates the measurement);
+ *  - a bounded in-flight cap stops a saturated service from eating
+ *    unbounded memory: arrivals that find the cap full are *shed*
+ *    (counted, not submitted). The cap counts submitted-but-
+ *    uncompleted requests in the *service*: a request that outlives
+ *    `drainTimeout` is abandoned for measurement (counted
+ *    timed-out, latency unrecorded) but keeps holding its cap slot
+ *    until the service actually finishes it — ResultTicket::waitFor
+ *    is what makes the bounded polling possible.
+ *
+ * The key pool passed in must outlive the run; if any request timed
+ * out, the service may still be draining it after return, so the
+ * pool must then also outlive the service.
+ */
+
+#ifndef WIDX_SERVICE_OPEN_LOOP_HH
+#define WIDX_SERVICE_OPEN_LOOP_HH
+
+#include <chrono>
+#include <span>
+
+#include "common/latency.hh"
+#include "service/index_service.hh"
+
+namespace widx::sw {
+
+/** Arrival process the open-loop generator draws from. */
+enum class ArrivalProcess
+{
+    Poisson, ///< exponential inter-arrival gaps (memoryless)
+    Uniform, ///< deterministic 1/rate gaps (pacing floor)
+    OnOff,   ///< Poisson bursts: the whole rate packed into the
+             ///< first `onFraction` of every `periodNs` cycle
+};
+
+struct OpenLoopOptions
+{
+    double ratePerSec = 100e3; ///< target average arrival rate
+    u64 requests = 10000;      ///< scheduled arrivals to generate
+    std::size_t keysPerRequest = 64;
+    RequestKind kind = RequestKind::Count;
+    ArrivalProcess arrivals = ArrivalProcess::Poisson;
+    /** OnOff only: fraction of each period that receives arrivals
+     *  (at rate / onFraction, so the average rate is preserved). */
+    double onFraction = 0.25;
+    u64 periodNs = 2'000'000; ///< OnOff cycle length
+    /** Submitted-but-uncompleted cap; arrivals over it are shed. */
+    std::size_t maxInFlight = 4096;
+    /** Measurement patience per request (from its scheduled
+     *  arrival): past this it counts as timed-out and its latency
+     *  is not recorded, though it holds its in-flight slot until
+     *  the service completes it. */
+    std::chrono::nanoseconds drainTimeout = std::chrono::seconds(5);
+    u64 seed = 1;
+};
+
+struct OpenLoopReport
+{
+    u64 scheduled = 0; ///< arrivals generated
+    u64 submitted = 0; ///< arrivals that made it past the cap
+    u64 shed = 0;      ///< arrivals dropped at the in-flight cap
+    u64 timedOut = 0;  ///< tickets abandoned after drainTimeout
+    u64 completed = 0; ///< latency-recorded completions
+    double elapsedSec = 0;
+    double offeredRate = 0;  ///< scheduled / elapsed
+    double achievedRate = 0; ///< completed / elapsed
+    /** Scheduled-arrival -> service-stamped completion. */
+    LatencySnapshot latency;
+    LatencyHistogram hist; ///< full histogram behind `latency`
+};
+
+/** Drive `service` open-loop per `opt`, drawing request key spans
+ *  round-robin from `keyPool` (see file comment for lifetime). */
+OpenLoopReport runOpenLoop(IndexService &service,
+                           std::span<const u64> keyPool,
+                           const OpenLoopOptions &opt);
+
+} // namespace widx::sw
+
+#endif // WIDX_SERVICE_OPEN_LOOP_HH

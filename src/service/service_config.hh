@@ -82,6 +82,26 @@ struct ServiceConfig
      * walker's own node. Results stay byte-identical to flat
      * probeBatch (see src/service/README.md). */
     bool affineRouting = false;
+    /**
+     * Coalesce sub-chunk request tails into shared open dispatch
+     * windows (admission batching — the walkers design's central
+     * latency trade: a tail waits for co-runners so drains see
+     * full-width windows). Off, every tail seals its own window at
+     * admission: no cross-request coalescing, narrower windows,
+     * but a request is never held behind another's traffic. The
+     * open-loop latency bench (bench/latency_bench.cc) sweeps this
+     * axis against arrival rate. */
+    bool coalesceTails = true;
+    /**
+     * Record per-request latency: submit() and the first window
+     * claim are timestamped, finalize feeds the deltas into
+     * lock-light log-bucketed histograms with a per-kind
+     * (probe/count/join) and per-component (end-to-end / queue-wait
+     * / drain-time) breakdown, exposed via ServiceStats. Costs ~3
+     * steady_clock reads per request plus a few relaxed atomic
+     * increments at finalize — off buys those back for pure
+     * throughput runs. */
+    bool recordLatency = true;
     /** Topology override for tests (synthetic multi-node trees);
      *  null = Topology::host(). Must outlive the service. */
     const Topology *topology = nullptr;

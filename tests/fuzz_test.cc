@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "accel/control_block.hh"
 #include "common/rng.hh"
 #include "isa/assembler.hh"
@@ -18,6 +20,20 @@
 using namespace widx;
 
 namespace {
+
+/** Trial-count multiplier: WIDX_FUZZ_SCALE=N stretches every fuzz
+ *  loop N-fold. PRs run at 1; the weekly CI schedule runs at 20 so
+ *  rare inputs surface without taxing per-PR latency. */
+int
+fuzzScale()
+{
+    static const int scale = [] {
+        const char *env = std::getenv("WIDX_FUZZ_SCALE");
+        const int v = env ? std::atoi(env) : 1;
+        return v < 1 ? 1 : v;
+    }();
+    return scale;
+}
 
 /** Random printable garbage with assembler-relevant characters. */
 std::string
@@ -37,7 +53,7 @@ garbageLine(Rng &rng)
 TEST(Fuzz, AssemblerNeverCrashesOnGarbage)
 {
     Rng rng(0xF00D);
-    for (int trial = 0; trial < 500; ++trial) {
+    for (int trial = 0; trial < 500 * fuzzScale(); ++trial) {
         std::string src;
         const u64 lines = 1 + rng.below(8);
         for (u64 l = 0; l < lines; ++l) {
@@ -75,7 +91,7 @@ TEST(Fuzz, AssemblerAcceptsValidAfterGarbageRejections)
 TEST(Fuzz, RandomInstructionWordsDecodeOrFailValidation)
 {
     Rng rng(0xBEEF);
-    for (int trial = 0; trial < 2000; ++trial) {
+    for (int trial = 0; trial < 2000 * fuzzScale(); ++trial) {
         // Constrain the opcode field to valid range so decode()
         // succeeds; all other fields are random garbage.
         u64 word = rng.next();
@@ -97,7 +113,7 @@ TEST(Fuzz, RandomInstructionWordsDecodeOrFailValidation)
 TEST(Fuzz, ControlBlockDecoderRejectsRandomWords)
 {
     Rng rng(0xCAFE);
-    for (int trial = 0; trial < 500; ++trial) {
+    for (int trial = 0; trial < 500 * fuzzScale(); ++trial) {
         std::vector<u64> words(rng.below(64));
         for (u64 &w : words)
             w = rng.next();
@@ -140,7 +156,7 @@ TEST(Fuzz, MemSystemInvariantsUnderRandomStream)
     sim::Params params;
     sim::MemSystem mem(params);
     Cycle now = 0;
-    for (int i = 0; i < 20000; ++i) {
+    for (int i = 0; i < 20000 * fuzzScale(); ++i) {
         // Stay below both sustained-capacity walls — 2-MC bandwidth
         // (~0.2 blocks/cycle) and MSHR-limited concurrency
         // (10 MSHRs / ~112-cycle fills ~ 0.09 blocks/cycle) — so
@@ -182,7 +198,7 @@ TEST(Fuzz, CacheStressKeepsLruConsistent)
     Rng rng(0xACE);
     sim::Cache cache("fuzz", 4096, 4);
     // Model of the cache's content for a small address universe.
-    for (int i = 0; i < 50000; ++i) {
+    for (int i = 0; i < 50000 * fuzzScale(); ++i) {
         Addr a = rng.below(256) * kCacheBlockBytes;
         if (rng.chance(0.5)) {
             cache.insert(a);

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the latency instrumentation (src/common/latency.hh):
+ * bucket-boundary exactness, merge associativity, percentile
+ * correctness against a sorted-vector oracle, and the concurrent
+ * sharded recorder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/latency.hh"
+#include "common/rng.hh"
+
+using namespace widx;
+
+namespace {
+
+/** Oracle percentile: the rank-ceil(p/100 * n) element (1-based)
+ *  of the sorted sample — the same rank convention the histogram
+ *  uses. */
+u64
+oraclePercentile(std::vector<u64> sorted, double p)
+{
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t rank = std::size_t(
+        std::ceil(p / 100.0 * double(sorted.size())));
+    rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+    return sorted[rank - 1];
+}
+
+/** Mixed-magnitude sample: ns through tens of seconds. */
+std::vector<u64>
+mixedSample(std::size_t n, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u64> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const unsigned mag = unsigned(rng.below(11)); // 10^0..10^10
+        u64 scale = 1;
+        for (unsigned m = 0; m < mag; ++m)
+            scale *= 10;
+        xs.push_back(rng.below(scale * 9) + scale);
+    }
+    return xs;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Bucket layout
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, SmallValuesAreExactBuckets)
+{
+    for (u64 v = 0; v < 2 * LatencyHistogram::kSub; ++v) {
+        const unsigned b = LatencyHistogram::bucketOf(v);
+        EXPECT_EQ(b, unsigned(v));
+        EXPECT_EQ(LatencyHistogram::bucketLowNs(b), v);
+        EXPECT_EQ(LatencyHistogram::bucketHighNs(b), v);
+    }
+}
+
+TEST(LatencyHistogram, BucketBoundsContainTheirValues)
+{
+    // Sweep powers of two and their neighborhoods: every value must
+    // land in a bucket whose [low, high] range contains it, with
+    // relative width <= 2^-kSubBits.
+    std::vector<u64> probes;
+    for (unsigned h = 0; h < 64; ++h) {
+        const u64 base = u64(1) << h;
+        for (i64 d : {-2, -1, 0, 1, 2, 17})
+            if ((d >= 0 || base > u64(-d)) &&
+                (d <= 0 || base + u64(d) >= base))
+                probes.push_back(base + u64(d));
+    }
+    probes.push_back(~u64{0});
+    for (u64 v : probes) {
+        const unsigned b = LatencyHistogram::bucketOf(v);
+        ASSERT_LT(b, LatencyHistogram::kBuckets);
+        const u64 lo = LatencyHistogram::bucketLowNs(b);
+        const u64 hi = LatencyHistogram::bucketHighNs(b);
+        EXPECT_LE(lo, v) << "v=" << v;
+        EXPECT_GE(hi, v) << "v=" << v;
+        if (v >= 2 * LatencyHistogram::kSub) {
+            // Relative bucket width bound (exact below that).
+            EXPECT_LE(hi - lo + 1,
+                      std::max<u64>(1, v >> LatencyHistogram::kSubBits)
+                          + 1)
+                << "v=" << v;
+        }
+    }
+}
+
+TEST(LatencyHistogram, BucketIndexIsMonotoneInValue)
+{
+    // Adjacent bucket boundaries: bucketOf must be nondecreasing
+    // across every low/high edge.
+    for (unsigned b = 0; b + 1 < LatencyHistogram::kBuckets; ++b) {
+        EXPECT_EQ(LatencyHistogram::bucketOf(
+                      LatencyHistogram::bucketLowNs(b)),
+                  b);
+        EXPECT_EQ(LatencyHistogram::bucketOf(
+                      LatencyHistogram::bucketHighNs(b)),
+                  b);
+        EXPECT_EQ(LatencyHistogram::bucketLowNs(b + 1),
+                  LatencyHistogram::bucketHighNs(b) + 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, MergeIsAssociativeAndCommutative)
+{
+    auto fill = [](u64 seed) {
+        LatencyHistogram h;
+        for (u64 v : mixedSample(2000, seed))
+            h.record(v);
+        return h;
+    };
+    const LatencyHistogram a = fill(1), b = fill(2), c = fill(3);
+
+    LatencyHistogram ab_c = a;
+    ab_c.merge(b);
+    ab_c.merge(c);
+
+    LatencyHistogram bc = b;
+    bc.merge(c);
+    LatencyHistogram a_bc = a;
+    a_bc.merge(bc);
+
+    LatencyHistogram cba = c;
+    cba.merge(b);
+    cba.merge(a);
+
+    for (const LatencyHistogram *o : {&a_bc, &cba}) {
+        EXPECT_EQ(ab_c.count(), o->count());
+        EXPECT_EQ(ab_c.sumNs(), o->sumNs());
+        EXPECT_EQ(ab_c.maxNs(), o->maxNs());
+        for (unsigned bk = 0; bk < LatencyHistogram::kBuckets; ++bk)
+            ASSERT_EQ(ab_c.bucketCount(bk), o->bucketCount(bk))
+                << "bucket " << bk;
+    }
+    // And the summaries agree wholesale.
+    const LatencySnapshot s1 = ab_c.summarize();
+    const LatencySnapshot s2 = a_bc.summarize();
+    EXPECT_EQ(s1.p50Ns, s2.p50Ns);
+    EXPECT_EQ(s1.p999Ns, s2.p999Ns);
+}
+
+// ---------------------------------------------------------------------------
+// Percentiles vs oracle
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, PercentilesMatchSortedVectorOracle)
+{
+    for (u64 seed : {7u, 8u, 9u}) {
+        const std::vector<u64> xs = mixedSample(5000, seed);
+        LatencyHistogram h;
+        u64 sum = 0, mx = 0;
+        for (u64 v : xs) {
+            h.record(v);
+            sum += v;
+            mx = std::max(mx, v);
+        }
+        EXPECT_EQ(h.count(), xs.size());
+        EXPECT_EQ(h.sumNs(), sum);
+        EXPECT_EQ(h.maxNs(), mx);
+
+        for (double p : {10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+            const u64 want = oraclePercentile(xs, p);
+            const u64 got = h.percentileNs(p);
+            // The estimate is the bucket's upper bound: >= the true
+            // sample, and within one bucket width (<= 1/32
+            // relative) above it.
+            EXPECT_GE(got, want) << "p" << p;
+            EXPECT_LE(got,
+                      want + (want >> LatencyHistogram::kSubBits) + 1)
+                << "p" << p;
+        }
+    }
+}
+
+TEST(LatencyHistogram, PercentileLadderIsMonotone)
+{
+    const std::vector<u64> xs = mixedSample(3000, 11);
+    LatencyHistogram h;
+    for (u64 v : xs)
+        h.record(v);
+    const LatencySnapshot s = h.summarize();
+    EXPECT_LE(s.p50Ns, s.p90Ns);
+    EXPECT_LE(s.p90Ns, s.p99Ns);
+    EXPECT_LE(s.p99Ns, s.p999Ns);
+    EXPECT_LE(s.p999Ns, s.maxNs);
+    EXPECT_EQ(s.count, xs.size());
+}
+
+TEST(LatencyHistogram, EmptySummarizesToZero)
+{
+    const LatencySnapshot s = LatencyHistogram{}.summarize();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.p50Ns, 0u);
+    EXPECT_EQ(s.p999Ns, 0u);
+    EXPECT_EQ(s.maxNs, 0u);
+    EXPECT_EQ(s.meanNs(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent recorder
+// ---------------------------------------------------------------------------
+
+TEST(LatencyRecorder, ConcurrentRecordsAllLand)
+{
+    LatencyRecorder rec(4);
+    constexpr unsigned kThreads = 4;
+    constexpr u64 kPerThread = 20000;
+    std::vector<std::thread> ts;
+    for (unsigned t = 0; t < kThreads; ++t)
+        ts.emplace_back([&rec, t] {
+            Rng rng(100 + t);
+            for (u64 i = 0; i < kPerThread; ++i)
+                rec.record(rng.below(1'000'000));
+        });
+    for (auto &t : ts)
+        t.join();
+
+    const LatencyHistogram h = rec.snapshot();
+    EXPECT_EQ(h.count(), u64(kThreads) * kPerThread);
+    // Reference: same draws recorded sequentially.
+    LatencyHistogram want;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        Rng rng(100 + t);
+        for (u64 i = 0; i < kPerThread; ++i)
+            want.record(rng.below(1'000'000));
+    }
+    EXPECT_EQ(h.sumNs(), want.sumNs());
+    EXPECT_EQ(h.maxNs(), want.maxNs());
+    for (unsigned b = 0; b < LatencyHistogram::kBuckets; ++b)
+        ASSERT_EQ(h.bucketCount(b), want.bucketCount(b));
+}
+
+TEST(LatencyRecorder, ResetZeroes)
+{
+    LatencyRecorder rec(2);
+    rec.record(123);
+    rec.record(45678);
+    EXPECT_EQ(rec.snapshot().count(), 2u);
+    rec.reset();
+    const LatencyHistogram h = rec.snapshot();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sumNs(), 0u);
+    EXPECT_EQ(h.maxNs(), 0u);
+}

@@ -22,6 +22,7 @@
 #include "common/rng.hh"
 #include "db/hash_join.hh"
 #include "service/index_service.hh"
+#include "service/open_loop.hh"
 #include "workload/distributions.hh"
 
 using namespace widx;
@@ -192,6 +193,7 @@ struct ServiceCase
     unsigned batch;
     bool tagged;
     bool affine = false;
+    bool coalesce = true;
 };
 
 /** A synthetic 2-node topology shared by the routing cases, so the
@@ -224,6 +226,7 @@ TEST_P(ServiceEquivalence, ByteIdenticalToProbeBatch)
     cfg.pipeline.batch = c.batch;
     cfg.pipeline.tagged = c.tagged;
     cfg.affineRouting = c.affine;
+    cfg.coalesceTails = c.coalesce;
     if (c.affine)
         cfg.topology = &fakeTwoNode();
     IndexService service(*d.build, d.spec, cfg);
@@ -297,7 +300,15 @@ INSTANTIATE_TEST_SUITE_P(
                     true},
         // affine flag on a single shard degrades to the flat path.
         ServiceCase{1, 2, WalkerEngine::Amac, false, 0.0, 64, true,
-                    true}));
+                    true},
+        // Coalescing off: tails seal their own windows (shared and
+        // affine admission paths) — results must not care.
+        ServiceCase{1, 4, WalkerEngine::Amac, false, 0.0, 64, true,
+                    false, false},
+        ServiceCase{4, 2, WalkerEngine::Coro, false, 0.0, 16, true,
+                    false, false},
+        ServiceCase{4, 4, WalkerEngine::Amac, false, 0.6, 64, true,
+                    true, false}));
 
 TEST(IndexService, WrapsAnExistingIndex)
 {
@@ -396,6 +407,201 @@ TEST(IndexService, CoalescesSmallRequestsIntoSharedWindows)
     const ServiceStats stats = service.stats();
     EXPECT_EQ(stats.requests, tickets.size() + 1);
     EXPECT_GT(stats.coalescedWindows, 0u);
+}
+
+TEST(IndexService, CoalescingOffNeverSharesWindows)
+{
+    Dataset d(2000, 6000, false, 0.0, 13);
+    for (bool affine : {false, true}) {
+        ServiceConfig cfg;
+        cfg.shards = affine ? 4 : 1;
+        cfg.walkers = 1;
+        cfg.affineRouting = affine;
+        if (affine)
+            cfg.topology = &fakeTwoNode();
+        cfg.pipeline.batch = 64;
+        cfg.coalesceTails = false;
+        IndexService service(*d.build, d.spec, cfg);
+
+        // The exact shape that forces coalescing when it is on
+        // (busy walker + 200 concurrent sub-chunk requests): with
+        // coalescing off every tail must seal its own window.
+        ResultTicket big = service.submit(
+            RequestKind::Count, std::span<const u64>(d.keys));
+        std::vector<ResultTicket> tickets;
+        std::vector<std::span<const u64>> spans;
+        for (std::size_t base = 0; base + 7 <= d.keys.size() &&
+                                   tickets.size() < 200;
+             base += 7) {
+            spans.push_back(
+                std::span<const u64>(d.keys).subspan(base, 7));
+            tickets.push_back(
+                service.submit(RequestKind::Probe, spans.back()));
+        }
+        EXPECT_EQ(big.get().matches,
+                  refSequence(*d.flat, d.keys).size());
+        for (std::size_t t = 0; t < tickets.size(); ++t) {
+            const auto want = refSequence(*d.flat, spans[t]);
+            ServiceResult got = tickets[t].get();
+            expectSameSequence(got.recs, want, "uncoalesced");
+        }
+        const ServiceStats stats = service.stats();
+        EXPECT_EQ(stats.coalescedWindows, 0u)
+            << (affine ? "affine" : "shared");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded waits
+// ---------------------------------------------------------------------------
+
+TEST(IndexService, WaitForBoundsTheWait)
+{
+    using namespace std::chrono_literals;
+    Dataset d(1u << 16, 1u << 20, false, 0.0, 29);
+    ServiceConfig cfg;
+    cfg.walkers = 1;
+    IndexService service(*d.flat, cfg);
+
+    // A 1M-key request cannot complete in the nanoseconds between
+    // submit and a zero-timeout poll: the poll must time out and
+    // leave the ticket valid.
+    ResultTicket t =
+        service.submit(RequestKind::Count, d.keys);
+    EXPECT_EQ(t.waitFor(0ns), WaitStatus::Timeout);
+    EXPECT_TRUE(t.valid());
+
+    // A generous bound must observe completion; Ready is sticky and
+    // get() then returns the full result without blocking.
+    EXPECT_EQ(t.waitFor(10min), WaitStatus::Ready);
+    EXPECT_TRUE(t.valid());
+    EXPECT_EQ(t.waitFor(0ns), WaitStatus::Ready);
+    const u64 want = refSequence(*d.flat, d.keys).size();
+    EXPECT_EQ(t.get().matches, want);
+    EXPECT_FALSE(t.valid());
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop client
+// ---------------------------------------------------------------------------
+
+TEST(IndexService, OpenLoopAccountsEveryArrival)
+{
+    Dataset d(2000, 6000, false, 0.0, 43);
+    ServiceConfig cfg;
+    cfg.walkers = 1;
+    IndexService service(*d.flat, cfg);
+
+    OpenLoopOptions opt;
+    opt.ratePerSec = 50000;
+    opt.requests = 500;
+    opt.keysPerRequest = 8;
+    opt.arrivals = ArrivalProcess::Poisson;
+    const OpenLoopReport rep = runOpenLoop(service, d.keys, opt);
+
+    // Every scheduled arrival is either submitted or shed; every
+    // submission eventually completes or times out; completions
+    // are exactly the latency samples.
+    EXPECT_EQ(rep.scheduled, opt.requests);
+    EXPECT_EQ(rep.submitted + rep.shed, rep.scheduled);
+    EXPECT_EQ(rep.completed + rep.timedOut, rep.submitted);
+    EXPECT_EQ(rep.latency.count, rep.completed);
+    EXPECT_EQ(rep.hist.count(), rep.completed);
+    EXPECT_GT(rep.completed, 0u);
+    EXPECT_LE(rep.latency.p50Ns, rep.latency.p99Ns);
+    EXPECT_LE(rep.latency.p99Ns, rep.latency.maxNs);
+    EXPECT_GT(rep.elapsedSec, 0.0);
+
+    // A tiny in-flight cap on an overdriven single walker must
+    // shed rather than queue without bound — and still account for
+    // every arrival.
+    OpenLoopOptions tight = opt;
+    tight.ratePerSec = 500000;
+    tight.maxInFlight = 1;
+    tight.seed = 2;
+    const OpenLoopReport capped =
+        runOpenLoop(service, d.keys, tight);
+    EXPECT_EQ(capped.submitted + capped.shed, capped.scheduled);
+    EXPECT_EQ(capped.completed + capped.timedOut,
+              capped.submitted);
+    EXPECT_EQ(capped.latency.count, capped.completed);
+}
+
+// ---------------------------------------------------------------------------
+// Latency accounting
+// ---------------------------------------------------------------------------
+
+TEST(IndexService, LatencyComponentsAddUpExactly)
+{
+    Dataset d(2000, 6000, false, 0.0, 37);
+    ServiceConfig cfg;
+    cfg.walkers = 2;
+    cfg.pipeline.batch = 64;
+    IndexService service(*d.flat, cfg);
+
+    // Mixed traffic: every kind, sub-chunk through multi-chunk
+    // sizes, plus an empty request (no queue-wait by definition).
+    const std::size_t sizes[] = {0, 1, 7, 64, 200, 4096};
+    u64 perKind = 0;
+    for (std::size_t n : sizes) {
+        service.count(std::span<const u64>(d.keys).first(n));
+        service.probe(std::span<const u64>(d.keys).first(n));
+        service.join(std::span<const u64>(d.keys).first(n));
+        ++perKind;
+    }
+
+    const ServiceStats s = service.stats();
+    for (RequestKind k : {RequestKind::Count, RequestKind::Probe,
+                          RequestKind::Join}) {
+        const KindLatency &kl = s.latencyFor(k);
+        // Every request is counted once in each component.
+        EXPECT_EQ(kl.endToEnd.count, perKind);
+        EXPECT_EQ(kl.queueWait.count, perKind);
+        EXPECT_EQ(kl.drainTime.count, perKind);
+        // The components are measured with the *same* clock reads,
+        // so their sums add up to end-to-end to the nanosecond —
+        // coalescing hold is attributable, not smeared.
+        EXPECT_EQ(kl.queueWait.sumNs + kl.drainTime.sumNs,
+                  kl.endToEnd.sumNs);
+        // Percentile ladder sanity.
+        EXPECT_LE(kl.endToEnd.p50Ns, kl.endToEnd.p90Ns);
+        EXPECT_LE(kl.endToEnd.p90Ns, kl.endToEnd.p99Ns);
+        EXPECT_LE(kl.endToEnd.p99Ns, kl.endToEnd.p999Ns);
+        EXPECT_LE(kl.endToEnd.p999Ns, kl.endToEnd.maxNs);
+        EXPECT_GT(kl.endToEnd.maxNs, 0u);
+        // Components never exceed the whole.
+        EXPECT_LE(kl.queueWait.maxNs, kl.endToEnd.maxNs);
+        EXPECT_LE(kl.drainTime.maxNs, kl.endToEnd.maxNs);
+    }
+
+    // Completion timestamps are stamped and monotone per client.
+    ServiceResult a = service.probe(
+        std::span<const u64>(d.keys).first(64));
+    ServiceResult b = service.probe(
+        std::span<const u64>(d.keys).first(64));
+    EXPECT_GT(a.completedAtNs, 0u);
+    EXPECT_GE(b.completedAtNs, a.completedAtNs);
+
+    // resetLatencyStats zeroes the histograms but not the traffic
+    // counters.
+    service.resetLatencyStats();
+    const ServiceStats after = service.stats();
+    EXPECT_EQ(after.latencyFor(RequestKind::Probe).endToEnd.count,
+              0u);
+    EXPECT_GT(after.requests, 0u);
+}
+
+TEST(IndexService, LatencyRecordingCanBeDisabled)
+{
+    Dataset d(512, 256, false, 0.0, 41);
+    ServiceConfig cfg;
+    cfg.recordLatency = false;
+    IndexService service(*d.flat, cfg);
+    ServiceResult r = service.probe(d.keys);
+    EXPECT_GT(r.completedAtNs, 0u); // completion stamp stays
+    const ServiceStats s = service.stats();
+    EXPECT_EQ(s.latencyFor(RequestKind::Probe).endToEnd.count, 0u);
+    EXPECT_EQ(s.latencyFor(RequestKind::Probe).endToEnd.maxNs, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -573,8 +779,9 @@ concurrentClientsStress(bool affine)
         EXPECT_EQ(failures[cl], "") << "client " << cl;
     const ServiceStats stats = service.stats();
     EXPECT_EQ(stats.requests, u64(kClients) * kRequests);
-    if (affine)
+    if (affine) {
         EXPECT_EQ(stats.affineWindows, stats.windows);
+    }
 }
 
 TEST(IndexService, ConcurrentClientsStress)

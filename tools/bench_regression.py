@@ -1,22 +1,43 @@
 #!/usr/bin/env python3
 """Bench-regression gate for the CI smoke run.
 
-Compares a google-benchmark JSON results file (the CI smoke run of
-sw_walkers_bench) against the committed bench/baseline.json and fails
-when any pinned probe kernel regresses by more than the threshold
-(default 25% items/s).
+Compares google-benchmark JSON results files (the CI smoke runs of
+sw_walkers_bench / service_bench / latency_bench) against the
+committed bench/baseline.json and fails when a pinned kernel
+regresses past its threshold.
 
-When the baseline names a "reference" kernel, every pinned kernel is
-gated on its throughput *relative to the reference measured in the
-same run* (ratio-of-ratios). Host speed then cancels out, so the
-committed baseline stays meaningful across runner generations and a
-slower CI host can't spuriously trip the gate; without a reference
-the comparison is absolute.
+Two gate families share the run:
 
-The baseline pins a small set of kernels that must stay fast: the
-scalar pipeline and the walker-pool scaling points on the L1-resident
-smoke dataset. Pinned kernels missing from the measured run fail the
-gate too, so a rename can't silently drop coverage.
+**Throughput** (``pinned``): items_per_second rows, failing below
+``1 - threshold`` (default 25%) of baseline. When the baseline names
+a "reference" kernel, every pinned kernel is gated on its throughput
+*relative to the reference measured in the same run*
+(ratio-of-ratios) so host speed cancels and a slower CI runner can't
+spuriously trip the gate.
+
+**Latency percentiles** (``latency_pinned``): p50_ns / p99_ns fields
+from the open-loop latency rows, failing *above*
+``baseline * hostFactor * (1 + latency-threshold) + noise floor``.
+The threshold is deliberately looser than the throughput gate
+(default 40%): percentiles carry more run-to-run variance than
+means. The additive per-field noise floor
+(``latency_noise_floor_ns``) absorbs the multi-millisecond scheduler
+spikes that shared CI runners inject into tail percentiles — the
+gate still catches order-of-magnitude tail breakage (a lost wakeup,
+a window held forever, an accidental sleep on the submit path),
+which is the regression class a time-shared runner can reliably
+detect. Absolute tail comparisons belong to dedicated hardware and
+the committed BENCH_latency.json ladder. The host factor multiplies
+(not divides): a runner with half the reference throughput is
+allowed roughly twice the reference latency.
+
+Every measured file is schema-validated before gating (top-level
+"benchmarks" list, string names, numeric metric fields, p50 <= p99)
+so a malformed or truncated BENCH_*.json fails loudly instead of
+silently dropping pinned coverage. Pinned kernels missing from the
+measured run fail the gate too, so a rename can't drop coverage.
+Pinned rows whose K:<n> walker count exceeds the runner's cores are
+skipped with a note rather than gated on time-shared noise.
 
 Refresh the baseline with:
 
@@ -35,22 +56,63 @@ import os
 import re
 import sys
 
+LATENCY_FIELDS = ("p50_ns", "p99_ns")
 
-def load_measured(path):
-    """name -> items_per_second for every benchmark in the run."""
-    with open(path) as f:
-        data = json.load(f)
-    out = {}
-    for b in data.get("benchmarks", []):
+
+def schema_error(path, msg):
+    sys.exit(f"schema error in {path}: {msg}")
+
+
+def validate_file(path, data):
+    """Schema-validate one BENCH_*.json before it can gate anything."""
+    if not isinstance(data, dict):
+        schema_error(path, "top level is not an object")
+    benches = data.get("benchmarks")
+    if not isinstance(benches, list):
+        schema_error(path, 'missing or non-list "benchmarks"')
+    for i, b in enumerate(benches):
+        where = f"benchmarks[{i}]"
+        if not isinstance(b, dict):
+            schema_error(path, f"{where} is not an object")
+        name = b.get("name")
+        if not isinstance(name, str) or not name:
+            schema_error(path, f"{where} lacks a non-empty name")
+        # Aggregate rows (--benchmark_repetitions: mean/median/
+        # stddev/cv) carry *aggregated* user counters — stddev of
+        # p50 samples may legitimately exceed stddev of p99
+        # samples — and are excluded from gating anyway; only their
+        # shape is checked.
         if b.get("run_type") == "aggregate":
             continue
-        ips = b.get("items_per_second")
-        if ips:
-            out[b["name"]] = float(ips)
+        for field in ("items_per_second",) + LATENCY_FIELDS + (
+                "p90_ns", "p999_ns", "max_ns"):
+            v = b.get(field)
+            if v is not None and (not isinstance(v, (int, float))
+                                  or isinstance(v, bool) or v < 0):
+                schema_error(
+                    path, f"{where} ({name}): {field} is not a "
+                          f"non-negative number: {v!r}")
+        p50, p99 = b.get("p50_ns"), b.get("p99_ns")
+        if p50 is not None and p99 is not None and p50 > p99:
+            schema_error(
+                path, f"{where} ({name}): p50_ns {p50} > p99_ns "
+                      f"{p99} (percentiles must be monotone)")
+
+
+def load_entries(path):
+    """name -> full benchmark entry for every row in the run."""
+    with open(path) as f:
+        data = json.load(f)
+    validate_file(path, data)
+    out = {}
+    for b in data["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
     return out
 
 
-def merge_measured(paths):
+def merge_entries(paths):
     """Merge runs into one kernel namespace, refusing duplicates.
 
     A benchmark name appearing in two measured files used to let the
@@ -62,11 +124,11 @@ def merge_measured(paths):
     origin = {}
     dups = []
     for path in paths:
-        for name, ips in load_measured(path).items():
+        for name, entry in load_entries(path).items():
             if name in merged:
                 dups.append(f"{name} (in {origin[name]} and {path})")
                 continue
-            merged[name] = ips
+            merged[name] = entry
             origin[name] = path
     if dups:
         sys.exit("duplicate benchmark name(s) across measured "
@@ -80,61 +142,33 @@ def walkers_of(name):
     return int(m.group(1)) if m else None
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("measured", nargs="+",
-                    help="benchmark JSON file(s) from the smoke "
-                         "run(s); several files (e.g. the "
-                         "sw_walkers and service smoke runs) merge "
-                         "into one kernel namespace")
-    ap.add_argument("baseline", help="committed bench/baseline.json")
-    ap.add_argument("--threshold", type=float, default=0.25,
-                    help="max allowed fractional regression "
-                         "(default 0.25 = 25%%)")
-    ap.add_argument("--update", action="store_true",
-                    help="rewrite the baseline's pinned values from "
-                         "the measured run instead of gating")
-    args = ap.parse_args()
+def host_factor(measured, baseline):
+    """norm such that measured_items * norm ~ baseline-host items.
 
-    measured = merge_measured(args.measured)
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    pinned = baseline["pinned"]
+    1.0 without a reference kernel. Latency allowances *multiply* by
+    1/norm's inverse — see gate_latency.
+    """
     reference = baseline.get("reference")
+    if not reference:
+        return 1.0
+    ref = measured.get(reference)
+    ref_got = ref.get("items_per_second") if ref else None
+    ref_base = baseline.get("reference_items_per_second")
+    if ref_got is None:
+        sys.exit(f"reference kernel missing from measured run: "
+                 f"{reference}")
+    if not ref_base:
+        sys.exit("baseline has 'reference' but no "
+                 "'reference_items_per_second'; rerun --update")
+    norm = ref_base / ref_got
+    print(f"reference {reference}: {ref_got:.3e} measured vs "
+          f"{ref_base:.3e} baseline (host factor "
+          f"{1.0 / norm:.2f}x)\n")
+    return norm
 
-    if args.update:
-        missing = [n for n in list(pinned) + ([reference] if reference
-                                              else [])
-                   if n not in measured]
-        if missing:
-            sys.exit("--update: measured run lacks pinned kernels:\n  "
-                     + "\n  ".join(missing))
-        baseline["pinned"] = {n: measured[n] for n in pinned}
-        if reference:
-            baseline["reference_items_per_second"] = measured[reference]
-        with open(args.baseline, "w") as f:
-            json.dump(baseline, f, indent=2, sort_keys=True)
-            f.write("\n")
-        print(f"updated {len(pinned)} pinned kernels in {args.baseline}")
-        return
 
-    # Ratio-of-ratios normalization: divide both sides by the
-    # reference kernel's throughput so host speed cancels.
-    norm = 1.0
-    if reference:
-        ref_got = measured.get(reference)
-        ref_base = baseline.get("reference_items_per_second")
-        if ref_got is None:
-            sys.exit(f"reference kernel missing from measured run: "
-                     f"{reference}")
-        if not ref_base:
-            sys.exit("baseline has 'reference' but no "
-                     "'reference_items_per_second'; rerun --update")
-        norm = ref_base / ref_got
-        print(f"reference {reference}: {ref_got:.3e} measured vs "
-              f"{ref_base:.3e} baseline (host factor "
-              f"{1.0 / norm:.2f}x)\n")
-
+def gate_throughput(measured, baseline, norm, threshold):
+    pinned = baseline.get("pinned", {})
     failures = []
     width = max(map(len, pinned), default=0)
     cores = os.cpu_count() or 1
@@ -147,30 +181,147 @@ def main():
             print(f"  {name:<{width}}  SKIPPED (K:{k} > "
                   f"{cores} hardware threads on this runner)")
             continue
-        got = measured.get(name)
+        entry = measured.get(name)
+        got = entry.get("items_per_second") if entry else None
         if got is None:
             failures.append(f"{name}: missing from measured run")
             print(f"  {name:<{width}}  MISSING")
             continue
         ratio = got * norm / base_ips
         status = "ok"
-        if ratio < 1.0 - args.threshold:
+        if ratio < 1.0 - threshold:
             status = "REGRESSION"
             failures.append(
                 f"{name}: {got:.3e} items/s vs baseline "
                 f"{base_ips:.3e} ({ratio:.2f}x normalized, allowed "
-                f">= {1.0 - args.threshold:.2f}x)")
+                f">= {1.0 - threshold:.2f}x)")
         print(f"  {name:<{width}}  {got:>10.3e} vs {base_ips:>10.3e}"
               f"  {ratio:5.2f}x  {status}")
+    return len(pinned), failures
+
+
+def gate_latency(measured, baseline, norm, threshold):
+    """Latency regressions point the other way: fail when measured
+    exceeds baseline * norm * (1 + threshold) + noise floor."""
+    pinned = baseline.get("latency_pinned", {})
+    floors = baseline.get("latency_noise_floor_ns", {})
+    failures = []
+    width = max(map(len, pinned), default=0)
+    cores = os.cpu_count() or 1
+    for name, fields in sorted(pinned.items()):
+        k = walkers_of(name)
+        if k is not None and k > cores:
+            print(f"  {name:<{width}}  SKIPPED (K:{k} > "
+                  f"{cores} hardware threads on this runner)")
+            continue
+        entry = measured.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from measured run")
+            print(f"  {name:<{width}}  MISSING")
+            continue
+        for field in LATENCY_FIELDS:
+            base = fields.get(field)
+            if base is None:
+                continue
+            got = entry.get(field)
+            if got is None:
+                failures.append(
+                    f"{name}: {field} missing from measured row")
+                print(f"  {name:<{width}}  {field:<7} MISSING")
+                continue
+            floor = floors.get(field, 0)
+            allowed = base * norm * (1.0 + threshold) + floor
+            status = "ok" if got <= allowed else "REGRESSION"
+            if got > allowed:
+                failures.append(
+                    f"{name}: {field} {got / 1e3:.1f}us vs baseline "
+                    f"{base / 1e3:.1f}us (allowed <= "
+                    f"{allowed / 1e3:.1f}us = base * {norm:.2f} host "
+                    f"* {1.0 + threshold:.2f} + {floor / 1e3:.0f}us "
+                    f"floor)")
+            print(f"  {name:<{width}}  {field:<7} "
+                  f"{got / 1e3:>9.1f}us vs {base / 1e3:>9.1f}us  "
+                  f"(allowed {allowed / 1e3:>9.1f}us)  {status}")
+    return len(pinned), failures
+
+
+def update_baseline(measured, baseline, path):
+    names = list(baseline.get("pinned", {}))
+    reference = baseline.get("reference")
+    if reference:
+        names.append(reference)
+    lat_names = list(baseline.get("latency_pinned", {}))
+    missing = [n for n in names if n not in measured or
+               "items_per_second" not in measured[n]]
+    missing += [n for n in lat_names
+                if n not in measured or
+                any(f not in measured[n] for f in LATENCY_FIELDS)]
+    if missing:
+        sys.exit("--update: measured run lacks pinned kernels:\n  "
+                 + "\n  ".join(missing))
+    baseline["pinned"] = {
+        n: measured[n]["items_per_second"]
+        for n in baseline.get("pinned", {})
+    }
+    if reference:
+        baseline["reference_items_per_second"] = \
+            measured[reference]["items_per_second"]
+    if lat_names:
+        baseline["latency_pinned"] = {
+            n: {f: measured[n][f] for f in LATENCY_FIELDS}
+            for n in lat_names
+        }
+    with open(path, "w") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"updated {len(baseline.get('pinned', {}))} throughput + "
+          f"{len(lat_names)} latency kernels in {path}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("measured", nargs="+",
+                    help="benchmark JSON file(s) from the smoke "
+                         "run(s); several files (e.g. the "
+                         "sw_walkers, service, and latency smoke "
+                         "runs) merge into one kernel namespace")
+    ap.add_argument("baseline", help="committed bench/baseline.json")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max allowed fractional throughput "
+                         "regression (default 0.25 = 25%%)")
+    ap.add_argument("--latency-threshold", type=float, default=0.40,
+                    help="max allowed fractional latency-percentile "
+                         "increase, before the noise floor "
+                         "(default 0.40 = 40%%)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline's pinned values from "
+                         "the measured run instead of gating")
+    args = ap.parse_args()
+
+    measured = merge_entries(args.measured)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    if args.update:
+        update_baseline(measured, baseline, args.baseline)
+        return
+
+    norm = host_factor(measured, baseline)
+    n_tp, failures = gate_throughput(measured, baseline, norm,
+                                     args.threshold)
+    n_lat, lat_failures = gate_latency(measured, baseline, norm,
+                                       args.latency_threshold)
+    failures += lat_failures
 
     if failures:
-        print(f"\n{len(failures)} pinned kernel(s) regressed >"
-              f"{args.threshold:.0%}:", file=sys.stderr)
+        print(f"\n{len(failures)} pinned kernel(s) regressed:",
+              file=sys.stderr)
         for f_ in failures:
             print(f"  {f_}", file=sys.stderr)
         sys.exit(1)
-    print(f"\nall {len(pinned)} pinned kernels within "
-          f"{args.threshold:.0%} of baseline")
+    print(f"\nall {n_tp} throughput kernels within "
+          f"{args.threshold:.0%} and {n_lat} latency rows within "
+          f"{args.latency_threshold:.0%}+floor of baseline")
 
 
 if __name__ == "__main__":
