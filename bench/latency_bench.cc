@@ -6,6 +6,13 @@
  * percentiles measured from *scheduled* arrival time so coordinated
  * omission cannot hide stalls (see src/service/open_loop.hh).
  *
+ * An overload ladder rides along: three admission modes (static
+ * coalesce, static immediate, adaptive SLO-driven — see
+ * src/service/admission.hh) driven at ~4x the measured saturation
+ * rate with per-request deadlines and a goodput SLO, scoring how
+ * much *useful* work each mode completes when the offered load
+ * cannot possibly be served.
+ *
  *   $ ./latency_bench [--smoke] [--out=PATH]
  *
  * Results land in BENCH_latency.json (google-benchmark-compatible
@@ -77,11 +84,16 @@ writeJson(const char *path, const std::vector<Row> &rows, bool smoke)
             "      \"run_type\": \"iteration\",\n"
             "      \"scheduled\": %llu,\n"
             "      \"submitted\": %llu,\n"
-            "      \"shed\": %llu,\n"
+            "      \"shed_client_cap\": %llu,\n"
+            "      \"rejected\": %llu,\n"
+            "      \"expired\": %llu,\n"
             "      \"timed_out\": %llu,\n"
             "      \"completed\": %llu,\n"
+            "      \"goodput\": %llu,\n"
+            "      \"goodput_fraction\": %.4f,\n"
             "      \"offered_rate\": %.1f,\n"
             "      \"achieved_rate\": %.1f,\n"
+            "      \"goodput_rate\": %.1f,\n"
             "      \"items_per_second\": %.1f,\n"
             "      \"p50_ns\": %llu,\n"
             "      \"p90_ns\": %llu,\n"
@@ -96,10 +108,16 @@ writeJson(const char *path, const std::vector<Row> &rows, bool smoke)
             "    }%s\n",
             r.name.c_str(), (unsigned long long)p.scheduled,
             (unsigned long long)p.submitted,
-            (unsigned long long)p.shed,
+            (unsigned long long)p.shedClientCap,
+            (unsigned long long)p.rejected,
+            (unsigned long long)p.expired,
             (unsigned long long)p.timedOut,
-            (unsigned long long)p.completed, p.offeredRate,
-            p.achievedRate,
+            (unsigned long long)p.completed,
+            (unsigned long long)p.goodput,
+            p.scheduled
+                ? double(p.goodput) / double(p.scheduled)
+                : 0.0,
+            p.offeredRate, p.achievedRate, p.goodputRate,
             p.achievedRate * double(kKeysPerRequest),
             (unsigned long long)l.p50Ns, (unsigned long long)l.p90Ns,
             (unsigned long long)l.p99Ns,
@@ -178,7 +196,8 @@ main(int argc, char **argv)
     // min-of-repetitions).
     auto runRow = [&](sw::IndexService &service,
                       const std::string &rowName,
-                      sw::OpenLoopOptions opt) {
+                      sw::OpenLoopOptions opt,
+                      bool byGoodput = false) {
         Row best;
         for (int r = 0; r < repeat; ++r) {
             service.resetLatencyStats();
@@ -186,19 +205,29 @@ main(int argc, char **argv)
             sw::OpenLoopReport rep = runOpenLoop(service, pool, opt);
             sw::KindLatency svc =
                 service.stats().latencyFor(opt.kind);
-            if (r == 0 || rep.latency.p99Ns < best.rep.latency.p99Ns)
+            // Overload rows select by goodput (their entire point;
+            // p99 over Ok-only completions is meaningless when a
+            // mode sheds almost everything), latency rows by p99.
+            const bool better =
+                byGoodput ? rep.goodput > best.rep.goodput
+                          : rep.latency.p99Ns <
+                                best.rep.latency.p99Ns;
+            if (r == 0 || better)
                 best = Row{rowName, std::move(rep), svc};
         }
         rows.push_back(std::move(best));
         const Row &r = rows.back();
         std::printf("%-48s p50 %7.1fus  p99 %7.1fus  p99.9 "
-                    "%7.1fus  achieved %8.0f/s  shed %llu\n",
+                    "%7.1fus  achieved %8.0f/s  good %8.0f/s  "
+                    "shed %llu  rej %llu  exp %llu\n",
                     r.name.c_str(),
                     double(r.rep.latency.p50Ns) / 1e3,
                     double(r.rep.latency.p99Ns) / 1e3,
                     double(r.rep.latency.p999Ns) / 1e3,
-                    r.rep.achievedRate,
-                    (unsigned long long)r.rep.shed);
+                    r.rep.achievedRate, r.rep.goodputRate,
+                    (unsigned long long)r.rep.shedClientCap,
+                    (unsigned long long)r.rep.rejected,
+                    (unsigned long long)r.rep.expired);
     };
 
     char name[160];
@@ -245,6 +274,94 @@ main(int argc, char **argv)
                           "OL_Latency/arrivals:%s/K:1/rate:%d", tag,
                           int(rates[1]));
             runRow(service, name, opt);
+        }
+    }
+
+    // Overload ladder: offered rate ~4x the service's measured
+    // saturation throughput, three admission modes. Static coalesce
+    // (hold every tail for a full window) and static immediate
+    // (seal every tail at admission) both let the admission queues
+    // grow until the client cap or per-request deadlines bite, so
+    // queue-wait runs far past any SLO; the adaptive controller
+    // bounds the queues and sheds the excess with Status::Rejected,
+    // trading completed-count for completions that are actually
+    // inside the SLO — which is what the goodput column scores.
+    // Row names carry "rate:4x" (not the absolute rate, which is
+    // host-dependent) so baselines match across runners; the
+    // measured rates land in offered_rate/achieved_rate.
+    {
+        const u64 sloNs = 5'000'000;       // 5 ms end-to-end SLO
+        const u64 deadlineNs = 10'000'000; // give up past 10 ms
+
+        // Saturation probe: offer far past capacity with a small
+        // client cap; the cap throttles the generator, so
+        // achievedRate is the sustainable closed-ish throughput.
+        double satRate = 0;
+        {
+            sw::ServiceConfig cfg;
+            cfg.shards = 4;
+            cfg.walkers = 1;
+            sw::IndexService service(build, spec, cfg);
+            sw::OpenLoopOptions opt;
+            opt.ratePerSec = 5e6;
+            opt.requests = smoke ? 2000 : 8000;
+            opt.keysPerRequest = kKeysPerRequest;
+            opt.arrivals = sw::ArrivalProcess::Uniform;
+            opt.maxInFlight = 512;
+            sw::OpenLoopReport rep =
+                runOpenLoop(service, pool, opt);
+            satRate = rep.achievedRate;
+        }
+        if (satRate <= 0)
+            satRate = 50e3; // defensive: probe anomaly on CI
+        const double overRate = 4.0 * satRate;
+        const double durSec = smoke ? 0.4 : 1.5;
+        const u64 overReqs = u64(overRate * durSec);
+        std::printf("saturation ~%.0f req/s; overload ladder at "
+                    "%.0f req/s (%llu requests)\n",
+                    satRate, overRate,
+                    (unsigned long long)overReqs);
+
+        struct Mode
+        {
+            const char *tag;
+            bool coalesce;
+            bool adaptive;
+        };
+        for (Mode m : {Mode{"coalesce", true, false},
+                       Mode{"immediate", false, false},
+                       Mode{"adaptive", true, true}}) {
+            sw::ServiceConfig cfg;
+            cfg.shards = 4;
+            cfg.walkers = 1;
+            cfg.coalesceTails = m.coalesce;
+            if (m.adaptive)
+                cfg.admission.adaptive = true; // 2 ms queue target
+            sw::IndexService service(build, spec, cfg);
+            sw::OpenLoopOptions opt;
+            opt.ratePerSec = overRate;
+            opt.requests = overReqs;
+            opt.keysPerRequest = kKeysPerRequest;
+            opt.arrivals = sw::ArrivalProcess::Poisson;
+            opt.deadlineNs = deadlineNs;
+            opt.sloNs = sloNs;
+            // Unmeasured warm-up burst: the adaptive controller
+            // cold-starts wide open (budget = maxBudgetKeys), and
+            // its first convergence — a transient every deployment
+            // sees exactly once — would otherwise dominate a short
+            // row's p99. Steady-state behavior is what the ladder
+            // compares; the same burst runs for the static modes
+            // so every row measures a warmed service.
+            {
+                sw::OpenLoopOptions warm = opt;
+                warm.requests = u64(overRate * 0.25);
+                warm.seed = 999;
+                runOpenLoop(service, pool, warm);
+                service.resetLatencyStats();
+            }
+            std::snprintf(name, sizeof(name),
+                          "OL_Overload/adm:%s/K:1/rate:4x", m.tag);
+            runRow(service, name, opt, /*byGoodput=*/true);
         }
     }
 

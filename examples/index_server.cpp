@@ -23,10 +23,19 @@
  *      admission-coalescing delay) and drive a short *open-loop*
  *      phase — Poisson arrivals at a fixed rate, no waiting between
  *      submissions — whose percentiles are free of coordinated
- *      omission (a stalled walker can't stall this generator).
+ *      omission (a stalled walker can't stall this generator);
+ *   6. demonstrate graceful degradation: a second service with
+ *      SLO-driven adaptive admission, per-request deadlines, and
+ *      the walker watchdog, driven in overload bursts — then the
+ *      shutdown contract (Ctrl-C or natural end): stop() drains
+ *      in-flight windows, cancels queued ones (tickets complete
+ *      with Status::Cancelled, never hang), and dumps the final
+ *      accounting.
  */
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <span>
 #include <thread>
@@ -39,6 +48,10 @@
 #include "workload/distributions.hh"
 
 using namespace widx;
+
+namespace {
+std::atomic<bool> g_interrupted{false};
+}
 
 int
 main()
@@ -195,12 +208,82 @@ main()
                 "  p50 %.1fus  p90 %.1fus  p99 %.1fus  p99.9 "
                 "%.1fus  max %.1fus\n",
                 (unsigned long long)rep.scheduled, ol.ratePerSec,
-                rep.achievedRate, (unsigned long long)rep.shed,
+                rep.achievedRate,
+                (unsigned long long)rep.shedClientCap,
                 (unsigned long long)rep.timedOut,
                 double(rep.latency.p50Ns) / 1e3,
                 double(rep.latency.p90Ns) / 1e3,
                 double(rep.latency.p99Ns) / 1e3,
                 double(rep.latency.p999Ns) / 1e3,
                 double(rep.latency.maxNs) / 1e3);
+
+    // 6. Graceful degradation: a second service with the adaptive
+    //    admission controller, per-request deadlines, and the
+    //    walker watchdog on, driven in overload bursts. Ctrl-C at
+    //    any point between bursts (or the natural end of the
+    //    phase) triggers the shutdown contract: stop() cancels the
+    //    queued windows — their tickets complete immediately with
+    //    Status::Cancelled — in-flight drains finish, the walkers
+    //    join, and the final stats dump shows where every request
+    //    went. No waiter is ever left hanging.
+    std::signal(SIGINT, [](int) { g_interrupted.store(true); });
+    sw::ServiceConfig ocfg;
+    ocfg.shards = 4;
+    ocfg.walkers = 4;
+    ocfg.admission.adaptive = true; // queue-wait p99 -> 2 ms
+    ocfg.watchdogPeriodNs = 20'000'000;
+    sw::IndexService overloaded(build, ispec, ocfg);
+    sw::OpenLoopOptions oo;
+    oo.ratePerSec = 120000;
+    oo.requests = 6000;
+    oo.keysPerRequest = requestKeys;
+    oo.deadlineNs = 10'000'000; // give up on a request past 10 ms
+    oo.sloNs = 5'000'000;       // goodput = Ok within 5 ms
+    std::printf("overload phase (Ctrl-C to drain early):\n");
+    for (int burst = 0; burst < 3 && !g_interrupted.load();
+         ++burst) {
+        oo.seed = u64(burst + 1);
+        sw::OpenLoopReport orep =
+            sw::runOpenLoop(overloaded, probePool, oo);
+        std::printf("  burst %d: offered %.0f/s, goodput %.0f/s "
+                    "(%llu ok-in-SLO / %llu submitted), "
+                    "%llu rejected, %llu expired\n",
+                    burst, orep.offeredRate, orep.goodputRate,
+                    (unsigned long long)orep.goodput,
+                    (unsigned long long)orep.submitted,
+                    (unsigned long long)orep.rejected,
+                    (unsigned long long)orep.expired);
+    }
+
+    // Park a burst of tickets, then stop() mid-flight: every one
+    // completes — drained Ok or cancelled — never hangs.
+    std::vector<sw::ResultTicket> parked;
+    for (int i = 0; i < 64; ++i)
+        parked.push_back(
+            overloaded.submit(sw::RequestKind::Count, sample));
+    overloaded.stop();
+    unsigned drained = 0, cancelled = 0;
+    for (sw::ResultTicket &t : parked) {
+        const sw::ServiceResult r = t.get();
+        (r.status == sw::Status::Cancelled ? cancelled : drained)++;
+    }
+    const sw::ServiceStats fin = overloaded.stats();
+    std::printf(
+        "drain: 64 parked tickets -> %u drained, %u cancelled\n"
+        "final stats: %llu ok, %llu rejected, %llu expired, "
+        "%llu cancelled, %llu walker stalls\n"
+        "admission: hold %llu keys, budget %llu keys, "
+        "%llu adjustments (%llu down), last window p99 %.1fus\n",
+        drained, cancelled,
+        (unsigned long long)fin.completedOk,
+        (unsigned long long)fin.rejected,
+        (unsigned long long)fin.expired,
+        (unsigned long long)fin.cancelled,
+        (unsigned long long)fin.walkerStalls,
+        (unsigned long long)fin.admission.holdKeys,
+        (unsigned long long)fin.admission.budgetKeys,
+        (unsigned long long)fin.admission.adjustments,
+        (unsigned long long)fin.admission.decreases,
+        double(fin.admission.lastWindowP99Ns) / 1e3);
     return identical ? 0 : 1;
 }

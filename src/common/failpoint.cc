@@ -1,0 +1,154 @@
+#include "common/failpoint.hh"
+
+#ifdef WIDX_FAILPOINTS
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace widx::fp {
+
+namespace {
+
+/** Name -> site. Node-based map: interned Point addresses must stay
+ *  stable forever (the macro caches a reference in a function-local
+ *  static). Guarded registry access is registration/control only —
+ *  never on a disarmed hot path. */
+struct Registry
+{
+    std::mutex m;
+    std::map<std::string, Point, std::less<>> points;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace
+
+Point &
+point(std::string_view name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lk(r.m);
+    auto it = r.points.find(name);
+    if (it == r.points.end())
+        it = r.points.try_emplace(std::string(name)).first;
+    return it->second;
+}
+
+void
+fireSlow(Point &p)
+{
+    // Claim one unit of budget; the last claimer disarms the site.
+    // A racer finding the budget already empty (armed load was
+    // stale) just falls through without sleeping.
+    u64 rem = p.remaining.load(std::memory_order_acquire);
+    while (rem > 0 &&
+           !p.remaining.compare_exchange_weak(
+               rem, rem - 1, std::memory_order_acq_rel))
+        ;
+    if (rem == 0) {
+        p.armed.store(false, std::memory_order_relaxed);
+        return;
+    }
+    if (rem == 1)
+        p.armed.store(false, std::memory_order_relaxed);
+    p.hits.fetch_add(1, std::memory_order_relaxed);
+    const u64 d = p.delayNs.load(std::memory_order_relaxed);
+    if (d > 0)
+        std::this_thread::sleep_for(std::chrono::nanoseconds(d));
+}
+
+void
+arm(std::string_view name, u64 count, u64 delayNs)
+{
+    Point &p = point(name);
+    p.delayNs.store(delayNs, std::memory_order_relaxed);
+    p.remaining.store(count, std::memory_order_release);
+    p.armed.store(count > 0, std::memory_order_release);
+}
+
+void
+disarm(std::string_view name)
+{
+    Point &p = point(name);
+    p.armed.store(false, std::memory_order_relaxed);
+    p.remaining.store(0, std::memory_order_relaxed);
+}
+
+void
+disarmAll()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lk(r.m);
+    for (auto &[name, p] : r.points) {
+        p.armed.store(false, std::memory_order_relaxed);
+        p.remaining.store(0, std::memory_order_relaxed);
+    }
+}
+
+u64
+hits(std::string_view name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lk(r.m);
+    auto it = r.points.find(name);
+    return it == r.points.end()
+               ? 0
+               : it->second.hits.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string>
+names()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lk(r.m);
+    std::vector<std::string> out;
+    out.reserve(r.points.size());
+    for (const auto &[name, p] : r.points)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace widx::fp
+
+#else // !WIDX_FAILPOINTS: inert stubs so callers link either way.
+
+namespace widx::fp {
+
+void
+arm(std::string_view, u64, u64)
+{
+}
+
+void
+disarm(std::string_view)
+{
+}
+
+void
+disarmAll()
+{
+}
+
+u64
+hits(std::string_view)
+{
+    return 0;
+}
+
+std::vector<std::string>
+names()
+{
+    return {};
+}
+
+} // namespace widx::fp
+
+#endif // WIDX_FAILPOINTS

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Compile-time-gated named failpoints for fault-injection testing.
+ *
+ * A failpoint is a named site in production code where a test can
+ * inject a delay (walker stall, slow drain, delayed claim) without
+ * recompiling the code under test with test hooks. Sites are
+ * declared with `WIDX_FAILPOINT("name")`; tests arm them by name
+ * with a hit budget and a per-hit delay.
+ *
+ * The whole mechanism is behind the `WIDX_FAILPOINTS` CMake option:
+ *
+ *  - **Off (the default, all release builds):** `WIDX_FAILPOINT`
+ *    expands to nothing — no branch, no load, no registry, zero
+ *    cost. The control API below still compiles (as inert stubs
+ *    returning false/zero) so tests can be built either way and
+ *    skip themselves via `fp::enabled()`.
+ *
+ *  - **On (`-DWIDX_FAILPOINTS=ON`, the CI chaos job):** each site
+ *    interns a registry entry once (function-local static) and then
+ *    costs one relaxed atomic load per pass while disarmed. Arming
+ *    is fully thread-safe: a site fires at most `count` times, each
+ *    hit sleeping `delayNs`, then disarms itself.
+ *
+ * Failpoints only *delay* — they never change results. That is the
+ * point: chaos tests assert that arbitrarily bad timing (a stalled
+ * walker mid-drain, a slow claim) cannot break the service's
+ * determinism or hang a waiter, which is exactly the class of
+ * robustness property that cannot be exercised by well-timed tests.
+ *
+ * The catalog of site names lives with the code that declares them;
+ * the service's sites are documented in src/service/README.md.
+ */
+
+#ifndef WIDX_COMMON_FAILPOINT_HH
+#define WIDX_COMMON_FAILPOINT_HH
+
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace widx::fp {
+
+/** Is fault injection compiled in (WIDX_FAILPOINTS=ON)? Tests use
+ *  this to GTEST_SKIP instead of silently passing. */
+constexpr bool
+enabled()
+{
+#ifdef WIDX_FAILPOINTS
+    return true;
+#else
+    return false;
+#endif
+}
+
+/** Arm `count` hits of `delayNs` each on the named site; the site
+ *  disarms itself after the last hit. Re-arming replaces the budget.
+ *  Registers the name if no site has interned it yet, so tests can
+ *  arm before the first traffic reaches the site. No-op when
+ *  fault injection is compiled out. */
+void arm(std::string_view name, u64 count, u64 delayNs);
+
+/** Disarm one site (unfired budget is dropped) / every site. */
+void disarm(std::string_view name);
+void disarmAll();
+
+/** Times the named site actually fired (slept) since process start.
+ *  0 for unknown names or when compiled out. */
+u64 hits(std::string_view name);
+
+/** Names registered so far (interned sites + armed-by-name), sorted.
+ *  Empty when compiled out. */
+std::vector<std::string> names();
+
+#ifdef WIDX_FAILPOINTS
+
+/** One registered site. `armed` is the only hot-path word: sites
+ *  load it relaxed and branch to the slow path only while a budget
+ *  is live. */
+struct Point
+{
+    std::atomic<bool> armed{false};
+    std::atomic<u64> remaining{0};
+    std::atomic<u64> delayNs{0};
+    std::atomic<u64> hits{0};
+};
+
+/** Intern the named site (stable address for the macro's static). */
+Point &point(std::string_view name);
+
+/** Consume one budgeted hit and sleep; self-disarms on the last. */
+void fireSlow(Point &p);
+
+#define WIDX_FAILPOINT(name)                                          \
+    do {                                                              \
+        static ::widx::fp::Point &fp_pt_ = ::widx::fp::point(name);   \
+        if (fp_pt_.armed.load(std::memory_order_relaxed))             \
+            ::widx::fp::fireSlow(fp_pt_);                             \
+    } while (0)
+
+#else
+
+#define WIDX_FAILPOINT(name)                                          \
+    do {                                                              \
+    } while (0)
+
+#endif // WIDX_FAILPOINTS
+
+} // namespace widx::fp
+
+#endif // WIDX_COMMON_FAILPOINT_HH

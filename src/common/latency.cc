@@ -35,6 +35,28 @@ LatencyHistogram::summarize() const
     return s;
 }
 
+LatencyHistogram
+LatencyHistogram::deltaSince(const LatencyHistogram &prev) const
+{
+    LatencyHistogram d;
+    unsigned top = 0;
+    bool any = false;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        const u64 cur = counts_[b];
+        const u64 old = prev.counts_[b];
+        if (cur > old) {
+            d.counts_[b] = cur - old;
+            top = b;
+            any = true;
+        }
+    }
+    d.count_ = count_ > prev.count_ ? count_ - prev.count_ : 0;
+    d.sum_ = sum_ > prev.sum_ ? sum_ - prev.sum_ : 0;
+    if (any)
+        d.max_ = std::min(bucketHighNs(top), max_);
+    return d;
+}
+
 LatencyRecorder::LatencyRecorder(unsigned shards)
     : nShards_(std::max(1u, shards)),
       shards_(new Shard[nShards_])
@@ -65,6 +87,15 @@ LatencyRecorder::snapshot() const
                           sh.max.load(std::memory_order_relaxed));
     }
     return h;
+}
+
+LatencyHistogram
+LatencyRecorder::intervalSince(LatencyHistogram &cursor) const
+{
+    const LatencyHistogram cur = snapshot();
+    LatencyHistogram delta = cur.deltaSince(cursor);
+    cursor = cur;
+    return delta;
 }
 
 void

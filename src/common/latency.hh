@@ -158,6 +158,19 @@ class LatencyHistogram
     /** count/sum/max plus the standard percentile ladder. */
     LatencySnapshot summarize() const;
 
+    /**
+     * The population recorded since `prev` was captured: bucket-wise
+     * (and count/sum) difference of two cumulative snapshots of the
+     * same recording lineage (`prev` must be an earlier snapshot of
+     * this histogram's source). Counts and sum subtract exactly; the
+     * per-window max is not recoverable from cumulative state, so
+     * the delta's max is the upper bound of its highest non-empty
+     * bucket (<= ~3.1% above the true window max), clamped to the
+     * cumulative max. Subtraction saturates at zero so a snapshot
+     * raced against relaxed writers can't wrap.
+     */
+    LatencyHistogram deltaSince(const LatencyHistogram &prev) const;
+
   private:
     friend class LatencyRecorder;
     std::array<u64, kBuckets> counts_{};
@@ -199,6 +212,17 @@ class LatencyRecorder
 
     /** Merged copy of all shards (relaxed reads; see class note). */
     LatencyHistogram snapshot() const;
+
+    /**
+     * Windowed sampling for controllers: the histogram of everything
+     * recorded since `cursor` was last advanced, leaving `cursor` at
+     * the current cumulative snapshot. The first call with a
+     * default-constructed cursor returns everything recorded so far.
+     * Concurrent recording is fine (the window boundary is simply
+     * wherever the relaxed snapshot landed); concurrent calls
+     * sharing one cursor are not — each controller owns its cursor.
+     */
+    LatencyHistogram intervalSince(LatencyHistogram &cursor) const;
 
     LatencySnapshot
     summarize() const

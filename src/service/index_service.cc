@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.hh"
 #include "common/logging.hh"
 #include "swwalkers/coro.hh"
 
@@ -53,6 +54,21 @@ struct ServiceRequest
      *  key position (see finalize). */
     bool scattered = false;
 
+    /** Absolute deadline (0 = none); written before publication. */
+    u64 deadlineNs = 0;
+    /** Completion status; transitions once, Ok -> non-Ok, via CAS —
+     *  the first marker (deadline check, cancel sweep, reject path)
+     *  wins and owns the matching stats counter. */
+    std::atomic<u8> status{u8(Status::Ok)};
+
+    bool
+    trySetStatus(Status s)
+    {
+        u8 expect = u8(Status::Ok);
+        return status.compare_exchange_strong(
+            expect, u8(s), std::memory_order_relaxed);
+    }
+
     /** Latency accounting (board null when recording is off).
      *  tSubmit is stamped in submit(); tFirstDrain by the first
      *  walker to claim a window holding one of this request's
@@ -103,9 +119,14 @@ struct ServiceRequest
         // test asserts the sums match to the nanosecond). Requests
         // that never hit a walker (empty spans) have
         // tFirstDrain == tSubmit: all latency is queue-wait-free.
+        // Only Ok completions are recorded: fast-failed tickets
+        // (rejected / expired / cancelled) would drag the service
+        // percentiles toward the reject path's microseconds and
+        // poison the admission controller's signal.
+        r.status = Status(status.load(std::memory_order_relaxed));
         const u64 now = monotonicNowNs();
         r.completedAtNs = now;
-        if (board) {
+        if (board && r.status == Status::Ok) {
             const u64 fd = tFirstDrain.load(std::memory_order_relaxed);
             const u64 first = fd ? fd : now;
             auto &row = board->rec[unsigned(kind)];
@@ -123,6 +144,22 @@ struct ServiceRequest
 };
 
 } // namespace detail
+
+const char *
+statusName(Status s)
+{
+    switch (s) {
+    case Status::Ok:
+        return "Ok";
+    case Status::Rejected:
+        return "Rejected";
+    case Status::DeadlineExceeded:
+        return "DeadlineExceeded";
+    case Status::Cancelled:
+        return "Cancelled";
+    }
+    return "?";
+}
 
 ServiceResult
 ResultTicket::get()
@@ -176,9 +213,17 @@ IndexService::start()
     affine_ = cfg_.affineRouting && index_.shards() > 1;
     const unsigned walkers =
         std::clamp(cfg_.walkers, 1u, kMaxWalkers);
-    if (cfg_.recordLatency)
+    // The admission controller steers on measured queue-wait, so
+    // adaptive mode forces the timestamps on even when the caller
+    // turned latency recording off.
+    if (cfg_.admission.adaptive)
+        adm_ = std::make_unique<AdmissionController>(
+            cfg_.admission, u32(chunk_), walkers + 1);
+    if (cfg_.recordLatency || adm_)
         board_ = std::make_unique<detail::LatencyBoard>(
             walkers + 1); // walkers finalize; submitters do empties
+    if (cfg_.watchdogPeriodNs > 0)
+        beats_.reset(new WalkerBeat[walkers]);
 
     if (affine_) {
         const unsigned S = index_.shards();
@@ -230,25 +275,90 @@ IndexService::start()
     threads_.reserve(walkers);
     for (unsigned w = 0; w < walkers; ++w)
         threads_.emplace_back([this, w] { walkerMain(w); });
+    if (beats_)
+        watchdog_ = std::thread([this] { watchdogMain(); });
 }
 
 IndexService::~IndexService()
 {
+    stop();
+}
+
+void
+IndexService::stop()
+{
+    // Under the same lock walkers claim under: refuse new work and
+    // strand every unclaimed window. Windows a walker already owns
+    // are not here — they finish draining normally (step 3 of the
+    // header's ordering contract).
+    std::vector<Window> orphans;
     {
         std::lock_guard<std::mutex> lk(m_);
         stop_ = true;
+        for (Window &w : sealed_)
+            orphans.push_back(std::move(w));
+        sealed_.clear();
+        if (open_.keys > 0) {
+            orphans.push_back(std::move(open_));
+            open_ = Window{};
+        }
+        for (auto &dq : shardSealed_) {
+            for (Window &w : dq)
+                orphans.push_back(std::move(w));
+            dq.clear();
+        }
+        for (Window &w : shardOpen_) {
+            if (w.keys == 0)
+                continue;
+            const int s = w.shard;
+            orphans.push_back(std::move(w));
+            w = Window{};
+            w.shard = s;
+        }
+        sealedCount_ = 0;
+        openKeys_ = 0;
+        queuedKeys_.store(0, std::memory_order_relaxed);
     }
     cv_.notify_all();
+
+    // Complete the stranded tickets outside the lock (completion
+    // takes each request's own mutex and notifies its waiters).
+    // Requests with segments in an in-flight window keep a nonzero
+    // countdown here; the draining walker retires those and the
+    // last retirement — wherever it happens — publishes the
+    // (Cancelled, possibly partial) result.
+    for (Window &w : orphans)
+        for (const Segment &seg : w.segs) {
+            if (seg.req->trySetStatus(Status::Cancelled))
+                nCancelled_.fetch_add(1, std::memory_order_relaxed);
+            retireSegment(seg);
+        }
+
+    // Join everything. Serialized so stop() is idempotent and safe
+    // to race with the destructor (joinable() goes false exactly
+    // once, under the join lock).
+    std::lock_guard<std::mutex> jlk(joinM_);
     for (auto &t : threads_)
-        t.join();
+        if (t.joinable())
+            t.join();
+    if (watchdog_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lk(wdM_);
+            wdStop_ = true;
+        }
+        wdCv_.notify_all();
+        watchdog_.join();
+    }
 }
 
 ResultTicket
-IndexService::submit(RequestKind kind, std::span<const u64> keys)
+IndexService::submit(RequestKind kind, std::span<const u64> keys,
+                     const SubmitOptions &opt)
 {
     auto req = std::make_shared<detail::ServiceRequest>();
     req->kind = kind;
     req->keys = keys;
+    req->deadlineNs = opt.deadlineNs;
     req->board = board_.get();
     if (board_)
         req->tSubmit = monotonicNowNs();
@@ -262,17 +372,83 @@ IndexService::submit(RequestKind kind, std::span<const u64> keys)
         // queue-wait (tFirstDrain == tSubmit).
         req->tFirstDrain.store(req->tSubmit,
                                std::memory_order_relaxed);
-        req->finalize();
+        finishRequest(*req);
         return ResultTicket(req);
     }
-    if (affine_)
-        submitAffine(req, kind, keys);
-    else
-        submitShared(req, kind, keys);
+
+    // Dead on arrival: a deadline already in the past fails fast
+    // without touching the queues.
+    if (opt.deadlineNs) {
+        const u64 now =
+            board_ ? req->tSubmit : monotonicNowNs();
+        if (now > opt.deadlineNs) {
+            req->trySetStatus(Status::DeadlineExceeded);
+            nExpired_.fetch_add(1, std::memory_order_relaxed);
+            req->tFirstDrain.store(req->tSubmit,
+                                   std::memory_order_relaxed);
+            finishRequest(*req);
+            return ResultTicket(req);
+        }
+    }
+
+    const bool admitted = affine_
+                              ? submitAffine(req, kind, keys)
+                              : submitShared(req, kind, keys);
+    if (!admitted) {
+        // The admission path set the status (Rejected over budget,
+        // Cancelled after stop); complete the ticket here, on the
+        // submitting thread — the fast-fail that keeps backpressure
+        // cheap.
+        if (Status(req->status.load(std::memory_order_relaxed)) ==
+            Status::Rejected)
+            nRejected_.fetch_add(1, std::memory_order_relaxed);
+        else
+            nCancelled_.fetch_add(1, std::memory_order_relaxed);
+        req->tFirstDrain.store(req->tSubmit,
+                               std::memory_order_relaxed);
+        req->finalize();
+    }
     return ResultTicket(std::move(req));
 }
 
+u32
+IndexService::holdThreshold() const
+{
+    if (adm_)
+        return std::min(adm_->holdKeys(), u32(chunk_));
+    return cfg_.coalesceTails ? u32(chunk_) : 1;
+}
+
+u64
+IndexService::queuedKeyBound() const
+{
+    u64 bound = cfg_.maxQueuedKeys ? cfg_.maxQueuedKeys : ~u64{0};
+    if (adm_)
+        bound = std::min(bound, adm_->budgetKeys());
+    return bound;
+}
+
 void
+IndexService::retireSegment(const Segment &seg)
+{
+    detail::ServiceRequest &req = *seg.req;
+    if (req.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        finishRequest(req);
+}
+
+void
+IndexService::finishRequest(detail::ServiceRequest &req)
+{
+    // Status transitions are done by the time the last segment
+    // retires (markers run at claim/cancel, which precede retire),
+    // so this read is the final verdict.
+    if (Status(req.status.load(std::memory_order_relaxed)) ==
+        Status::Ok)
+        nCompletedOk_.fetch_add(1, std::memory_order_relaxed);
+    req.finalize();
+}
+
+bool
 IndexService::submitShared(
     std::shared_ptr<detail::ServiceRequest> req, RequestKind kind,
     std::span<const u64> keys)
@@ -282,9 +458,28 @@ IndexService::submitShared(
     if (kind != RequestKind::Count)
         req->perSlot.resize(num_chunks);
 
+    // The seal threshold: how full the open window may get before
+    // it seals. chunk = full coalescing, 1 = every tail seals its
+    // own window (the static coalesceTails axis); the admission
+    // controller moves it continuously in between.
+    const u32 hold = holdThreshold();
+
     unsigned added = 0;
     {
         std::lock_guard<std::mutex> lk(m_);
+        if (stop_) {
+            req->trySetStatus(Status::Cancelled);
+            return false;
+        }
+        // Backpressure: admission happens only while the parked-key
+        // total is under the bound (checked whole-request — a
+        // request is never split across the admission decision — so
+        // the queue overshoots by at most one request).
+        if (queuedKeys_.load(std::memory_order_relaxed) >=
+            queuedKeyBound()) {
+            req->trySetStatus(Status::Rejected);
+            return false;
+        }
         // Full chunks seal immediately as single-segment windows.
         std::size_t c = 0;
         std::size_t base = 0;
@@ -299,17 +494,9 @@ IndexService::submitShared(
         // The sub-chunk tail coalesces into the shared open window
         // with other requests' tails (admission batching). Tails
         // are never split: seal the open window first if this one
-        // would overflow it. With coalescing off, the tail seals
-        // its own single-segment window instead — no cross-request
-        // batching, and no waiting behind co-runners' traffic.
-        if (base < keys.size() && !cfg_.coalesceTails) {
-            Window w;
-            w.segs.push_back(Segment{req, c, base,
-                                     u32(keys.size() - base)});
-            w.keys = u32(keys.size() - base);
-            sealed_.push_back(std::move(w));
-            ++added;
-        } else if (base < keys.size()) {
+        // would overflow its capacity; seal behind it once it
+        // reaches the hold threshold.
+        if (base < keys.size()) {
             const u32 len = u32(keys.size() - base);
             if (open_.keys + len > chunk_) {
                 sealed_.push_back(std::move(open_));
@@ -318,12 +505,14 @@ IndexService::submitShared(
             }
             open_.segs.push_back(Segment{req, c, base, len});
             open_.keys += len;
-            if (open_.keys == chunk_) {
+            if (open_.keys >= hold) {
                 sealed_.push_back(std::move(open_));
                 open_ = Window{};
                 ++added;
             }
         }
+        queuedKeys_.fetch_add(keys.size(),
+                              std::memory_order_relaxed);
     }
     // Tail-only submissions still wake one walker: an idle walker
     // grabs the open window rather than waiting for it to fill.
@@ -331,13 +520,24 @@ IndexService::submitShared(
         cv_.notify_all();
     else
         cv_.notify_one();
+    return true;
 }
 
-void
+bool
 IndexService::submitAffine(
     std::shared_ptr<detail::ServiceRequest> req, RequestKind kind,
     std::span<const u64> keys)
 {
+    // Backpressure pre-check, relaxed and lock-free: an over-budget
+    // submission should not pay for admission hashing and staging
+    // it is about to throw away. Authoritative re-check under the
+    // lock below.
+    if (queuedKeys_.load(std::memory_order_relaxed) >=
+        queuedKeyBound()) {
+        req->trySetStatus(Status::Rejected);
+        return false;
+    }
+
     // Admission hashing: the dispatcher stage's vector hash runs on
     // the submitting thread, once, so the scatter can route by
     // shard and the drains start from pre-hashed keys.
@@ -382,9 +582,22 @@ IndexService::submitAffine(
         st.pos.push_back(i);
     }
 
+    // Seal threshold, as in submitShared (hold = 1 reproduces
+    // coalesceTails off: every fill seals behind itself).
+    const u32 hold = holdThreshold();
+
     std::size_t slots = 0;
     {
         std::lock_guard<std::mutex> lk(m_);
+        if (stop_) {
+            req->trySetStatus(Status::Cancelled);
+            return false;
+        }
+        if (queuedKeys_.load(std::memory_order_relaxed) >=
+            queuedKeyBound()) {
+            req->trySetStatus(Status::Rejected);
+            return false;
+        }
         for (unsigned s = 0; s < S; ++s) {
             const Staged &st = staged[s];
             std::size_t done = 0;
@@ -392,10 +605,7 @@ IndexService::submitAffine(
                 // Fill the shard's open window up to the chunk
                 // size: one new segment per (request, window),
                 // coalescing with other requests' tails already
-                // parked there. With coalescing off the open
-                // window is always empty here (every fill seals
-                // behind itself), so each pass takes a whole
-                // chunk-or-remainder and nothing is ever shared.
+                // parked there.
                 Window &w = shardOpen_[s];
                 const std::size_t take = std::min<std::size_t>(
                     chunk_ - w.keys, st.keys.size() - done);
@@ -413,7 +623,7 @@ IndexService::submitAffine(
                 w.keys += u32(take);
                 openKeys_ += take;
                 done += take;
-                if (w.keys == chunk_ || !cfg_.coalesceTails) {
+                if (w.keys >= hold) {
                     openKeys_ -= w.keys;
                     shardSealed_[s].push_back(std::move(w));
                     shardOpen_[s] = Window{};
@@ -422,6 +632,7 @@ IndexService::submitAffine(
                 }
             }
         }
+        queuedKeys_.fetch_add(n, std::memory_order_relaxed);
         // Published under the lock, before any walker can pop a
         // window referencing these slots: the count is only known
         // once the scatter has run, and perSlot must never resize
@@ -433,6 +644,7 @@ IndexService::submitAffine(
     // A scatter typically touches several shard queues; wake the
     // pool and let home-first claiming sort out who drains what.
     cv_.notify_all();
+    return true;
 }
 
 void
@@ -449,6 +661,10 @@ IndexService::walkerMain(unsigned w)
             pinCurrentThread(w);
     }
     for (;;) {
+        // Fault injection (compiled out by default): delay a walker
+        // between wake-up and claim so tests can race submissions
+        // against a lagging claimer.
+        WIDX_FAILPOINT("service.walker_claim_delay");
         Window win;
         bool stolen = false;
         {
@@ -472,7 +688,62 @@ IndexService::walkerMain(unsigned w)
             nAffine_.fetch_add(1, std::memory_order_relaxed);
         if (stolen)
             nStolen_.fetch_add(1, std::memory_order_relaxed);
+        // Heartbeat: claim time published before the drain starts,
+        // so a stall anywhere inside it is attributable.
+        if (beats_) {
+            beats_[w].epoch.fetch_add(1,
+                                      std::memory_order_relaxed);
+            beats_[w].busySinceNs.store(
+                monotonicNowNs(), std::memory_order_relaxed);
+        }
+        // Stall a walker that owns a claimed-but-undrained window:
+        // the chaos tests' main lever (requests must flow around it
+        // via stealing, and the watchdog must report it).
+        WIDX_FAILPOINT("service.walker_stall");
         processWindow(win);
+        if (beats_) {
+            beats_[w].busySinceNs.store(
+                0, std::memory_order_relaxed);
+            beats_[w].epoch.fetch_add(1,
+                                      std::memory_order_relaxed);
+        }
+        if (adm_)
+            adm_->observe(monotonicNowNs());
+    }
+}
+
+void
+IndexService::watchdogMain()
+{
+    const unsigned n = unsigned(threads_.size());
+    // One report per stuck window: remember the busy epoch already
+    // reported per walker and stay quiet until it changes.
+    std::vector<u64> reported(n, ~u64{0});
+    std::unique_lock<std::mutex> lk(wdM_);
+    for (;;) {
+        wdCv_.wait_for(
+            lk, std::chrono::nanoseconds(cfg_.watchdogPeriodNs),
+            [&] { return wdStop_; });
+        if (wdStop_)
+            return;
+        const u64 now = monotonicNowNs();
+        for (unsigned w = 0; w < n; ++w) {
+            const u64 busy = beats_[w].busySinceNs.load(
+                std::memory_order_relaxed);
+            if (busy == 0 || now <= busy ||
+                now - busy < cfg_.stallThresholdNs)
+                continue;
+            const u64 ep =
+                beats_[w].epoch.load(std::memory_order_relaxed);
+            if (reported[w] == ep)
+                continue;
+            reported[w] = ep;
+            nStalls_.fetch_add(1, std::memory_order_relaxed);
+            warn("index service watchdog: walker %u stuck in one "
+                 "window drain for %.1f ms (threshold %.1f ms)",
+                 w, double(now - busy) / 1e6,
+                 double(cfg_.stallThresholdNs) / 1e6);
+        }
     }
 }
 
@@ -482,6 +753,8 @@ IndexService::claimShared(Window &win)
     if (!sealed_.empty()) {
         win = std::move(sealed_.front());
         sealed_.pop_front();
+        queuedKeys_.fetch_sub(win.keys,
+                              std::memory_order_relaxed);
         return true;
     }
     if (open_.keys > 0) {
@@ -490,6 +763,8 @@ IndexService::claimShared(Window &win)
         // (latency floor for lone small probes).
         win = std::move(open_);
         open_ = Window{};
+        queuedKeys_.fetch_sub(win.keys,
+                              std::memory_order_relaxed);
         return true;
     }
     return false;
@@ -503,12 +778,16 @@ IndexService::claimAffine(unsigned w, Window &win, bool &stolen)
         win = std::move(shardSealed_[s].front());
         shardSealed_[s].pop_front();
         --sealedCount_;
+        queuedKeys_.fetch_sub(win.keys,
+                              std::memory_order_relaxed);
     };
     auto grabOpen = [&](unsigned s) {
         openKeys_ -= shardOpen_[s].keys;
         win = std::move(shardOpen_[s]);
         shardOpen_[s] = Window{};
         shardOpen_[s].shard = int(s);
+        queuedKeys_.fetch_sub(win.keys,
+                              std::memory_order_relaxed);
     };
     // Home queues first — sealed before open, same as the shared
     // path — then steal across the other shards so a skewed shard
@@ -551,20 +830,56 @@ IndexService::processWindow(Window &win)
     // each distinct request's first-drain slot (only the first
     // claim of a request's segments wins — for single-segment
     // requests that puts coalescing hold and sealed-queue depth
-    // entirely in the queue-wait component; see KindLatency).
+    // entirely in the queue-wait component; see KindLatency). The
+    // winning claim also feeds the admission controller's windowed
+    // queue-wait signal.
+    u64 now = 0;
     if (board_) {
-        const u64 now = monotonicNowNs();
+        now = monotonicNowNs();
         for (const Segment &seg : win.segs) {
             u64 expect = 0;
-            seg.req->tFirstDrain.compare_exchange_strong(
-                expect, now, std::memory_order_relaxed);
+            if (seg.req->tFirstDrain.compare_exchange_strong(
+                    expect, now, std::memory_order_relaxed) &&
+                adm_)
+                adm_->recordQueueWait(now - seg.req->tSubmit);
         }
     }
+
+    // Deadline cut: a segment whose request is already past its
+    // deadline retires without draining (fast failure instead of
+    // spending walker time on a result the client has written
+    // off). Live segments compact forward so the drain below sees
+    // a dense window.
+    std::size_t live = 0;
+    for (std::size_t s = 0; s < win.segs.size(); ++s) {
+        Segment &seg = win.segs[s];
+        bool expiredNow = false;
+        if (const u64 dl = seg.req->deadlineNs) {
+            if (now == 0)
+                now = monotonicNowNs();
+            expiredNow = now > dl;
+        }
+        if (expiredNow) {
+            if (seg.req->trySetStatus(Status::DeadlineExceeded))
+                nExpired_.fetch_add(1, std::memory_order_relaxed);
+            retireSegment(seg);
+        } else {
+            if (live != s)
+                win.segs[live] = std::move(win.segs[s]);
+            ++live;
+        }
+    }
+    const bool compacted = live != win.segs.size();
+    if (compacted)
+        win.segs.resize(live);
+    if (win.segs.empty())
+        return; // every segment expired; nothing to drain
+
     if (win.shard >= 0) {
         // Affine window: every key belongs to one shard, so the
         // drain runs against that shard's flat HashIndex (no
         // per-key shard resolve; per-shard AVX2 tag filter).
-        drainAffine(win);
+        drainAffine(win, compacted);
         return;
     }
     // Single-shard services (including views of an existing index)
@@ -602,20 +917,43 @@ IndexService::drainWindow(const Index &idx, Window &win)
 }
 
 void
-IndexService::drainAffine(Window &win)
+IndexService::drainAffine(Window &win, bool compacted)
 {
-    // Keys and hashes were materialized at admission; only the
-    // ordinal -> (segment, position) map is built here.
+    const db::HashIndex &shard = index_.shard(unsigned(win.shard));
+    if (!compacted) {
+        // Keys and hashes were materialized at admission; only the
+        // ordinal -> (segment, position) map is built here.
+        Ref refs[db::HashIndex::kMaxProbeBatch];
+        for (std::size_t s = 0; s < win.segs.size(); ++s) {
+            const Segment &seg = win.segs[s];
+            for (u32 j = 0; j < seg.len; ++j)
+                refs[seg.base + j] =
+                    Ref{u32(s), win.wpos[seg.base + j]};
+        }
+        drainGathered(shard, win, win.wkeys.data(),
+                      win.whashes.data(), refs, win.wkeys.size(),
+                      true);
+        return;
+    }
+    // The deadline cut retired segments, leaving holes in the
+    // window's key/hash arrays (drainGathered walks a dense ordinal
+    // range). Gather the surviving segments' keys into dense
+    // scratch — the expired keys must not be probed at all, which
+    // is the point of failing fast.
+    u64 wkeys[db::HashIndex::kMaxProbeBatch];
+    u64 whashes[db::HashIndex::kMaxProbeBatch];
     Ref refs[db::HashIndex::kMaxProbeBatch];
+    std::size_t off = 0;
     for (std::size_t s = 0; s < win.segs.size(); ++s) {
         const Segment &seg = win.segs[s];
-        for (u32 j = 0; j < seg.len; ++j)
-            refs[seg.base + j] =
-                Ref{u32(s), win.wpos[seg.base + j]};
+        for (u32 j = 0; j < seg.len; ++j) {
+            wkeys[off] = win.wkeys[seg.base + j];
+            whashes[off] = win.whashes[seg.base + j];
+            refs[off] = Ref{u32(s), win.wpos[seg.base + j]};
+            ++off;
+        }
     }
-    drainGathered(index_.shard(unsigned(win.shard)), win,
-                  win.wkeys.data(), win.whashes.data(), refs,
-                  win.wkeys.size(), true);
+    drainGathered(shard, win, wkeys, whashes, refs, off, true);
 }
 
 template <typename Index>
@@ -634,6 +972,12 @@ IndexService::drainGathered(const Index &idx, Window &win,
     // what lets the recommendation swing back on when traffic turns
     // selective again. The adaptive decision always reads the
     // service-level aggregate (index_), not a single shard's view.
+    // Slow this drain down (compiled out by default): models a
+    // walker losing its core or hitting pathological memory — the
+    // window is claimed, so its requests are committed to this
+    // walker and only completion (not stealing) can finish them.
+    WIDX_FAILPOINT("service.slow_drain");
+
     bool tagged = effectiveTagged(index_, cfg_.pipeline);
     if (cfg_.pipeline.adaptiveTags && !tagged &&
         nUntagged_.fetch_add(1, std::memory_order_relaxed) % 32 ==
@@ -689,9 +1033,7 @@ IndexService::drainGathered(const Index &idx, Window &win,
                              });
             req.perSlot[seg.slot] = std::move(seg_recs[s]);
         }
-        if (req.remaining.fetch_sub(1, std::memory_order_acq_rel) ==
-            1)
-            req.finalize();
+        retireSegment(seg);
     }
 }
 
@@ -705,6 +1047,13 @@ IndexService::stats() const
     s.coalescedWindows = nCoalesced_.load(std::memory_order_relaxed);
     s.affineWindows = nAffine_.load(std::memory_order_relaxed);
     s.stolenWindows = nStolen_.load(std::memory_order_relaxed);
+    s.completedOk = nCompletedOk_.load(std::memory_order_relaxed);
+    s.rejected = nRejected_.load(std::memory_order_relaxed);
+    s.expired = nExpired_.load(std::memory_order_relaxed);
+    s.cancelled = nCancelled_.load(std::memory_order_relaxed);
+    s.walkerStalls = nStalls_.load(std::memory_order_relaxed);
+    if (adm_)
+        s.admission = adm_->snapshot();
     if (board_) {
         using detail::LatencyBoard;
         for (unsigned k = 0; k < 3; ++k) {

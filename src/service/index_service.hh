@@ -51,6 +51,16 @@
  *    filter — on arena pages that NodeBound placement put on the
  *    walker's own node.
  *
+ *  - **Overload and failure handling.** submit() takes an optional
+ *    absolute deadline; the admission queues are bounded (statically
+ *    via ServiceConfig::maxQueuedKeys and/or by an SLO-driven AIMD
+ *    admission controller that also drives the tail-window hold
+ *    threshold); over-budget, expired, and shutdown-stranded
+ *    requests complete *fast* with a non-Ok Status on their ticket
+ *    instead of draining — a waiter can never hang. An optional
+ *    watchdog reports walkers stuck inside one window drain. See
+ *    src/service/README.md ("Overload and failure handling").
+ *
  *  - **Determinism.** A window is drained by exactly one walker;
  *    its per-segment records are stable-sorted by key position
  *    (preserving per-key chain order) and merged by (request, slot)
@@ -96,11 +106,33 @@ enum class RequestKind
            ///< as (probe row i, key, build row payload)
 };
 
+/** How a request's ticket completed. Every submitted ticket
+ *  completes with exactly one of these — backpressure, deadlines,
+ *  and shutdown all complete tickets fast rather than dropping them,
+ *  so a waiter can never hang on a request the service gave up on. */
+enum class Status : u8
+{
+    Ok = 0,           ///< fully drained; results are authoritative
+    Rejected,         ///< shed at submit: the admission queues were
+                      ///< over budget; nothing was drained
+    DeadlineExceeded, ///< past its deadline at submit or window
+                      ///< claim; any drained portion is partial
+    Cancelled,        ///< the service stopped with the request still
+                      ///< queued; any drained portion is partial
+};
+
+/** Human-readable status label (stable, for logs and tests). */
+const char *statusName(Status s);
+
 /** A served request's result. For Probe/Join, `recs` is the exact
  *  sequence a single-threaded probeBatch over the request's keys
- *  would emit (ascending key position, chain order within a key). */
+ *  would emit (ascending key position, chain order within a key).
+ *  Only Status::Ok results carry that guarantee: non-Ok results may
+ *  hold a partial (or empty) record set and exist so the waiter
+ *  learns the outcome — treat their matches/recs as meaningless. */
 struct ServiceResult
 {
+    Status status = Status::Ok;
     u64 matches = 0;
     std::vector<MatchRec> recs;
     /** steady_clock time (monotonicNowNs) at which the result was
@@ -108,6 +140,20 @@ struct ServiceResult
      *  scheduled-arrival latency without a reap-time clock read
      *  (reap delay never inflates the measurement). */
     u64 completedAtNs = 0;
+};
+
+/** Per-submission options (deadline now; room to grow). */
+struct SubmitOptions
+{
+    /** Absolute steady-clock deadline (monotonicNowNs scale);
+     *  0 = none. A request found past its deadline — at submit, or
+     *  when a walker claims a window holding one of its segments —
+     *  completes fast with Status::DeadlineExceeded instead of
+     *  draining. Segments already mid-drain finish (a drain is
+     *  never interrupted), so completion can land somewhat after
+     *  the deadline; the guarantee is no *new* per-key work starts
+     *  for an expired request. */
+    u64 deadlineNs = 0;
 };
 
 namespace detail {
@@ -174,14 +220,30 @@ struct KindLatency
 /** Service traffic counters (relaxed; monotone since construction). */
 struct ServiceStats
 {
-    u64 requests = 0;
+    u64 requests = 0;         ///< submitted (every Status included)
     u64 keys = 0;
     u64 windows = 0;          ///< dispatch windows drained
     u64 coalescedWindows = 0; ///< windows spanning >1 request tail
     u64 affineWindows = 0;    ///< single-shard windows (routing on)
     u64 stolenWindows = 0;    ///< drained by a non-home walker
+    /** Outcome split: completedOk is the goodput (fully drained
+     *  requests); rejected/expired/cancelled count requests that
+     *  completed with the matching non-Ok Status (each request in
+     *  exactly one bucket once its ticket completes). */
+    u64 completedOk = 0;
+    u64 rejected = 0;
+    u64 expired = 0;
+    u64 cancelled = 0;
+    /** Stuck-walker reports from the watchdog (one per stuck
+     *  window, 0 with the watchdog off). */
+    u64 walkerStalls = 0;
+    /** Admission-controller state (zeroed unless
+     *  ServiceConfig::admission.adaptive). */
+    AdmissionSnapshot admission{};
     /** Per-kind request latency, indexed by RequestKind (zeroed
-     *  when ServiceConfig::recordLatency is off). */
+     *  when ServiceConfig::recordLatency is off; only Status::Ok
+     *  requests are recorded — fast-failed tickets would otherwise
+     *  drag the percentiles toward the reject path's microseconds). */
     std::array<KindLatency, 3> latency{};
 
     const KindLatency &
@@ -205,19 +267,46 @@ class IndexService
                  const db::IndexSpec &spec,
                  const ServiceConfig &cfg = {});
 
-    /** Drains every outstanding request, then parks and joins the
-     *  walkers. Submitting during destruction is undefined. */
+    /** Equivalent to stop(): cancels queued work, finishes in-flight
+     *  drains, joins the walkers. */
     ~IndexService();
 
     IndexService(const IndexService &) = delete;
     IndexService &operator=(const IndexService &) = delete;
 
     /**
+     * Stop serving. Ordering contract, in sequence:
+     *
+     *  1. New submissions complete immediately with
+     *     Status::Cancelled (never undefined, never hung).
+     *  2. Every window still parked in the admission queues is
+     *     cancelled: each of its requests' tickets completes with
+     *     Status::Cancelled (partial results possible for requests
+     *     with segments already drained).
+     *  3. Windows already claimed by a walker finish draining
+     *     normally (a drain is never interrupted), so their
+     *     requests may still complete Ok.
+     *  4. The walkers (and watchdog, if any) park and join.
+     *
+     * By return, every ticket ever issued has completed — no waiter
+     * can hang on a stopped service — and no walker threads remain.
+     * Idempotent; concurrent calls are safe, but only the first
+     * caller blocks on the join (the destructor re-joins in any
+     * case). Key spans of cancelled requests are not touched after
+     * cancellation.
+     */
+    void stop();
+
+    /**
      * Submit a request from any thread. The key span must stay
      * valid until the returned ticket's get() completes. Empty key
-     * spans complete immediately.
+     * spans complete immediately. Check the result's Status: the
+     * service completes tickets fast with Rejected (admission
+     * queues over budget), DeadlineExceeded (opt.deadlineNs passed)
+     * or Cancelled (service stopped) instead of draining them.
      */
-    ResultTicket submit(RequestKind kind, std::span<const u64> keys);
+    ResultTicket submit(RequestKind kind, std::span<const u64> keys,
+                        const SubmitOptions &opt = {});
 
     /** submit + get conveniences. */
     ServiceResult
@@ -300,16 +389,29 @@ class IndexService
 
     void start();
     void walkerMain(unsigned w);
-    void submitShared(std::shared_ptr<detail::ServiceRequest> req,
+    void watchdogMain();
+    /** Admission paths; false means the request was not enqueued
+     *  (its Status is already set to Rejected or Cancelled and the
+     *  caller completes the ticket). */
+    bool submitShared(std::shared_ptr<detail::ServiceRequest> req,
                       RequestKind kind, std::span<const u64> keys);
-    void submitAffine(std::shared_ptr<detail::ServiceRequest> req,
+    bool submitAffine(std::shared_ptr<detail::ServiceRequest> req,
                       RequestKind kind, std::span<const u64> keys);
+    /** Current open-window seal threshold (adaptive or static). */
+    u32 holdThreshold() const;
+    /** Effective queued-key bound (config + adaptive budget). */
+    u64 queuedKeyBound() const;
+    /** Retire one segment without draining it; the last segment to
+     *  retire completes the ticket. */
+    void retireSegment(const Segment &seg);
+    /** Complete a request's ticket, counting Ok completions. */
+    void finishRequest(detail::ServiceRequest &req);
     bool claimShared(Window &win);
     bool claimAffine(unsigned w, Window &win, bool &stolen);
     void processWindow(Window &win);
     template <typename Index>
     void drainWindow(const Index &idx, Window &win);
-    void drainAffine(Window &win);
+    void drainAffine(Window &win, bool compacted);
     template <typename Index>
     void drainGathered(const Index &idx, Window &win,
                        const u64 *wkeys, const u64 *hashes,
@@ -338,6 +440,31 @@ class IndexService
     bool stop_ = false;
     std::vector<std::thread> threads_;
 
+    /** Keys parked in the admission queues (open + sealed, not yet
+     *  claimed). Mutated under m_; read relaxed for the submit-path
+     *  backpressure pre-check. */
+    std::atomic<u64> queuedKeys_{0};
+
+    /** SLO-driven admission (null unless admission.adaptive). */
+    std::unique_ptr<AdmissionController> adm_;
+
+    /** Per-walker heartbeat for the watchdog: epoch bumps at every
+     *  claim and every completion; busySinceNs holds the claim time
+     *  while a drain is in progress (0 parked). Null when the
+     *  watchdog is off, so the hot path pays nothing. */
+    struct alignas(kCacheBlockBytes) WalkerBeat
+    {
+        std::atomic<u64> epoch{0};
+        std::atomic<u64> busySinceNs{0};
+    };
+    std::unique_ptr<WalkerBeat[]> beats_;
+    std::thread watchdog_;
+    std::mutex wdM_;
+    std::condition_variable wdCv_;
+    bool wdStop_ = false;
+    /** Serializes the join phase of stop() (idempotency). */
+    std::mutex joinM_;
+
     /** Per-walker home shard sets, nodes, and pin targets (affine
      *  routing; fixed after start()). */
     std::vector<std::vector<unsigned>> home_;
@@ -350,6 +477,11 @@ class IndexService
     std::atomic<u64> nCoalesced_{0};
     std::atomic<u64> nAffine_{0};
     std::atomic<u64> nStolen_{0};
+    std::atomic<u64> nCompletedOk_{0};
+    std::atomic<u64> nRejected_{0};
+    std::atomic<u64> nExpired_{0};
+    std::atomic<u64> nCancelled_{0};
+    std::atomic<u64> nStalls_{0};
     /** Untagged-window counter for adaptive re-sampling (see
      *  drainGathered). */
     std::atomic<u64> nUntagged_{0};

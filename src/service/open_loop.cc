@@ -73,6 +73,10 @@ runOpenLoop(IndexService &service, std::span<const u64> keyPool,
     LatencyHistogram hist;
     u64 completed = 0;
     u64 timedOut = 0;
+    u64 rejected = 0;
+    u64 expired = 0;
+    u64 goodput = 0;
+    const u64 sloNs = opt.sloNs ? opt.sloNs : opt.deadlineNs;
     const u64 t0 = monotonicNowNs();
 
     // The reaper sweeps its outstanding set *out of order*: tickets
@@ -126,11 +130,30 @@ runOpenLoop(IndexService &service, std::span<const u64> keyPool,
                     inFlight.fetch_sub(1,
                                        std::memory_order_relaxed);
                     if (!it->abandoned) {
-                        ++completed;
-                        const u64 sched = t0 + it->schedNs;
-                        hist.record(r.completedAtNs > sched
-                                        ? r.completedAtNs - sched
-                                        : 0);
+                        switch (r.status) {
+                        case Status::Ok: {
+                            ++completed;
+                            const u64 sched = t0 + it->schedNs;
+                            const u64 lat =
+                                r.completedAtNs > sched
+                                    ? r.completedAtNs - sched
+                                    : 0;
+                            hist.record(lat);
+                            if (sloNs == 0 || lat <= sloNs)
+                                ++goodput;
+                            break;
+                        }
+                        case Status::DeadlineExceeded:
+                            ++expired;
+                            break;
+                        case Status::Rejected:
+                        case Status::Cancelled:
+                            // Cancelled can only appear if the
+                            // caller stops the service mid-run;
+                            // both are server-side refusals.
+                            ++rejected;
+                            break;
+                        }
                     }
                     it = local.erase(it);
                     reaped = true;
@@ -180,13 +203,17 @@ runOpenLoop(IndexService &service, std::span<const u64> keyPool,
 
         if (inFlight.load(std::memory_order_relaxed) >=
             opt.maxInFlight) {
-            ++rep.shed;
+            ++rep.shedClientCap;
             continue;
         }
         if (base + opt.keysPerRequest > keyPool.size())
             base = 0;
+        SubmitOptions sub;
+        if (opt.deadlineNs)
+            sub.deadlineNs = t0 + schedNs + opt.deadlineNs;
         ResultTicket t = service.submit(
-            opt.kind, keyPool.subspan(base, opt.keysPerRequest));
+            opt.kind, keyPool.subspan(base, opt.keysPerRequest),
+            sub);
         base += opt.keysPerRequest;
         inFlight.fetch_add(1, std::memory_order_relaxed);
         ++rep.submitted;
@@ -206,11 +233,17 @@ runOpenLoop(IndexService &service, std::span<const u64> keyPool,
     rep.elapsedSec = double(monotonicNowNs() - t0) * 1e-9;
     rep.completed = completed;
     rep.timedOut = timedOut;
+    rep.rejected = rejected;
+    rep.expired = expired;
+    rep.goodput = goodput;
     rep.offeredRate =
         rep.elapsedSec > 0 ? double(rep.scheduled) / rep.elapsedSec
                            : 0.0;
     rep.achievedRate =
         rep.elapsedSec > 0 ? double(completed) / rep.elapsedSec
+                           : 0.0;
+    rep.goodputRate =
+        rep.elapsedSec > 0 ? double(goodput) / rep.elapsedSec
                            : 0.0;
     rep.latency = hist.summarize();
     rep.hist = hist;

@@ -79,20 +79,41 @@ struct OpenLoopOptions
      *  is not recorded, though it holds its in-flight slot until
      *  the service completes it. */
     std::chrono::nanoseconds drainTimeout = std::chrono::seconds(5);
+    /** Per-request service deadline, relative to the *scheduled*
+     *  arrival (0 = none): each submission carries the absolute
+     *  deadline schedNs + deadlineNs, so a generator running late
+     *  burns deadline budget exactly like a queue would — the
+     *  open-loop discipline applied to deadlines. */
+    u64 deadlineNs = 0;
+    /** Goodput SLO, from scheduled arrival to service-stamped
+     *  completion: Ok completions within it count as goodput.
+     *  0 falls back to deadlineNs; both 0 = every Ok completion is
+     *  goodput. */
+    u64 sloNs = 0;
     u64 seed = 1;
 };
 
 struct OpenLoopReport
 {
-    u64 scheduled = 0; ///< arrivals generated
-    u64 submitted = 0; ///< arrivals that made it past the cap
-    u64 shed = 0;      ///< arrivals dropped at the in-flight cap
-    u64 timedOut = 0;  ///< tickets abandoned after drainTimeout
-    u64 completed = 0; ///< latency-recorded completions
+    u64 scheduled = 0;     ///< arrivals generated
+    u64 submitted = 0;     ///< arrivals that reached submit()
+    /** Shed accounting, split by who refused: the generator's own
+     *  in-flight cap (client-side, never submitted) vs the
+     *  service's admission control (submitted, completed fast with
+     *  Status::Rejected). Conflating them would let a report blame
+     *  the service for the harness's cap or vice versa. */
+    u64 shedClientCap = 0;
+    u64 rejected = 0;
+    u64 expired = 0;  ///< completed Status::DeadlineExceeded
+    u64 timedOut = 0; ///< tickets abandoned after drainTimeout
+    u64 completed = 0; ///< Ok completions (latency-recorded)
+    /** Ok completions within the SLO (see OpenLoopOptions::sloNs). */
+    u64 goodput = 0;
     double elapsedSec = 0;
     double offeredRate = 0;  ///< scheduled / elapsed
     double achievedRate = 0; ///< completed / elapsed
-    /** Scheduled-arrival -> service-stamped completion. */
+    double goodputRate = 0;  ///< goodput / elapsed
+    /** Scheduled-arrival -> service-stamped completion (Ok only). */
     LatencySnapshot latency;
     LatencyHistogram hist; ///< full histogram behind `latency`
 };

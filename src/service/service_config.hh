@@ -9,6 +9,7 @@
 #ifndef WIDX_SERVICE_SERVICE_CONFIG_HH
 #define WIDX_SERVICE_SERVICE_CONFIG_HH
 
+#include "service/admission.hh"
 #include "swwalkers/pipeline_config.hh"
 
 namespace widx {
@@ -92,6 +93,37 @@ struct ServiceConfig
      * open-loop latency bench (bench/latency_bench.cc) sweeps this
      * axis against arrival rate. */
     bool coalesceTails = true;
+    /**
+     * SLO-driven admission (see admission.hh). With
+     * `admission.adaptive` set, an AIMD controller replaces the
+     * static coalesceTails bool: it holds tail windows open up to a
+     * measured-queue-wait-driven threshold and bounds the admission
+     * queues, shedding over-budget submissions with
+     * Status::Rejected so queue-wait p99 tracks
+     * `admission.targetQueueP99Ns` instead of growing without bound
+     * under overload. Forces recordLatency on. */
+    AdmissionConfig admission{};
+    /**
+     * Static bound on keys parked in the admission queues
+     * (0 = unbounded). A submission that finds the queues at or
+     * over the bound completes immediately with Status::Rejected
+     * instead of queueing (the queue can overshoot by at most one
+     * request: the bound is checked before admission, never by
+     * splitting a request). Composes with the adaptive budget — the
+     * effective bound is the smaller of the two. */
+    u64 maxQueuedKeys = 0;
+    /**
+     * Walker watchdog period (0 = off). On, a monitor thread wakes
+     * every period, and any walker that has been inside a single
+     * window drain for longer than `stallThresholdNs` is reported:
+     * a warning log line plus ServiceStats::walkerStalls (once per
+     * stuck window, not per period). Purely observational — the
+     * stolen-window path is what keeps traffic flowing around a
+     * stuck walker. */
+    u64 watchdogPeriodNs = 0;
+    /** How long one window drain may run before the watchdog calls
+     *  the walker stalled. */
+    u64 stallThresholdNs = 100'000'000;
     /**
      * Record per-request latency: submit() and the first window
      * claim are timestamped, finalize feeds the deltas into

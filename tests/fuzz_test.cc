@@ -11,11 +11,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <span>
+#include <vector>
 
 #include "accel/control_block.hh"
+#include "common/arena.hh"
+#include "common/failpoint.hh"
 #include "common/rng.hh"
 #include "isa/assembler.hh"
+#include "service/index_service.hh"
 #include "sim/mem_system.hh"
+#include "workload/distributions.hh"
 
 using namespace widx;
 
@@ -213,4 +219,95 @@ TEST(Fuzz, CacheStressKeepsLruConsistent)
     }
     EXPECT_EQ(cache.hits() + cache.misses(),
               cache.hits() + cache.misses());
+}
+
+// ---------------------------------------------------------------------------
+// Service under a random failpoint schedule
+// ---------------------------------------------------------------------------
+
+/**
+ * Random chaos schedule against the index service: every trial draws
+ * a service shape (shards, walkers, routing, coalescing), arms a
+ * random subset of the service's failpoints with random budgets and
+ * delays, fires a burst of concurrent mixed-size requests, and
+ * asserts the only thing fault injection is allowed to change is
+ * *timing*: every ticket completes, and every Ok result is
+ * byte-identical to a flat single-threaded HashIndex::probeBatch
+ * over the same keys. Skips itself when the build compiled the
+ * failpoints out (the schedule would exercise nothing).
+ *
+ * WIDX_FUZZ_SCALE stretches the trial count like every other fuzz
+ * loop here.
+ */
+TEST(Fuzz, ServiceSurvivesRandomFailpointSchedules)
+{
+    if (!fp::enabled())
+        GTEST_SKIP() << "built without -DWIDX_FAILPOINTS=ON";
+
+    Rng rng(0xFA11);
+    Arena arena;
+    const u64 tuples = 4000;
+    db::Column build("b", db::ValueKind::U64, arena, tuples);
+    for (u64 k : wl::uniformKeys(tuples, tuples / 2 + 1, rng))
+        build.push(k); // duplicates on purpose
+    db::IndexSpec spec;
+    spec.buckets = tuples / 2;
+    db::HashIndex flat(spec, arena);
+    flat.buildFromColumn(build);
+    std::vector<u64> pool =
+        wl::uniformKeys(1u << 14, tuples / 2 + 1, rng);
+
+    static const char *const sites[] = {
+        "service.walker_stall",
+        "service.slow_drain",
+        "service.walker_claim_delay",
+    };
+
+    for (int trial = 0; trial < 6 * fuzzScale(); ++trial) {
+        sw::ServiceConfig cfg;
+        cfg.shards = 1u << rng.below(3);
+        cfg.walkers = 1 + unsigned(rng.below(4));
+        cfg.affineRouting = rng.chance(0.5);
+        cfg.coalesceTails = rng.chance(0.5);
+        sw::IndexService service(flat, cfg);
+
+        fp::disarmAll();
+        for (const char *site : sites)
+            if (rng.chance(0.7))
+                fp::arm(site, 1 + rng.below(6),
+                        rng.below(3'000'000)); // up to 3 ms a hit
+
+        struct Shot
+        {
+            sw::ResultTicket ticket;
+            std::span<const u64> keys;
+        };
+        std::vector<Shot> shots;
+        for (int r = 0; r < 40; ++r) {
+            const std::size_t len = 1 + rng.below(200);
+            const std::size_t base =
+                rng.below(pool.size() - len);
+            std::span<const u64> keys{pool.data() + base, len};
+            shots.push_back(Shot{
+                service.submit(sw::RequestKind::Probe, keys),
+                keys});
+        }
+        for (Shot &s : shots) {
+            const sw::ServiceResult r = s.ticket.get();
+            ASSERT_EQ(r.status, sw::Status::Ok);
+            std::vector<sw::MatchRec> want;
+            flat.probeBatch(
+                s.keys, [&](std::size_t i, u64 key, u64 payload) {
+                    want.push_back({i, key, payload});
+                });
+            ASSERT_EQ(r.recs.size(), want.size())
+                << "trial " << trial;
+            for (std::size_t i = 0; i < want.size(); ++i) {
+                ASSERT_EQ(r.recs[i].i, want[i].i);
+                ASSERT_EQ(r.recs[i].key, want[i].key);
+                ASSERT_EQ(r.recs[i].payload, want[i].payload);
+            }
+        }
+        fp::disarmAll();
+    }
 }

@@ -258,3 +258,78 @@ TEST(LatencyRecorder, ResetZeroes)
     EXPECT_EQ(h.sumNs(), 0u);
     EXPECT_EQ(h.maxNs(), 0u);
 }
+
+// ---------------------------------------------------------------------------
+// Interval snapshots (windowed sampling for the admission controller)
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, DeltaSinceIsolatesTheWindow)
+{
+    const std::vector<u64> before = mixedSample(2000, 21);
+    const std::vector<u64> after = mixedSample(1500, 22);
+    LatencyHistogram h;
+    for (u64 v : before)
+        h.record(v);
+    const LatencyHistogram cursor = h;
+    for (u64 v : after)
+        h.record(v);
+
+    const LatencyHistogram d = h.deltaSince(cursor);
+    // Counts and sum subtract exactly; the window's buckets match a
+    // histogram of only the window's values.
+    LatencyHistogram want;
+    for (u64 v : after)
+        want.record(v);
+    EXPECT_EQ(d.count(), want.count());
+    EXPECT_EQ(d.sumNs(), want.sumNs());
+    for (unsigned b = 0; b < LatencyHistogram::kBuckets; ++b)
+        ASSERT_EQ(d.bucketCount(b), want.bucketCount(b));
+    // Window max is a bucket upper bound: >= the true max, within
+    // the histogram's ~3.1% relative error, and never above the
+    // cumulative max.
+    EXPECT_GE(d.maxNs(), want.maxNs());
+    EXPECT_LE(double(d.maxNs()),
+              double(want.maxNs()) * (1.0 + 1.0 / 32.0) + 1.0);
+    EXPECT_LE(d.maxNs(), h.maxNs());
+    // Window percentiles track the window population, not the
+    // cumulative one.
+    const u64 oracle = oraclePercentile(after, 99.0);
+    EXPECT_GE(d.percentileNs(99.0), oracle);
+    EXPECT_LE(double(d.percentileNs(99.0)),
+              double(oracle) * (1.0 + 1.0 / 32.0) + 1.0);
+}
+
+TEST(LatencyHistogram, DeltaSinceEmptyWindowIsEmpty)
+{
+    LatencyHistogram h;
+    h.record(1000);
+    h.record(2000);
+    const LatencyHistogram d = h.deltaSince(h);
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.sumNs(), 0u);
+    EXPECT_EQ(d.maxNs(), 0u);
+    EXPECT_EQ(d.percentileNs(99.0), 0u);
+}
+
+TEST(LatencyRecorder, IntervalSinceAdvancesTheCursor)
+{
+    LatencyRecorder rec(2);
+    LatencyHistogram cursor;
+    rec.record(100);
+    rec.record(200);
+
+    // First interval from a fresh cursor sees everything so far.
+    LatencyHistogram w1 = rec.intervalSince(cursor);
+    EXPECT_EQ(w1.count(), 2u);
+    EXPECT_EQ(w1.sumNs(), 300u);
+
+    // Nothing new: the next interval is empty.
+    EXPECT_EQ(rec.intervalSince(cursor).count(), 0u);
+
+    // Only post-cursor records land in the next window.
+    rec.record(5000);
+    LatencyHistogram w2 = rec.intervalSince(cursor);
+    EXPECT_EQ(w2.count(), 1u);
+    EXPECT_EQ(w2.sumNs(), 5000u);
+    EXPECT_GE(w2.percentileNs(99.0), 5000u);
+}

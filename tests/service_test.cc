@@ -499,12 +499,15 @@ TEST(IndexService, OpenLoopAccountsEveryArrival)
     opt.arrivals = ArrivalProcess::Poisson;
     const OpenLoopReport rep = runOpenLoop(service, d.keys, opt);
 
-    // Every scheduled arrival is either submitted or shed; every
-    // submission eventually completes or times out; completions
-    // are exactly the latency samples.
+    // Every scheduled arrival is either submitted or shed at the
+    // client cap; every submission ends in exactly one status
+    // bucket (or is abandoned as timed-out); Ok completions are
+    // exactly the latency samples.
     EXPECT_EQ(rep.scheduled, opt.requests);
-    EXPECT_EQ(rep.submitted + rep.shed, rep.scheduled);
-    EXPECT_EQ(rep.completed + rep.timedOut, rep.submitted);
+    EXPECT_EQ(rep.submitted + rep.shedClientCap, rep.scheduled);
+    EXPECT_EQ(rep.completed + rep.rejected + rep.expired +
+                  rep.timedOut,
+              rep.submitted);
     EXPECT_EQ(rep.latency.count, rep.completed);
     EXPECT_EQ(rep.hist.count(), rep.completed);
     EXPECT_GT(rep.completed, 0u);
@@ -521,8 +524,10 @@ TEST(IndexService, OpenLoopAccountsEveryArrival)
     tight.seed = 2;
     const OpenLoopReport capped =
         runOpenLoop(service, d.keys, tight);
-    EXPECT_EQ(capped.submitted + capped.shed, capped.scheduled);
-    EXPECT_EQ(capped.completed + capped.timedOut,
+    EXPECT_EQ(capped.submitted + capped.shedClientCap,
+              capped.scheduled);
+    EXPECT_EQ(capped.completed + capped.rejected +
+                  capped.expired + capped.timedOut,
               capped.submitted);
     EXPECT_EQ(capped.latency.count, capped.completed);
 }
@@ -869,4 +874,276 @@ TEST(IndexService, AdaptiveTaggingTracksTrafficShape)
     service.count(misses);
     EXPECT_GT(service.index().tagStats().rejectRate(), 0.05);
     EXPECT_TRUE(service.index().taggedWorthwhile(false));
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and backpressure
+// ---------------------------------------------------------------------------
+
+TEST(IndexService, ExpiredDeadlineFailsFastWithoutDraining)
+{
+    using namespace std::chrono_literals;
+    Dataset d(2000, 2000, false, 0.0, 47);
+    ServiceConfig cfg;
+    cfg.walkers = 1;
+    IndexService service(*d.flat, cfg);
+
+    // A deadline already in the past must complete at submit —
+    // Ready on a zero-timeout poll, no partial results, and the
+    // latency board untouched (fast-failed requests would poison
+    // the percentiles the admission controller steers by).
+    SubmitOptions past;
+    past.deadlineNs = 1;
+    ResultTicket t =
+        service.submit(RequestKind::Probe, d.keys, past);
+    EXPECT_EQ(t.waitFor(0ns), WaitStatus::Ready);
+    const ServiceResult r = t.get();
+    EXPECT_EQ(r.status, Status::DeadlineExceeded);
+    EXPECT_TRUE(r.recs.empty());
+    EXPECT_EQ(r.matches, 0u);
+
+    // A generous deadline changes nothing about a healthy request.
+    SubmitOptions future;
+    future.deadlineNs = monotonicNowNs() + u64(60e9);
+    const std::span<const u64> keys{d.keys.data(), 256};
+    ResultTicket ok =
+        service.submit(RequestKind::Probe, keys, future);
+    const ServiceResult rok = ok.get();
+    EXPECT_EQ(rok.status, Status::Ok);
+    expectSameSequence(rok.recs, refSequence(*d.flat, keys),
+                       "deadline-ok request");
+
+    const ServiceStats s = service.stats();
+    EXPECT_EQ(s.expired, 1u);
+    EXPECT_EQ(s.completedOk, 1u);
+    EXPECT_EQ(s.latencyFor(RequestKind::Probe).endToEnd.count, 1u);
+    EXPECT_EQ(statusName(Status::DeadlineExceeded),
+              std::string("DeadlineExceeded"));
+}
+
+namespace {
+
+/** Shared body for the backpressure tests: park a huge request so
+ *  the admission queue sits far over the bound, then show the next
+ *  submission bounces with Status::Rejected — and that admission
+ *  reopens once the backlog drains. The race with the walker (it
+ *  could drain the whole backlog if this thread is descheduled
+ *  between the two submits) is closed with a bounded retry: the
+ *  assertion is that rejection *happens* under a standing backlog,
+ *  not that any particular interleaving occurs. */
+void
+expectBackpressureBounces(IndexService &service, Dataset &d)
+{
+    using namespace std::chrono_literals;
+    bool sawReject = false;
+    const u64 want = refSequence(*d.flat, d.keys).size();
+    for (int attempt = 0; attempt < 5 && !sawReject; ++attempt) {
+        ResultTicket big =
+            service.submit(RequestKind::Count, d.keys);
+        ResultTicket bounced = service.submit(
+            RequestKind::Count, {d.keys.data(), 64});
+        // A rejection is decided at submit: the ticket must be
+        // Ready on a zero-timeout poll, not merely eventually.
+        const bool ready = bounced.waitFor(0ns) == WaitStatus::Ready;
+        const ServiceResult rb = bounced.get();
+        if (rb.status == Status::Rejected) {
+            EXPECT_TRUE(ready);
+            EXPECT_TRUE(rb.recs.empty());
+            sawReject = true;
+        }
+        // The parked request always drains to the full answer.
+        EXPECT_EQ(big.get().matches, want);
+    }
+    EXPECT_TRUE(sawReject)
+        << "submission never bounced off a standing backlog";
+
+    // Once the backlog is gone, admission reopens.
+    ResultTicket after = service.submit(
+        RequestKind::Count, {d.keys.data(), 64});
+    EXPECT_EQ(after.get().status, Status::Ok);
+    EXPECT_GE(service.stats().rejected, 1u);
+}
+
+} // namespace
+
+TEST(IndexService, BackpressureRejectsOverBudgetSubmissions)
+{
+    Dataset d(1u << 15, 1u << 19, false, 0.0, 53);
+    ServiceConfig cfg;
+    cfg.walkers = 1;
+    cfg.maxQueuedKeys = 256;
+    IndexService service(*d.flat, cfg);
+    expectBackpressureBounces(service, d);
+}
+
+TEST(IndexService, BackpressureRejectsAffineSubmissions)
+{
+    Dataset d(1u << 15, 1u << 19, false, 0.0, 59);
+    ServiceConfig cfg;
+    cfg.walkers = 1;
+    cfg.shards = 4;
+    cfg.affineRouting = true;
+    cfg.maxQueuedKeys = 256;
+    IndexService service(*d.flat, cfg);
+    expectBackpressureBounces(service, d);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown semantics
+// ---------------------------------------------------------------------------
+
+TEST(IndexService, StopCancelsQueuedTicketsAndNeverHangs)
+{
+    using namespace std::chrono_literals;
+    Dataset d(1u << 15, 1u << 17, false, 0.0, 61);
+    ServiceConfig cfg;
+    cfg.walkers = 1;
+    IndexService service(*d.flat, cfg);
+
+    // A deep backlog (one big + several small requests), then
+    // stop() mid-drain. The contract: stop() returns (join), and
+    // by then every ticket is Ready — drained requests Ok, the
+    // stranded remainder Cancelled. No waiter can hang.
+    std::vector<ResultTicket> tickets;
+    tickets.push_back(service.submit(RequestKind::Count, d.keys));
+    for (int i = 0; i < 8; ++i)
+        tickets.push_back(service.submit(
+            RequestKind::Count, {d.keys.data() + 64 * i, 64}));
+    service.stop();
+
+    u64 cancelled = 0, ok = 0;
+    for (ResultTicket &t : tickets) {
+        EXPECT_EQ(t.waitFor(0ns), WaitStatus::Ready);
+        const ServiceResult r = t.get();
+        (r.status == Status::Cancelled ? cancelled : ok)++;
+        if (r.status != Status::Cancelled)
+            EXPECT_EQ(r.status, Status::Ok);
+    }
+    const ServiceStats s = service.stats();
+    EXPECT_EQ(s.cancelled, cancelled);
+    EXPECT_EQ(s.completedOk, ok);
+
+    // Submission after stop() completes immediately as Cancelled —
+    // and stop() is idempotent (the destructor will run it again).
+    ResultTicket late =
+        service.submit(RequestKind::Count, {d.keys.data(), 8});
+    EXPECT_EQ(late.waitFor(0ns), WaitStatus::Ready);
+    EXPECT_EQ(late.get().status, Status::Cancelled);
+    service.stop();
+}
+
+TEST(IndexService, StopWithAffineBacklogCancelsCleanly)
+{
+    using namespace std::chrono_literals;
+    Dataset d(1u << 15, 1u << 17, false, 0.0, 67);
+    ServiceConfig cfg;
+    cfg.walkers = 2;
+    cfg.shards = 4;
+    cfg.affineRouting = true;
+    IndexService service(*d.flat, cfg);
+
+    std::vector<ResultTicket> tickets;
+    for (int i = 0; i < 4; ++i)
+        tickets.push_back(
+            service.submit(RequestKind::Count, d.keys));
+    service.stop();
+    for (ResultTicket &t : tickets) {
+        EXPECT_EQ(t.waitFor(0ns), WaitStatus::Ready);
+        const ServiceResult r = t.get();
+        EXPECT_TRUE(r.status == Status::Ok ||
+                    r.status == Status::Cancelled);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ResultTicket::waitFor edge cases
+// ---------------------------------------------------------------------------
+
+TEST(IndexService, WaitForRacesCompletionWithoutLosingIt)
+{
+    using namespace std::chrono_literals;
+    Dataset d(2000, 4000, false, 0.0, 71);
+    ServiceConfig cfg;
+    cfg.walkers = 2;
+    IndexService service(*d.flat, cfg);
+
+    // Zero- and micro-timeout polls racing the walkers: whatever
+    // interleaving TSan provokes, the poll loop must observe
+    // Ready exactly when the result is there, Ready must be
+    // sticky across repeated waits, and get() must then return
+    // the full result.
+    for (int round = 0; round < 50; ++round) {
+        const std::span<const u64> keys{
+            d.keys.data() + (round % 32) * 64, 64};
+        ResultTicket t = service.submit(RequestKind::Probe, keys);
+        while (t.waitFor(round % 2 ? 0ns : 10us) !=
+               WaitStatus::Ready) {
+        }
+        EXPECT_EQ(t.waitFor(0ns), WaitStatus::Ready);
+        EXPECT_EQ(t.waitFor(1h), WaitStatus::Ready);
+        EXPECT_TRUE(t.valid());
+        const ServiceResult r = t.get();
+        EXPECT_EQ(r.status, Status::Ok);
+        expectSameSequence(r.recs, refSequence(*d.flat, keys),
+                           "waitFor race");
+        EXPECT_FALSE(t.valid());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive admission and the watchdog
+// ---------------------------------------------------------------------------
+
+TEST(IndexService, AdaptiveAdmissionAdjustsUnderOverload)
+{
+    Dataset d(2000, 6000, false, 0.0, 73);
+    ServiceConfig cfg;
+    cfg.walkers = 1;
+    cfg.admission.adaptive = true;
+    cfg.admission.intervalNs = 500'000; // adjust often in a test
+    cfg.admission.targetQueueP99Ns = 50'000; // tight: force action
+    IndexService service(*d.flat, cfg);
+
+    OpenLoopOptions opt;
+    opt.ratePerSec = 300000; // far past one walker's capacity
+    opt.requests = 6000;
+    opt.keysPerRequest = 16;
+    opt.arrivals = ArrivalProcess::Poisson;
+    const OpenLoopReport rep = runOpenLoop(service, d.keys, opt);
+
+    // Accounting first: every submission lands in exactly one
+    // bucket, client-side and server-side views agree.
+    EXPECT_EQ(rep.submitted + rep.shedClientCap, rep.scheduled);
+    EXPECT_EQ(rep.completed + rep.rejected + rep.expired +
+                  rep.timedOut,
+              rep.submitted);
+    const ServiceStats s = service.stats();
+    EXPECT_EQ(s.completedOk, rep.completed + rep.timedOut);
+    EXPECT_EQ(s.rejected, rep.rejected);
+
+    // The controller actually ran and reacted: it adjusted at
+    // least once, and sustained overload against a 50 us queue
+    // target must have forced decreases (hold trim or budget cut).
+    EXPECT_GT(s.admission.adjustments, 0u);
+    EXPECT_GT(s.admission.decreases, 0u);
+    EXPECT_GE(s.admission.holdKeys, 1u);
+    EXPECT_GE(s.admission.budgetKeys,
+              cfg.admission.minBudgetKeys);
+}
+
+TEST(IndexService, WatchdogStaysQuietOnHealthyTraffic)
+{
+    using namespace std::chrono_literals;
+    Dataset d(2000, 4000, false, 0.0, 79);
+    ServiceConfig cfg;
+    cfg.walkers = 2;
+    cfg.watchdogPeriodNs = 2'000'000;    // poll fast,
+    cfg.stallThresholdNs = 5'000'000'000; // judge leniently
+    IndexService service(*d.flat, cfg);
+
+    for (int i = 0; i < 200; ++i)
+        service.count({d.keys.data() + (i % 32) * 64, 64});
+    std::this_thread::sleep_for(20ms);
+    EXPECT_EQ(service.stats().walkerStalls, 0u);
+    // Destructor must join the watchdog promptly (no test hang).
 }

@@ -31,13 +31,30 @@ the committed BENCH_latency.json ladder. The host factor multiplies
 (not divides): a runner with half the reference throughput is
 allowed roughly twice the reference latency.
 
+**Overload goodput** (``goodput_pinned``): goodput_fraction from
+the OL_Overload rows (Ok-within-SLO completions / scheduled
+arrivals, measured at ~4x the run's own saturation rate), failing
+*below* ``baseline - goodput_noise_floor``. The floor is absolute
+(fractions are already host-normalized: the overload rate scales
+with the runner's measured saturation) and documented in the
+baseline next to the values it pads; the committed 0.05 absorbs
+best-of-N scheduler variance while still catching an admission
+controller that stopped controlling (which collapses the adaptive
+row to the static rows' fraction, a ~0.1 drop). On top of the
+per-row bound, ``goodput_dominance`` rules assert the *ordering*
+the overload ladder exists to demonstrate: each rule's winner row
+must beat every row it is pinned against by at least ``margin`` —
+a relative gate that no per-row noise floor can absorb away.
+
 Every measured file is schema-validated before gating (top-level
-"benchmarks" list, string names, numeric metric fields, p50 <= p99)
-so a malformed or truncated BENCH_*.json fails loudly instead of
-silently dropping pinned coverage. Pinned kernels missing from the
-measured run fail the gate too, so a rename can't drop coverage.
-Pinned rows whose K:<n> walker count exceeds the runner's cores are
-skipped with a note rather than gated on time-shared noise.
+"benchmarks" list, string names, numeric metric fields, p50 <= p99,
+fractions in [0, 1]) so a malformed or truncated BENCH_*.json fails
+loudly instead of silently dropping pinned coverage. Pinned kernels
+missing from the measured run fail the gate too — in every family,
+including goodput — so a renamed or deleted baseline row can't
+silently drop coverage. Pinned rows whose K:<n> walker count
+exceeds the runner's cores are skipped with a note rather than
+gated on time-shared noise.
 
 Refresh the baseline with:
 
@@ -97,6 +114,13 @@ def validate_file(path, data):
             schema_error(
                 path, f"{where} ({name}): p50_ns {p50} > p99_ns "
                       f"{p99} (percentiles must be monotone)")
+        frac = b.get("goodput_fraction")
+        if frac is not None and (not isinstance(frac, (int, float))
+                                 or isinstance(frac, bool)
+                                 or not 0.0 <= frac <= 1.0):
+            schema_error(
+                path, f"{where} ({name}): goodput_fraction is not "
+                      f"in [0, 1]: {frac!r}")
 
 
 def load_entries(path):
@@ -245,17 +269,84 @@ def gate_latency(measured, baseline, norm, threshold):
     return len(pinned), failures
 
 
+def gate_goodput(measured, baseline):
+    """Overload-goodput gates: fail when a pinned row's
+    goodput_fraction drops below baseline - goodput_noise_floor, or
+    when a goodput_dominance rule's winner no longer beats every row
+    it is pinned against by its margin."""
+    pinned = baseline.get("goodput_pinned", {})
+    floor = baseline.get("goodput_noise_floor", 0.05)
+    failures = []
+    width = max(map(len, pinned), default=0)
+    cores = os.cpu_count() or 1
+
+    def frac_of(name):
+        entry = measured.get(name)
+        return entry.get("goodput_fraction") if entry else None
+
+    for name, base_frac in sorted(pinned.items()):
+        k = walkers_of(name)
+        if k is not None and k > cores:
+            print(f"  {name:<{width}}  SKIPPED (K:{k} > "
+                  f"{cores} hardware threads on this runner)")
+            continue
+        got = frac_of(name)
+        if got is None:
+            failures.append(
+                f"{name}: goodput row missing from measured run")
+            print(f"  {name:<{width}}  MISSING")
+            continue
+        allowed = max(0.0, base_frac - floor)
+        status = "ok" if got >= allowed else "REGRESSION"
+        if got < allowed:
+            failures.append(
+                f"{name}: goodput_fraction {got:.3f} vs baseline "
+                f"{base_frac:.3f} (allowed >= {allowed:.3f} = "
+                f"base - {floor:.2f} noise floor)")
+        print(f"  {name:<{width}}  {got:5.3f} vs {base_frac:5.3f}"
+              f"  (allowed {allowed:5.3f})  {status}")
+
+    for rule in baseline.get("goodput_dominance", []):
+        winner = rule["winner"]
+        margin = rule.get("margin", 0.0)
+        w = frac_of(winner)
+        if w is None:
+            failures.append(
+                f"dominance rule: winner row missing from measured "
+                f"run: {winner}")
+            continue
+        for other in rule["over"]:
+            v = frac_of(other)
+            if v is None:
+                failures.append(
+                    f"dominance rule: row missing from measured "
+                    f"run: {other}")
+                continue
+            status = "ok" if w >= v + margin else "REGRESSION"
+            if w < v + margin:
+                failures.append(
+                    f"{winner}: goodput_fraction {w:.3f} no longer "
+                    f"beats {other} ({v:.3f}) by margin {margin:.2f}")
+            print(f"  dominance: {winner} ({w:.3f}) >= "
+                  f"{other} ({v:.3f}) + {margin:.2f}  {status}")
+    return len(pinned), failures
+
+
 def update_baseline(measured, baseline, path):
     names = list(baseline.get("pinned", {}))
     reference = baseline.get("reference")
     if reference:
         names.append(reference)
     lat_names = list(baseline.get("latency_pinned", {}))
+    good_names = list(baseline.get("goodput_pinned", {}))
     missing = [n for n in names if n not in measured or
                "items_per_second" not in measured[n]]
     missing += [n for n in lat_names
                 if n not in measured or
                 any(f not in measured[n] for f in LATENCY_FIELDS)]
+    missing += [n for n in good_names
+                if n not in measured or
+                "goodput_fraction" not in measured[n]]
     if missing:
         sys.exit("--update: measured run lacks pinned kernels:\n  "
                  + "\n  ".join(missing))
@@ -271,11 +362,16 @@ def update_baseline(measured, baseline, path):
             n: {f: measured[n][f] for f in LATENCY_FIELDS}
             for n in lat_names
         }
+    if good_names:
+        baseline["goodput_pinned"] = {
+            n: measured[n]["goodput_fraction"] for n in good_names
+        }
     with open(path, "w") as f:
         json.dump(baseline, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"updated {len(baseline.get('pinned', {}))} throughput + "
-          f"{len(lat_names)} latency kernels in {path}")
+          f"{len(lat_names)} latency + {len(good_names)} goodput "
+          f"kernels in {path}")
 
 
 def main():
@@ -311,7 +407,8 @@ def main():
                                      args.threshold)
     n_lat, lat_failures = gate_latency(measured, baseline, norm,
                                        args.latency_threshold)
-    failures += lat_failures
+    n_good, good_failures = gate_goodput(measured, baseline)
+    failures += lat_failures + good_failures
 
     if failures:
         print(f"\n{len(failures)} pinned kernel(s) regressed:",
@@ -320,8 +417,9 @@ def main():
             print(f"  {f_}", file=sys.stderr)
         sys.exit(1)
     print(f"\nall {n_tp} throughput kernels within "
-          f"{args.threshold:.0%} and {n_lat} latency rows within "
-          f"{args.latency_threshold:.0%}+floor of baseline")
+          f"{args.threshold:.0%}, {n_lat} latency rows within "
+          f"{args.latency_threshold:.0%}+floor, and {n_good} "
+          f"goodput rows within the noise floor of baseline")
 
 
 if __name__ == "__main__":
