@@ -43,95 +43,16 @@
 
 #include "common/arena.hh"
 #include "common/rng.hh"
+#include "ol_json.hh"
 #include "service/open_loop.hh"
 #include "workload/distributions.hh"
 
 using namespace widx;
+using bench::OlRow;
 
 namespace {
 
 constexpr std::size_t kKeysPerRequest = 32;
-
-struct Row
-{
-    std::string name;
-    sw::OpenLoopReport rep;
-    sw::KindLatency svc; ///< service-side Count-kind breakdown
-};
-
-void
-writeJson(const char *path, const std::vector<Row> &rows, bool smoke)
-{
-    FILE *f = std::fopen(path, "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot open %s for writing\n", path);
-        std::exit(1);
-    }
-    std::fprintf(f, "{\n  \"context\": {\n"
-                    "    \"executable\": \"latency_bench\",\n"
-                    "    \"smoke\": %s,\n"
-                    "    \"keys_per_request\": %zu\n  },\n"
-                    "  \"benchmarks\": [\n",
-                 smoke ? "true" : "false", kKeysPerRequest);
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const Row &r = rows[i];
-        const sw::OpenLoopReport &p = r.rep;
-        const LatencySnapshot &l = p.latency;
-        std::fprintf(
-            f,
-            "    {\n"
-            "      \"name\": \"%s\",\n"
-            "      \"run_type\": \"iteration\",\n"
-            "      \"scheduled\": %llu,\n"
-            "      \"submitted\": %llu,\n"
-            "      \"shed_client_cap\": %llu,\n"
-            "      \"rejected\": %llu,\n"
-            "      \"expired\": %llu,\n"
-            "      \"timed_out\": %llu,\n"
-            "      \"completed\": %llu,\n"
-            "      \"goodput\": %llu,\n"
-            "      \"goodput_fraction\": %.4f,\n"
-            "      \"offered_rate\": %.1f,\n"
-            "      \"achieved_rate\": %.1f,\n"
-            "      \"goodput_rate\": %.1f,\n"
-            "      \"items_per_second\": %.1f,\n"
-            "      \"p50_ns\": %llu,\n"
-            "      \"p90_ns\": %llu,\n"
-            "      \"p99_ns\": %llu,\n"
-            "      \"p999_ns\": %llu,\n"
-            "      \"max_ns\": %llu,\n"
-            "      \"mean_ns\": %.1f,\n"
-            "      \"queue_mean_ns\": %.1f,\n"
-            "      \"queue_p99_ns\": %llu,\n"
-            "      \"drain_mean_ns\": %.1f,\n"
-            "      \"drain_p99_ns\": %llu\n"
-            "    }%s\n",
-            r.name.c_str(), (unsigned long long)p.scheduled,
-            (unsigned long long)p.submitted,
-            (unsigned long long)p.shedClientCap,
-            (unsigned long long)p.rejected,
-            (unsigned long long)p.expired,
-            (unsigned long long)p.timedOut,
-            (unsigned long long)p.completed,
-            (unsigned long long)p.goodput,
-            p.scheduled
-                ? double(p.goodput) / double(p.scheduled)
-                : 0.0,
-            p.offeredRate, p.achievedRate, p.goodputRate,
-            p.achievedRate * double(kKeysPerRequest),
-            (unsigned long long)l.p50Ns, (unsigned long long)l.p90Ns,
-            (unsigned long long)l.p99Ns,
-            (unsigned long long)l.p999Ns,
-            (unsigned long long)l.maxNs, l.meanNs(),
-            r.svc.queueWait.meanNs(),
-            (unsigned long long)r.svc.queueWait.p99Ns,
-            r.svc.drainTime.meanNs(),
-            (unsigned long long)r.svc.drainTime.p99Ns,
-            i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-}
 
 } // namespace
 
@@ -185,7 +106,7 @@ main(int argc, char **argv)
                                     50000.0};
     const u64 requests = smoke ? 1200 : 4000;
 
-    std::vector<Row> rows;
+    std::vector<OlRow> rows;
 
     // Best-of-N row runner: each attempt is a full open-loop run;
     // keep the attempt with the lowest p99. Open-loop percentiles
@@ -198,7 +119,7 @@ main(int argc, char **argv)
                       const std::string &rowName,
                       sw::OpenLoopOptions opt,
                       bool byGoodput = false) {
-        Row best;
+        OlRow best;
         for (int r = 0; r < repeat; ++r) {
             service.resetLatencyStats();
             opt.seed = u64(r + 1);
@@ -213,10 +134,10 @@ main(int argc, char **argv)
                           : rep.latency.p99Ns <
                                 best.rep.latency.p99Ns;
             if (r == 0 || better)
-                best = Row{rowName, std::move(rep), svc};
+                best = OlRow{rowName, std::move(rep), svc};
         }
         rows.push_back(std::move(best));
-        const Row &r = rows.back();
+        const OlRow &r = rows.back();
         std::printf("%-48s p50 %7.1fus  p99 %7.1fus  p99.9 "
                     "%7.1fus  achieved %8.0f/s  good %8.0f/s  "
                     "shed %llu  rej %llu  exp %llu\n",
@@ -365,7 +286,8 @@ main(int argc, char **argv)
         }
     }
 
-    writeJson(out, rows, smoke);
+    bench::writeOlJson(out, "latency_bench", kKeysPerRequest, rows,
+                       smoke);
     std::printf("wrote %zu rows to %s\n", rows.size(), out);
     return 0;
 }

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Open-loop tail-latency ladder over the TCP front-end: the same
+ * experiment latency_bench runs against a local IndexService, driven
+ * through a loopback TcpIndexServer/TcpIndexClient pair so each
+ * percentile includes frame serialization, both wire directions, the
+ * server's epoll loop, and the completion reaper (see src/net/).
+ *
+ *   $ ./net_bench [--smoke] [--repeat=N] [--out=PATH]
+ *
+ * Results land in BENCH_net.json in the same JSON shape as
+ * BENCH_latency.json (shared writer in ol_json.hh), so
+ * tools/bench_regression.py schema-validates and gates the
+ * Net_OL rows' p50/p99 and goodput next to the local ladder.
+ *
+ * Row design mirrors latency_bench: K:1 rows (portable to any
+ * runner), the lowest rate is the CI gate row (low utilization, so
+ * it measures the wire + service floor rather than queueing), and
+ * each row keeps the best-of-N attempt by p99 to shed scheduler
+ * spikes that have nothing to do with the stack under test. Every
+ * row gets a fresh connection so a prior row's stragglers can't
+ * alias the next row's tag space.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/arena.hh"
+#include "common/rng.hh"
+#include "net/open_loop_net.hh"
+#include "net/server.hh"
+#include "ol_json.hh"
+#include "workload/distributions.hh"
+
+using namespace widx;
+using bench::OlRow;
+
+namespace {
+
+constexpr std::size_t kKeysPerRequest = 32;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    int repeat = 0; // 0 = default (3: best-of damps scheduler noise)
+    const char *out = "BENCH_net.json";
+    std::string outBuf;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            outBuf = argv[i] + 6;
+            out = outBuf.c_str();
+        } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+            repeat = std::atoi(argv[i] + 9);
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--smoke] [--repeat=N] [--out=PATH]\n",
+                argv[0]);
+            return 1;
+        }
+    }
+    if (repeat < 1)
+        repeat = 3;
+
+    // Dataset: same shape as latency_bench so the wire ladder is
+    // directly comparable to the local one — the per-row delta
+    // between BENCH_latency and BENCH_net is the front-end's cost.
+    const u64 tuples = smoke ? u64(64) << 10 : u64(1) << 20;
+    Arena arena;
+    Rng rng(42);
+    db::Column build("b", db::ValueKind::U64, arena, tuples);
+    for (u64 k : wl::shuffledDenseKeys(tuples, rng))
+        build.push(k);
+    db::IndexSpec spec;
+    spec.buckets = tuples;
+    spec.hashFn = db::HashFn::monetdbRobust();
+    std::vector<u64> pool = wl::uniformKeys(1u << 20, tuples, rng);
+
+    // Rate ladder. The socket stack adds two threads on each side of
+    // the service, so rates sit below the local ladder's — on a
+    // small runner the wire rows saturate earlier, and the gate row
+    // must stay in the flat region.
+    const std::vector<double> rates =
+        smoke ? std::vector<double>{2000.0, 4000.0}
+              : std::vector<double>{2000.0, 8000.0, 20000.0};
+    const u64 requests = smoke ? 600 : 4000;
+    const u64 sloNs = 50'000'000; // goodput = Ok within 50 ms
+
+    sw::ServiceConfig cfg;
+    cfg.shards = 4;
+    cfg.walkers = 1; // the portable row (see latency_bench note)
+    sw::IndexService service(build, spec, cfg);
+    net::TcpIndexServer server(service);
+
+    std::vector<OlRow> rows;
+    char name[160];
+    for (double rate : rates) {
+        sw::OpenLoopOptions opt;
+        opt.ratePerSec = rate;
+        opt.requests = requests;
+        opt.keysPerRequest = kKeysPerRequest;
+        opt.arrivals = sw::ArrivalProcess::Poisson;
+        opt.sloNs = sloNs;
+        std::snprintf(name, sizeof(name), "Net_OL/K:1/rate:%d",
+                      int(rate));
+        OlRow best;
+        for (int r = 0; r < repeat; ++r) {
+            service.resetLatencyStats();
+            opt.seed = u64(r + 1);
+            // Fresh connection per attempt: a new tag space and a
+            // new CompletionQueue, so stragglers from the previous
+            // attempt can only land on their own (dead) queue.
+            net::TcpIndexClient client("127.0.0.1", server.port());
+            sw::OpenLoopReport rep =
+                net::runOpenLoopNet(client, pool, opt);
+            client.close();
+            sw::KindLatency svc = service.stats().latencyFor(opt.kind);
+            const bool better =
+                rep.latency.p99Ns < best.rep.latency.p99Ns;
+            if (r == 0 || better)
+                best = OlRow{name, std::move(rep), svc};
+        }
+        rows.push_back(std::move(best));
+        const OlRow &r = rows.back();
+        std::printf("%-32s p50 %7.1fus  p99 %7.1fus  p99.9 %7.1fus  "
+                    "achieved %8.0f/s  good %8.0f/s  shed %llu  "
+                    "timeout %llu\n",
+                    r.name.c_str(),
+                    double(r.rep.latency.p50Ns) / 1e3,
+                    double(r.rep.latency.p99Ns) / 1e3,
+                    double(r.rep.latency.p999Ns) / 1e3,
+                    r.rep.achievedRate, r.rep.goodputRate,
+                    (unsigned long long)r.rep.shedClientCap,
+                    (unsigned long long)r.rep.timedOut);
+    }
+
+    server.stop();
+    const net::TcpServerStats st = server.stats();
+    std::printf("server: %llu requests, %llu responses, "
+                "%llu dropped, %llu protocol errors\n",
+                (unsigned long long)st.requests,
+                (unsigned long long)st.responses,
+                (unsigned long long)st.droppedResponses,
+                (unsigned long long)st.protocolErrors);
+
+    bench::writeOlJson(out, "net_bench", kKeysPerRequest, rows,
+                       smoke);
+    std::printf("wrote %zu rows to %s\n", rows.size(), out);
+    return 0;
+}

@@ -24,25 +24,39 @@
  *      phase — Poisson arrivals at a fixed rate, no waiting between
  *      submissions — whose percentiles are free of coordinated
  *      omission (a stalled walker can't stall this generator);
- *   6. demonstrate graceful degradation: a second service with
+ *   6. go fully async: one client thread parks thousands of
+ *      requests in the service through submitAsync + a
+ *      CompletionQueue and reaps completions in batches — the
+ *      submission surface everything above is sugar over;
+ *   7. serve sockets: a TcpIndexServer (epoll event loop + batch
+ *      completion reaper) fields the same requests over a
+ *      length-prefixed binary protocol from a TcpIndexClient on
+ *      loopback, including an open-loop ladder over the real wire;
+ *   8. demonstrate graceful degradation: a second service with
  *      SLO-driven adaptive admission, per-request deadlines, and
  *      the walker watchdog, driven in overload bursts — then the
  *      shutdown contract (Ctrl-C or natural end): stop() drains
- *      in-flight windows, cancels queued ones (tickets complete
+ *      in-flight windows, cancels queued ones (completions arrive
  *      with Status::Cancelled, never hang), and dumps the final
  *      accounting.
+ *
+ * `--smoke` shrinks every phase for CI (bounded seconds, same code
+ * paths).
  */
 
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "common/arena.hh"
 #include "common/rng.hh"
+#include "net/open_loop_net.hh"
+#include "net/server.hh"
 #include "service/index_service.hh"
 #include "service/open_loop.hh"
 #include "workload/distributions.hh"
@@ -54,11 +68,14 @@ std::atomic<bool> g_interrupted{false};
 }
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bool smoke =
+        argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
     // 1. Data: a 256K-tuple build relation (unique keys) and a pool
     //    of probe keys the clients draw from.
-    const u64 tuples = 256 * 1024;
+    const u64 tuples = smoke ? 64 * 1024 : 256 * 1024;
     Arena arena;
     Rng rng(42);
 
@@ -102,7 +119,7 @@ main()
     //    requests (a handful of keys — the admission batcher
     //    coalesces concurrent tails into shared dispatch windows).
     const unsigned clients = 4;
-    const unsigned requestsPerClient = 2000;
+    const unsigned requestsPerClient = smoke ? 250 : 2000;
     const std::size_t requestKeys = 16;
     std::vector<std::thread> threads;
     std::vector<u64> clientMatches(clients, 0);
@@ -199,8 +216,8 @@ main()
     //    request's *scheduled* arrival (no coordinated omission).
     service.resetLatencyStats();
     sw::OpenLoopOptions ol;
-    ol.ratePerSec = 20000;
-    ol.requests = 5000;
+    ol.ratePerSec = smoke ? 10000 : 20000;
+    ol.requests = smoke ? 1000 : 5000;
     ol.keysPerRequest = requestKeys;
     sw::OpenLoopReport rep = sw::runOpenLoop(service, probePool, ol);
     std::printf("open-loop phase: %llu arrivals at %.0f/s "
@@ -217,7 +234,92 @@ main()
                 double(rep.latency.p999Ns) / 1e3,
                 double(rep.latency.maxNs) / 1e3);
 
-    // 6. Graceful degradation: a second service with the adaptive
+    // 6. Async submission: count()/probe()/join() and the open-loop
+    //    generator above are all sugar over this — submitAsync hands
+    //    the request to the walkers and returns immediately; the
+    //    completion lands on a CompletionQueue tagged with the
+    //    caller's id. One thread parks thousands of requests before
+    //    reaping anything, then drains the queue in batches.
+    const std::size_t kAsync = smoke ? 1200 : 4096;
+    auto cq = std::make_shared<sw::CompletionQueue>();
+    const auto asyncT0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kAsync; ++i) {
+        const std::size_t base =
+            (i * 131 * requestKeys) % (probePool.size() - requestKeys);
+        service.submitAsync(sw::RequestKind::Count,
+                            {probePool.data() + base, requestKeys},
+                            {}, cq, i);
+    }
+    const u64 liveAfterSubmit = service.stats().liveRequests;
+    std::vector<sw::Completion> asyncDone;
+    std::size_t reapBatches = 0;
+    while (asyncDone.size() < kAsync) {
+        const std::size_t before = asyncDone.size();
+        cq->reap(asyncDone, kAsync, std::chrono::milliseconds(100));
+        reapBatches += asyncDone.size() > before;
+    }
+    const double asyncSecs =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - asyncT0)
+            .count();
+    u64 asyncMatches = 0;
+    for (const sw::Completion &c : asyncDone)
+        asyncMatches += c.result.matches;
+    std::printf("async phase: %zu requests from one thread (%llu "
+                "still live after the last submit), reaped in %zu "
+                "batches, %llu matches, %.0f req/s\n",
+                kAsync, (unsigned long long)liveAfterSubmit,
+                reapBatches, (unsigned long long)asyncMatches,
+                double(kAsync) / asyncSecs);
+
+    // 7. TCP front-end: the same service behind an epoll socket
+    //    server speaking the length-prefixed binary protocol. One
+    //    blocking call() round-trips the sample request; then the
+    //    open-loop generator reruns over the real wire through the
+    //    client's completion queue (same driver as phase 5, latency
+    //    now including both wire directions).
+    {
+        net::TcpIndexServer tcpServer(service);
+        net::TcpIndexClient tcpClient("127.0.0.1", tcpServer.port());
+        const sw::ServiceResult wired =
+            tcpClient.call(sw::RequestKind::Count, sample);
+        std::printf("tcp phase: 127.0.0.1:%u, call(count, %zu keys) "
+                    "-> %llu matches (%s the local sample)\n",
+                    tcpServer.port(), sample.size(),
+                    (unsigned long long)wired.matches,
+                    wired.matches == got.matches ? "matches"
+                                                 : "MISMATCH vs");
+        if (wired.matches != got.matches)
+            identical = false;
+        sw::OpenLoopOptions nol;
+        nol.ratePerSec = smoke ? 4000 : 10000;
+        nol.requests = smoke ? 500 : 4000;
+        nol.keysPerRequest = requestKeys;
+        nol.sloNs = 50'000'000;
+        const sw::OpenLoopReport nrep =
+            net::runOpenLoopNet(tcpClient, probePool, nol);
+        tcpClient.close();
+        tcpServer.stop();
+        const net::TcpServerStats nst = tcpServer.stats();
+        std::printf("tcp open-loop: %llu arrivals at %.0f/s "
+                    "(achieved %.0f/s), %llu ok, %llu shed, "
+                    "%llu timed out\n"
+                    "  p50 %.1fus  p99 %.1fus  max %.1fus  | server: "
+                    "%llu reqs, %llu resps, %llu proto errors\n",
+                    (unsigned long long)nrep.scheduled,
+                    nol.ratePerSec, nrep.achievedRate,
+                    (unsigned long long)nrep.completed,
+                    (unsigned long long)nrep.shedClientCap,
+                    (unsigned long long)nrep.timedOut,
+                    double(nrep.latency.p50Ns) / 1e3,
+                    double(nrep.latency.p99Ns) / 1e3,
+                    double(nrep.latency.maxNs) / 1e3,
+                    (unsigned long long)nst.requests,
+                    (unsigned long long)nst.responses,
+                    (unsigned long long)nst.protocolErrors);
+    }
+
+    // 8. Graceful degradation: a second service with the adaptive
     //    admission controller, per-request deadlines, and the
     //    walker watchdog on, driven in overload bursts. Ctrl-C at
     //    any point between bursts (or the natural end of the
@@ -235,12 +337,13 @@ main()
     sw::IndexService overloaded(build, ispec, ocfg);
     sw::OpenLoopOptions oo;
     oo.ratePerSec = 120000;
-    oo.requests = 6000;
+    oo.requests = smoke ? 1500 : 6000;
     oo.keysPerRequest = requestKeys;
     oo.deadlineNs = 10'000'000; // give up on a request past 10 ms
     oo.sloNs = 5'000'000;       // goodput = Ok within 5 ms
+    const int bursts = smoke ? 1 : 3;
     std::printf("overload phase (Ctrl-C to drain early):\n");
-    for (int burst = 0; burst < 3 && !g_interrupted.load();
+    for (int burst = 0; burst < bursts && !g_interrupted.load();
          ++burst) {
         oo.seed = u64(burst + 1);
         sw::OpenLoopReport orep =
@@ -255,21 +358,26 @@ main()
                     (unsigned long long)orep.expired);
     }
 
-    // Park a burst of tickets, then stop() mid-flight: every one
-    // completes — drained Ok or cancelled — never hangs.
-    std::vector<sw::ResultTicket> parked;
-    for (int i = 0; i < 64; ++i)
-        parked.push_back(
-            overloaded.submit(sw::RequestKind::Count, sample));
+    // Park a burst of async requests, then stop() mid-flight: every
+    // tag still yields exactly one completion — drained Ok or
+    // Cancelled — so the reap loop below always terminates.
+    constexpr std::size_t kParked = 64;
+    auto drainCq = std::make_shared<sw::CompletionQueue>();
+    for (std::size_t i = 0; i < kParked; ++i)
+        overloaded.submitAsync(sw::RequestKind::Count, sample, {},
+                               drainCq, i);
     overloaded.stop();
     unsigned drained = 0, cancelled = 0;
-    for (sw::ResultTicket &t : parked) {
-        const sw::ServiceResult r = t.get();
-        (r.status == sw::Status::Cancelled ? cancelled : drained)++;
-    }
+    std::vector<sw::Completion> parked;
+    while (parked.size() < kParked)
+        drainCq->reap(parked, kParked,
+                      std::chrono::milliseconds(100));
+    for (const sw::Completion &c : parked)
+        (c.result.status == sw::Status::Cancelled ? cancelled
+                                                  : drained)++;
     const sw::ServiceStats fin = overloaded.stats();
     std::printf(
-        "drain: 64 parked tickets -> %u drained, %u cancelled\n"
+        "drain: 64 parked requests -> %u drained, %u cancelled\n"
         "final stats: %llu ok, %llu rejected, %llu expired, "
         "%llu cancelled, %llu walker stalls\n"
         "admission: hold %llu keys, budget %llu keys, "

@@ -129,17 +129,52 @@ probeAll(sw::IndexService &service, const Column &probe_keys,
     const std::span<const u64> keys =
         contiguousKeys(probe_keys, widened);
 
+    // Async slicing: the probe side goes out as many independent
+    // requests through one CompletionQueue instead of a single
+    // blocking call, so every walker (and every shard's home
+    // walker, under affine routing) has work from the first slice
+    // on while later slices are still being admitted. Slices are
+    // position-contiguous, so reassembling them in slice order with
+    // a base offset reproduces the single-request record sequence
+    // byte-for-byte.
+    constexpr std::size_t kSlice = 4096;
+    const std::size_t nSlices =
+        keys.empty() ? 0 : (keys.size() + kSlice - 1) / kSlice;
+
     auto start = std::chrono::steady_clock::now();
+    const sw::RequestKind kind = materialize
+                                     ? sw::RequestKind::Join
+                                     : sw::RequestKind::Count;
+    auto cq = std::make_shared<sw::CompletionQueue>();
+    for (std::size_t s = 0; s < nSlices; ++s)
+        service.submitAsync(
+            kind,
+            keys.subspan(s * kSlice,
+                         std::min(kSlice, keys.size() - s * kSlice)),
+            {}, cq, s);
+
+    std::vector<sw::Completion> done;
+    while (done.size() < nSlices)
+        cq->reap(done, nSlices, std::chrono::milliseconds(100));
+
     if (!materialize) {
-        result.matches = service.count(keys);
+        for (const sw::Completion &c : done)
+            result.matches += c.result.matches;
         result.probeSeconds = secondsSince(start);
         return result;
     }
-    sw::ServiceResult r = service.join(keys);
-    result.matches = r.matches;
-    result.pairs.reserve(r.recs.size());
-    for (const sw::MatchRec &rec : r.recs)
-        result.pairs.push_back({rec.payload, RowId(rec.i)});
+    std::vector<std::vector<sw::MatchRec>> bySlice(nSlices);
+    std::size_t total = 0;
+    for (sw::Completion &c : done) {
+        total += c.result.recs.size();
+        bySlice[c.tag] = std::move(c.result.recs);
+    }
+    result.matches = total;
+    result.pairs.reserve(total);
+    for (std::size_t s = 0; s < nSlices; ++s)
+        for (const sw::MatchRec &rec : bySlice[s])
+            result.pairs.push_back(
+                {rec.payload, RowId(s * kSlice + rec.i)});
     result.probeSeconds = secondsSince(start);
     return result;
 }

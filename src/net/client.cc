@@ -1,0 +1,161 @@
+#include "net/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace widx::net {
+
+TcpIndexClient::TcpIndexClient(const std::string &host, u16 port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatal_if(fd_ < 0, "socket(): %s", std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    fatal_if(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1,
+             "inet_pton(%s) failed", host.c_str());
+    fatal_if(::connect(fd_,
+                       reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr)) != 0,
+             "connect(%s:%u): %s", host.c_str(), unsigned(port),
+             std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    reader_ = std::thread([this] { readerMain(); });
+}
+
+TcpIndexClient::~TcpIndexClient()
+{
+    close();
+}
+
+void
+TcpIndexClient::close()
+{
+    if (fd_ >= 0)
+        // Shut down rather than close: the reader thread still owns
+        // the fd (close would let the number be reused under it);
+        // shutdown wakes its blocking read with EOF.
+        ::shutdown(fd_, SHUT_RDWR);
+    ok_.store(false, std::memory_order_release);
+    if (reader_.joinable())
+        reader_.join();
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    cq_->close();
+}
+
+void
+TcpIndexClient::submitAsync(sw::RequestKind kind,
+                            std::span<const u64> keys, u64 deadlineNs,
+                            u64 tag)
+{
+    fatal_if(keys.size() > kMaxKeysPerRequest,
+             "request exceeds the wire key cap (%zu > %u)",
+             keys.size(), kMaxKeysPerRequest);
+    bool sent = false;
+    if (ok_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lk(writeM_);
+        wbuf_.clear();
+        appendRequest(wbuf_, tag, kind, deadlineNs, keys);
+        std::size_t off = 0;
+        sent = true;
+        while (off < wbuf_.size()) {
+            const ssize_t n = ::send(fd_, wbuf_.data() + off,
+                                     wbuf_.size() - off,
+                                     MSG_NOSIGNAL);
+            if (n > 0) {
+                off += std::size_t(n);
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            ok_.store(false, std::memory_order_release);
+            sent = false;
+            break;
+        }
+    }
+    if (!sent) {
+        // Broken pipe: synthesize the refusal locally so the tag
+        // still completes exactly once.
+        sw::ServiceResult r;
+        r.status = sw::Status::Cancelled;
+        r.completedAtNs = monotonicNowNs();
+        cq_->push(tag, std::move(r));
+    }
+}
+
+sw::ServiceResult
+TcpIndexClient::call(sw::RequestKind kind, std::span<const u64> keys,
+                     u64 deadlineNs)
+{
+    const u64 tag = nextCallTag_++;
+    submitAsync(kind, keys, deadlineNs, tag);
+    std::vector<sw::Completion> batch;
+    for (;;) {
+        batch.clear();
+        cq_->reap(batch, 16, std::chrono::milliseconds(100));
+        for (sw::Completion &c : batch)
+            if (c.tag == tag)
+                return std::move(c.result);
+        fatal_if(!batch.empty(),
+                 "call() interleaved with async completions");
+        if (cq_->closed() && cq_->size() == 0) {
+            sw::ServiceResult r;
+            r.status = sw::Status::Cancelled;
+            r.completedAtNs = monotonicNowNs();
+            return r;
+        }
+    }
+}
+
+void
+TcpIndexClient::readerMain()
+{
+    FrameReader rd;
+    u8 buf[64 * 1024];
+    for (;;) {
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        rd.feed(buf, std::size_t(n));
+        std::span<const u8> payload;
+        bool bad = false;
+        while (rd.next(payload, bad)) {
+            RespHeader h;
+            sw::ServiceResult r;
+            if (!parseResponse(payload.data(), payload.size(), h,
+                               r)) {
+                bad = true;
+                break;
+            }
+            // Receipt stamp: open-loop latency over the socket is
+            // scheduled-arrival -> response-in-client, including
+            // both wire directions.
+            r.completedAtNs = monotonicNowNs();
+            cq_->push(h.reqId, std::move(r));
+        }
+        if (bad) {
+            warn("tcp client: malformed response frame; dropping "
+                 "connection");
+            break;
+        }
+    }
+    ok_.store(false, std::memory_order_release);
+    cq_->close();
+}
+
+} // namespace widx::net

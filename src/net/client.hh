@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Async TCP client for the index front-end.
+ *
+ * The socket-side mirror of `IndexService::submitAsync`: submissions
+ * serialize a request frame onto the connection (tag = wire request
+ * id) and return immediately; a reader thread parses response
+ * frames, stamps `completedAtNs` at receipt, and pushes them onto
+ * an internal CompletionQueue the caller reaps exactly like a local
+ * one — so the open-loop driver runs unchanged over a real socket.
+ *
+ * Tags must be unique among this connection's in-flight requests
+ * (the open-loop driver's arrival indexes are; so is any counter).
+ *
+ * When the connection breaks, the reader closes the queue and
+ * `ok()` turns false; a submission after that (or one the kernel
+ * refuses) pushes a synthetic `Status::Cancelled` completion so
+ * per-tag accounting never hangs — every submitted tag yields
+ * exactly one completion, delivered or synthesized.
+ *
+ * The blocking `call()` convenience reaps until its own tag
+ * appears; it must not be interleaved with outstanding async
+ * submissions (it would consume their completions).
+ */
+
+#ifndef WIDX_NET_CLIENT_HH
+#define WIDX_NET_CLIENT_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/protocol.hh"
+
+namespace widx::net {
+
+class TcpIndexClient
+{
+  public:
+    /** Connects (blocking) to host:port; fatal()s on failure. */
+    TcpIndexClient(const std::string &host, u16 port);
+    ~TcpIndexClient();
+
+    TcpIndexClient(const TcpIndexClient &) = delete;
+    TcpIndexClient &operator=(const TcpIndexClient &) = delete;
+
+    /** Issue one request; its completion lands on queue() carrying
+     *  `tag`. `deadlineNs` is relative (0 = none) — the server
+     *  re-anchors it to its own clock. */
+    void submitAsync(sw::RequestKind kind, std::span<const u64> keys,
+                     u64 deadlineNs, u64 tag);
+
+    /** Blocking one-shot convenience (see file comment). */
+    sw::ServiceResult call(sw::RequestKind kind,
+                           std::span<const u64> keys,
+                           u64 deadlineNs = 0);
+
+    std::shared_ptr<sw::CompletionQueue> queue() { return cq_; }
+
+    /** False once the connection is known broken. */
+    bool ok() const { return ok_.load(std::memory_order_acquire); }
+
+    void close();
+
+  private:
+    void readerMain();
+
+    int fd_ = -1;
+    std::atomic<bool> ok_{true};
+    std::shared_ptr<sw::CompletionQueue> cq_ =
+        std::make_shared<sw::CompletionQueue>();
+    std::mutex writeM_; ///< serializes frames onto the socket
+    std::vector<u8> wbuf_;
+    std::thread reader_;
+    u64 nextCallTag_ = u64(1) << 63; ///< call()'s private tag space
+};
+
+} // namespace widx::net
+
+#endif // WIDX_NET_CLIENT_HH

@@ -1,0 +1,30 @@
+#include "net/open_loop_net.hh"
+
+#include "service/open_loop_driver.hh"
+
+namespace widx::net {
+
+sw::OpenLoopReport
+runOpenLoopNet(TcpIndexClient &client, std::span<const u64> keyPool,
+               const sw::OpenLoopOptions &opt)
+{
+    return sw::detail::runOpenLoopOver(
+        client.queue(),
+        [&](u64 tag, std::span<const u64> keys, u64 deadlineAbs) {
+            // The driver hands out absolute deadlines; the wire
+            // carries remaining time (the server re-anchors to its
+            // own clock). A deadline already behind us still goes
+            // out — as 1 ns, which the server expires on arrival,
+            // keeping dead-on-arrival accounting server-side like
+            // the local path's.
+            u64 rel = 0;
+            if (deadlineAbs) {
+                const u64 now = monotonicNowNs();
+                rel = deadlineAbs > now ? deadlineAbs - now : 1;
+            }
+            client.submitAsync(opt.kind, keys, rel, tag);
+        },
+        keyPool, opt);
+}
+
+} // namespace widx::net

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Open-loop load generation over the TCP front-end.
+ *
+ * The exact experiment `sw::runOpenLoop` runs against a local
+ * IndexService — same arrival processes, same scheduled-arrival
+ * measurement, same in-flight cap and shed accounting (they share
+ * the driver in src/service/open_loop_driver.hh) — but submitted
+ * through a TcpIndexClient, so the measured latency includes frame
+ * serialization, both wire directions, the server's event loop, and
+ * the response reaper. Deadlines travel as remaining-time at
+ * submission (the wire's relative form); a broken connection
+ * surfaces as Cancelled completions and a closed queue, which the
+ * driver counts rather than hanging on.
+ */
+
+#ifndef WIDX_NET_OPEN_LOOP_NET_HH
+#define WIDX_NET_OPEN_LOOP_NET_HH
+
+#include "net/client.hh"
+#include "service/open_loop.hh"
+
+namespace widx::net {
+
+/** Drive `client` open-loop per `opt`, drawing request key spans
+ *  round-robin from `keyPool` (must outlive the run). */
+sw::OpenLoopReport runOpenLoopNet(TcpIndexClient &client,
+                                  std::span<const u64> keyPool,
+                                  const sw::OpenLoopOptions &opt);
+
+} // namespace widx::net
+
+#endif // WIDX_NET_OPEN_LOOP_NET_HH

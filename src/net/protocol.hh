@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Wire protocol for the TCP index front-end.
+ *
+ * Length-prefixed little-endian binary frames, one request or
+ * response per frame (see src/net/README.md for a worked byte-level
+ * example). Every frame is
+ *
+ *     u32 length | payload[length]
+ *
+ * where `length` counts the payload bytes after the length field.
+ * A request payload is a 24-byte header followed by the key array:
+ *
+ *     u64 reqId     client-chosen correlation id, echoed back
+ *     u8  kind      RequestKind (0 Count, 1 Probe, 2 Join)
+ *     u8  reserved  must be 0
+ *     u16 reserved  must be 0
+ *     u32 nKeys     number of u64 keys that follow
+ *     u64 deadlineNs  *relative* service deadline (0 = none): the
+ *                     server anchors it to its own clock at parse
+ *                     time, so client and server clocks never meet
+ *     u64 keys[nKeys]
+ *
+ * A response payload is a 24-byte header followed by the records:
+ *
+ *     u64 reqId     echoed from the request
+ *     u8  status    Status (0 Ok, 1 Rejected, 2 DeadlineExceeded,
+ *                   3 Cancelled)
+ *     u8  kind      echoed from the request
+ *     u16 reserved  0
+ *     u32 nRecs     number of 24-byte records that follow
+ *                   (0 for Count — matches carries the tally)
+ *     u64 matches   ServiceResult::matches
+ *     {u64 pos, u64 key, u64 payload}[nRecs]
+ *
+ * The header structs below are naturally packed to these layouts on
+ * every platform we target (static_asserts enforce it), and the
+ * protocol's byte order is the native order of a little-endian host
+ * — the build refuses big-endian targets rather than silently
+ * byte-swapping.
+ *
+ * Framing errors (oversized frame, unknown kind, nonzero reserved
+ * bytes, length/nKeys mismatch) are not recoverable mid-stream:
+ * both ends drop the connection on the first malformed frame.
+ */
+
+#ifndef WIDX_NET_PROTOCOL_HH
+#define WIDX_NET_PROTOCOL_HH
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "service/index_service.hh"
+
+namespace widx::net {
+
+static_assert(std::endian::native == std::endian::little,
+              "the wire protocol is little-endian and this build "
+              "does not byte-swap");
+
+/** Per-request key cap: bounds a request frame (and the walker
+ *  memory one connection can pin) at ~512 KiB of keys. */
+inline constexpr u32 kMaxKeysPerRequest = 1u << 16;
+/** Request frames are bounded by kMaxKeysPerRequest; responses by
+ *  the match count, which can exceed the key count (duplicates in
+ *  the build side). A reader rejects anything over this as a
+ *  framing error rather than allocating unbounded memory. */
+inline constexpr u32 kMaxFrameBytes = 64u << 20;
+
+struct ReqHeader
+{
+    u64 reqId = 0;
+    u8 kind = 0;
+    u8 rsv0 = 0;
+    u16 rsv1 = 0;
+    u32 nKeys = 0;
+    u64 deadlineNs = 0; ///< relative (0 = none)
+};
+static_assert(sizeof(ReqHeader) == 24 &&
+              std::is_trivially_copyable_v<ReqHeader>);
+
+struct RespHeader
+{
+    u64 reqId = 0;
+    u8 status = 0;
+    u8 kind = 0;
+    u16 rsv = 0;
+    u32 nRecs = 0;
+    u64 matches = 0;
+};
+static_assert(sizeof(RespHeader) == 24 &&
+              std::is_trivially_copyable_v<RespHeader>);
+
+/** One materialized match on the wire. `pos` is the key's position
+ *  in the request's key array (MatchRec::i). */
+struct WireRec
+{
+    u64 pos = 0;
+    u64 key = 0;
+    u64 payload = 0;
+};
+static_assert(sizeof(WireRec) == 24 &&
+              std::is_trivially_copyable_v<WireRec>);
+
+inline void
+appendBytes(std::vector<u8> &out, const void *p, std::size_t n)
+{
+    const auto *b = static_cast<const u8 *>(p);
+    out.insert(out.end(), b, b + n);
+}
+
+/** Serialize one request frame (length prefix included). */
+inline void
+appendRequest(std::vector<u8> &out, u64 reqId, sw::RequestKind kind,
+              u64 deadlineNs, std::span<const u64> keys)
+{
+    ReqHeader h;
+    h.reqId = reqId;
+    h.kind = u8(kind);
+    h.nKeys = u32(keys.size());
+    h.deadlineNs = deadlineNs;
+    const u32 len = u32(sizeof(h) + keys.size_bytes());
+    appendBytes(out, &len, sizeof(len));
+    appendBytes(out, &h, sizeof(h));
+    appendBytes(out, keys.data(), keys.size_bytes());
+}
+
+/** Serialize one response frame (length prefix included). */
+inline void
+appendResponse(std::vector<u8> &out, u64 reqId, sw::RequestKind kind,
+               const sw::ServiceResult &r)
+{
+    RespHeader h;
+    h.reqId = reqId;
+    h.status = u8(r.status);
+    h.kind = u8(kind);
+    h.nRecs = u32(r.recs.size());
+    h.matches = r.matches;
+    const u32 len = u32(sizeof(h) + r.recs.size() * sizeof(WireRec));
+    appendBytes(out, &len, sizeof(len));
+    appendBytes(out, &h, sizeof(h));
+    for (const auto &rec : r.recs) {
+        const WireRec w{u64(rec.i), rec.key, rec.payload};
+        appendBytes(out, &w, sizeof(w));
+    }
+}
+
+/** Validate and decode a request payload (the bytes after the
+ *  length prefix). Keys land in `keys` (overwritten). Returns false
+ *  on any framing violation — the caller must drop the connection. */
+inline bool
+parseRequest(const u8 *p, std::size_t len, ReqHeader &h,
+             std::vector<u64> &keys)
+{
+    if (len < sizeof(ReqHeader))
+        return false;
+    std::memcpy(&h, p, sizeof(h));
+    if (h.kind > u8(sw::RequestKind::Join) || h.rsv0 || h.rsv1)
+        return false;
+    if (h.nKeys > kMaxKeysPerRequest)
+        return false;
+    if (len != sizeof(ReqHeader) + std::size_t(h.nKeys) * 8)
+        return false;
+    keys.resize(h.nKeys);
+    std::memcpy(keys.data(), p + sizeof(ReqHeader),
+                std::size_t(h.nKeys) * 8);
+    return true;
+}
+
+/** Validate and decode a response payload into a ServiceResult.
+ *  `completedAtNs` is left 0 — the client stamps receipt time. */
+inline bool
+parseResponse(const u8 *p, std::size_t len, RespHeader &h,
+              sw::ServiceResult &r)
+{
+    if (len < sizeof(RespHeader))
+        return false;
+    std::memcpy(&h, p, sizeof(h));
+    if (h.status > u8(sw::Status::Cancelled) ||
+        h.kind > u8(sw::RequestKind::Join) || h.rsv)
+        return false;
+    if (len != sizeof(RespHeader) +
+                   std::size_t(h.nRecs) * sizeof(WireRec))
+        return false;
+    r.status = sw::Status(h.status);
+    r.matches = h.matches;
+    r.recs.resize(h.nRecs);
+    for (u32 i = 0; i < h.nRecs; ++i) {
+        WireRec w;
+        std::memcpy(&w, p + sizeof(RespHeader) + i * sizeof(WireRec),
+                    sizeof(w));
+        r.recs[i] = {std::size_t(w.pos), w.key, w.payload};
+    }
+    return true;
+}
+
+/**
+ * Incremental frame splitter over a connection's receive buffer:
+ * feed bytes as they arrive, pop complete payloads. The popped view
+ * points into the internal buffer and is invalidated by the next
+ * feed() — decode before feeding again.
+ */
+class FrameReader
+{
+  public:
+    void
+    feed(const u8 *p, std::size_t n)
+    {
+        // Reclaim the consumed prefix before growing: no popped
+        // view is live across a feed (documented above), and the
+        // one memmove per read keeps the buffer bounded by the
+        // largest in-progress frame plus one read's worth of bytes.
+        if (off_ > 0) {
+            buf_.erase(buf_.begin(),
+                       buf_.begin() + std::ptrdiff_t(off_));
+            off_ = 0;
+        }
+        buf_.insert(buf_.end(), p, p + n);
+    }
+
+    /** Pop the next complete payload, or return false. Sets `bad`
+     *  (and returns false) on an oversized length prefix. */
+    bool
+    next(std::span<const u8> &payload, bool &bad)
+    {
+        if (off_ > 0 && off_ == buf_.size()) {
+            buf_.clear();
+            off_ = 0;
+        }
+        const std::size_t avail = buf_.size() - off_;
+        if (avail < 4)
+            return false;
+        u32 len;
+        std::memcpy(&len, buf_.data() + off_, 4);
+        if (len < sizeof(ReqHeader) || len > kMaxFrameBytes) {
+            bad = true;
+            return false;
+        }
+        if (avail < 4 + std::size_t(len))
+            return false;
+        payload = {buf_.data() + off_ + 4, len};
+        off_ += 4 + std::size_t(len);
+        return true;
+    }
+
+  private:
+    std::vector<u8> buf_;
+    std::size_t off_ = 0; ///< consumed prefix, reclaimed when drained
+};
+
+} // namespace widx::net
+
+#endif // WIDX_NET_PROTOCOL_HH

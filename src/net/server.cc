@@ -1,0 +1,355 @@
+#include "net/server.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace widx::net {
+
+TcpIndexServer::TcpIndexServer(sw::IndexService &service,
+                               const TcpServerOptions &opt)
+    : service_(service), opt_(opt)
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    fatal_if(listenFd_ < 0, "socket(): %s", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    // Loopback-only: this front-end has no auth; widening the bind
+    // address is a deliberate future step, not a default.
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opt_.port);
+    fatal_if(::bind(listenFd_,
+                    reinterpret_cast<const sockaddr *>(&addr),
+                    sizeof(addr)) != 0,
+             "bind(port %u): %s", unsigned(opt_.port),
+             std::strerror(errno));
+    fatal_if(::listen(listenFd_, opt_.backlog) != 0, "listen(): %s",
+             std::strerror(errno));
+    socklen_t alen = sizeof(addr);
+    fatal_if(::getsockname(listenFd_,
+                           reinterpret_cast<sockaddr *>(&addr),
+                           &alen) != 0,
+             "getsockname(): %s", std::strerror(errno));
+    port_ = ntohs(addr.sin_port);
+
+    epollFd_ = ::epoll_create1(0);
+    fatal_if(epollFd_ < 0, "epoll_create1(): %s",
+             std::strerror(errno));
+    wakeFd_ = ::eventfd(0, EFD_NONBLOCK);
+    fatal_if(wakeFd_ < 0, "eventfd(): %s", std::strerror(errno));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listenFd_;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev);
+    ev.data.fd = wakeFd_;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev);
+
+    loop_ = std::thread([this] { loopMain(); });
+    reaper_ = std::thread([this] { reaperMain(); });
+}
+
+TcpIndexServer::~TcpIndexServer()
+{
+    stop();
+}
+
+void
+TcpIndexServer::stop()
+{
+    if (!loop_.joinable() && !reaper_.joinable())
+        return;
+    stopping_.store(true, std::memory_order_release);
+    const u64 one = 1;
+    [[maybe_unused]] ssize_t w = ::write(wakeFd_, &one, sizeof(one));
+    if (loop_.joinable())
+        loop_.join();
+    // Loop is down: close every connection. Completions still in
+    // flight find no connection and count as dropped; the reaper
+    // exits once the last one lands (the service guarantees every
+    // submitted request completes).
+    {
+        std::lock_guard<std::mutex> lk(connM_);
+        for (auto &[fd, c] : conns_) {
+            ::close(fd);
+            nClosed_.fetch_add(1, std::memory_order_relaxed);
+        }
+        conns_.clear();
+    }
+    if (reaper_.joinable())
+        reaper_.join();
+    cq_->close();
+    ::close(epollFd_);
+    ::close(listenFd_);
+    ::close(wakeFd_);
+    epollFd_ = listenFd_ = wakeFd_ = -1;
+}
+
+void
+TcpIndexServer::updateEpoll(int fd, Conn &c)
+{
+    epoll_event ev{};
+    ev.events = EPOLLIN | (c.wantWrite ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void
+TcpIndexServer::closeConn(int fd)
+{
+    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    {
+        std::lock_guard<std::mutex> lk(connM_);
+        conns_.erase(fd);
+    }
+    nClosed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+TcpIndexServer::handleReadable(int fd)
+{
+    // The loop thread is the connection table's only mutator, so
+    // its own lookups need no lock; only Conn::out/outOff (shared
+    // with the reaper) take connM_.
+    auto it = conns_.find(fd);
+    if (it == conns_.end())
+        return;
+    Conn &c = it->second;
+
+    u8 buf[64 * 1024];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            c.rd.feed(buf, std::size_t(n));
+            continue;
+        }
+        if (n == 0) { // orderly EOF
+            closeConn(fd);
+            return;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        closeConn(fd);
+        return;
+    }
+
+    // Submit every complete frame back-to-back: a pipelining
+    // client's burst lands in the service's open admission windows
+    // together — the per-connection batching this front-end exists
+    // to exploit.
+    std::span<const u8> payload;
+    bool bad = false;
+    while (c.rd.next(payload, bad)) {
+        ReqHeader h;
+        auto pr = std::make_unique<PendingReq>();
+        if (!parseRequest(payload.data(), payload.size(), h,
+                          pr->keys)) {
+            bad = true;
+            break;
+        }
+        pr->fd = fd;
+        pr->gen = c.gen;
+        pr->reqId = h.reqId;
+        pr->kind = sw::RequestKind(h.kind);
+        sw::SubmitOptions sub;
+        if (h.deadlineNs)
+            sub.deadlineNs = monotonicNowNs() + h.deadlineNs;
+        nRequests_.fetch_add(1, std::memory_order_relaxed);
+        outstanding_.fetch_add(1, std::memory_order_relaxed);
+        PendingReq *raw = pr.release(); // reaper reclaims via tag
+        service_.submitAsync(raw->kind,
+                             std::span<const u64>(raw->keys), sub,
+                             cq_, reinterpret_cast<u64>(raw));
+    }
+    if (bad) {
+        nProtoErr_.fetch_add(1, std::memory_order_relaxed);
+        closeConn(fd);
+    }
+}
+
+void
+TcpIndexServer::flushConn(int fd, Conn &c)
+{
+    bool dead = false;
+    {
+        std::lock_guard<std::mutex> lk(connM_);
+        while (c.outOff < c.out.size()) {
+            const ssize_t n =
+                ::send(fd, c.out.data() + c.outOff,
+                       c.out.size() - c.outOff, MSG_NOSIGNAL);
+            if (n > 0) {
+                c.outOff += std::size_t(n);
+                continue;
+            }
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            dead = true;
+            break;
+        }
+        if (c.outOff == c.out.size()) {
+            c.out.clear();
+            c.outOff = 0;
+            c.wantWrite = false;
+        } else {
+            c.wantWrite = true;
+        }
+    }
+    if (dead) {
+        closeConn(fd);
+        return;
+    }
+    updateEpoll(fd, c);
+}
+
+void
+TcpIndexServer::loopMain()
+{
+    epoll_event evs[64];
+    while (!stopping_.load(std::memory_order_acquire)) {
+        const int n = ::epoll_wait(epollFd_, evs, 64, -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        for (int i = 0; i < n; ++i) {
+            const int fd = evs[i].data.fd;
+            if (fd == wakeFd_) {
+                u64 drain;
+                while (::read(wakeFd_, &drain, sizeof(drain)) > 0) {
+                }
+                // The reaper queued output (or stop was requested):
+                // flush everything writable, drop slow consumers.
+                std::vector<int> todo, overflowed;
+                {
+                    std::lock_guard<std::mutex> lk(connM_);
+                    for (auto &[cfd, c] : conns_) {
+                        if (c.out.size() - c.outOff >
+                            opt_.maxOutBytes)
+                            overflowed.push_back(cfd);
+                        else if (c.outOff < c.out.size())
+                            todo.push_back(cfd);
+                    }
+                }
+                for (int cfd : overflowed)
+                    closeConn(cfd);
+                for (int cfd : todo) {
+                    auto it = conns_.find(cfd);
+                    if (it != conns_.end())
+                        flushConn(cfd, it->second);
+                }
+                continue;
+            }
+            if (fd == listenFd_) {
+                for (;;) {
+                    const int cfd = ::accept4(listenFd_, nullptr,
+                                              nullptr,
+                                              SOCK_NONBLOCK);
+                    if (cfd < 0)
+                        break;
+                    const int one = 1;
+                    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY,
+                                 &one, sizeof(one));
+                    {
+                        std::lock_guard<std::mutex> lk(connM_);
+                        conns_[cfd].gen = nextGen_++;
+                    }
+                    epoll_event ev{};
+                    ev.events = EPOLLIN;
+                    ev.data.fd = cfd;
+                    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, cfd, &ev);
+                    nAccepted_.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+                continue;
+            }
+            // A connection: an earlier handler this batch may have
+            // closed it already.
+            if (conns_.find(fd) == conns_.end())
+                continue;
+            if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
+                closeConn(fd);
+                continue;
+            }
+            if (evs[i].events & EPOLLOUT) {
+                auto it = conns_.find(fd);
+                if (it != conns_.end())
+                    flushConn(fd, it->second);
+            }
+            if (evs[i].events & EPOLLIN)
+                handleReadable(fd);
+        }
+    }
+}
+
+void
+TcpIndexServer::reaperMain()
+{
+    std::vector<sw::Completion> batch;
+    for (;;) {
+        batch.clear();
+        cq_->reap(batch, 256, std::chrono::milliseconds(50));
+        if (!batch.empty()) {
+            bool poke = false;
+            {
+                std::lock_guard<std::mutex> lk(connM_);
+                for (const sw::Completion &comp : batch) {
+                    std::unique_ptr<PendingReq> pr(
+                        reinterpret_cast<PendingReq *>(comp.tag));
+                    auto it = conns_.find(pr->fd);
+                    if (it == conns_.end() ||
+                        it->second.gen != pr->gen) {
+                        nDropped_.fetch_add(
+                            1, std::memory_order_relaxed);
+                        continue;
+                    }
+                    appendResponse(it->second.out, pr->reqId,
+                                   pr->kind, comp.result);
+                    nResponses_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    poke = true;
+                }
+            }
+            outstanding_.fetch_sub(batch.size(),
+                                   std::memory_order_relaxed);
+            if (poke) {
+                const u64 one = 1;
+                [[maybe_unused]] ssize_t w =
+                    ::write(wakeFd_, &one, sizeof(one));
+            }
+        }
+        if (stopping_.load(std::memory_order_acquire) &&
+            outstanding_.load(std::memory_order_relaxed) == 0)
+            return;
+    }
+}
+
+TcpServerStats
+TcpIndexServer::stats() const
+{
+    TcpServerStats s;
+    s.accepted = nAccepted_.load(std::memory_order_relaxed);
+    s.closed = nClosed_.load(std::memory_order_relaxed);
+    s.requests = nRequests_.load(std::memory_order_relaxed);
+    s.responses = nResponses_.load(std::memory_order_relaxed);
+    s.droppedResponses = nDropped_.load(std::memory_order_relaxed);
+    s.protocolErrors = nProtoErr_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace widx::net

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Epoll TCP front-end for the index service.
+ *
+ * The paper's dispatcher/walker decoupling, one level up: an event
+ * loop accepts connections and parses request frames (the
+ * dispatcher side — per-connection frame bursts submit
+ * back-to-back, so a pipelining client's requests coalesce into the
+ * service's open admission windows exactly like co-arriving local
+ * submitters), and the service's walker pool drains them. A second
+ * thread reaps the service's CompletionQueue in batches, serializes
+ * response frames, and hands them to the event loop to write — so
+ * walkers never block on a slow socket and sockets never wait on a
+ * full walker.
+ *
+ * Threading: exactly two server threads regardless of connection
+ * count. The event loop owns every socket's reads *and* writes
+ * (single-threaded fd I/O — no interleaved frames); the reaper only
+ * appends to per-connection output buffers under the connection
+ * table lock and pokes an eventfd. Responses for a connection that
+ * closed while its requests were in flight are counted
+ * (`droppedResponses`) and dropped — a disconnected client's
+ * requests still drain through the service (they hold admission
+ * budget until they do), they just have nowhere to go.
+ *
+ * Lifetime: the service must outlive the server. stop() (or the
+ * destructor) closes the listener and every connection, then waits
+ * for every in-flight request the server submitted to complete —
+ * the service guarantees completion, so this terminates.
+ */
+
+#ifndef WIDX_NET_SERVER_HH
+#define WIDX_NET_SERVER_HH
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "net/protocol.hh"
+
+namespace widx::net {
+
+struct TcpServerOptions
+{
+    u16 port = 0;           ///< 0 = ephemeral (see port())
+    int backlog = 64;       ///< listen(2) backlog
+    /** Per-connection output-buffer high-water mark: a connection
+     *  whose client stops reading is dropped once its buffered
+     *  responses exceed this (slow-consumer protection). */
+    std::size_t maxOutBytes = 64u << 20;
+};
+
+struct TcpServerStats
+{
+    u64 accepted = 0;
+    u64 closed = 0;
+    u64 requests = 0;         ///< frames parsed and submitted
+    u64 responses = 0;        ///< frames serialized toward a client
+    u64 droppedResponses = 0; ///< completion outlived its connection
+    u64 protocolErrors = 0;   ///< malformed frames (connection dropped)
+};
+
+class TcpIndexServer
+{
+  public:
+    /** Binds, listens, and starts the loop + reaper threads; throws
+     *  nothing — fatal()s on socket-setup failure (test/server
+     *  bring-up is not a recoverable context). */
+    TcpIndexServer(sw::IndexService &service,
+                   const TcpServerOptions &opt = {});
+    ~TcpIndexServer();
+
+    TcpIndexServer(const TcpIndexServer &) = delete;
+    TcpIndexServer &operator=(const TcpIndexServer &) = delete;
+
+    /** The bound port (resolves an ephemeral request). */
+    u16 port() const { return port_; }
+
+    void stop();
+
+    TcpServerStats stats() const;
+
+  private:
+    struct Conn
+    {
+        u64 gen = 0;    ///< distinguishes reuses of the same fd
+        FrameReader rd;
+        std::vector<u8> out; ///< serialized, unwritten responses
+        std::size_t outOff = 0;
+        bool wantWrite = false; ///< EPOLLOUT currently armed
+    };
+
+    /** One parsed request in flight through the service; the
+     *  CompletionQueue tag is its address. Owns the key copy the
+     *  service's span points into. */
+    struct PendingReq
+    {
+        int fd = -1;
+        u64 gen = 0;
+        u64 reqId = 0;
+        sw::RequestKind kind = sw::RequestKind::Count;
+        std::vector<u64> keys;
+    };
+
+    void loopMain();
+    void reaperMain();
+    void handleReadable(int fd);
+    void flushConn(int fd, Conn &c);
+    void closeConn(int fd);
+    void updateEpoll(int fd, Conn &c);
+
+    sw::IndexService &service_;
+    TcpServerOptions opt_;
+    u16 port_ = 0;
+    int listenFd_ = -1;
+    int epollFd_ = -1;
+    int wakeFd_ = -1; ///< eventfd: reaper -> loop (output pending)
+
+    std::shared_ptr<sw::CompletionQueue> cq_ =
+        std::make_shared<sw::CompletionQueue>();
+    std::atomic<u64> outstanding_{0}; ///< submitted, not yet reaped
+    std::atomic<bool> stopping_{false};
+
+    mutable std::mutex connM_; ///< guards conns_ and Conn::out/outOff
+    std::unordered_map<int, Conn> conns_;
+    u64 nextGen_ = 1; ///< loop thread only
+
+    std::atomic<u64> nAccepted_{0};
+    std::atomic<u64> nClosed_{0};
+    std::atomic<u64> nRequests_{0};
+    std::atomic<u64> nResponses_{0};
+    std::atomic<u64> nDropped_{0};
+    std::atomic<u64> nProtoErr_{0};
+
+    std::thread loop_;
+    std::thread reaper_;
+};
+
+} // namespace widx::net
+
+#endif // WIDX_NET_SERVER_HH

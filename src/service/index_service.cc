@@ -41,9 +41,25 @@ struct LatencyBoard
  * result and signals the client. `remaining` decrements with
  * acq_rel so the assembler observes every other walker's slot
  * writes.
+ *
+ * Completion is sink-agnostic: finalize() assembles the result the
+ * same way for every submission route, then deliver() hands it to
+ * the one sink this request was submitted with — the blocking
+ * ticket (result parked under the request mutex until get()), a
+ * CompletionQueue push, or a callback. After a queue/callback
+ * delivery nothing references the result again; the request frees
+ * as soon as the last segment's shared_ptr drops.
  */
 struct ServiceRequest
 {
+    /** How the result leaves the service. */
+    enum class Sink : u8
+    {
+        Ticket,   ///< park under m/cv for ResultTicket::get()
+        Queue,    ///< push {tag, result} onto cq
+        Callback, ///< invoke cb on the completing thread
+    };
+
     RequestKind kind = RequestKind::Count;
     std::span<const u64> keys;
     std::atomic<u64> remaining{0};
@@ -79,10 +95,64 @@ struct ServiceRequest
     u64 tSubmit = 0;
     std::atomic<u64> tFirstDrain{0};
 
+    /** Completion sink (fixed before the request is published to
+     *  any queue; only the completing thread touches it after). */
+    Sink sink = Sink::Ticket;
+    std::shared_ptr<CompletionQueue> cq;
+    CompletionFn cb;
+    u64 tag = 0;
+
+    /** ServiceStats::liveRequests gauge; shared so the decrement
+     *  stays valid on tickets outliving the service. */
+    std::shared_ptr<std::atomic<u64>> liveGauge;
+
     std::mutex m;
     std::condition_variable cv;
     bool done = false;
     ServiceResult result;
+
+    ~ServiceRequest()
+    {
+        if (liveGauge)
+            liveGauge->fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    /** Hand the assembled result to this request's sink. Queue and
+     *  callback sinks release their resources immediately after
+     *  delivery — an abandoned client cannot make the service
+     *  retain completed-result memory. */
+    void
+    deliver(ServiceResult &&r)
+    {
+        switch (sink) {
+        case Sink::Ticket: {
+            {
+                std::lock_guard<std::mutex> lk(m);
+                result = std::move(r);
+                done = true;
+            }
+            cv.notify_all();
+            return;
+        }
+        case Sink::Queue:
+            cq->push(tag, std::move(r));
+            cq.reset();
+            return;
+        case Sink::Callback:
+            // A throwing callback must not unwind into a walker's
+            // drain loop (it would kill the walker and strand every
+            // queued request) or a submitter's fast-fail path.
+            try {
+                cb(std::move(r));
+            } catch (const std::exception &e) {
+                warn("completion callback threw: %s", e.what());
+            } catch (...) {
+                warn("completion callback threw a non-exception");
+            }
+            cb = nullptr;
+            return;
+        }
+    }
 
     void
     finalize()
@@ -134,12 +204,7 @@ struct ServiceRequest
             row[LatencyBoard::Queue].record(first - tSubmit);
             row[LatencyBoard::Drain].record(now - first);
         }
-        {
-            std::lock_guard<std::mutex> lk(m);
-            result = std::move(r);
-            done = true;
-        }
-        cv.notify_all();
+        deliver(std::move(r));
     }
 };
 
@@ -159,6 +224,68 @@ statusName(Status s)
         return "Cancelled";
     }
     return "?";
+}
+
+void
+CompletionQueue::push(u64 tag, ServiceResult &&result)
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        ready_.push_back(Completion{tag, std::move(result)});
+    }
+    cv_.notify_one();
+}
+
+std::size_t
+CompletionQueue::reap(std::vector<Completion> &out, std::size_t max,
+                      std::chrono::nanoseconds timeout)
+{
+    if (max == 0)
+        return 0;
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait_for(lk, timeout,
+                 [&] { return !ready_.empty() || closed_; });
+    if (ready_.empty())
+        return 0;
+    std::size_t n;
+    if (ready_.size() <= max && out.empty()) {
+        // Common case — the reaper drains everything into an empty
+        // batch: one vector swap, no per-completion moves under the
+        // lock.
+        n = ready_.size();
+        out.swap(ready_);
+    } else {
+        n = std::min(max, ready_.size());
+        out.insert(out.end(),
+                   std::make_move_iterator(ready_.begin()),
+                   std::make_move_iterator(ready_.begin() + n));
+        ready_.erase(ready_.begin(), ready_.begin() + n);
+    }
+    return n;
+}
+
+std::size_t
+CompletionQueue::size() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return ready_.size();
+}
+
+void
+CompletionQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+bool
+CompletionQueue::closed() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return closed_;
 }
 
 ServiceResult
@@ -351,9 +478,10 @@ IndexService::stop()
     }
 }
 
-ResultTicket
-IndexService::submit(RequestKind kind, std::span<const u64> keys,
-                     const SubmitOptions &opt)
+std::shared_ptr<detail::ServiceRequest>
+IndexService::makeRequest(RequestKind kind,
+                          std::span<const u64> keys,
+                          const SubmitOptions &opt)
 {
     auto req = std::make_shared<detail::ServiceRequest>();
     req->kind = kind;
@@ -362,18 +490,28 @@ IndexService::submit(RequestKind kind, std::span<const u64> keys,
     req->board = board_.get();
     if (board_)
         req->tSubmit = monotonicNowNs();
+    liveGauge_->fetch_add(1, std::memory_order_relaxed);
+    req->liveGauge = liveGauge_;
 
     nRequests_.fetch_add(1, std::memory_order_relaxed);
     nKeys_.fetch_add(keys.size(), std::memory_order_relaxed);
+    return req;
+}
 
+void
+IndexService::submitRequest(
+    const std::shared_ptr<detail::ServiceRequest> &req,
+    RequestKind kind, std::span<const u64> keys,
+    const SubmitOptions &opt)
+{
     if (keys.empty()) {
-        // Nothing to do: complete before the ticket escapes. No
+        // Nothing to do: complete before the submission returns. No
         // walker ever claims this request, so it accrues no
         // queue-wait (tFirstDrain == tSubmit).
         req->tFirstDrain.store(req->tSubmit,
                                std::memory_order_relaxed);
         finishRequest(*req);
-        return ResultTicket(req);
+        return;
     }
 
     // Dead on arrival: a deadline already in the past fails fast
@@ -387,7 +525,7 @@ IndexService::submit(RequestKind kind, std::span<const u64> keys,
             req->tFirstDrain.store(req->tSubmit,
                                    std::memory_order_relaxed);
             finishRequest(*req);
-            return ResultTicket(req);
+            return;
         }
     }
 
@@ -396,9 +534,8 @@ IndexService::submit(RequestKind kind, std::span<const u64> keys,
                               : submitShared(req, kind, keys);
     if (!admitted) {
         // The admission path set the status (Rejected over budget,
-        // Cancelled after stop); complete the ticket here, on the
-        // submitting thread — the fast-fail that keeps backpressure
-        // cheap.
+        // Cancelled after stop); complete here, on the submitting
+        // thread — the fast-fail that keeps backpressure cheap.
         if (Status(req->status.load(std::memory_order_relaxed)) ==
             Status::Rejected)
             nRejected_.fetch_add(1, std::memory_order_relaxed);
@@ -408,7 +545,56 @@ IndexService::submit(RequestKind kind, std::span<const u64> keys,
                                std::memory_order_relaxed);
         req->finalize();
     }
+}
+
+ResultTicket
+IndexService::submit(RequestKind kind, std::span<const u64> keys,
+                     const SubmitOptions &opt)
+{
+    auto req = makeRequest(kind, keys, opt);
+    submitRequest(req, kind, keys, opt);
     return ResultTicket(std::move(req));
+}
+
+void
+IndexService::submitAsync(RequestKind kind,
+                          std::span<const u64> keys,
+                          const SubmitOptions &opt,
+                          std::shared_ptr<CompletionQueue> cq,
+                          u64 tag)
+{
+    fatal_if(!cq, "submitAsync() with a null CompletionQueue");
+    auto req = makeRequest(kind, keys, opt);
+    req->sink = detail::ServiceRequest::Sink::Queue;
+    req->cq = std::move(cq);
+    req->tag = tag;
+    submitRequest(req, kind, keys, opt);
+}
+
+void
+IndexService::submitAsync(RequestKind kind,
+                          std::span<const u64> keys,
+                          const SubmitOptions &opt,
+                          CompletionQueue &cq, u64 tag)
+{
+    // Non-owning aliasing handle: the caller guarantees the queue
+    // outlives every outstanding completion (see header contract).
+    submitAsync(kind, keys, opt,
+                std::shared_ptr<CompletionQueue>(
+                    std::shared_ptr<void>(), &cq),
+                tag);
+}
+
+void
+IndexService::submitAsync(RequestKind kind,
+                          std::span<const u64> keys,
+                          const SubmitOptions &opt, CompletionFn cb)
+{
+    fatal_if(!cb, "submitAsync() with an empty callback");
+    auto req = makeRequest(kind, keys, opt);
+    req->sink = detail::ServiceRequest::Sink::Callback;
+    req->cb = std::move(cb);
+    submitRequest(req, kind, keys, opt);
 }
 
 u32
@@ -1052,6 +1238,7 @@ IndexService::stats() const
     s.expired = nExpired_.load(std::memory_order_relaxed);
     s.cancelled = nCancelled_.load(std::memory_order_relaxed);
     s.walkerStalls = nStalls_.load(std::memory_order_relaxed);
+    s.liveRequests = liveGauge_->load(std::memory_order_relaxed);
     if (adm_)
         s.admission = adm_->snapshot();
     if (board_) {

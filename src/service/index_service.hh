@@ -21,11 +21,17 @@
  *    or join. Optional CPU pinning (slot-folded over the usable
  *    CPUs; home-node CPUs under affine routing).
  *
- *  - **Submission / completion.** Clients submit(kind, keys) from
- *    any thread (the submission queue is a mutex-guarded MPSC
- *    structure — contended per request, never per key) and get a
- *    ResultTicket future; ticket.get() blocks until the request's
- *    last chunk completes.
+ *  - **Submission / completion.** The core surface is asynchronous:
+ *    clients submitAsync(kind, keys, opts, sink) from any thread
+ *    (the submission queue is a mutex-guarded MPSC structure —
+ *    contended per request, never per key) and the request's result
+ *    is *delivered* when its last chunk completes — to a callback,
+ *    or onto a CompletionQueue the client reaps in batches. Nothing
+ *    blocks between submissions, so a single client thread keeps
+ *    thousands of probes in flight. The blocking ResultTicket
+ *    (submit + get) and the probe/count/join conveniences are thin
+ *    sinks over the same completion path — status CAS, deadline
+ *    handling, and latency stamping are identical on every route.
  *
  *  - **Admission batching.** Each request is sliced into chunks of
  *    `pipeline.batch` keys. Full chunks become sealed dispatch
@@ -84,6 +90,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -161,6 +168,75 @@ struct ServiceRequest;
 struct LatencyBoard;
 }
 
+/** One finished async request, as reaped from a CompletionQueue:
+ *  the caller's tag plus the same ServiceResult every other
+ *  completion route delivers. */
+struct Completion
+{
+    u64 tag = 0;
+    ServiceResult result;
+};
+
+/**
+ * Lock-light completion queue: finished requests are pushed by the
+ * completing thread (a walker, or the submitting thread for
+ * fast-failed requests) and reaped in batches by any number of
+ * client threads. One short mutex hold per push; one per reap
+ * *batch* regardless of batch size (the backing vector is swapped
+ * out whole), so a reaper never serializes against completions
+ * entry by entry.
+ *
+ * Lifetime: the queue must outlive every request submitted against
+ * it. submitAsync's shared_ptr overload makes that automatic (each
+ * in-flight request keeps the queue alive); the reference overload
+ * leaves it to the caller — reap until every submission has been
+ * delivered before destroying the queue.
+ */
+class CompletionQueue
+{
+  public:
+    CompletionQueue() = default;
+    CompletionQueue(const CompletionQueue &) = delete;
+    CompletionQueue &operator=(const CompletionQueue &) = delete;
+
+    /** Deliver one completed request (the service's side). */
+    void push(u64 tag, ServiceResult &&result);
+
+    /**
+     * Reap up to `max` completions into `out` (appended), blocking
+     * up to `timeout` for the first one; returns the number
+     * appended (0 = timeout with nothing ready, or the queue was
+     * closed and drained). Ready completions are returned
+     * immediately without waiting for a full batch.
+     */
+    std::size_t reap(std::vector<Completion> &out, std::size_t max,
+                     std::chrono::nanoseconds timeout);
+
+    /** Completions pushed but not yet reaped. */
+    std::size_t size() const;
+
+    /** Wake every blocked reaper and make future reaps non-blocking
+     *  (they keep draining whatever is already queued). Used by
+     *  transports to unstick reapers when the far side goes away;
+     *  the service itself never closes a client's queue. */
+    void close();
+    bool closed() const;
+
+  private:
+    mutable std::mutex m_;
+    std::condition_variable cv_;
+    std::vector<Completion> ready_;
+    bool closed_ = false;
+};
+
+/** Completion callback for submitAsync. Runs exactly once, on the
+ *  completing thread: a walker for drained requests, the submitting
+ *  thread for fast-failed (rejected / expired / cancelled / empty)
+ *  ones — so it must be cheap and must not block on, or resubmit
+ *  into, the service it came from. Exceptions are caught and
+ *  logged, never propagated into the walker loop. */
+using CompletionFn = std::function<void(ServiceResult &&)>;
+
 /** Outcome of a bounded ticket wait. */
 enum class WaitStatus
 {
@@ -168,7 +244,25 @@ enum class WaitStatus
     Timeout, ///< still in flight; the ticket stays valid
 };
 
-/** One-shot future for a submitted request. */
+/**
+ * One-shot future for a submitted request: the blocking sink over
+ * the async completion core, for callers that want exactly one
+ * result on the submitting thread.
+ *
+ * DEPRECATED PATTERN — many tickets polled in a loop. Holding a
+ * vector of tickets and sweeping waitFor(0) over them (what
+ * runOpenLoop did before the async core existed) burns a
+ * mutex+condvar check per ticket per sweep and caps how many
+ * requests one thread can keep in flight. Callers issuing many
+ * concurrent requests should submitAsync onto a CompletionQueue and
+ * reap(max, timeout) in batches instead; keep ResultTicket for
+ * single-shot convenience calls.
+ *
+ * A ticket abandoned in flight (destroyed, or never get()) is safe:
+ * the request completes normally and its memory is released as soon
+ * as the last reference drops — completion never parks state on the
+ * service waiting for a reader (see ServiceStats::liveRequests).
+ */
 class ResultTicket
 {
   public:
@@ -237,6 +331,14 @@ struct ServiceStats
     /** Stuck-walker reports from the watchdog (one per stuck
      *  window, 0 with the watchdog off). */
     u64 walkerStalls = 0;
+    /** Requests whose state is still allocated: submitted but not
+     *  yet completed, plus completed-but-unclaimed ticket results a
+     *  client still holds. A gauge, not a counter — it must return
+     *  to 0 once traffic stops and every ticket is dropped, which
+     *  is what the abandoned-ticket regression test pins (an
+     *  abandoned-then-completed request must free promptly, not
+     *  linger until service stop). */
+    u64 liveRequests = 0;
     /** Admission-controller state (zeroed unless
      *  ServiceConfig::admission.adaptive). */
     AdmissionSnapshot admission{};
@@ -307,6 +409,32 @@ class IndexService
      */
     ResultTicket submit(RequestKind kind, std::span<const u64> keys,
                         const SubmitOptions &opt = {});
+
+    /**
+     * Asynchronous submission — the core API. Never blocks and
+     * returns nothing: the result is *delivered* on completion,
+     * exactly once, through `cq` (reap it in batches) or `cb`. The
+     * same completion path as submit() — fast-fail statuses
+     * (Rejected / DeadlineExceeded / Cancelled) are delivered the
+     * same way, from the submitting thread, so a reaper accounts
+     * for every submission without a separate error channel.
+     *
+     * Lifetime: the key span must stay valid until the completion
+     * is delivered. The queue must outlive the request — automatic
+     * with the shared_ptr overload (the request holds a reference),
+     * the caller's job with the reference overload. `tag` is
+     * returned verbatim in the reaped Completion; the service never
+     * interprets it.
+     */
+    void submitAsync(RequestKind kind, std::span<const u64> keys,
+                     const SubmitOptions &opt,
+                     std::shared_ptr<CompletionQueue> cq, u64 tag);
+    void submitAsync(RequestKind kind, std::span<const u64> keys,
+                     const SubmitOptions &opt, CompletionQueue &cq,
+                     u64 tag);
+    /** Callback form; see CompletionFn for the execution context. */
+    void submitAsync(RequestKind kind, std::span<const u64> keys,
+                     const SubmitOptions &opt, CompletionFn cb);
 
     /** submit + get conveniences. */
     ServiceResult
@@ -390,6 +518,16 @@ class IndexService
     void start();
     void walkerMain(unsigned w);
     void watchdogMain();
+    /** Allocate a request wired to this service (board, live
+     *  gauge, deadline); the sink is set by the caller. */
+    std::shared_ptr<detail::ServiceRequest>
+    makeRequest(RequestKind kind, std::span<const u64> keys,
+                const SubmitOptions &opt);
+    /** The one submission path every public overload funnels into:
+     *  admission, fast-fail completion, walker wakeup. */
+    void submitRequest(const std::shared_ptr<detail::ServiceRequest> &req,
+                       RequestKind kind, std::span<const u64> keys,
+                       const SubmitOptions &opt);
     /** Admission paths; false means the request was not enqueued
      *  (its Status is already set to Rejected or Cancelled and the
      *  caller completes the ticket). */
@@ -485,6 +623,12 @@ class IndexService
     /** Untagged-window counter for adaptive re-sampling (see
      *  drainGathered). */
     std::atomic<u64> nUntagged_{0};
+    /** Live-request gauge (ServiceStats::liveRequests). Shared with
+     *  every request — a client can legally hold a ticket past
+     *  service destruction, and the request's destructor must still
+     *  have a counter to decrement. */
+    std::shared_ptr<std::atomic<u64>> liveGauge_ =
+        std::make_shared<std::atomic<u64>>(0);
 
     /** Per-kind x per-component latency recorders (null when
      *  recording is off). Requests hold a raw pointer into it; the

@@ -1,253 +1,25 @@
 #include "service/open_loop.hh"
 
-#include <cmath>
-#include <condition_variable>
-#include <deque>
-#include <mutex>
-#include <thread>
-
-#include "common/logging.hh"
-#include "common/rng.hh"
+#include "service/open_loop_driver.hh"
 
 namespace widx::sw {
-
-namespace {
-
-/** Advance the arrival schedule by one draw (ns since run start). */
-u64
-nextArrival(u64 schedNs, const OpenLoopOptions &opt, Rng &rng)
-{
-    const double meanGapNs = 1e9 / opt.ratePerSec;
-    switch (opt.arrivals) {
-    case ArrivalProcess::Uniform:
-        return schedNs + u64(meanGapNs);
-    case ArrivalProcess::Poisson:
-        // Exponential gap: -ln(U) * mean, U in (0, 1].
-        return schedNs +
-               u64(-std::log(1.0 - rng.uniform()) * meanGapNs);
-    case ArrivalProcess::OnOff: {
-        // Draw at the boosted in-burst rate, then fold arrivals
-        // that fall past the on-window into the next burst start.
-        const double boosted = meanGapNs * opt.onFraction;
-        u64 next =
-            schedNs + u64(-std::log(1.0 - rng.uniform()) * boosted);
-        const u64 onLen = u64(opt.onFraction * double(opt.periodNs));
-        const u64 inPeriod = next % opt.periodNs;
-        if (inPeriod >= onLen)
-            next += opt.periodNs - inPeriod;
-        return next;
-    }
-    }
-    return schedNs;
-}
-
-} // namespace
 
 OpenLoopReport
 runOpenLoop(IndexService &service, std::span<const u64> keyPool,
             const OpenLoopOptions &opt)
 {
-    fatal_if(opt.ratePerSec <= 0.0, "open loop needs a positive rate");
-    fatal_if(keyPool.size() < opt.keysPerRequest,
-             "key pool smaller than one request");
-
-    struct Pending
-    {
-        ResultTicket ticket;
-        u64 schedNs;
-        bool abandoned = false; ///< timed out of the measurement
-    };
-
-    OpenLoopReport rep;
-    std::mutex qm;
-    std::condition_variable qcv;
-    std::deque<Pending> pending;
-    bool doneSubmitting = false;
-    std::atomic<std::size_t> inFlight{0};
-
-    // Completions recorded single-threaded on the reaper; latency
-    // is completedAtNs (stamped by the service at publication)
-    // minus the *scheduled* arrival — reap order and reap delay
-    // cannot inflate it, and generator backlog is charged to the
-    // requests that suffered it (no coordinated omission).
-    LatencyHistogram hist;
-    u64 completed = 0;
-    u64 timedOut = 0;
-    u64 rejected = 0;
-    u64 expired = 0;
-    u64 goodput = 0;
-    const u64 sloNs = opt.sloNs ? opt.sloNs : opt.deadlineNs;
-    const u64 t0 = monotonicNowNs();
-
-    // The reaper sweeps its outstanding set *out of order*: tickets
-    // complete independently, and an in-order reaper blocking on a
-    // stalled head would pin every completed ticket behind it
-    // against the in-flight cap — mass-shedding healthy arrivals
-    // and flattering the tail in exactly the stall scenario
-    // open-loop measurement exists to expose. A request that
-    // outlives drainTimeout is abandoned *for measurement only*
-    // (counted timed-out, latency unrecorded): it keeps holding its
-    // in-flight slot until the service actually finishes it, so the
-    // cap keeps bounding the true service backlog.
-    std::thread reaper([&] {
-        using namespace std::chrono_literals;
-        std::deque<Pending> local;
-        for (;;) {
-            bool live = false; // any non-abandoned ticket left?
-            for (const Pending &p : local)
-                live = live || !p.abandoned;
-            {
-                std::unique_lock<std::mutex> lk(qm);
-                auto more = [&] {
-                    return !pending.empty() || doneSubmitting;
-                };
-                if (!live && local.empty())
-                    qcv.wait(lk, more);
-                else if (!live)
-                    // Only abandoned tickets left: keep polling
-                    // them (below) so their completions release
-                    // cap slots even while no new work arrives.
-                    qcv.wait_for(lk, 10ms, more);
-                while (!pending.empty()) {
-                    local.push_back(std::move(pending.front()));
-                    pending.pop_front();
-                }
-                // Exit once submissions ended and every remaining
-                // ticket is abandoned (a lost request must not hang
-                // the run; the timed-out count reports it).
-                if (doneSubmitting && !live) {
-                    for (const Pending &p : local)
-                        live = live || !p.abandoned;
-                    if (!live)
-                        return;
-                }
-            }
-            const u64 now = monotonicNowNs();
-            bool reaped = false;
-            for (auto it = local.begin(); it != local.end();) {
-                if (it->ticket.waitFor(0ns) == WaitStatus::Ready) {
-                    const ServiceResult r = it->ticket.get();
-                    inFlight.fetch_sub(1,
-                                       std::memory_order_relaxed);
-                    if (!it->abandoned) {
-                        switch (r.status) {
-                        case Status::Ok: {
-                            ++completed;
-                            const u64 sched = t0 + it->schedNs;
-                            const u64 lat =
-                                r.completedAtNs > sched
-                                    ? r.completedAtNs - sched
-                                    : 0;
-                            hist.record(lat);
-                            if (sloNs == 0 || lat <= sloNs)
-                                ++goodput;
-                            break;
-                        }
-                        case Status::DeadlineExceeded:
-                            ++expired;
-                            break;
-                        case Status::Rejected:
-                        case Status::Cancelled:
-                            // Cancelled can only appear if the
-                            // caller stops the service mid-run;
-                            // both are server-side refusals.
-                            ++rejected;
-                            break;
-                        }
-                    }
-                    it = local.erase(it);
-                    reaped = true;
-                } else {
-                    const u64 sched = t0 + it->schedNs;
-                    if (!it->abandoned && now > sched &&
-                        now - sched >
-                            u64(opt.drainTimeout.count())) {
-                        it->abandoned = true;
-                        ++timedOut;
-                    }
-                    ++it;
-                }
-            }
-            if (!reaped && !local.empty()) {
-                // Nothing ready: park briefly on the oldest ticket.
-                // A short slice (not drainTimeout) so completions
-                // elsewhere in the set are reaped promptly.
-                local.front().ticket.waitFor(2ms);
-            }
-        }
-    });
-
-    Rng rng(opt.seed);
-    u64 schedNs = 0;
-    std::size_t base = 0;
-    for (u64 i = 0; i < opt.requests; ++i) {
-        schedNs = nextArrival(schedNs, opt, rng);
-        ++rep.scheduled;
-
-        // Pace to the schedule: sleep while far out, yield-spin the
-        // last stretch. Running late is fine — the submission goes
-        // out immediately and the lateness lands in the latency of
-        // this (and only this) request's measurement.
-        const u64 target = t0 + schedNs;
-        for (;;) {
-            const u64 now = monotonicNowNs();
-            if (now >= target)
-                break;
-            if (target - now > 200'000)
-                std::this_thread::sleep_for(
-                    std::chrono::nanoseconds(target - now -
-                                             100'000));
-            else
-                std::this_thread::yield();
-        }
-
-        if (inFlight.load(std::memory_order_relaxed) >=
-            opt.maxInFlight) {
-            ++rep.shedClientCap;
-            continue;
-        }
-        if (base + opt.keysPerRequest > keyPool.size())
-            base = 0;
-        SubmitOptions sub;
-        if (opt.deadlineNs)
-            sub.deadlineNs = t0 + schedNs + opt.deadlineNs;
-        ResultTicket t = service.submit(
-            opt.kind, keyPool.subspan(base, opt.keysPerRequest),
-            sub);
-        base += opt.keysPerRequest;
-        inFlight.fetch_add(1, std::memory_order_relaxed);
-        ++rep.submitted;
-        {
-            std::lock_guard<std::mutex> lk(qm);
-            pending.push_back(Pending{std::move(t), schedNs});
-        }
-        qcv.notify_one();
-    }
-    {
-        std::lock_guard<std::mutex> lk(qm);
-        doneSubmitting = true;
-    }
-    qcv.notify_all();
-    reaper.join();
-
-    rep.elapsedSec = double(monotonicNowNs() - t0) * 1e-9;
-    rep.completed = completed;
-    rep.timedOut = timedOut;
-    rep.rejected = rejected;
-    rep.expired = expired;
-    rep.goodput = goodput;
-    rep.offeredRate =
-        rep.elapsedSec > 0 ? double(rep.scheduled) / rep.elapsedSec
-                           : 0.0;
-    rep.achievedRate =
-        rep.elapsedSec > 0 ? double(completed) / rep.elapsedSec
-                           : 0.0;
-    rep.goodputRate =
-        rep.elapsedSec > 0 ? double(goodput) / rep.elapsedSec
-                           : 0.0;
-    rep.latency = hist.summarize();
-    rep.hist = hist;
-    return rep;
+    // The queue is shared into every submission: a request that
+    // outlives the run (counted timed-out) completes into a queue
+    // kept alive by its own submission, not freed stack memory.
+    auto cq = std::make_shared<CompletionQueue>();
+    return detail::runOpenLoopOver(
+        cq,
+        [&](u64 tag, std::span<const u64> keys, u64 deadlineAbs) {
+            SubmitOptions sub;
+            sub.deadlineNs = deadlineAbs;
+            service.submitAsync(opt.kind, keys, sub, cq, tag);
+        },
+        keyPool, opt);
 }
 
 } // namespace widx::sw

@@ -22,19 +22,25 @@
  *    exponential gaps, deterministic uniform gaps, or an on-off
  *    bursty train that packs the same average rate into periodic
  *    bursts);
- *  - submissions never wait for completions — a reaper thread
- *    polls the outstanding tickets *out of order* (a stalled
- *    request must not pin completed ones behind it) and records
- *    `result.completedAtNs - scheduledArrival` (the service stamps
- *    completion, so reap delay never inflates the measurement);
+ *  - submissions go through `submitAsync` onto a CompletionQueue —
+ *    no per-request ticket, no wait — and a reaper thread drains
+ *    completions in batches in whatever order they finish (a
+ *    stalled request must not pin completed ones behind it),
+ *    recording `result.completedAtNs - scheduledArrival` (the
+ *    service stamps completion, so reap delay never inflates the
+ *    measurement);
  *  - a bounded in-flight cap stops a saturated service from eating
  *    unbounded memory: arrivals that find the cap full are *shed*
  *    (counted, not submitted). The cap counts submitted-but-
- *    uncompleted requests in the *service*: a request that outlives
- *    `drainTimeout` is abandoned for measurement (counted
- *    timed-out, latency unrecorded) but keeps holding its cap slot
- *    until the service actually finishes it — ResultTicket::waitFor
- *    is what makes the bounded polling possible.
+ *    unreaped requests: a completion landing more than
+ *    `drainTimeout` after its scheduled arrival counts as timed-out
+ *    (latency unrecorded), and one still missing `drainTimeout`
+ *    after the last submission is written off the same way.
+ *
+ * The shared core (one generator + one batch reaper over any
+ * submission transport) lives in open_loop_driver.hh; the TCP
+ * variant in src/net/open_loop_net.hh runs the identical experiment
+ * over a socket.
  *
  * The key pool passed in must outlive the run; if any request timed
  * out, the service may still be draining it after return, so the

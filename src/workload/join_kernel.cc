@@ -100,12 +100,39 @@ runKernelProbes(const KernelDataset &data, ProbeSchedule sched,
                           : sw::WalkerEngine::Amac;
         scfg.pipeline = cfg;
         sw::IndexService service(*data.index, scfg);
-        sw::ServiceResult r = service.probe(keys);
-        for (const sw::MatchRec &rec : r.recs) {
-            out[cursor++] = rec.key;
-            out[cursor++] = rec.payload;
+        // Sliced async submission: the probe span fans out as many
+        // requests through one CompletionQueue (keeping every
+        // walker fed from the first slice on), and the slices
+        // replay into the results region in slice order — the same
+        // probeBatch-ordered sequence the single blocking request
+        // produced.
+        constexpr std::size_t kSlice = 4096;
+        const std::size_t nSlices =
+            keys.empty() ? 0
+                         : (keys.size() + kSlice - 1) / kSlice;
+        auto cq = std::make_shared<sw::CompletionQueue>();
+        for (std::size_t s = 0; s < nSlices; ++s)
+            service.submitAsync(
+                sw::RequestKind::Probe,
+                keys.subspan(s * kSlice,
+                             std::min(kSlice,
+                                      keys.size() - s * kSlice)),
+                {}, cq, s);
+        std::vector<sw::Completion> done;
+        while (done.size() < nSlices)
+            cq->reap(done, nSlices, std::chrono::milliseconds(100));
+        std::vector<std::vector<sw::MatchRec>> bySlice(nSlices);
+        u64 matches = 0;
+        for (sw::Completion &c : done) {
+            matches += c.result.matches;
+            bySlice[c.tag] = std::move(c.result.recs);
         }
-        return r.matches;
+        for (std::size_t s = 0; s < nSlices; ++s)
+            for (const sw::MatchRec &rec : bySlice[s]) {
+                out[cursor++] = rec.key;
+                out[cursor++] = rec.payload;
+            }
+        return matches;
     }
 
     switch (sched) {

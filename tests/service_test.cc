@@ -241,6 +241,45 @@ TEST_P(ServiceEquivalence, ByteIdenticalToProbeBatch)
     ServiceResult join = service.join(d.keys);
     expectSameSequence(join.recs, want, "join");
 
+    // Async path, same sweep: the keys sliced across many
+    // submitAsync calls (deliberately uneven slices) must
+    // reassemble byte-identically through a CompletionQueue — the
+    // blocking and async routes share one completion path, so any
+    // divergence here is a sink bug, not a drain bug.
+    {
+        auto cq = std::make_shared<CompletionQueue>();
+        const std::size_t slice = 257;
+        std::size_t nSlices = 0;
+        std::vector<std::size_t> sliceBase;
+        for (std::size_t base = 0; base < d.keys.size();
+             base += slice, ++nSlices) {
+            sliceBase.push_back(base);
+            service.submitAsync(
+                RequestKind::Probe,
+                {d.keys.data() + base,
+                 std::min(slice, d.keys.size() - base)},
+                {}, cq, nSlices);
+        }
+        std::vector<Completion> done;
+        for (int tries = 0;
+             done.size() < nSlices && tries < 200; ++tries)
+            cq->reap(done, nSlices,
+                     std::chrono::milliseconds(100));
+        ASSERT_EQ(done.size(), nSlices);
+        std::vector<std::vector<MatchRec>> bySlice(nSlices);
+        for (Completion &comp : done) {
+            ASSERT_LT(comp.tag, nSlices);
+            EXPECT_EQ(comp.result.status, Status::Ok);
+            bySlice[comp.tag] = std::move(comp.result.recs);
+        }
+        std::vector<MatchRec> got;
+        for (std::size_t s = 0; s < nSlices; ++s)
+            for (const MatchRec &r : bySlice[s])
+                got.push_back(
+                    {r.i + sliceBase[s], r.key, r.payload});
+        expectSameSequence(got, want, "async slices");
+    }
+
     if (service.affineRouting()) {
         // Every drained window was a single-shard affine window,
         // and every shard has exactly one home walker.
@@ -1146,4 +1185,249 @@ TEST(IndexService, WatchdogStaysQuietOnHealthyTraffic)
     std::this_thread::sleep_for(20ms);
     EXPECT_EQ(service.stats().walkerStalls, 0u);
     // Destructor must join the watchdog promptly (no test hang).
+}
+
+// ---------------------------------------------------------------------------
+// Async submission: CompletionQueue and callback sinks
+// ---------------------------------------------------------------------------
+
+TEST(IndexService, AsyncThousandsInFlightFromOneThread)
+{
+    // The acceptance shape for the async redesign: one client
+    // thread parks >= 1024 requests in the service before reaping a
+    // single completion — impossible with blocking tickets — and
+    // every result is byte-identical to the single-threaded
+    // reference for its span.
+    Dataset d(4000, 1u << 15, false, 0.0, 101);
+    ServiceConfig cfg;
+    cfg.shards = 2;
+    cfg.walkers = 2;
+    IndexService service(*d.build, d.spec, cfg);
+
+    constexpr std::size_t kReqs = 1500;
+    static_assert(kReqs >= 1024);
+    constexpr std::size_t kKeys = 16;
+    auto cq = std::make_shared<CompletionQueue>();
+    for (std::size_t i = 0; i < kReqs; ++i)
+        service.submitAsync(
+            RequestKind::Probe,
+            {d.keys.data() + (i * kKeys) % (d.keys.size() - kKeys),
+             kKeys},
+            {}, cq, i);
+    // All kReqs submitted, zero reaped: the client-side in-flight
+    // count is kReqs >= 1024 right now.
+
+    std::vector<Completion> done;
+    for (int tries = 0; done.size() < kReqs && tries < 300; ++tries)
+        cq->reap(done, kReqs, std::chrono::milliseconds(100));
+    ASSERT_EQ(done.size(), kReqs);
+
+    std::vector<bool> seen(kReqs, false);
+    for (const Completion &c : done) {
+        ASSERT_LT(c.tag, kReqs);
+        EXPECT_FALSE(seen[c.tag]) << "tag delivered twice";
+        seen[c.tag] = true;
+        ASSERT_EQ(c.result.status, Status::Ok);
+        const std::size_t base =
+            (c.tag * kKeys) % (d.keys.size() - kKeys);
+        const auto want =
+            refSequence(*d.flat, {d.keys.data() + base, kKeys});
+        expectSameSequence(c.result.recs, want, "async request");
+    }
+    // Requests, completions, and the live gauge all balance. A
+    // delivered completion can be reaped a beat before its request
+    // object unwinds out of the walker's window, so the gauge is
+    // eventually-zero, not instantly-zero.
+    EXPECT_EQ(service.stats().requests, kReqs);
+    u64 live = kReqs;
+    for (int tries = 0; tries < 500; ++tries) {
+        live = service.stats().liveRequests;
+        if (live == 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(live, 0u);
+}
+
+TEST(IndexService, ReapBatchesUnderConcurrentSubmitters)
+{
+    Dataset d(2000, 4096, false, 0.0, 103);
+    ServiceConfig cfg;
+    cfg.walkers = 2;
+    IndexService service(*d.flat, cfg);
+
+    constexpr unsigned kThreads = 4;
+    constexpr u64 kPerThread = 200;
+    auto cq = std::make_shared<CompletionQueue>();
+    std::vector<std::thread> subs;
+    for (unsigned t = 0; t < kThreads; ++t)
+        subs.emplace_back([&, t] {
+            for (u64 i = 0; i < kPerThread; ++i)
+                service.submitAsync(
+                    RequestKind::Count,
+                    {d.keys.data() + ((t * 57 + i) % 32) * 64, 64},
+                    {}, cq, t * kPerThread + i);
+        });
+
+    // Reap concurrently with the submitters, in bounded batches;
+    // every tag must arrive exactly once, and at least one reap
+    // must return more than one completion (the batching that makes
+    // the queue cheaper than per-ticket waits).
+    std::vector<bool> seen(kThreads * kPerThread, false);
+    u64 reaped = 0;
+    std::size_t maxBatch = 0;
+    std::vector<Completion> batch;
+    for (int tries = 0;
+         reaped < kThreads * kPerThread && tries < 600; ++tries) {
+        batch.clear();
+        cq->reap(batch, 64, std::chrono::milliseconds(50));
+        maxBatch = std::max(maxBatch, batch.size());
+        for (const Completion &c : batch) {
+            ASSERT_LT(c.tag, seen.size());
+            EXPECT_FALSE(seen[c.tag]);
+            seen[c.tag] = true;
+            EXPECT_EQ(c.result.status, Status::Ok);
+        }
+        reaped += batch.size();
+    }
+    for (auto &t : subs)
+        t.join();
+    EXPECT_EQ(reaped, kThreads * kPerThread);
+    EXPECT_GE(maxBatch, 1u);
+}
+
+TEST(IndexService, AsyncCompletionsOutrunSubmissionOrder)
+{
+    // Completion order is drain order, not submission order: an
+    // empty-span request submitted *after* a large one completes
+    // synchronously at submit and must be reapable while the large
+    // request is still draining. The queue reports whatever
+    // finishes first; tags are how clients correlate.
+    Dataset d(1u << 14, 1u << 16, false, 0.0, 107);
+    ServiceConfig cfg;
+    cfg.walkers = 1;
+    IndexService service(*d.flat, cfg);
+
+    auto cq = std::make_shared<CompletionQueue>();
+    service.submitAsync(RequestKind::Count, d.keys, {}, cq, 1);
+    service.submitAsync(RequestKind::Count, std::span<const u64>{},
+                        {}, cq, 2);
+
+    std::vector<Completion> done;
+    for (int tries = 0; done.size() < 2 && tries < 200; ++tries)
+        cq->reap(done, 2, std::chrono::milliseconds(100));
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_TRUE((done[0].tag == 1 && done[1].tag == 2) ||
+                (done[0].tag == 2 && done[1].tag == 1));
+    for (const Completion &c : done)
+        EXPECT_EQ(c.result.status, Status::Ok);
+}
+
+TEST(IndexService, CallbackSinkDeliversAndSurvivesThrow)
+{
+    Dataset d(2000, 2048, false, 0.0, 109);
+    ServiceConfig cfg;
+    cfg.walkers = 2;
+    IndexService service(*d.flat, cfg);
+
+    // A callback that records its result and then throws: the
+    // throw must be swallowed (a walker that unwinds strands every
+    // queued request), and the service must keep serving.
+    std::mutex m;
+    std::condition_variable cv;
+    u64 got = 0;
+    bool ready = false;
+    service.submitAsync(
+        RequestKind::Count, {d.keys.data(), 256}, {},
+        [&](ServiceResult &&r) {
+            {
+                std::lock_guard<std::mutex> lk(m);
+                got = r.matches;
+                ready = true;
+            }
+            cv.notify_all();
+            throw std::runtime_error("client bug");
+        });
+    {
+        std::unique_lock<std::mutex> lk(m);
+        ASSERT_TRUE(cv.wait_for(lk, std::chrono::seconds(10),
+                                [&] { return ready; }));
+    }
+    const auto want = refSequence(*d.flat, {d.keys.data(), 256});
+    EXPECT_EQ(got, want.size());
+    // Still alive after the throwing callback.
+    EXPECT_EQ(service.count({d.keys.data(), 256}), want.size());
+}
+
+TEST(IndexService, SubmitAfterStopDeliversCancelledThroughQueue)
+{
+    Dataset d(2000, 1024, false, 0.0, 113);
+    ServiceConfig cfg;
+    cfg.walkers = 1;
+    IndexService service(*d.flat, cfg);
+    service.stop();
+
+    auto cq = std::make_shared<CompletionQueue>();
+    service.submitAsync(RequestKind::Count, {d.keys.data(), 64}, {},
+                        cq, 7);
+    // Fast-fail completes on the submitting thread, so the
+    // completion is already queued.
+    EXPECT_EQ(cq->size(), 1u);
+    std::vector<Completion> done;
+    cq->reap(done, 8, std::chrono::milliseconds(100));
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].tag, 7u);
+    EXPECT_EQ(done[0].result.status, Status::Cancelled);
+
+    // Callback sink, same contract.
+    Status cbStatus = Status::Ok;
+    service.submitAsync(RequestKind::Count, {d.keys.data(), 64}, {},
+                        [&](ServiceResult &&r) {
+                            cbStatus = r.status;
+                        });
+    EXPECT_EQ(cbStatus, Status::Cancelled);
+}
+
+TEST(IndexService, AbandonedTicketReleasesRequestMemoryPromptly)
+{
+    // Regression: a ticket abandoned after a waitFor timeout (the
+    // old open-loop reaper's drainTimeout path) must not pin its
+    // request's memory until service stop. Once the service
+    // completes the request and the ticket is gone, the request
+    // frees and the live gauge returns to zero — while the service
+    // is still running.
+    using namespace std::chrono_literals;
+    Dataset d(1u << 14, 1u << 16, false, 0.0, 127);
+    ServiceConfig cfg;
+    cfg.walkers = 1;
+    IndexService service(*d.flat, cfg);
+
+    {
+        std::vector<ResultTicket> abandoned;
+        abandoned.push_back(
+            service.submit(RequestKind::Count, d.keys));
+        for (int i = 0; i < 16; ++i)
+            abandoned.push_back(service.submit(
+                RequestKind::Count, {d.keys.data() + 64 * i, 64}));
+        // Simulate impatient clients: a bounded wait, then drop the
+        // tickets without get().
+        for (ResultTicket &t : abandoned)
+            (void)t.waitFor(0ns);
+    } // tickets destroyed here, requests possibly still in flight
+
+    // The service drains the abandoned requests on its own; the
+    // gauge must hit zero promptly without stop().
+    bool drained = false;
+    for (int tries = 0; tries < 500; ++tries) {
+        if (service.stats().liveRequests == 0) {
+            drained = true;
+            break;
+        }
+        std::this_thread::sleep_for(10ms);
+    }
+    EXPECT_TRUE(drained)
+        << "live requests: " << service.stats().liveRequests;
+    // Still serving after the cleanup.
+    EXPECT_EQ(service.count({d.keys.data(), 64}),
+              refSequence(*d.flat, {d.keys.data(), 64}).size());
 }

@@ -157,7 +157,17 @@ def merge_entries(paths):
     if dups:
         sys.exit("duplicate benchmark name(s) across measured "
                  "files:\n  " + "\n  ".join(dups))
-    return merged
+    return merged, origin
+
+
+def provenance(origin, name, section):
+    """Failure-message suffix naming the baseline section a gated row
+    was pinned in and the measured file it matched — with several
+    merged BENCH_*.json files and four gate families, 'which pin
+    tripped, against which run' is the first triage question."""
+    src = origin.get(name)
+    where = f"matched {src}" if src else "no measured file matched"
+    return f" [baseline section '{section}'; {where}]"
 
 
 def walkers_of(name):
@@ -191,7 +201,7 @@ def host_factor(measured, baseline):
     return norm
 
 
-def gate_throughput(measured, baseline, norm, threshold):
+def gate_throughput(measured, origin, baseline, norm, threshold):
     pinned = baseline.get("pinned", {})
     failures = []
     width = max(map(len, pinned), default=0)
@@ -208,7 +218,8 @@ def gate_throughput(measured, baseline, norm, threshold):
         entry = measured.get(name)
         got = entry.get("items_per_second") if entry else None
         if got is None:
-            failures.append(f"{name}: missing from measured run")
+            failures.append(f"{name}: missing from measured run"
+                            + provenance(origin, name, "pinned"))
             print(f"  {name:<{width}}  MISSING")
             continue
         ratio = got * norm / base_ips
@@ -218,13 +229,14 @@ def gate_throughput(measured, baseline, norm, threshold):
             failures.append(
                 f"{name}: {got:.3e} items/s vs baseline "
                 f"{base_ips:.3e} ({ratio:.2f}x normalized, allowed "
-                f">= {1.0 - threshold:.2f}x)")
+                f">= {1.0 - threshold:.2f}x)"
+                + provenance(origin, name, "pinned"))
         print(f"  {name:<{width}}  {got:>10.3e} vs {base_ips:>10.3e}"
               f"  {ratio:5.2f}x  {status}")
     return len(pinned), failures
 
 
-def gate_latency(measured, baseline, norm, threshold):
+def gate_latency(measured, origin, baseline, norm, threshold):
     """Latency regressions point the other way: fail when measured
     exceeds baseline * norm * (1 + threshold) + noise floor."""
     pinned = baseline.get("latency_pinned", {})
@@ -240,7 +252,9 @@ def gate_latency(measured, baseline, norm, threshold):
             continue
         entry = measured.get(name)
         if entry is None:
-            failures.append(f"{name}: missing from measured run")
+            failures.append(
+                f"{name}: missing from measured run"
+                + provenance(origin, name, "latency_pinned"))
             print(f"  {name:<{width}}  MISSING")
             continue
         for field in LATENCY_FIELDS:
@@ -250,7 +264,8 @@ def gate_latency(measured, baseline, norm, threshold):
             got = entry.get(field)
             if got is None:
                 failures.append(
-                    f"{name}: {field} missing from measured row")
+                    f"{name}: {field} missing from measured row"
+                    + provenance(origin, name, "latency_pinned"))
                 print(f"  {name:<{width}}  {field:<7} MISSING")
                 continue
             floor = floors.get(field, 0)
@@ -262,14 +277,15 @@ def gate_latency(measured, baseline, norm, threshold):
                     f"{base / 1e3:.1f}us (allowed <= "
                     f"{allowed / 1e3:.1f}us = base * {norm:.2f} host "
                     f"* {1.0 + threshold:.2f} + {floor / 1e3:.0f}us "
-                    f"floor)")
+                    f"floor)"
+                    + provenance(origin, name, "latency_pinned"))
             print(f"  {name:<{width}}  {field:<7} "
                   f"{got / 1e3:>9.1f}us vs {base / 1e3:>9.1f}us  "
                   f"(allowed {allowed / 1e3:>9.1f}us)  {status}")
     return len(pinned), failures
 
 
-def gate_goodput(measured, baseline):
+def gate_goodput(measured, origin, baseline):
     """Overload-goodput gates: fail when a pinned row's
     goodput_fraction drops below baseline - goodput_noise_floor, or
     when a goodput_dominance rule's winner no longer beats every row
@@ -293,7 +309,8 @@ def gate_goodput(measured, baseline):
         got = frac_of(name)
         if got is None:
             failures.append(
-                f"{name}: goodput row missing from measured run")
+                f"{name}: goodput row missing from measured run"
+                + provenance(origin, name, "goodput_pinned"))
             print(f"  {name:<{width}}  MISSING")
             continue
         allowed = max(0.0, base_frac - floor)
@@ -302,7 +319,8 @@ def gate_goodput(measured, baseline):
             failures.append(
                 f"{name}: goodput_fraction {got:.3f} vs baseline "
                 f"{base_frac:.3f} (allowed >= {allowed:.3f} = "
-                f"base - {floor:.2f} noise floor)")
+                f"base - {floor:.2f} noise floor)"
+                + provenance(origin, name, "goodput_pinned"))
         print(f"  {name:<{width}}  {got:5.3f} vs {base_frac:5.3f}"
               f"  (allowed {allowed:5.3f})  {status}")
 
@@ -313,20 +331,23 @@ def gate_goodput(measured, baseline):
         if w is None:
             failures.append(
                 f"dominance rule: winner row missing from measured "
-                f"run: {winner}")
+                f"run: {winner}"
+                + provenance(origin, winner, "goodput_dominance"))
             continue
         for other in rule["over"]:
             v = frac_of(other)
             if v is None:
                 failures.append(
                     f"dominance rule: row missing from measured "
-                    f"run: {other}")
+                    f"run: {other}"
+                    + provenance(origin, other, "goodput_dominance"))
                 continue
             status = "ok" if w >= v + margin else "REGRESSION"
             if w < v + margin:
                 failures.append(
                     f"{winner}: goodput_fraction {w:.3f} no longer "
-                    f"beats {other} ({v:.3f}) by margin {margin:.2f}")
+                    f"beats {other} ({v:.3f}) by margin {margin:.2f}"
+                    + provenance(origin, winner, "goodput_dominance"))
             print(f"  dominance: {winner} ({w:.3f}) >= "
                   f"{other} ({v:.3f}) + {margin:.2f}  {status}")
     return len(pinned), failures
@@ -394,7 +415,7 @@ def main():
                          "the measured run instead of gating")
     args = ap.parse_args()
 
-    measured = merge_entries(args.measured)
+    measured, origin = merge_entries(args.measured)
     with open(args.baseline) as f:
         baseline = json.load(f)
 
@@ -403,11 +424,13 @@ def main():
         return
 
     norm = host_factor(measured, baseline)
-    n_tp, failures = gate_throughput(measured, baseline, norm,
-                                     args.threshold)
-    n_lat, lat_failures = gate_latency(measured, baseline, norm,
+    n_tp, failures = gate_throughput(measured, origin, baseline,
+                                     norm, args.threshold)
+    n_lat, lat_failures = gate_latency(measured, origin, baseline,
+                                       norm,
                                        args.latency_threshold)
-    n_good, good_failures = gate_goodput(measured, baseline)
+    n_good, good_failures = gate_goodput(measured, origin,
+                                         baseline)
     failures += lat_failures + good_failures
 
     if failures:
