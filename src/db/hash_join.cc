@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "service/index_service.hh"
@@ -137,7 +138,22 @@ probeAll(sw::IndexService &service, const Column &probe_keys,
     // position-contiguous, so reassembling them in slice order with
     // a base offset reproduces the single-request record sequence
     // byte-for-byte.
+    //
+    // The fan-out must honor bounded admission, not defeat it. The
+    // old blocking path submitted one whole request, which the
+    // admission queues either take or reject atomically; a naive
+    // submit-everything fan-out instead fills the queues with its
+    // own early slices and gets its own later slices shed
+    // (Status::Rejected, empty results) — a silently partial join.
+    // So: at most kMaxInFlight slices are outstanding at once, and
+    // a shed slice is resubmitted once the queues drain. Progress
+    // is guaranteed — admission is a whole-request check that
+    // always admits on a drained queue (overshoot-by-one-request
+    // rule), walkers keep draining, and a stopped service turns
+    // further submissions into Cancelled completions, which are
+    // terminal below.
     constexpr std::size_t kSlice = 4096;
+    constexpr std::size_t kMaxInFlight = 64;
     const std::size_t nSlices =
         keys.empty() ? 0 : (keys.size() + kSlice - 1) / kSlice;
 
@@ -146,35 +162,82 @@ probeAll(sw::IndexService &service, const Column &probe_keys,
                                      ? sw::RequestKind::Join
                                      : sw::RequestKind::Count;
     auto cq = std::make_shared<sw::CompletionQueue>();
-    for (std::size_t s = 0; s < nSlices; ++s)
-        service.submitAsync(
-            kind,
-            keys.subspan(s * kSlice,
-                         std::min(kSlice, keys.size() - s * kSlice)),
-            {}, cq, s);
+    auto slice = [&](std::size_t s) {
+        return keys.subspan(
+            s * kSlice, std::min(kSlice, keys.size() - s * kSlice));
+    };
 
-    std::vector<sw::Completion> done;
-    while (done.size() < nSlices)
-        cq->reap(done, nSlices, std::chrono::milliseconds(100));
-
-    if (!materialize) {
-        for (const sw::Completion &c : done)
+    std::vector<std::vector<sw::MatchRec>> bySlice(
+        materialize ? nSlices : 0);
+    std::size_t submitted = 0;
+    std::size_t inFlight = 0;
+    std::size_t completed = 0;
+    std::vector<sw::Completion> batch;
+    std::vector<std::size_t> shed;
+    while (completed < nSlices) {
+        while (submitted < nSlices && inFlight < kMaxInFlight &&
+               result.status == sw::Status::Ok) {
+            service.submitAsync(kind, slice(submitted), {}, cq,
+                                submitted);
+            ++submitted;
+            ++inFlight;
+        }
+        if (inFlight == 0)
+            break; // terminal status; remaining slices never sent
+        batch.clear();
+        bool progressed = false;
+        cq->reap(batch, inFlight, std::chrono::milliseconds(100));
+        for (sw::Completion &c : batch) {
+            if (c.result.status == sw::Status::Rejected &&
+                result.status == sw::Status::Ok) {
+                shed.push_back(std::size_t(c.tag));
+                continue;
+            }
+            --inFlight;
+            ++completed;
+            if (c.result.status != sw::Status::Ok) {
+                // Cancelled (service stopped) or DeadlineExceeded —
+                // the join cannot complete whole. Keep the first
+                // terminal status, stop submitting, drain what is
+                // already in flight, and surface it to the caller.
+                if (result.status == sw::Status::Ok)
+                    result.status = c.result.status;
+                continue;
+            }
+            progressed = true;
             result.matches += c.result.matches;
-        result.probeSeconds = secondsSince(start);
-        return result;
+            if (materialize)
+                bySlice[c.tag] = std::move(c.result.recs);
+        }
+        if (!shed.empty()) {
+            if (result.status != sw::Status::Ok) {
+                // A terminal status landed in the same batch: the
+                // shed slices will never be served — retire them
+                // instead of resubmitting into a stopping service.
+                inFlight -= shed.size();
+                completed += shed.size();
+            } else {
+                // Rejections complete synchronously, so a round
+                // that only saw sheds would otherwise hot-spin
+                // against a still-full queue; yield briefly before
+                // retrying.
+                if (!progressed)
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(100));
+                for (std::size_t s : shed)
+                    service.submitAsync(kind, slice(s), {}, cq, s);
+            }
+            shed.clear();
+        }
     }
-    std::vector<std::vector<sw::MatchRec>> bySlice(nSlices);
-    std::size_t total = 0;
-    for (sw::Completion &c : done) {
-        total += c.result.recs.size();
-        bySlice[c.tag] = std::move(c.result.recs);
+
+    if (materialize && result.status == sw::Status::Ok) {
+        result.pairs.reserve(result.matches);
+        for (std::size_t s = 0; s < nSlices; ++s)
+            for (const sw::MatchRec &rec : bySlice[s])
+                result.pairs.push_back(
+                    {rec.payload, RowId(s * kSlice + rec.i)});
     }
-    result.matches = total;
-    result.pairs.reserve(total);
-    for (std::size_t s = 0; s < nSlices; ++s)
-        for (const sw::MatchRec &rec : bySlice[s])
-            result.pairs.push_back(
-                {rec.payload, RowId(s * kSlice + rec.i)});
     result.probeSeconds = secondsSince(start);
     return result;
 }

@@ -21,6 +21,7 @@
 
 namespace widx::sw {
 class IndexService;
+enum class Status : u8;
 }
 
 namespace widx::db {
@@ -39,6 +40,12 @@ struct JoinResult
     double probeSeconds = 0.0;
     u64 probes = 0;
     u64 matches = 0;
+    /** How the probe phase completed: sw::Status, always Ok (0) on
+     *  the direct HashIndex paths. The IndexService overload sets it
+     *  non-Ok when the service gave up mid-run (stopped, or a slice
+     *  expired) — the join is then partial and pairs/matches must
+     *  not be trusted, mirroring ServiceResult's non-Ok contract. */
+    sw::Status status = sw::Status{};
 };
 
 /**
@@ -77,10 +84,16 @@ JoinResult probeAll(const HashIndex &index, const Column &probe_keys,
 
 /**
  * Probe through a long-lived sw::IndexService: the column's keys
- * are submitted as one join request and served by the service's
- * parked walkers (and shards), so repeated calls pay no per-call
- * thread spawn. The emitted pair sequence is byte-identical to the
- * single-threaded probeBatch path.
+ * fan out as sliced async requests served by the service's parked
+ * walkers (and shards), so repeated calls pay no per-call thread
+ * spawn. The emitted pair sequence is byte-identical to the
+ * single-threaded probeBatch path. Bounded admission is honored,
+ * not bypassed: the fan-out keeps a limited number of slices in
+ * flight and resubmits slices the service sheds (Status::Rejected),
+ * so a bounded or adaptive admission budget backpressures this
+ * caller instead of silently dropping part of the join. Check
+ * JoinResult::status — non-Ok (service stopped mid-run, deadline)
+ * means the join is partial.
  */
 JoinResult probeAll(sw::IndexService &service,
                     const Column &probe_keys,

@@ -105,11 +105,18 @@ TcpIndexClient::call(sw::RequestKind kind, std::span<const u64> keys,
     for (;;) {
         batch.clear();
         cq_->reap(batch, 16, std::chrono::milliseconds(100));
-        for (sw::Completion &c : batch)
-            if (c.tag == tag)
-                return std::move(c.result);
-        fatal_if(!batch.empty(),
-                 "call() interleaved with async completions");
+        // call() owns the queue for its whole duration: a foreign
+        // tag in the batch is an async submission racing the
+        // blocking convenience, and returning here would silently
+        // discard its completion — misuse, fail loudly whether or
+        // not this call's own tag landed in the same batch.
+        for (const sw::Completion &c : batch)
+            fatal_if(c.tag != tag,
+                     "call() interleaved with async completions");
+        // Every tag completes exactly once, so the batch is empty
+        // or holds exactly this call's completion.
+        if (!batch.empty())
+            return std::move(batch.front().result);
         if (cq_->closed() && cq_->size() == 0) {
             sw::ServiceResult r;
             r.status = sw::Status::Cancelled;

@@ -20,7 +20,9 @@
  *
  * The blocking `call()` convenience reaps until its own tag
  * appears; it must not be interleaved with outstanding async
- * submissions (it would consume their completions).
+ * submissions (it would consume their completions). Misuse fails
+ * fast: any foreign tag call() reaps — with or without its own tag
+ * in the same batch — is fatal rather than silently dropped.
  */
 
 #ifndef WIDX_NET_CLIENT_HH

@@ -41,7 +41,10 @@
  *
  * Framing errors (oversized frame, unknown kind, nonzero reserved
  * bytes, length/nKeys mismatch) are not recoverable mid-stream:
- * both ends drop the connection on the first malformed frame.
+ * both ends drop the connection on the first malformed frame. The
+ * writer never produces one: a result too fan-heavy to frame under
+ * kMaxFrameBytes is downgraded to a record-less Rejected response
+ * (kMaxRecsPerResponse) rather than sent oversized.
  */
 
 #ifndef WIDX_NET_PROTOCOL_HH
@@ -103,6 +106,15 @@ struct WireRec
 static_assert(sizeof(WireRec) == 24 &&
               std::is_trivially_copyable_v<WireRec>);
 
+/** Writer-side mirror of kMaxFrameBytes: the most records one
+ *  response frame can carry (~2.8M). A higher-fanout result cannot
+ *  be framed — the peer would drop it as a framing error, and far
+ *  beyond it (~178M records) the u32 length prefix itself would
+ *  wrap — so appendResponse downgrades it to a record-less
+ *  Status::Rejected response (see its doc). */
+inline constexpr u32 kMaxRecsPerResponse =
+    u32((kMaxFrameBytes - sizeof(RespHeader)) / sizeof(WireRec));
+
 inline void
 appendBytes(std::vector<u8> &out, const void *p, std::size_t n)
 {
@@ -126,7 +138,14 @@ appendRequest(std::vector<u8> &out, u64 reqId, sw::RequestKind kind,
     appendBytes(out, keys.data(), keys.size_bytes());
 }
 
-/** Serialize one response frame (length prefix included). */
+/** Serialize one response frame (length prefix included). A result
+ *  with more than kMaxRecsPerResponse records cannot be framed
+ *  within the reader's kMaxFrameBytes bound (the peer would drop
+ *  the connection as a protocol error); it is sent as a record-less
+ *  Status::Rejected response instead — `matches` still carries the
+ *  tally, but per the non-Ok contract the peer must not treat the
+ *  result as served. Keeps writer and reader bounds consistent: no
+ *  well-formed ServiceResult can poison the stream. */
 inline void
 appendResponse(std::vector<u8> &out, u64 reqId, sw::RequestKind kind,
                const sw::ServiceResult &r)
@@ -135,12 +154,18 @@ appendResponse(std::vector<u8> &out, u64 reqId, sw::RequestKind kind,
     h.reqId = reqId;
     h.status = u8(r.status);
     h.kind = u8(kind);
-    h.nRecs = u32(r.recs.size());
     h.matches = r.matches;
-    const u32 len = u32(sizeof(h) + r.recs.size() * sizeof(WireRec));
+    std::size_t nRecs = r.recs.size();
+    if (nRecs > kMaxRecsPerResponse) {
+        h.status = u8(sw::Status::Rejected);
+        nRecs = 0;
+    }
+    h.nRecs = u32(nRecs);
+    const u32 len = u32(sizeof(h) + nRecs * sizeof(WireRec));
     appendBytes(out, &len, sizeof(len));
     appendBytes(out, &h, sizeof(h));
-    for (const auto &rec : r.recs) {
+    for (std::size_t i = 0; i < nRecs; ++i) {
+        const sw::MatchRec &rec = r.recs[i];
         const WireRec w{u64(rec.i), rec.key, rec.payload};
         appendBytes(out, &w, sizeof(w));
     }

@@ -124,6 +124,15 @@ runKernelProbes(const KernelDataset &data, ProbeSchedule sched,
         std::vector<std::vector<sw::MatchRec>> bySlice(nSlices);
         u64 matches = 0;
         for (sw::Completion &c : done) {
+            // The scoped service runs with unbounded admission and
+            // no deadline, so every slice must drain Ok. If a
+            // future config plumbs maxQueuedKeys / adaptive
+            // admission in here, fail loudly rather than silently
+            // accumulating a shed slice's empty partial result.
+            fatal_if(c.result.status != sw::Status::Ok,
+                     "kernel probe slice %llu completed %s",
+                     (unsigned long long)c.tag,
+                     sw::statusName(c.result.status));
             matches += c.result.matches;
             bySlice[c.tag] = std::move(c.result.recs);
         }

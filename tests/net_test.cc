@@ -247,6 +247,37 @@ TEST(TcpFrontEnd, MalformedFrameDropsTheConnection)
     EXPECT_GE(server.stats().protocolErrors, 1u);
 }
 
+TEST(TcpFrontEnd, OversizedResponseDowngradesToRejected)
+{
+    // Writer-side mirror of the reader's frame cap: a result whose
+    // record array cannot fit under kMaxFrameBytes must not be
+    // serialized as an oversized frame — the peer's FrameReader
+    // would drop the connection as a protocol error, and far past
+    // the cap the u32 length prefix itself would wrap. It goes out
+    // as a record-less Rejected response the reader accepts.
+    ServiceResult big;
+    big.recs.resize(std::size_t(widx::net::kMaxRecsPerResponse) + 1);
+    big.matches = big.recs.size();
+    std::vector<u8> out;
+    widx::net::appendResponse(out, 42, RequestKind::Join, big);
+    EXPECT_LE(out.size(), 4 + std::size_t(widx::net::kMaxFrameBytes));
+
+    widx::net::FrameReader rd;
+    rd.feed(out.data(), out.size());
+    std::span<const u8> payload;
+    bool bad = false;
+    ASSERT_TRUE(rd.next(payload, bad));
+    ASSERT_FALSE(bad);
+    widx::net::RespHeader h;
+    ServiceResult parsed;
+    ASSERT_TRUE(widx::net::parseResponse(payload.data(),
+                                         payload.size(), h, parsed));
+    EXPECT_EQ(h.reqId, 42u);
+    EXPECT_EQ(parsed.status, Status::Rejected);
+    EXPECT_TRUE(parsed.recs.empty());
+    EXPECT_EQ(parsed.matches, big.matches);
+}
+
 TEST(TcpFrontEnd, ServerStopWithRequestsInFlightNeverHangs)
 {
     Dataset d(1u << 14, 1u << 15, 23);

@@ -864,6 +864,7 @@ TEST(IndexService, DbProbeAllRidesALongLivedService)
     IndexService service(idx, cfg);
     for (int round = 0; round < 3; ++round) {
         db::JoinResult got = db::probeAll(service, probe, true);
+        ASSERT_EQ(got.status, Status::Ok);
         ASSERT_EQ(got.matches, ref.matches);
         ASSERT_EQ(got.pairs.size(), ref.pairs.size());
         for (std::size_t i = 0; i < ref.pairs.size(); ++i) {
@@ -873,6 +874,83 @@ TEST(IndexService, DbProbeAllRidesALongLivedService)
         ASSERT_EQ(db::probeAll(service, probe, false).matches,
                   ref.matches);
     }
+}
+
+TEST(IndexService, DbProbeAllHonorsBoundedAdmission)
+{
+    // Regression: the async slice fan-out must not silently lose
+    // the slices a bounded admission queue sheds. With
+    // maxQueuedKeys below one 4096-key slice, a slice is only
+    // admitted on a drained queue (the overshoot-by-one-request
+    // rule), so nearly every slice rides the Rejected -> resubmit
+    // path — and the join must still come back whole, Ok, and
+    // byte-identical to the flat reference.
+    Rng rng(37);
+    Arena arena;
+    db::Column build("b", db::ValueKind::U64, arena, 2048);
+    db::Column probe("p", db::ValueKind::U64, arena, 40000);
+    for (int i = 0; i < 2048; ++i)
+        build.push(1 + rng.below(1024));
+    for (int i = 0; i < 40000; ++i)
+        probe.push(1 + rng.below(2048));
+
+    db::IndexSpec spec;
+    spec.buckets = 2048;
+    db::HashIndex idx(spec, arena);
+    idx.buildFromColumn(build);
+    db::JoinResult ref = db::probeAll(idx, probe, true);
+
+    ServiceConfig cfg;
+    cfg.walkers = 1;
+    cfg.maxQueuedKeys = 2048; // below one slice: shed-heavy
+    IndexService service(idx, cfg);
+    db::JoinResult got = db::probeAll(service, probe, true);
+    ASSERT_EQ(got.status, Status::Ok);
+    ASSERT_EQ(got.matches, ref.matches);
+    ASSERT_EQ(got.pairs.size(), ref.pairs.size());
+    for (std::size_t i = 0; i < ref.pairs.size(); ++i) {
+        ASSERT_EQ(got.pairs[i].buildRow, ref.pairs[i].buildRow);
+        ASSERT_EQ(got.pairs[i].probeRow, ref.pairs[i].probeRow);
+    }
+    // The bound actually bit: at least one slice was shed and
+    // resubmitted (10 slices against a 2048-key budget).
+    EXPECT_GT(service.stats().rejected, 0u);
+
+    db::JoinResult count = db::probeAll(service, probe, false);
+    ASSERT_EQ(count.status, Status::Ok);
+    ASSERT_EQ(count.matches, ref.matches);
+}
+
+TEST(IndexService, DbProbeAllSurfacesCancelledAfterStop)
+{
+    // A stopped service turns submissions into fast Cancelled
+    // completions; probeAll must report that on JoinResult::status
+    // (with no pairs) instead of returning a silently-empty Ok
+    // join — and must not hang resubmitting into a dead service.
+    Rng rng(41);
+    Arena arena;
+    db::Column build("b", db::ValueKind::U64, arena, 1024);
+    db::Column probe("p", db::ValueKind::U64, arena, 9000);
+    for (int i = 0; i < 1024; ++i)
+        build.push(1 + rng.below(512));
+    for (int i = 0; i < 9000; ++i)
+        probe.push(1 + rng.below(1024));
+
+    db::IndexSpec spec;
+    spec.buckets = 1024;
+    db::HashIndex idx(spec, arena);
+    idx.buildFromColumn(build);
+
+    ServiceConfig cfg;
+    cfg.walkers = 1;
+    IndexService service(idx, cfg);
+    service.stop();
+
+    db::JoinResult got = db::probeAll(service, probe, true);
+    EXPECT_EQ(got.status, Status::Cancelled);
+    EXPECT_TRUE(got.pairs.empty());
+    EXPECT_EQ(db::probeAll(service, probe, false).status,
+              Status::Cancelled);
 }
 
 // ---------------------------------------------------------------------------
