@@ -31,6 +31,7 @@
 
 #include "common/arena.hh"
 #include "common/rng.hh"
+#include "obs/metrics.hh"
 #include "service/index_service.hh"
 #include "service/open_loop.hh"
 #include "swwalkers/walker_pool.hh"
@@ -144,6 +145,42 @@ BENCHMARK(BM_ServiceSmallProbe)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// Same workload with a MetricsRegistry attached: the observability
+// acceptance row. Service metrics export through scrape-time
+// collectors reading the counters the service already keeps, so the
+// per-request delta against BM_ServiceSmallProbe/K:1 is the entire
+// registry tax on the hot path — pinned alongside the plain row so
+// a future direct-handle-on-the-submit-path change that costs more
+// than the noise floor shows up in the gate.
+static void
+BM_ServiceSmallProbeObs(benchmark::State &state)
+{
+    Dataset &d = small();
+    sw::ServiceConfig cfg;
+    cfg.walkers = unsigned(state.range(0));
+    sw::IndexService service(*d.index, cfg);
+    obs::MetricsRegistry registry;
+    service.registerMetrics(registry);
+    u64 matches = 0;
+    std::size_t base = 0;
+    for (auto _ : state) {
+        matches += service.count(
+            {d.keys.data() + base, kSmallProbe});
+        base = (base + kSmallProbe) % (d.keys.size() - kSmallProbe);
+    }
+    // One scrape outside the timed loop: the exposition must reflect
+    // the run (catches a registry wired up but exporting nothing).
+    if (registry.renderPrometheus().find(
+            "widx_service_requests_total") == std::string::npos)
+        std::abort();
+    reportKeys(state, kSmallProbe, matches);
+}
+BENCHMARK(BM_ServiceSmallProbeObs)
+    ->ArgNames({"K"})
+    ->Arg(1)
     ->UseRealTime()
     ->MeasureProcessCPUTime();
 

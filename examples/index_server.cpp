@@ -40,14 +40,25 @@
  *      with Status::Cancelled, never hang), and dumps the final
  *      accounting.
  *
+ * Observability runs through every phase: the service registers its
+ * metrics on an `obs::MetricsRegistry` (scraped over the wire in the
+ * TCP phase), requests carry trace ids into a shared
+ * `obs::TraceRing`, and SIGUSR1 dumps the ring as
+ * chrome://tracing-loadable JSON to `widx_trace.json` (`--smoke`
+ * raises it once so CI exercises the dump).
+ *
  * `--smoke` shrinks every phase for CI (bounded seconds, same code
- * paths).
+ * paths). `--serve <port>` skips the demo phases and just serves the
+ * TCP front-end (with the Stats scrape kind) on a fixed port until
+ * SIGINT/SIGTERM — the mode the CI scrape step drives `widx_stats`
+ * against.
  */
 
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <span>
 #include <thread>
@@ -57,6 +68,8 @@
 #include "common/rng.hh"
 #include "net/open_loop_net.hh"
 #include "net/server.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "service/index_service.hh"
 #include "service/open_loop.hh"
 #include "workload/distributions.hh"
@@ -65,13 +78,27 @@ using namespace widx;
 
 namespace {
 std::atomic<bool> g_interrupted{false};
+std::atomic<bool> g_dumpTrace{false};
 }
 
 int
 main(int argc, char **argv)
 {
-    const bool smoke =
-        argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    bool smoke = false;
+    int servePort = -1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--serve") == 0 &&
+                   i + 1 < argc) {
+            servePort = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--serve <port>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
 
     // 1. Data: a 256K-tuple build relation (unique keys) and a pool
     //    of probe keys the clients draw from.
@@ -99,6 +126,17 @@ main(int argc, char **argv)
     cfg.pipeline.adaptiveTags = true;
     cfg.numa = sw::NumaPolicy::NodeBound;
     cfg.affineRouting = true;
+    // Observability: hardware-counter sampling every 32nd window
+    // (degrades to zeros where perf is denied) and a span-trace
+    // ring shared with the TCP server's reaper.
+    cfg.perfSamplePeriod = 32;
+    auto trace = std::make_shared<obs::TraceRing>(8192);
+    cfg.trace = trace;
+    // Serve-only mode runs the adaptive admission controller so a
+    // scrape shows the full widx_admission_* family set; the demo
+    // phases keep the static path their printed numbers assume.
+    if (servePort >= 0)
+        cfg.admission.adaptive = true;
     sw::IndexService service(build, ispec, cfg);
     std::printf("service: %u shards x %llu buckets, %u walkers, "
                 "%.1f MB footprint\n",
@@ -113,6 +151,64 @@ main(int argc, char **argv)
             std::printf(" %u(node %u)", s,
                         service.index().shardNode(s));
         std::printf("\n");
+    }
+
+    // Everything ad-hoc above is also exported uniformly: the
+    // registry pulls service state through a collector at scrape
+    // time (zero hot-path cost) and serves it as Prometheus text
+    // exposition — locally below, and over the wire via the Stats
+    // request kind.
+    obs::MetricsRegistry registry;
+    service.registerMetrics(registry);
+    std::signal(SIGUSR1, [](int) { g_dumpTrace.store(true); });
+    auto dumpTraceIfAsked = [&] {
+        if (!g_dumpTrace.exchange(false))
+            return;
+        const std::string json = trace->renderChromeTrace();
+        FILE *f = std::fopen("widx_trace.json", "w");
+        if (!f) {
+            std::fprintf(stderr, "trace: cannot open "
+                                 "widx_trace.json for writing\n");
+            return;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("trace: wrote %zu bytes to widx_trace.json "
+                    "(load it in chrome://tracing)\n",
+                    json.size());
+    };
+
+    if (servePort >= 0) {
+        // Serve-only mode for scrapers: the TCP front-end with the
+        // shared registry and trace ring, parked until a signal.
+        net::TcpServerOptions sopt;
+        sopt.port = u16(servePort);
+        sopt.metrics = &registry;
+        sopt.trace = trace;
+        net::TcpIndexServer server(service, sopt);
+        // One warm-up probe so a scrape of a fresh server already
+        // carries latency samples (idle request kinds stay out of
+        // the exposition) and the trace ring has a spanned request.
+        sw::SubmitOptions warmOpt;
+        warmOpt.traceId = 0x3e41;
+        service
+            .submit(sw::RequestKind::Probe,
+                    {probePool.data(), 256}, warmOpt)
+            .get();
+        std::signal(SIGINT, [](int) { g_interrupted.store(true); });
+        std::signal(SIGTERM, [](int) { g_interrupted.store(true); });
+        std::printf("serving on 127.0.0.1:%u (scrape with "
+                    "widx_stats --port %u; SIGUSR1 dumps "
+                    "widx_trace.json; SIGINT/SIGTERM exits)\n",
+                    server.port(), server.port());
+        std::fflush(stdout);
+        while (!g_interrupted.load()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+            dumpTraceIfAsked();
+        }
+        server.stop();
+        return 0;
     }
 
     // 3. Closed-loop clients: each submits back-to-back small
@@ -144,8 +240,15 @@ main(int argc, char **argv)
             .count();
 
     // 4a. Verify one request against the single-threaded reference.
+    //     The sample request is traced: its lifecycle spans (submit
+    //     / window seal / first claim / drain done) land in the
+    //     ring the SIGUSR1 dump serializes.
     const std::span<const u64> sample{probePool.data(), 4096};
-    sw::ServiceResult got = service.probe(sample);
+    sw::SubmitOptions sampleOpt;
+    sampleOpt.traceId = 0x5a11;
+    sw::ServiceResult got =
+        service.submit(sw::RequestKind::Probe, sample, sampleOpt)
+            .get();
     std::vector<sw::MatchRec> want;
     u64 want_n = 0;
     // A flat reference index over the same column and geometry.
@@ -279,7 +382,10 @@ main(int argc, char **argv)
     //    client's completion queue (same driver as phase 5, latency
     //    now including both wire directions).
     {
-        net::TcpIndexServer tcpServer(service);
+        net::TcpServerOptions topt;
+        topt.metrics = &registry;
+        topt.trace = trace;
+        net::TcpIndexServer tcpServer(service, topt);
         net::TcpIndexClient tcpClient("127.0.0.1", tcpServer.port());
         const sw::ServiceResult wired =
             tcpClient.call(sw::RequestKind::Count, sample);
@@ -298,6 +404,17 @@ main(int argc, char **argv)
         nol.sloNs = 50'000'000;
         const sw::OpenLoopReport nrep =
             net::runOpenLoopNet(tcpClient, probePool, nol);
+        // Scrape the registry over the same socket: the Stats wire
+        // kind answers from the event loop without touching the
+        // admission windows it measures.
+        const std::string expo = tcpClient.stats();
+        std::size_t families = 0;
+        for (std::size_t p = expo.find("# TYPE ");
+             p != std::string::npos; p = expo.find("# TYPE ", p + 1))
+            ++families;
+        std::printf("tcp stats scrape: %zu bytes of Prometheus "
+                    "exposition, %zu metric families\n",
+                    expo.size(), families);
         tcpClient.close();
         tcpServer.stop();
         const net::TcpServerStats nst = tcpServer.stats();
@@ -393,5 +510,12 @@ main(int argc, char **argv)
         (unsigned long long)fin.admission.adjustments,
         (unsigned long long)fin.admission.decreases,
         double(fin.admission.lastWindowP99Ns) / 1e3);
+
+    // Trace dump: SIGUSR1 at any point marks the ring for dumping;
+    // smoke raises it here so CI exercises the chrome://tracing
+    // export every run.
+    if (smoke)
+        std::raise(SIGUSR1);
+    dumpTraceIfAsked();
     return identical ? 0 : 1;
 }

@@ -8,9 +8,11 @@
 #ifndef WIDX_COMMON_STATS_HH
 #define WIDX_COMMON_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
@@ -109,14 +111,39 @@ class Histogram
 /**
  * A named bag of scalar counters, used by simulator components to
  * export their statistics uniformly (gem5 statistics in miniature).
+ *
+ * Threading contract: a StatSet is **thread-confined** — it is a
+ * plain std::map with no internal synchronization, and every
+ * accessor (including the const readers) must run on the thread
+ * that first touched the set. This is deliberate: the simulator
+ * components that own StatSets are themselves single-threaded, and
+ * the map stays free of atomic overhead. Concurrent metrics belong
+ * in obs::MetricsRegistry (relaxed-atomic cells) or the sharded
+ * LatencyRecorder instead. Debug builds enforce the contract: the
+ * first accessor claims the set for its thread and any cross-thread
+ * access panics, so a violation fails loudly instead of corrupting
+ * the map. reset() releases the claim (it is the "hand this set to
+ * another phase" point).
  */
 class StatSet
 {
   public:
+    StatSet() = default;
+    /** A copy is a fresh, unclaimed set with the same counters (the
+     *  debug owner mark does not travel). */
+    StatSet(const StatSet &o) : counters_(o.counters_) {}
+    StatSet &
+    operator=(const StatSet &o)
+    {
+        counters_ = o.counters_;
+        return *this;
+    }
+
     /** Add delta (default 1) to the named counter. */
     void
     inc(const std::string &name, u64 delta = 1)
     {
+        assertOwner();
         counters_[name] += delta;
     }
 
@@ -124,6 +151,7 @@ class StatSet
     void
     set(const std::string &name, u64 value)
     {
+        assertOwner();
         counters_[name] = value;
     }
 
@@ -131,6 +159,7 @@ class StatSet
     u64
     get(const std::string &name) const
     {
+        assertOwner();
         auto it = counters_.find(name);
         return it == counters_.end() ? 0 : it->second;
     }
@@ -143,11 +172,50 @@ class StatSet
         return d == 0 ? 0.0 : double(get(num)) / double(d);
     }
 
-    void reset() { counters_.clear(); }
+    void
+    reset()
+    {
+        assertOwner();
+        counters_.clear();
+        releaseOwner();
+    }
 
-    const std::map<std::string, u64> &all() const { return counters_; }
+    const std::map<std::string, u64> &
+    all() const
+    {
+        assertOwner();
+        return counters_;
+    }
 
   private:
+#ifndef NDEBUG
+    /** First accessor claims the set; later accesses must match. */
+    void
+    assertOwner() const
+    {
+        const std::thread::id self = std::this_thread::get_id();
+        std::thread::id expect{};
+        if (owner_.compare_exchange_strong(
+                expect, self, std::memory_order_relaxed) ||
+            expect == self)
+            return;
+        panic("StatSet is thread-confined: accessed from a second "
+              "thread (see the threading contract in "
+              "common/stats.hh)");
+    }
+
+    void
+    releaseOwner()
+    {
+        owner_.store(std::thread::id{}, std::memory_order_relaxed);
+    }
+
+    mutable std::atomic<std::thread::id> owner_{};
+#else
+    void assertOwner() const {}
+    void releaseOwner() {}
+#endif
+
     std::map<std::string, u64> counters_;
 };
 

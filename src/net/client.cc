@@ -58,7 +58,7 @@ TcpIndexClient::close()
 void
 TcpIndexClient::submitAsync(sw::RequestKind kind,
                             std::span<const u64> keys, u64 deadlineNs,
-                            u64 tag)
+                            u64 tag, u64 traceId)
 {
     fatal_if(keys.size() > kMaxKeysPerRequest,
              "request exceeds the wire key cap (%zu > %u)",
@@ -67,7 +67,7 @@ TcpIndexClient::submitAsync(sw::RequestKind kind,
     if (ok_.load(std::memory_order_acquire)) {
         std::lock_guard<std::mutex> lk(writeM_);
         wbuf_.clear();
-        appendRequest(wbuf_, tag, kind, deadlineNs, keys);
+        appendRequest(wbuf_, tag, kind, deadlineNs, keys, traceId);
         std::size_t off = 0;
         sent = true;
         while (off < wbuf_.size()) {
@@ -126,6 +126,51 @@ TcpIndexClient::call(sw::RequestKind kind, std::span<const u64> keys,
     }
 }
 
+std::string
+TcpIndexClient::stats()
+{
+    u64 tag;
+    {
+        std::lock_guard<std::mutex> lk(statsM_);
+        tag = nextStatsTag_++;
+    }
+    bool sent = false;
+    if (ok_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lk(writeM_);
+        wbuf_.clear();
+        appendStatsRequest(wbuf_, tag);
+        std::size_t off = 0;
+        sent = true;
+        while (off < wbuf_.size()) {
+            const ssize_t n = ::send(fd_, wbuf_.data() + off,
+                                     wbuf_.size() - off,
+                                     MSG_NOSIGNAL);
+            if (n > 0) {
+                off += std::size_t(n);
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            ok_.store(false, std::memory_order_release);
+            sent = false;
+            break;
+        }
+    }
+    if (!sent)
+        return {};
+    std::unique_lock<std::mutex> lk(statsM_);
+    statsCv_.wait(lk, [&] {
+        return statsResults_.count(tag) != 0 ||
+               !ok_.load(std::memory_order_acquire);
+    });
+    auto it = statsResults_.find(tag);
+    if (it == statsResults_.end())
+        return {}; // connection died before the response landed
+    std::string text = std::move(it->second);
+    statsResults_.erase(it);
+    return text;
+}
+
 void
 TcpIndexClient::readerMain()
 {
@@ -142,6 +187,26 @@ TcpIndexClient::readerMain()
         std::span<const u8> payload;
         bool bad = false;
         while (rd.next(payload, bad)) {
+            // Stats responses route by the header's kind byte (wire
+            // offset 9) into the scrape rendezvous — they never
+            // carry completions, so they must not reach cq_.
+            if (payload.size() >= sizeof(RespHeader) &&
+                payload[9] == kWireKindStats) {
+                u64 reqId;
+                std::string text;
+                if (!parseStatsResponse(payload.data(),
+                                        payload.size(), reqId,
+                                        text)) {
+                    bad = true;
+                    break;
+                }
+                {
+                    std::lock_guard<std::mutex> lk(statsM_);
+                    statsResults_[reqId] = std::move(text);
+                }
+                statsCv_.notify_all();
+                continue;
+            }
             RespHeader h;
             sw::ServiceResult r;
             if (!parseResponse(payload.data(), payload.size(), h,
@@ -163,6 +228,7 @@ TcpIndexClient::readerMain()
     }
     ok_.store(false, std::memory_order_release);
     cq_->close();
+    statsCv_.notify_all(); // wake scrapes waiting on a dead socket
 }
 
 } // namespace widx::net

@@ -28,10 +28,12 @@
 #ifndef WIDX_NET_CLIENT_HH
 #define WIDX_NET_CLIENT_HH
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "net/protocol.hh"
 
@@ -49,14 +51,24 @@ class TcpIndexClient
 
     /** Issue one request; its completion lands on queue() carrying
      *  `tag`. `deadlineNs` is relative (0 = none) — the server
-     *  re-anchors it to its own clock. */
+     *  re-anchors it to its own clock. A nonzero `traceId` rides
+     *  the frame's trailer and tags the request's span events in
+     *  the server's trace ring. */
     void submitAsync(sw::RequestKind kind, std::span<const u64> keys,
-                     u64 deadlineNs, u64 tag);
+                     u64 deadlineNs, u64 tag, u64 traceId = 0);
 
     /** Blocking one-shot convenience (see file comment). */
     sw::ServiceResult call(sw::RequestKind kind,
                            std::span<const u64> keys,
                            u64 deadlineNs = 0);
+
+    /** Scrape the server's metrics registry: one Stats frame, one
+     *  Prometheus text-exposition payload back. Blocking; returns
+     *  the empty string on a broken connection or a refused scrape.
+     *  Stats responses are routed by wire kind, never through
+     *  queue(), so this is safe to interleave with outstanding
+     *  async submissions (unlike call()). */
+    std::string stats();
 
     std::shared_ptr<sw::CompletionQueue> queue() { return cq_; }
 
@@ -76,6 +88,13 @@ class TcpIndexClient
     std::vector<u8> wbuf_;
     std::thread reader_;
     u64 nextCallTag_ = u64(1) << 63; ///< call()'s private tag space
+
+    /// Stats scrapes rendezvous here (reader -> stats()), keyed by
+    /// the scrape's wire request id; never touches cq_.
+    std::mutex statsM_;
+    std::condition_variable statsCv_;
+    std::unordered_map<u64, std::string> statsResults_;
+    u64 nextStatsTag_ = 1; ///< guarded by statsM_
 };
 
 } // namespace widx::net

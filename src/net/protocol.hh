@@ -9,16 +9,24 @@
  *     u32 length | payload[length]
  *
  * where `length` counts the payload bytes after the length field.
- * A request payload is a 24-byte header followed by the key array:
+ * A request payload is a 24-byte header followed by an optional
+ * trace-id trailer and the key array:
  *
  *     u64 reqId     client-chosen correlation id, echoed back
- *     u8  kind      RequestKind (0 Count, 1 Probe, 2 Join)
- *     u8  reserved  must be 0
+ *     u8  kind      RequestKind (0 Count, 1 Probe, 2 Join) or the
+ *                   wire-only kWireKindStats (3): scrape the
+ *                   server's metrics registry (nKeys must be 0)
+ *     u8  flags     bit 0 (kReqFlagTraceId): a u64 trace id follows
+ *                   the header, before the keys; other bits must be
+ *                   0 (they are framing errors, so old peers reject
+ *                   rather than misparse frames from newer ones)
  *     u16 reserved  must be 0
  *     u32 nKeys     number of u64 keys that follow
  *     u64 deadlineNs  *relative* service deadline (0 = none): the
  *                     server anchors it to its own clock at parse
  *                     time, so client and server clocks never meet
+ *     u64 traceId   only when flags bit 0 is set (opt-in request
+ *                   tracing; see obs/trace.hh)
  *     u64 keys[nKeys]
  *
  * A response payload is a 24-byte header followed by the records:
@@ -32,6 +40,11 @@
  *                   (0 for Count — matches carries the tally)
  *     u64 matches   ServiceResult::matches
  *     {u64 pos, u64 key, u64 payload}[nRecs]
+ *
+ * A Stats response (kind = kWireKindStats) reuses the response
+ * header with nRecs = 0 and carries the Prometheus exposition text
+ * as its raw payload; `matches` holds the text byte length (see
+ * appendStatsResponse / parseStatsResponse).
  *
  * The header structs below are naturally packed to these layouts on
  * every platform we target (static_asserts enforce it), and the
@@ -52,6 +65,8 @@
 
 #include <bit>
 #include <cstring>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "service/index_service.hh"
@@ -71,11 +86,21 @@ inline constexpr u32 kMaxKeysPerRequest = 1u << 16;
  *  framing error rather than allocating unbounded memory. */
 inline constexpr u32 kMaxFrameBytes = 64u << 20;
 
+/** Request flag: a u64 trace id sits between the header and the
+ *  keys (opt-in span tracing, SubmitOptions::traceId). */
+inline constexpr u8 kReqFlagTraceId = 0x1;
+
+/** Wire-only request kind: serialize the server's metrics registry
+ *  into the response. Never enters sw::RequestKind — it is handled
+ *  entirely in the front-end, before service submission. A Stats
+ *  request carries no keys, no deadline, no trace id. */
+inline constexpr u8 kWireKindStats = 3;
+
 struct ReqHeader
 {
     u64 reqId = 0;
     u8 kind = 0;
-    u8 rsv0 = 0;
+    u8 flags = 0; ///< kReqFlag* bits; unknown bits are errors
     u16 rsv1 = 0;
     u32 nKeys = 0;
     u64 deadlineNs = 0; ///< relative (0 = none)
@@ -122,20 +147,39 @@ appendBytes(std::vector<u8> &out, const void *p, std::size_t n)
     out.insert(out.end(), b, b + n);
 }
 
-/** Serialize one request frame (length prefix included). */
+/** Serialize one request frame (length prefix included). A nonzero
+ *  `traceId` sets kReqFlagTraceId and rides the trailer. */
 inline void
 appendRequest(std::vector<u8> &out, u64 reqId, sw::RequestKind kind,
-              u64 deadlineNs, std::span<const u64> keys)
+              u64 deadlineNs, std::span<const u64> keys,
+              u64 traceId = 0)
 {
     ReqHeader h;
     h.reqId = reqId;
     h.kind = u8(kind);
+    if (traceId)
+        h.flags = kReqFlagTraceId;
     h.nKeys = u32(keys.size());
     h.deadlineNs = deadlineNs;
-    const u32 len = u32(sizeof(h) + keys.size_bytes());
+    const u32 len = u32(sizeof(h) + (traceId ? 8 : 0) +
+                        keys.size_bytes());
     appendBytes(out, &len, sizeof(len));
     appendBytes(out, &h, sizeof(h));
+    if (traceId)
+        appendBytes(out, &traceId, sizeof(traceId));
     appendBytes(out, keys.data(), keys.size_bytes());
+}
+
+/** Serialize one Stats request frame: header only, kind 3. */
+inline void
+appendStatsRequest(std::vector<u8> &out, u64 reqId)
+{
+    ReqHeader h;
+    h.reqId = reqId;
+    h.kind = kWireKindStats;
+    const u32 len = u32(sizeof(h));
+    appendBytes(out, &len, sizeof(len));
+    appendBytes(out, &h, sizeof(h));
 }
 
 /** Serialize one response frame (length prefix included). A result
@@ -176,20 +220,37 @@ appendResponse(std::vector<u8> &out, u64 reqId, sw::RequestKind kind,
  *  on any framing violation — the caller must drop the connection. */
 inline bool
 parseRequest(const u8 *p, std::size_t len, ReqHeader &h,
-             std::vector<u64> &keys)
+             std::vector<u64> &keys, u64 *traceId = nullptr)
 {
+    if (traceId)
+        *traceId = 0;
     if (len < sizeof(ReqHeader))
         return false;
     std::memcpy(&h, p, sizeof(h));
-    if (h.kind > u8(sw::RequestKind::Join) || h.rsv0 || h.rsv1)
+    const bool stats = h.kind == kWireKindStats;
+    if ((h.kind > u8(sw::RequestKind::Join) && !stats) ||
+        (h.flags & ~kReqFlagTraceId) || h.rsv1)
         return false;
+    if (stats && (h.nKeys || h.flags || h.deadlineNs))
+        return false; // a Stats request is a bare header
     if (h.nKeys > kMaxKeysPerRequest)
         return false;
-    if (len != sizeof(ReqHeader) + std::size_t(h.nKeys) * 8)
+    std::size_t off = sizeof(ReqHeader);
+    if (h.flags & kReqFlagTraceId) {
+        if (len < off + 8)
+            return false;
+        u64 t;
+        std::memcpy(&t, p + off, 8);
+        if (t == 0)
+            return false; // the flag promises a real id
+        if (traceId)
+            *traceId = t;
+        off += 8;
+    }
+    if (len != off + std::size_t(h.nKeys) * 8)
         return false;
     keys.resize(h.nKeys);
-    std::memcpy(keys.data(), p + sizeof(ReqHeader),
-                std::size_t(h.nKeys) * 8);
+    std::memcpy(keys.data(), p + off, std::size_t(h.nKeys) * 8);
     return true;
 }
 
@@ -217,6 +278,54 @@ parseResponse(const u8 *p, std::size_t len, RespHeader &h,
                     sizeof(w));
         r.recs[i] = {std::size_t(w.pos), w.key, w.payload};
     }
+    return true;
+}
+
+/** Serialize a Stats response: the exposition text as the raw
+ *  payload after the header (matches = text byte length). Text too
+ *  large to frame is downgraded to an empty Rejected response, the
+ *  same never-poison-the-stream rule as appendResponse. */
+inline void
+appendStatsResponse(std::vector<u8> &out, u64 reqId,
+                    std::string_view text)
+{
+    RespHeader h;
+    h.reqId = reqId;
+    h.kind = kWireKindStats;
+    if (text.size() > kMaxFrameBytes - sizeof(RespHeader)) {
+        h.status = u8(sw::Status::Rejected);
+        text = {};
+    }
+    h.matches = text.size();
+    const u32 len = u32(sizeof(h) + text.size());
+    appendBytes(out, &len, sizeof(len));
+    appendBytes(out, &h, sizeof(h));
+    appendBytes(out, text.data(), text.size());
+}
+
+/** Validate and decode a Stats response payload. Returns false on a
+ *  framing violation (drop the connection); a well-formed non-Ok
+ *  response returns true with `text` empty. Route on the header's
+ *  kind byte (payload offset 9 == kWireKindStats) before calling
+ *  parseResponse, which rejects the Stats kind. */
+inline bool
+parseStatsResponse(const u8 *p, std::size_t len, u64 &reqId,
+                   std::string &text)
+{
+    if (len < sizeof(RespHeader))
+        return false;
+    RespHeader h;
+    std::memcpy(&h, p, sizeof(h));
+    if (h.kind != kWireKindStats || h.rsv || h.nRecs)
+        return false;
+    if (h.matches != u64(len - sizeof(RespHeader)))
+        return false;
+    reqId = h.reqId;
+    text.clear();
+    if (h.status == u8(sw::Status::Ok))
+        text.assign(reinterpret_cast<const char *>(p) +
+                        sizeof(RespHeader),
+                    len - sizeof(RespHeader));
     return true;
 }
 

@@ -11,6 +11,8 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace widx::net {
 
@@ -54,6 +56,20 @@ TcpIndexServer::TcpIndexServer(sw::IndexService &service,
     ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev);
     ev.data.fd = wakeFd_;
     ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev);
+
+    if (opt_.metrics) {
+        metrics_ = opt_.metrics;
+    } else {
+        // Self-contained default: a private registry pre-loaded
+        // with the wrapped service's metrics, so a bare server is
+        // scrapeable out of the box.
+        ownedMetrics_ = std::make_unique<obs::MetricsRegistry>();
+        metrics_ = ownedMetrics_.get();
+        service_.registerMetrics(*metrics_);
+    }
+    metrics_->addCollector(
+        [this](obs::Snapshot &out) { collectNetMetrics(out); });
+    trace_ = opt_.trace.get();
 
     loop_ = std::thread([this] { loopMain(); });
     reaper_ = std::thread([this] { reaperMain(); });
@@ -152,13 +168,32 @@ TcpIndexServer::handleReadable(int fd)
     // to exploit.
     std::span<const u8> payload;
     bool bad = false;
+    bool statsQueued = false;
     while (c.rd.next(payload, bad)) {
         ReqHeader h;
+        u64 traceId = 0;
         auto pr = std::make_unique<PendingReq>();
         if (!parseRequest(payload.data(), payload.size(), h,
-                          pr->keys)) {
+                          pr->keys, &traceId)) {
             bad = true;
             break;
+        }
+        if (h.kind == kWireKindStats) {
+            // Answered in-line from the registry, never submitted:
+            // a scrape must not hold admission budget or perturb
+            // the windows it is measuring. Appended under connM_
+            // and flushed via the eventfd on the *next* loop
+            // iteration — flushConn here could close the
+            // connection and free the FrameReader mid-parse.
+            const std::string text = metrics_->renderPrometheus();
+            {
+                std::lock_guard<std::mutex> lk(connM_);
+                appendStatsResponse(c.out, h.reqId, text);
+            }
+            nStatsScrapes_.fetch_add(1, std::memory_order_relaxed);
+            nResponses_.fetch_add(1, std::memory_order_relaxed);
+            statsQueued = true;
+            continue;
         }
         pr->fd = fd;
         pr->gen = c.gen;
@@ -167,6 +202,7 @@ TcpIndexServer::handleReadable(int fd)
         sw::SubmitOptions sub;
         if (h.deadlineNs)
             sub.deadlineNs = monotonicNowNs() + h.deadlineNs;
+        sub.traceId = traceId;
         nRequests_.fetch_add(1, std::memory_order_relaxed);
         outstanding_.fetch_add(1, std::memory_order_relaxed);
         PendingReq *raw = pr.release(); // reaper reclaims via tag
@@ -177,6 +213,12 @@ TcpIndexServer::handleReadable(int fd)
     if (bad) {
         nProtoErr_.fetch_add(1, std::memory_order_relaxed);
         closeConn(fd);
+        return;
+    }
+    if (statsQueued) {
+        const u64 one = 1;
+        [[maybe_unused]] ssize_t w =
+            ::write(wakeFd_, &one, sizeof(one));
     }
 }
 
@@ -311,6 +353,10 @@ TcpIndexServer::reaperMain()
                 for (const sw::Completion &comp : batch) {
                     std::unique_ptr<PendingReq> pr(
                         reinterpret_cast<PendingReq *>(comp.tag));
+                    if (trace_ && comp.result.traceId)
+                        trace_->record(comp.result.traceId,
+                                       obs::SpanPoint::Reap,
+                                       monotonicNowNs());
                     auto it = conns_.find(pr->fd);
                     if (it == conns_.end() ||
                         it->second.gen != pr->gen) {
@@ -349,7 +395,64 @@ TcpIndexServer::stats() const
     s.responses = nResponses_.load(std::memory_order_relaxed);
     s.droppedResponses = nDropped_.load(std::memory_order_relaxed);
     s.protocolErrors = nProtoErr_.load(std::memory_order_relaxed);
+    s.statsScrapes = nStatsScrapes_.load(std::memory_order_relaxed);
     return s;
+}
+
+void
+TcpIndexServer::collectNetMetrics(obs::Snapshot &out) const
+{
+    using obs::Family;
+    using obs::MetricType;
+    using obs::Sample;
+
+    auto scalar = [&](const char *name, const char *help,
+                      MetricType type, double v) {
+        Family f;
+        f.name = name;
+        f.help = help;
+        f.type = type;
+        f.samples.push_back(Sample{{}, v, {}});
+        out.push_back(std::move(f));
+    };
+    auto counter = [&](const char *name, const char *help,
+                       const std::atomic<u64> &c) {
+        scalar(name, help, MetricType::Counter,
+               double(c.load(std::memory_order_relaxed)));
+    };
+
+    counter("widx_net_connections_accepted_total",
+            "TCP connections accepted.", nAccepted_);
+    counter("widx_net_connections_closed_total",
+            "TCP connections closed (EOF, error, slow-consumer "
+            "drop, or shutdown).",
+            nClosed_);
+    counter("widx_net_requests_total",
+            "Request frames parsed and submitted to the service.",
+            nRequests_);
+    counter("widx_net_responses_total",
+            "Response frames serialized toward a client.",
+            nResponses_);
+    counter("widx_net_dropped_responses_total",
+            "Completions whose connection closed first.", nDropped_);
+    counter("widx_net_protocol_errors_total",
+            "Malformed frames (the connection is dropped).",
+            nProtoErr_);
+    counter("widx_net_stats_scrapes_total",
+            "Stats frames answered in-line from the registry.",
+            nStatsScrapes_);
+    scalar("widx_net_outstanding_requests",
+           "Frames submitted to the service and not yet reaped.",
+           MetricType::Gauge,
+           double(outstanding_.load(std::memory_order_relaxed)));
+    std::size_t open;
+    {
+        std::lock_guard<std::mutex> lk(connM_);
+        open = conns_.size();
+    }
+    scalar("widx_net_open_connections",
+           "Currently open client connections.", MetricType::Gauge,
+           double(open));
 }
 
 } // namespace widx::net

@@ -36,8 +36,16 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "net/protocol.hh"
+
+namespace widx::obs {
+class MetricsRegistry;
+class TraceRing;
+struct Family;
+using Snapshot = std::vector<Family>; // mirrors obs/metrics.hh
+}
 
 namespace widx::net {
 
@@ -49,6 +57,16 @@ struct TcpServerOptions
      *  whose client stops reading is dropped once its buffered
      *  responses exceed this (slow-consumer protection). */
     std::size_t maxOutBytes = 64u << 20;
+    /** Registry served on Stats frames. Null = the server builds a
+     *  private registry and registers the wrapped service's metrics
+     *  on it; either way the server adds its own net collector. The
+     *  registry (and any scraper of it) must not outlive the
+     *  server: the collector points back into it. */
+    obs::MetricsRegistry *metrics = nullptr;
+    /** Span-trace ring the reaper stamps Reap events into for
+     *  traced requests. Normally the same ring as
+     *  ServiceConfig::trace; null = no reap spans. */
+    std::shared_ptr<obs::TraceRing> trace;
 };
 
 struct TcpServerStats
@@ -59,6 +77,7 @@ struct TcpServerStats
     u64 responses = 0;        ///< frames serialized toward a client
     u64 droppedResponses = 0; ///< completion outlived its connection
     u64 protocolErrors = 0;   ///< malformed frames (connection dropped)
+    u64 statsScrapes = 0;     ///< Stats frames answered in-line
 };
 
 class TcpIndexServer
@@ -109,9 +128,13 @@ class TcpIndexServer
     void flushConn(int fd, Conn &c);
     void closeConn(int fd);
     void updateEpoll(int fd, Conn &c);
+    void collectNetMetrics(obs::Snapshot &out) const;
 
     sw::IndexService &service_;
     TcpServerOptions opt_;
+    std::unique_ptr<obs::MetricsRegistry> ownedMetrics_;
+    obs::MetricsRegistry *metrics_ = nullptr; ///< never null
+    obs::TraceRing *trace_ = nullptr;
     u16 port_ = 0;
     int listenFd_ = -1;
     int epollFd_ = -1;
@@ -132,6 +155,7 @@ class TcpIndexServer
     std::atomic<u64> nResponses_{0};
     std::atomic<u64> nDropped_{0};
     std::atomic<u64> nProtoErr_{0};
+    std::atomic<u64> nStatsScrapes_{0};
 
     std::thread loop_;
     std::thread reaper_;

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * MetricsRegistry implementation: registration, snapshot merging,
+ * and the Prometheus text-exposition serializer.
+ */
+
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace widx::obs {
+
+namespace {
+
+bool
+validMetricName(std::string_view s)
+{
+    if (s.empty())
+        return false;
+    auto head = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               c == '_' || c == ':';
+    };
+    if (!head(s[0]))
+        return false;
+    for (char c : s.substr(1))
+        if (!head(c) && !(c >= '0' && c <= '9'))
+            return false;
+    return true;
+}
+
+bool
+validLabelName(std::string_view s)
+{
+    if (s.empty() || s.starts_with("__"))
+        return false;
+    auto head = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               c == '_';
+    };
+    if (!head(s[0]))
+        return false;
+    for (char c : s.substr(1))
+        if (!head(c) && !(c >= '0' && c <= '9'))
+            return false;
+    return true;
+}
+
+/** Canonicalize a label set: sorted by name, validated. */
+void
+canonicalize(std::string_view metric, Labels &labels)
+{
+    std::sort(labels.begin(), labels.end());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        panic_if(!validLabelName(labels[i].first) ||
+                     labels[i].first == "le",
+                 "metric %.*s: invalid label name \"%s\"",
+                 int(metric.size()), metric.data(),
+                 labels[i].first.c_str());
+        panic_if(i > 0 && labels[i].first == labels[i - 1].first,
+                 "metric %.*s: duplicate label \"%s\"",
+                 int(metric.size()), metric.data(),
+                 labels[i].first.c_str());
+    }
+}
+
+/** Escape a HELP line or label value per the exposition format. */
+std::string
+escapeText(std::string_view s, bool quoteLabelValue)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else if (c == '"' && quoteLabelValue)
+            out += "\\\"";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** Render a sample value: integral values print as integers (exact
+ *  for counters up to 2^53), everything else as shortest float. */
+std::string
+formatValue(double v)
+{
+    char buf[64];
+    if (std::isfinite(v) && v == std::rint(v) &&
+        std::fabs(v) < 9.0e15) {
+        std::snprintf(buf, sizeof(buf), "%" PRId64, i64(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+    }
+    return buf;
+}
+
+/** Render `{k="v",...}` (empty string for no labels). An extra
+ *  (name, value) pair — histogram `le` — is appended last when
+ *  `extra` is non-null, matching Prometheus convention. */
+std::string
+renderLabels(const Labels &labels,
+             const std::pair<std::string, std::string> *extra)
+{
+    if (labels.empty() && !extra)
+        return "";
+    std::string out = "{";
+    bool first = true;
+    auto put = [&](const std::string &k, const std::string &v) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += k;
+        out += "=\"";
+        out += escapeText(v, true);
+        out += "\"";
+    };
+    for (const auto &[k, v] : labels)
+        put(k, v);
+    if (extra)
+        put(extra->first, extra->second);
+    out += "}";
+    return out;
+}
+
+const char *
+typeName(MetricType t)
+{
+    switch (t) {
+      case MetricType::Counter:
+        return "counter";
+      case MetricType::Gauge:
+        return "gauge";
+      case MetricType::Histogram:
+        return "histogram";
+    }
+    return "untyped";
+}
+
+} // namespace
+
+detail::Cell *
+MetricsRegistry::cellFor(std::string_view name, std::string_view help,
+                         Labels &&labels, MetricType type)
+{
+    panic_if(!validMetricName(name), "invalid metric name \"%.*s\"",
+             int(name.size()), name.data());
+    canonicalize(name, labels);
+
+    std::lock_guard lk(m_);
+    auto it = std::find_if(
+        families_.begin(), families_.end(),
+        [&](const auto &f) { return f.first == name; });
+    if (it == families_.end()) {
+        families_.emplace_back(std::string(name), FamilyReg{});
+        it = std::prev(families_.end());
+        it->second.help = std::string(help);
+        it->second.type = type;
+    }
+    FamilyReg &fam = it->second;
+    panic_if(fam.type != type,
+             "metric %.*s re-registered as a different type",
+             int(name.size()), name.data());
+    for (Registered &r : fam.metrics)
+        if (r.labels == labels)
+            return r.cell.get();
+    fam.metrics.push_back(
+        {std::move(labels), std::make_unique<detail::Cell>()});
+    return fam.metrics.back().cell.get();
+}
+
+Counter
+MetricsRegistry::counter(std::string_view name, std::string_view help,
+                         Labels labels)
+{
+    return Counter(
+        cellFor(name, help, std::move(labels), MetricType::Counter));
+}
+
+Gauge
+MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                       Labels labels)
+{
+    return Gauge(
+        cellFor(name, help, std::move(labels), MetricType::Gauge));
+}
+
+void
+MetricsRegistry::addCollector(std::function<void(Snapshot &)> fn)
+{
+    std::lock_guard lk(m_);
+    collectors_.push_back(std::move(fn));
+}
+
+Snapshot
+MetricsRegistry::snapshot() const
+{
+    Snapshot snap;
+    {
+        std::lock_guard lk(m_);
+        snap.reserve(families_.size());
+        for (const auto &[name, fam] : families_) {
+            Family out;
+            out.name = name;
+            out.help = fam.help;
+            out.type = fam.type;
+            out.samples.reserve(fam.metrics.size());
+            for (const Registered &r : fam.metrics) {
+                Sample s;
+                s.labels = r.labels;
+                const u64 bits =
+                    r.cell->bits.load(std::memory_order_relaxed);
+                s.value = fam.type == MetricType::Gauge
+                              ? std::bit_cast<double>(bits)
+                              : double(bits);
+                out.samples.push_back(std::move(s));
+            }
+            snap.push_back(std::move(out));
+        }
+        for (const auto &fn : collectors_)
+            fn(snap);
+    }
+
+    // Canonical order: families by name, samples by label set; merge
+    // families collectors emitted under an already-present name.
+    for (Family &f : snap)
+        for (Sample &s : f.samples)
+            std::sort(s.labels.begin(), s.labels.end());
+    std::stable_sort(snap.begin(), snap.end(),
+                     [](const Family &a, const Family &b) {
+                         return a.name < b.name;
+                     });
+    Snapshot merged;
+    for (Family &f : snap) {
+        if (!merged.empty() && merged.back().name == f.name) {
+            auto &dst = merged.back().samples;
+            dst.insert(dst.end(),
+                       std::make_move_iterator(f.samples.begin()),
+                       std::make_move_iterator(f.samples.end()));
+        } else {
+            merged.push_back(std::move(f));
+        }
+    }
+    for (Family &f : merged)
+        std::sort(f.samples.begin(), f.samples.end(),
+                  [](const Sample &a, const Sample &b) {
+                      return a.labels < b.labels;
+                  });
+    return merged;
+}
+
+std::string
+MetricsRegistry::renderPrometheus(const Snapshot &snap)
+{
+    std::string out;
+    for (const Family &f : snap) {
+        if (!f.help.empty()) {
+            out += "# HELP ";
+            out += f.name;
+            out += " ";
+            out += escapeText(f.help, false);
+            out += "\n";
+        }
+        out += "# TYPE ";
+        out += f.name;
+        out += " ";
+        out += typeName(f.type);
+        out += "\n";
+        for (const Sample &s : f.samples) {
+            if (f.type != MetricType::Histogram) {
+                out += f.name;
+                out += renderLabels(s.labels, nullptr);
+                out += " ";
+                out += formatValue(s.value);
+                out += "\n";
+                continue;
+            }
+            for (std::size_t i = 0; i < s.hist.bounds.size(); ++i) {
+                const std::pair<std::string, std::string> le{
+                    "le", formatValue(s.hist.bounds[i])};
+                out += f.name;
+                out += "_bucket";
+                out += renderLabels(s.labels, &le);
+                out += " ";
+                out += formatValue(double(s.hist.cumulative[i]));
+                out += "\n";
+            }
+            const std::pair<std::string, std::string> inf{"le",
+                                                          "+Inf"};
+            out += f.name;
+            out += "_bucket";
+            out += renderLabels(s.labels, &inf);
+            out += " ";
+            out += formatValue(double(s.hist.count));
+            out += "\n";
+            out += f.name;
+            out += "_sum";
+            out += renderLabels(s.labels, nullptr);
+            out += " ";
+            out += formatValue(s.hist.sum);
+            out += "\n";
+            out += f.name;
+            out += "_count";
+            out += renderLabels(s.labels, nullptr);
+            out += " ";
+            out += formatValue(double(s.hist.count));
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+HistogramData
+toHistogramData(const LatencyHistogram &h)
+{
+    // Nominal power-of-4 ladder, 1 us .. ~1.05 s; each bound is
+    // quantized up to the enclosing log-bucket's upper edge so the
+    // cumulative count at each bound is exact.
+    static constexpr u64 kNominalNs[] = {
+        1'000,      4'000,       16'000,      64'000,
+        256'000,    1'024'000,   4'096'000,   16'384'000,
+        65'536'000, 262'144'000, 1'048'576'000,
+    };
+    HistogramData d;
+    u64 cum = 0;
+    unsigned b = 0;
+    for (u64 n : kNominalNs) {
+        const unsigned top = LatencyHistogram::bucketOf(n);
+        while (b <= top)
+            cum += h.bucketCount(b++);
+        d.bounds.push_back(double(LatencyHistogram::bucketHighNs(top)));
+        d.cumulative.push_back(cum);
+    }
+    d.count = h.count();
+    d.sum = double(h.sumNs());
+    return d;
+}
+
+double
+snapshotValue(const Snapshot &snap, std::string_view name,
+              const Labels &labels, double fallback)
+{
+    Labels want = labels;
+    std::sort(want.begin(), want.end());
+    for (const Family &f : snap) {
+        if (f.name != name)
+            continue;
+        for (const Sample &s : f.samples)
+            if (s.labels == want)
+                return s.value;
+    }
+    return fallback;
+}
+
+} // namespace widx::obs

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * PerfGroup implementation: raw perf_event_open syscalls (no libpfm
+ * dependency), PERF_FORMAT_GROUP reads with PERF_FORMAT_ID to match
+ * values back to events, and time_enabled/time_running scaling.
+ */
+
+#include "obs/perf_group.hh"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace widx::obs {
+
+#ifdef __linux__
+
+namespace {
+
+long
+perfEventOpen(perf_event_attr *attr, pid_t pid, int cpu, int groupFd,
+              unsigned long flags)
+{
+    return syscall(SYS_perf_event_open, attr, pid, cpu, groupFd,
+                   flags);
+}
+
+} // namespace
+
+int
+PerfGroup::open(u32 type, u64 config, int groupFd)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = type;
+    attr.config = config;
+    attr.disabled = groupFd == -1 ? 1 : 0; // group toggles via leader
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                       PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    // pid 0, cpu -1: this thread, wherever it runs.
+    return int(perfEventOpen(&attr, 0, -1, groupFd, 0));
+}
+
+PerfGroup::PerfGroup()
+{
+    // Leader: cycles. If this fails there is no perf access at all —
+    // stay degraded (leader_ == -1).
+    leader_ = open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (leader_ < 0)
+        return;
+    fds_[0] = leader_;
+    fds_[1] = open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS,
+                   leader_);
+    fds_[2] = open(PERF_TYPE_HW_CACHE,
+                   PERF_COUNT_HW_CACHE_LL |
+                       (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                       (PERF_COUNT_HW_CACHE_RESULT_MISS << 16),
+                   leader_);
+    fds_[3] = open(PERF_TYPE_HW_CACHE,
+                   PERF_COUNT_HW_CACHE_DTLB |
+                       (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                       (PERF_COUNT_HW_CACHE_RESULT_MISS << 16),
+                   leader_);
+    for (unsigned i = 0; i < kEvents; ++i)
+        if (fds_[i] >= 0)
+            ioctl(fds_[i], PERF_EVENT_IOC_ID, &ids_[i]);
+}
+
+PerfGroup::~PerfGroup()
+{
+    for (int i = int(kEvents) - 1; i >= 0; --i)
+        if (fds_[i] >= 0)
+            ::close(fds_[i]);
+}
+
+void
+PerfGroup::start()
+{
+    if (leader_ < 0)
+        return;
+    ioctl(leader_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(leader_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void
+PerfGroup::stop()
+{
+    if (leader_ < 0)
+        return;
+    ioctl(leader_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfGroup::Counts
+PerfGroup::read()
+{
+    Counts c;
+    if (leader_ < 0)
+        return c; // degraded: all zeros, valid == false
+
+    // PERF_FORMAT_GROUP|ID|TIME_* layout:
+    //   u64 nr; u64 time_enabled; u64 time_running;
+    //   { u64 value; u64 id; } values[nr];
+    u64 buf[3 + 2 * kEvents] = {};
+    const long n = ::read(leader_, buf, sizeof(buf));
+    if (n < long(3 * sizeof(u64)))
+        return c;
+
+    const u64 nr = buf[0];
+    const u64 enabled = buf[1];
+    const u64 running = buf[2];
+    auto scaled = [&](u64 v) -> u64 {
+        if (running == 0)
+            return 0;
+        if (running >= enabled)
+            return v;
+        return u64(double(v) * double(enabled) / double(running));
+    };
+    for (u64 i = 0; i < nr && i < kEvents; ++i) {
+        const u64 value = buf[3 + 2 * i];
+        const u64 id = buf[3 + 2 * i + 1];
+        for (unsigned slot = 0; slot < kEvents; ++slot) {
+            if (fds_[slot] < 0 || ids_[slot] != id)
+                continue;
+            const u64 v = scaled(value);
+            if (slot == 0)
+                c.cycles = v;
+            else if (slot == 1)
+                c.instructions = v;
+            else if (slot == 2)
+                c.llcMisses = v;
+            else
+                c.dtlbMisses = v;
+            break;
+        }
+    }
+    c.valid = true;
+    return c;
+}
+
+#else // !__linux__
+
+int
+PerfGroup::open(u32, u64, int)
+{
+    return -1;
+}
+
+PerfGroup::PerfGroup() {}
+PerfGroup::~PerfGroup() {}
+void PerfGroup::start() {}
+void PerfGroup::stop() {}
+
+PerfGroup::Counts
+PerfGroup::read()
+{
+    return {};
+}
+
+#endif // __linux__
+
+} // namespace widx::obs

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Grouped hardware-counter sampling over perf_event_open(2).
+ *
+ * The paper's case rests on a stall breakdown (Fig. 2: cores waiting
+ * on index-traversal cache misses); this wrapper closes the loop from
+ * that offline observation to live numbers on the software walkers.
+ * One PerfGroup owns a perf event *group* — cycles (leader),
+ * instructions, LLC misses, dTLB misses — on the calling thread, so
+ * a single grouped read() yields a consistent simultaneous sample of
+ * all four, from which the registry derives misses-per-probe and an
+ * IPC proxy per walker.
+ *
+ * Soft probe: containers and CI commonly deny perf
+ * (perf_event_paranoid, seccomp, missing PMU). Construction probes
+ * once; on any failure `available()` is false and every read()
+ * returns all-zero counts with `valid == false` — zeros, never
+ * garbage, and never a crash. Follower events that fail individually
+ * (e.g. no LLC event in a VM) are simply absent (their count stays
+ * 0) while the rest of the group keeps working.
+ *
+ * Counts are scaled by time_enabled/time_running, the standard
+ * correction when the kernel multiplexes the PMU.
+ *
+ * Thread affinity: the group counts the thread that constructed it
+ * (pid = 0 / self, any CPU) — create it on the walker thread it is
+ * meant to observe. Not thread-safe; one owner thread.
+ */
+
+#ifndef WIDX_OBS_PERF_GROUP_HH
+#define WIDX_OBS_PERF_GROUP_HH
+
+#include <array>
+
+#include "common/types.hh"
+
+namespace widx::obs {
+
+class PerfGroup
+{
+  public:
+    struct Counts
+    {
+        u64 cycles = 0;
+        u64 instructions = 0;
+        u64 llcMisses = 0;
+        u64 dtlbMisses = 0;
+        bool valid = false; ///< false = degraded path, all zeros
+    };
+
+    PerfGroup();
+    ~PerfGroup();
+
+    PerfGroup(const PerfGroup &) = delete;
+    PerfGroup &operator=(const PerfGroup &) = delete;
+
+    /** False when perf access was denied at construction; start(),
+     *  stop() and read() are harmless no-ops then. */
+    bool available() const { return leader_ >= 0; }
+
+    /** Zero and enable the whole group. */
+    void start();
+
+    /** Disable the whole group (counts freeze until start()). */
+    void stop();
+
+    /** One grouped read of all four counters, multiplex-scaled.
+     *  Returns zeros with valid=false when unavailable. */
+    Counts read();
+
+  private:
+    int open(u32 type, u64 config, int groupFd);
+
+    static constexpr unsigned kEvents = 4;
+    int leader_ = -1; ///< cycles; < 0 = degraded
+    std::array<int, kEvents> fds_{{-1, -1, -1, -1}};
+    std::array<u64, kEvents> ids_{}; ///< kernel event ids, by slot
+};
+
+} // namespace widx::obs
+
+#endif // WIDX_OBS_PERF_GROUP_HH

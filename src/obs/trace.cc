@@ -1,0 +1,105 @@
+/**
+ * @file
+ * TraceRing implementation: snapshot extraction and the
+ * chrome://tracing JSON renderer.
+ */
+
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace widx::obs {
+
+const char *
+spanPointName(SpanPoint p)
+{
+    switch (p) {
+      case SpanPoint::Submit:
+        return "submit";
+      case SpanPoint::WindowSeal:
+        return "window_seal";
+      case SpanPoint::FirstClaim:
+        return "first_claim";
+      case SpanPoint::DrainDone:
+        return "drain_done";
+      case SpanPoint::Reap:
+        return "reap";
+    }
+    return "unknown";
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+{
+    const std::size_t cap =
+        std::bit_ceil(std::max<std::size_t>(capacity, 2));
+    slots_ = std::make_unique<Slot[]>(cap);
+    mask_ = cap - 1;
+}
+
+std::vector<TraceRing::Event>
+TraceRing::snapshot() const
+{
+    const u64 head = head_.load(std::memory_order_acquire);
+    const u64 cap = mask_ + 1;
+    const u64 lo = head > cap ? head - cap : 0;
+    std::vector<Event> out;
+    out.reserve(std::size_t(head - lo));
+    for (u64 t = lo; t < head; ++t) {
+        const Slot &s = slots_[t & mask_];
+        const u64 want = 2 * t + 2;
+        if (s.seq.load(std::memory_order_acquire) != want)
+            continue; // unwritten, in-progress, or overwritten
+        Event e;
+        e.traceId = s.traceId.load(std::memory_order_relaxed);
+        e.tsNs = s.tsNs.load(std::memory_order_relaxed);
+        e.point =
+            SpanPoint(u8(s.point.load(std::memory_order_relaxed)));
+        e.arg = s.arg.load(std::memory_order_relaxed);
+        if (s.seq.load(std::memory_order_acquire) != want)
+            continue; // torn: a writer lapped us mid-copy
+        out.push_back(e);
+    }
+    return out;
+}
+
+std::string
+TraceRing::renderChromeTrace() const
+{
+    std::vector<Event> evs = snapshot();
+    std::stable_sort(evs.begin(), evs.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.tsNs < b.tsNs;
+                     });
+    const u64 t0 = evs.empty() ? 0 : evs.front().tsNs;
+
+    // One chrome "thread" row per trace id, dense ids in first-seen
+    // order, so a request's spans line up on one track.
+    std::map<u64, unsigned> rows;
+    for (const Event &e : evs)
+        rows.emplace(e.traceId, unsigned(rows.size()));
+
+    std::string out = "{\"traceEvents\":[";
+    char buf[256];
+    bool first = true;
+    for (const Event &e : evs) {
+        const double tsUs = double(e.tsNs - t0) / 1e3;
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+            "\"ts\":%.3f,\"pid\":1,\"tid\":%u,"
+            "\"args\":{\"trace_id\":\"0x%" PRIx64
+            "\",\"arg\":%u}}",
+            first ? "" : ",", spanPointName(e.point), tsUs,
+            rows.at(e.traceId), e.traceId, e.arg);
+        out += buf;
+        first = false;
+    }
+    out += "],\"displayTimeUnit\":\"ns\"}";
+    return out;
+}
+
+} // namespace widx::obs

@@ -4,6 +4,9 @@
 
 #include "common/failpoint.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/perf_group.hh"
+#include "obs/trace.hh"
 #include "swwalkers/coro.hh"
 
 namespace widx::sw {
@@ -94,6 +97,11 @@ struct ServiceRequest
     LatencyBoard *board = nullptr;
     u64 tSubmit = 0;
     std::atomic<u64> tFirstDrain{0};
+
+    /** Opt-in span tracing: nonzero traceId and a live ring stamp
+     *  lifecycle events (see obs/trace.hh). */
+    u64 traceId = 0;
+    obs::TraceRing *trace = nullptr;
 
     /** Completion sink (fixed before the request is published to
      *  any queue; only the completing thread touches it after). */
@@ -194,8 +202,11 @@ struct ServiceRequest
         // percentiles toward the reject path's microseconds and
         // poison the admission controller's signal.
         r.status = Status(status.load(std::memory_order_relaxed));
+        r.traceId = traceId;
         const u64 now = monotonicNowNs();
         r.completedAtNs = now;
+        if (trace && traceId)
+            trace->record(traceId, obs::SpanPoint::DrainDone, now);
         if (board && r.status == Status::Ok) {
             const u64 fd = tFirstDrain.load(std::memory_order_relaxed);
             const u64 first = fd ? fd : now;
@@ -351,6 +362,9 @@ IndexService::start()
             walkers + 1); // walkers finalize; submitters do empties
     if (cfg_.watchdogPeriodNs > 0)
         beats_.reset(new WalkerBeat[walkers]);
+    wobs_.reset(new WalkerObs[walkers]);
+    sobs_.reset(new ShardObs[index_.shards()]);
+    trace_ = cfg_.trace.get();
 
     if (affine_) {
         const unsigned S = index_.shards();
@@ -488,8 +502,15 @@ IndexService::makeRequest(RequestKind kind,
     req->keys = keys;
     req->deadlineNs = opt.deadlineNs;
     req->board = board_.get();
-    if (board_)
+    if (trace_ && opt.traceId) {
+        req->traceId = opt.traceId;
+        req->trace = trace_;
+    }
+    if (board_ || req->trace)
         req->tSubmit = monotonicNowNs();
+    if (req->trace)
+        req->trace->record(req->traceId, obs::SpanPoint::Submit,
+                           req->tSubmit);
     liveGauge_->fetch_add(1, std::memory_order_relaxed);
     req->liveGauge = liveGauge_;
 
@@ -674,6 +695,7 @@ IndexService::submitShared(
             Window w;
             w.segs.push_back(Segment{req, c, base, u32(chunk_)});
             w.keys = u32(chunk_);
+            noteSeal(w); // full chunks seal at admission
             sealed_.push_back(std::move(w));
             ++added;
         }
@@ -685,6 +707,7 @@ IndexService::submitShared(
         if (base < keys.size()) {
             const u32 len = u32(keys.size() - base);
             if (open_.keys + len > chunk_) {
+                noteSeal(open_);
                 sealed_.push_back(std::move(open_));
                 open_ = Window{};
                 ++added;
@@ -692,6 +715,7 @@ IndexService::submitShared(
             open_.segs.push_back(Segment{req, c, base, len});
             open_.keys += len;
             if (open_.keys >= hold) {
+                noteSeal(open_);
                 sealed_.push_back(std::move(open_));
                 open_ = Window{};
                 ++added;
@@ -811,6 +835,7 @@ IndexService::submitAffine(
                 done += take;
                 if (w.keys >= hold) {
                     openKeys_ -= w.keys;
+                    noteSeal(w);
                     shardSealed_[s].push_back(std::move(w));
                     shardOpen_[s] = Window{};
                     shardOpen_[s].shard = int(s);
@@ -846,6 +871,15 @@ IndexService::walkerMain(unsigned w)
         else
             pinCurrentThread(w);
     }
+    // Hardware-counter sampling: a per-thread perf event group,
+    // started/stopped around every Nth window drain. Opened on this
+    // thread so the group counts this walker; where perf access is
+    // denied the group degrades (available() false) and the sample
+    // branch never fires.
+    std::unique_ptr<obs::PerfGroup> perf;
+    if (cfg_.perfSamplePeriod > 0)
+        perf = std::make_unique<obs::PerfGroup>();
+    u64 drainedWindows = 0;
     for (;;) {
         // Fault injection (compiled out by default): delay a walker
         // between wake-up and claim so tests can race submissions
@@ -870,10 +904,19 @@ IndexService::walkerMain(unsigned w)
         nWindows_.fetch_add(1, std::memory_order_relaxed);
         if (win.segs.size() > 1)
             nCoalesced_.fetch_add(1, std::memory_order_relaxed);
-        if (win.shard >= 0)
+        if (win.shard >= 0) {
             nAffine_.fetch_add(1, std::memory_order_relaxed);
+            ShardObs &so = sobs_[unsigned(win.shard)];
+            so.drained.fetch_add(1, std::memory_order_relaxed);
+            if (stolen)
+                so.stolen.fetch_add(1, std::memory_order_relaxed);
+        }
         if (stolen)
             nStolen_.fetch_add(1, std::memory_order_relaxed);
+        wobs_[w].windows.fetch_add(1, std::memory_order_relaxed);
+        bool sampleHw = false;
+        if (perf && perf->available())
+            sampleHw = drainedWindows++ % cfg_.perfSamplePeriod == 0;
         // Heartbeat: claim time published before the drain starts,
         // so a stall anywhere inside it is attributable.
         if (beats_) {
@@ -886,7 +929,28 @@ IndexService::walkerMain(unsigned w)
         // the chaos tests' main lever (requests must flow around it
         // via stealing, and the watchdog must report it).
         WIDX_FAILPOINT("service.walker_stall");
+        if (sampleHw)
+            perf->start();
         processWindow(win);
+        if (sampleHw) {
+            perf->stop();
+            const obs::PerfGroup::Counts c = perf->read();
+            if (c.valid) {
+                WalkerObs &wo = wobs_[w];
+                wo.sampledWindows.fetch_add(
+                    1, std::memory_order_relaxed);
+                wo.sampledProbes.fetch_add(
+                    win.keys, std::memory_order_relaxed);
+                wo.cycles.fetch_add(c.cycles,
+                                    std::memory_order_relaxed);
+                wo.instructions.fetch_add(
+                    c.instructions, std::memory_order_relaxed);
+                wo.llcMisses.fetch_add(c.llcMisses,
+                                       std::memory_order_relaxed);
+                wo.dtlbMisses.fetch_add(c.dtlbMisses,
+                                        std::memory_order_relaxed);
+            }
+        }
         if (beats_) {
             beats_[w].busySinceNs.store(
                 0, std::memory_order_relaxed);
@@ -902,9 +966,12 @@ void
 IndexService::watchdogMain()
 {
     const unsigned n = unsigned(threads_.size());
-    // One report per stuck window: remember the busy epoch already
-    // reported per walker and stay quiet until it changes.
+    // One *count* per stuck window (epoch dedup), but warnings are
+    // rate-limited rather than one-shot: a persistent stall re-warns
+    // once per additional threshold window, so a wedged walker stays
+    // visible in the log without flooding it at the watchdog period.
     std::vector<u64> reported(n, ~u64{0});
+    std::vector<u64> warnedBucket(n, 0);
     std::unique_lock<std::mutex> lk(wdM_);
     for (;;) {
         wdCv_.wait_for(
@@ -919,16 +986,30 @@ IndexService::watchdogMain()
             if (busy == 0 || now <= busy ||
                 now - busy < cfg_.stallThresholdNs)
                 continue;
+            const u64 age = now - busy;
             const u64 ep =
                 beats_[w].epoch.load(std::memory_order_relaxed);
-            if (reported[w] == ep)
+            if (reported[w] != ep) {
+                reported[w] = ep;
+                warnedBucket[w] = age / cfg_.stallThresholdNs;
+                nStalls_.fetch_add(1, std::memory_order_relaxed);
+                wobs_[w].stalls.fetch_add(1,
+                                          std::memory_order_relaxed);
+                warn("index service watchdog: walker %u stuck in "
+                     "one window drain for %.1f ms (threshold "
+                     "%.1f ms)",
+                     w, double(age) / 1e6,
+                     double(cfg_.stallThresholdNs) / 1e6);
                 continue;
-            reported[w] = ep;
-            nStalls_.fetch_add(1, std::memory_order_relaxed);
-            warn("index service watchdog: walker %u stuck in one "
-                 "window drain for %.1f ms (threshold %.1f ms)",
-                 w, double(now - busy) / 1e6,
-                 double(cfg_.stallThresholdNs) / 1e6);
+            }
+            const u64 bucket = age / cfg_.stallThresholdNs;
+            if (bucket > warnedBucket[w]) {
+                warnedBucket[w] = bucket;
+                warn("index service watchdog: walker %u still "
+                     "stuck in the same window drain, last "
+                     "heartbeat %.1f ms ago",
+                     w, double(age) / 1e6);
+            }
         }
     }
 }
@@ -1020,14 +1101,19 @@ IndexService::processWindow(Window &win)
     // winning claim also feeds the admission controller's windowed
     // queue-wait signal.
     u64 now = 0;
-    if (board_) {
+    if (board_ || trace_) {
         now = monotonicNowNs();
         for (const Segment &seg : win.segs) {
             u64 expect = 0;
-            if (seg.req->tFirstDrain.compare_exchange_strong(
-                    expect, now, std::memory_order_relaxed) &&
-                adm_)
+            if (!seg.req->tFirstDrain.compare_exchange_strong(
+                    expect, now, std::memory_order_relaxed))
+                continue;
+            if (adm_)
                 adm_->recordQueueWait(now - seg.req->tSubmit);
+            if (seg.req->trace)
+                seg.req->trace->record(seg.req->traceId,
+                                       obs::SpanPoint::FirstClaim,
+                                       now);
         }
     }
 
@@ -1264,6 +1350,292 @@ IndexService::resetLatencyStats()
     for (auto &row : board_->rec)
         for (auto &rec : row)
             rec.reset();
+}
+
+void
+IndexService::noteSeal(const Window &win)
+{
+    if (!trace_)
+        return;
+    // Runs under m_ at the seal sites: one clock read per sealed
+    // window holding at least one traced segment, nothing otherwise.
+    u64 now = 0;
+    for (const Segment &seg : win.segs) {
+        if (!seg.req->trace)
+            continue;
+        if (now == 0)
+            now = monotonicNowNs();
+        trace_->record(seg.req->traceId, obs::SpanPoint::WindowSeal,
+                       now, win.keys);
+    }
+}
+
+void
+IndexService::registerMetrics(obs::MetricsRegistry &reg)
+{
+    reg.addCollector(
+        [this](obs::Snapshot &out) { collectMetrics(out); });
+}
+
+void
+IndexService::collectMetrics(obs::Snapshot &out) const
+{
+    using obs::Family;
+    using obs::Labels;
+    using obs::MetricType;
+    using obs::Sample;
+
+    auto scalar = [&](const char *name, const char *help,
+                      MetricType type, double v) {
+        Family f;
+        f.name = name;
+        f.help = help;
+        f.type = type;
+        f.samples.push_back(Sample{{}, v, {}});
+        out.push_back(std::move(f));
+    };
+    auto counter = [&](const char *name, const char *help, u64 v) {
+        scalar(name, help, MetricType::Counter, double(v));
+    };
+    auto gauge = [&](const char *name, const char *help, double v) {
+        scalar(name, help, MetricType::Gauge, v);
+    };
+    auto rel = [](const std::atomic<u64> &a) {
+        return a.load(std::memory_order_relaxed);
+    };
+
+    counter("widx_service_requests_total",
+            "Requests submitted (every Status included)",
+            rel(nRequests_));
+    counter("widx_service_keys_total", "Keys submitted", rel(nKeys_));
+    counter("widx_service_windows_total", "Dispatch windows drained",
+            rel(nWindows_));
+    counter("widx_service_windows_coalesced_total",
+            "Windows spanning more than one request tail",
+            rel(nCoalesced_));
+    counter("widx_service_windows_affine_total",
+            "Single-shard windows (affine routing)", rel(nAffine_));
+    counter("widx_service_windows_stolen_total",
+            "Windows drained by a non-home walker", rel(nStolen_));
+    counter("widx_service_walker_stalls_total",
+            "Watchdog stuck-window reports, all walkers",
+            rel(nStalls_));
+    gauge("widx_service_live_requests",
+          "Request states currently allocated",
+          double(liveGauge_->load(std::memory_order_relaxed)));
+    gauge("widx_service_queued_keys",
+          "Keys parked in the admission queues",
+          double(rel(queuedKeys_)));
+
+    {
+        Family f;
+        f.name = "widx_service_requests_completed_total";
+        f.help = "Completed requests by final Status";
+        f.type = MetricType::Counter;
+        f.samples.push_back(Sample{Labels{{"status", "ok"}},
+                                   double(rel(nCompletedOk_)),
+                                   {}});
+        f.samples.push_back(Sample{Labels{{"status", "rejected"}},
+                                   double(rel(nRejected_)),
+                                   {}});
+        f.samples.push_back(Sample{Labels{{"status", "expired"}},
+                                   double(rel(nExpired_)),
+                                   {}});
+        f.samples.push_back(Sample{Labels{{"status", "cancelled"}},
+                                   double(rel(nCancelled_)),
+                                   {}});
+        out.push_back(std::move(f));
+    }
+
+    if (adm_) {
+        const AdmissionSnapshot a = adm_->snapshot();
+        gauge("widx_admission_hold_keys",
+              "Current open-window seal threshold",
+              double(a.holdKeys));
+        gauge("widx_admission_budget_keys",
+              "Current queued-key budget", double(a.budgetKeys));
+        counter("widx_admission_adjustments_total",
+                "Judged controller intervals", a.adjustments);
+        counter("widx_admission_decreases_total",
+                "Intervals that halved hold or budget", a.decreases);
+        gauge("widx_admission_last_window_p99_ns",
+              "Last judged interval's queue-wait p99",
+              double(a.lastWindowP99Ns));
+        gauge("widx_admission_last_window_count",
+              "Samples in the last judged interval",
+              double(a.lastWindowCount));
+    }
+
+    // Per-shard window accounting (affine windows only; shared-mode
+    // windows span shards and show up in the service totals).
+    {
+        Family drained, stolen;
+        drained.name = "widx_shard_windows_drained_total";
+        drained.help = "Affine windows drained, by shard";
+        drained.type = MetricType::Counter;
+        stolen.name = "widx_shard_windows_stolen_total";
+        stolen.help =
+            "Affine windows drained by a non-home walker, by shard";
+        stolen.type = MetricType::Counter;
+        for (unsigned s = 0; s < index_.shards(); ++s) {
+            Labels l{{"shard", std::to_string(s)}};
+            drained.samples.push_back(
+                Sample{l, double(rel(sobs_[s].drained)), {}});
+            stolen.samples.push_back(
+                Sample{l, double(rel(sobs_[s].stolen)), {}});
+        }
+        out.push_back(std::move(drained));
+        out.push_back(std::move(stolen));
+    }
+
+    // Per-walker: windows, stall reports, current drain age, and
+    // the hardware-counter accumulation (zeros when perf is denied
+    // or sampling is off).
+    {
+        const unsigned n = unsigned(threads_.size());
+        const u64 now = monotonicNowNs();
+        Family windows, stalls, busy;
+        windows.name = "widx_walker_windows_total";
+        windows.help = "Windows drained, by walker";
+        windows.type = MetricType::Counter;
+        stalls.name = "widx_walker_stalls_total";
+        stalls.help = "Watchdog stuck-window reports, by walker";
+        stalls.type = MetricType::Counter;
+        busy.name = "widx_walker_busy_ns";
+        busy.help = "Age of the current window drain (0 = parked)";
+        busy.type = MetricType::Gauge;
+        for (unsigned w = 0; w < n; ++w) {
+            Labels l{{"walker", std::to_string(w)}};
+            windows.samples.push_back(
+                Sample{l, double(rel(wobs_[w].windows)), {}});
+            stalls.samples.push_back(
+                Sample{l, double(rel(wobs_[w].stalls)), {}});
+            if (beats_) {
+                const u64 b = rel(beats_[w].busySinceNs);
+                busy.samples.push_back(Sample{
+                    l, b && now > b ? double(now - b) : 0.0, {}});
+            }
+        }
+        out.push_back(std::move(windows));
+        out.push_back(std::move(stalls));
+        if (beats_)
+            out.push_back(std::move(busy));
+
+        if (cfg_.perfSamplePeriod > 0) {
+            Family cyc, ins, llc, tlb, swin, sprb, mpp, ipc;
+            cyc.name = "widx_walker_cycles_total";
+            cyc.help = "CPU cycles over sampled window drains";
+            ins.name = "widx_walker_instructions_total";
+            ins.help = "Instructions over sampled window drains";
+            llc.name = "widx_walker_llc_misses_total";
+            llc.help = "LLC read misses over sampled window drains";
+            tlb.name = "widx_walker_dtlb_misses_total";
+            tlb.help = "dTLB read misses over sampled window drains";
+            swin.name = "widx_walker_sampled_windows_total";
+            swin.help = "Window drains sampled with perf";
+            sprb.name = "widx_walker_sampled_probes_total";
+            sprb.help = "Keys probed inside sampled window drains";
+            mpp.name = "widx_walker_llc_misses_per_probe";
+            mpp.help = "LLC misses per probed key (sampled windows)";
+            mpp.type = MetricType::Gauge;
+            ipc.name = "widx_walker_ipc";
+            ipc.help =
+                "Instructions per cycle over sampled window drains "
+                "(MLP proxy: low IPC on the walker loop means "
+                "overlapped misses, the design target)";
+            ipc.type = MetricType::Gauge;
+            for (Family *f : {&cyc, &ins, &llc, &tlb, &swin, &sprb})
+                f->type = MetricType::Counter;
+            for (unsigned w = 0; w < n; ++w) {
+                Labels l{{"walker", std::to_string(w)}};
+                const WalkerObs &wo = wobs_[w];
+                const u64 cycles = rel(wo.cycles);
+                const u64 instrs = rel(wo.instructions);
+                const u64 misses = rel(wo.llcMisses);
+                const u64 probes = rel(wo.sampledProbes);
+                cyc.samples.push_back(Sample{l, double(cycles), {}});
+                ins.samples.push_back(Sample{l, double(instrs), {}});
+                llc.samples.push_back(Sample{l, double(misses), {}});
+                tlb.samples.push_back(
+                    Sample{l, double(rel(wo.dtlbMisses)), {}});
+                swin.samples.push_back(
+                    Sample{l, double(rel(wo.sampledWindows)), {}});
+                sprb.samples.push_back(
+                    Sample{l, double(probes), {}});
+                mpp.samples.push_back(Sample{
+                    l,
+                    probes ? double(misses) / double(probes) : 0.0,
+                    {}});
+                ipc.samples.push_back(Sample{
+                    l,
+                    cycles ? double(instrs) / double(cycles) : 0.0,
+                    {}});
+            }
+            for (Family *f :
+                 {&cyc, &ins, &llc, &tlb, &swin, &sprb, &mpp, &ipc})
+                out.push_back(std::move(*f));
+        }
+    }
+
+    // Tag-filter effectiveness (cross-shard aggregate).
+    {
+        const db::TagFilterStats &t = index_.tagStats();
+        counter("widx_tagfilter_keys_total",
+                "Keys swept through the fingerprint filter",
+                t.keys());
+        counter("widx_tagfilter_rejects_total",
+                "Keys rejected by the fingerprint filter",
+                t.rejects());
+        counter("widx_tagfilter_agings_total",
+                "Sliding-window stat agings", t.agings());
+        gauge("widx_tagfilter_reject_rate",
+              "Recent-window filter reject rate", t.rejectRate());
+    }
+
+    // Per-kind latency: full histograms for the end-to-end split
+    // plus the percentile ladder as gauges (percentiles read from
+    // the native log buckets, tighter than re-bucketed exposition).
+    if (board_) {
+        using detail::LatencyBoard;
+        static constexpr const char *kKind[3] = {"count", "probe",
+                                                "join"};
+        static constexpr const char *kComp[3] = {"e2e", "queue",
+                                                 "drain"};
+        Family hist, p50, p99;
+        hist.name = "widx_request_latency_ns";
+        hist.help = "Per-kind request latency (Ok completions; "
+                    "component e2e = queue + drain)";
+        hist.type = MetricType::Histogram;
+        p50.name = "widx_request_latency_p50_ns";
+        p50.help = "Median request latency";
+        p50.type = MetricType::Gauge;
+        p99.name = "widx_request_latency_p99_ns";
+        p99.help = "p99 request latency";
+        p99.type = MetricType::Gauge;
+        for (unsigned k = 0; k < 3; ++k) {
+            for (unsigned comp = 0; comp < 3; ++comp) {
+                const LatencyHistogram h =
+                    board_->rec[k][comp].snapshot();
+                if (h.count() == 0)
+                    continue; // idle kinds stay out of the scrape
+                Labels l{{"kind", kKind[k]},
+                         {"component", kComp[comp]}};
+                Sample s;
+                s.labels = l;
+                s.hist = obs::toHistogramData(h);
+                hist.samples.push_back(std::move(s));
+                p50.samples.push_back(
+                    Sample{l, double(h.percentileNs(50)), {}});
+                p99.samples.push_back(
+                    Sample{l, double(h.percentileNs(99)), {}});
+            }
+        }
+        if (!hist.samples.empty()) {
+            out.push_back(std::move(hist));
+            out.push_back(std::move(p50));
+            out.push_back(std::move(p99));
+        }
+    }
 }
 
 } // namespace widx::sw

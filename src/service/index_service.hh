@@ -102,6 +102,13 @@
 #include "service/sharded_index.hh"
 #include "swwalkers/probers.hh"
 
+namespace widx::obs {
+class MetricsRegistry;
+class TraceRing;
+struct Family;
+using Snapshot = std::vector<Family>; // mirrors obs/metrics.hh
+}
+
 namespace widx::sw {
 
 /** What a request asks the walkers to do with its keys. */
@@ -147,6 +154,10 @@ struct ServiceResult
      *  scheduled-arrival latency without a reap-time clock read
      *  (reap delay never inflates the measurement). */
     u64 completedAtNs = 0;
+    /** SubmitOptions::traceId echoed back (0 = untraced), so a
+     *  reaper can stamp the completion-reap span without a side
+     *  table. */
+    u64 traceId = 0;
 };
 
 /** Per-submission options (deadline now; room to grow). */
@@ -161,6 +172,12 @@ struct SubmitOptions
      *  the deadline; the guarantee is no *new* per-key work starts
      *  for an expired request. */
     u64 deadlineNs = 0;
+    /** Opt-in request tracing: nonzero and ServiceConfig::trace set,
+     *  the request's lifecycle points (submit / window seal / first
+     *  claim / drain done) stamp span events into the trace ring,
+     *  and the id is echoed in ServiceResult::traceId. 0 = no
+     *  tracing for this request (the hot path pays one branch). */
+    u64 traceId = 0;
 };
 
 namespace detail {
@@ -472,6 +489,18 @@ class IndexService
 
     ServiceStats stats() const;
 
+    /**
+     * Export this service's state into a MetricsRegistry: a
+     * scrape-time collector pulls the traffic counters, outcome
+     * split, admission state, per-shard drain/steal counters,
+     * per-walker stall and hardware-counter samples, tag-filter
+     * stats, and the per-kind latency histograms. Registration adds
+     * nothing to the request hot path — the cost is paid by the
+     * scraper. The service must outlive the registry's last
+     * snapshot() (the collector captures `this`).
+     */
+    void registerMetrics(obs::MetricsRegistry &reg);
+
     /** Zero the latency histograms (traffic counters keep running).
      *  Only exact while no request is in flight — intended for
      *  benches resetting between rate rows. No-op when
@@ -542,6 +571,11 @@ class IndexService
     /** Retire one segment without draining it; the last segment to
      *  retire completes the ticket. */
     void retireSegment(const Segment &seg);
+    /** Stamp WindowSeal span events for a window's traced requests
+     *  (called at every seal site; no-op unless tracing is on). */
+    void noteSeal(const Window &win);
+    /** Scrape-time collector body for registerMetrics. */
+    void collectMetrics(obs::Snapshot &out) const;
     /** Complete a request's ticket, counting Ok completions. */
     void finishRequest(detail::ServiceRequest &req);
     bool claimShared(Window &win);
@@ -596,6 +630,39 @@ class IndexService
         std::atomic<u64> busySinceNs{0};
     };
     std::unique_ptr<WalkerBeat[]> beats_;
+
+    /** Per-walker observability counters (always allocated — they
+     *  are only written on the per-window path and at watchdog
+     *  reports, never per key). Cache-line padded like the beats. */
+    struct alignas(kCacheBlockBytes) WalkerObs
+    {
+        std::atomic<u64> windows{0};
+        std::atomic<u64> stalls{0}; ///< watchdog stuck-window reports
+        /** Hardware-counter accumulation over sampled windows
+         *  (cfg.perfSamplePeriod; zeros when perf is denied). */
+        std::atomic<u64> sampledWindows{0};
+        std::atomic<u64> sampledProbes{0};
+        std::atomic<u64> cycles{0};
+        std::atomic<u64> instructions{0};
+        std::atomic<u64> llcMisses{0};
+        std::atomic<u64> dtlbMisses{0};
+    };
+    std::unique_ptr<WalkerObs[]> wobs_;
+
+    /** Per-shard window accounting (affine windows carry a shard
+     *  id; shared-mode windows span shards and are not counted
+     *  here). */
+    struct alignas(kCacheBlockBytes) ShardObs
+    {
+        std::atomic<u64> drained{0};
+        std::atomic<u64> stolen{0};
+    };
+    std::unique_ptr<ShardObs[]> sobs_;
+
+    /** Span-trace ring (ServiceConfig::trace; null = tracing off).
+     *  Raw pointer resolved at start(); cfg_ keeps the ownership. */
+    obs::TraceRing *trace_ = nullptr;
+
     std::thread watchdog_;
     std::mutex wdM_;
     std::condition_variable wdCv_;

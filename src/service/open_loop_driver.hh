@@ -38,6 +38,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/metrics.hh"
 #include "service/open_loop.hh"
 
 namespace widx::sw::detail {
@@ -96,12 +97,37 @@ runOpenLoopOver(std::shared_ptr<CompletionQueue> cq,
     // is completedAtNs minus the *scheduled* arrival — generator
     // backlog is charged to the requests that suffered it (no
     // coordinated omission).
+    //
+    // Tallies live in a run-local metrics registry (direct Counter
+    // handles, relaxed-atomic cells) and the report is filled from
+    // its snapshot — the same widx_openloop_* families either
+    // transport's harness would export, so report and exposition
+    // cannot disagree.
     LatencyHistogram hist;
-    u64 completed = 0;
-    u64 timedOut = 0;
-    u64 rejected = 0;
-    u64 expired = 0;
-    u64 goodput = 0;
+    obs::MetricsRegistry reg;
+    obs::Counter cScheduled = reg.counter(
+        "widx_openloop_scheduled_total", "Arrivals generated.");
+    obs::Counter cSubmitted =
+        reg.counter("widx_openloop_submitted_total",
+                    "Arrivals that reached submit().");
+    obs::Counter cShedCap =
+        reg.counter("widx_openloop_shed_client_cap_total",
+                    "Arrivals shed by the client in-flight cap.");
+    obs::Counter cCompleted =
+        reg.counter("widx_openloop_completed_total",
+                    "Ok completions (latency-recorded).");
+    obs::Counter cGoodput =
+        reg.counter("widx_openloop_goodput_total",
+                    "Ok completions within the SLO.");
+    obs::Counter cRejected =
+        reg.counter("widx_openloop_rejected_total",
+                    "Server-side refusals (Rejected/Cancelled).");
+    obs::Counter cExpired =
+        reg.counter("widx_openloop_expired_total",
+                    "Completions with DeadlineExceeded.");
+    obs::Counter cTimedOut =
+        reg.counter("widx_openloop_timed_out_total",
+                    "Requests written off after drainTimeout.");
     u64 reaped = 0;
     const u64 drainNs = u64(opt.drainTimeout.count());
     const u64 sloNs = opt.sloNs ? opt.sloNs : opt.deadlineNs;
@@ -129,24 +155,24 @@ runOpenLoopOver(std::shared_ptr<CompletionQueue> cq,
                     // Completed, but past measurement patience:
                     // whatever the status says, the client had
                     // written it off.
-                    ++timedOut;
+                    cTimedOut.inc();
                     continue;
                 }
                 switch (c.result.status) {
                 case Status::Ok:
-                    ++completed;
+                    cCompleted.inc();
                     hist.record(lat);
                     if (sloNs == 0 || lat <= sloNs)
-                        ++goodput;
+                        cGoodput.inc();
                     break;
                 case Status::DeadlineExceeded:
-                    ++expired;
+                    cExpired.inc();
                     break;
                 case Status::Rejected:
                 case Status::Cancelled:
                     // Cancelled can only appear if the server goes
                     // away mid-run; both are server-side refusals.
-                    ++rejected;
+                    cRejected.inc();
                     break;
                 }
             }
@@ -162,9 +188,9 @@ runOpenLoopOver(std::shared_ptr<CompletionQueue> cq,
                 monotonicNowNs() > doneAt + drainNs) {
                 // Stragglers (or a dead transport): count what will
                 // never be measured and stop waiting.
-                timedOut +=
+                cTimedOut.inc(
                     submitted.load(std::memory_order_relaxed) -
-                    reaped;
+                    reaped);
                 return;
             }
         }
@@ -175,7 +201,7 @@ runOpenLoopOver(std::shared_ptr<CompletionQueue> cq,
     std::size_t base = 0;
     for (u64 i = 0; i < opt.requests; ++i) {
         schedNs = nextArrival(schedNs, opt, rng);
-        ++rep.scheduled;
+        cScheduled.inc();
 
         // Pace to the schedule: sleep while far out, yield-spin the
         // last stretch. Running late is fine — the submission goes
@@ -196,7 +222,7 @@ runOpenLoopOver(std::shared_ptr<CompletionQueue> cq,
 
         if (inFlight.load(std::memory_order_relaxed) >=
             opt.maxInFlight) {
-            ++rep.shedClientCap;
+            cShedCap.inc();
             continue;
         }
         if (base + opt.keysPerRequest > keyPool.size())
@@ -208,25 +234,34 @@ runOpenLoopOver(std::shared_ptr<CompletionQueue> cq,
                   opt.deadlineNs ? t0 + schedNs + opt.deadlineNs
                                  : u64{0});
         base += opt.keysPerRequest;
-        ++rep.submitted;
+        cSubmitted.inc();
     }
     doneAtNs.store(monotonicNowNs(), std::memory_order_release);
     reaper.join();
 
+    // The report is read back out of the registry snapshot — the
+    // counters above are the single source of truth.
+    const obs::Snapshot snap = reg.snapshot();
+    auto tally = [&](const char *name) {
+        return u64(obs::snapshotValue(snap, name));
+    };
+    rep.scheduled = tally("widx_openloop_scheduled_total");
+    rep.submitted = tally("widx_openloop_submitted_total");
+    rep.shedClientCap = tally("widx_openloop_shed_client_cap_total");
+    rep.completed = tally("widx_openloop_completed_total");
+    rep.timedOut = tally("widx_openloop_timed_out_total");
+    rep.rejected = tally("widx_openloop_rejected_total");
+    rep.expired = tally("widx_openloop_expired_total");
+    rep.goodput = tally("widx_openloop_goodput_total");
     rep.elapsedSec = double(monotonicNowNs() - t0) * 1e-9;
-    rep.completed = completed;
-    rep.timedOut = timedOut;
-    rep.rejected = rejected;
-    rep.expired = expired;
-    rep.goodput = goodput;
     rep.offeredRate =
         rep.elapsedSec > 0 ? double(rep.scheduled) / rep.elapsedSec
                            : 0.0;
     rep.achievedRate =
-        rep.elapsedSec > 0 ? double(completed) / rep.elapsedSec
+        rep.elapsedSec > 0 ? double(rep.completed) / rep.elapsedSec
                            : 0.0;
     rep.goodputRate =
-        rep.elapsedSec > 0 ? double(goodput) / rep.elapsedSec
+        rep.elapsedSec > 0 ? double(rep.goodput) / rep.elapsedSec
                            : 0.0;
     rep.latency = hist.summarize();
     rep.hist = hist;

@@ -9,11 +9,17 @@
 #ifndef WIDX_SERVICE_SERVICE_CONFIG_HH
 #define WIDX_SERVICE_SERVICE_CONFIG_HH
 
+#include <memory>
+
 #include "service/admission.hh"
 #include "swwalkers/pipeline_config.hh"
 
 namespace widx {
 class Topology;
+}
+
+namespace widx::obs {
+class TraceRing; // obs/trace.hh; kept opaque so this stays a leaf
 }
 
 namespace widx::sw {
@@ -134,6 +140,23 @@ struct ServiceConfig
      * increments at finalize — off buys those back for pure
      * throughput runs. */
     bool recordLatency = true;
+    /**
+     * Hardware-counter sampling cadence: every Nth window drain per
+     * walker runs inside an obs::PerfGroup (cycles / instructions /
+     * LLC misses / dTLB misses), accumulated into per-walker
+     * counters the registry exports as misses-per-probe and an IPC
+     * proxy. 0 = off (no perf fds opened). Where perf access is
+     * denied (containers, CI) the group degrades to zeros — the
+     * sampling branch stays, the counters just never move. */
+    u32 perfSamplePeriod = 0;
+    /**
+     * Optional span-trace ring (obs/trace.hh). When set, requests
+     * submitted with a nonzero SubmitOptions::traceId get instant
+     * span events stamped at submit / window seal / first claim /
+     * drain done. Shared so transports (the TCP server's reaper
+     * stamps the reap span) and dump paths can read the same ring.
+     * Null = tracing off; untraced requests pay one pointer test. */
+    std::shared_ptr<obs::TraceRing> trace;
     /** Topology override for tests (synthetic multi-node trees);
      *  null = Topology::host(). Must outlive the service. */
     const Topology *topology = nullptr;

@@ -86,7 +86,11 @@ def validate_file(path, data):
         schema_error(path, "top level is not an object")
     benches = data.get("benchmarks")
     if not isinstance(benches, list):
-        schema_error(path, 'missing or non-list "benchmarks"')
+        schema_error(
+            path,
+            'non-list "benchmarks" (a benchmark results file must '
+            "carry a top-level list; metric sidecars without a "
+            '"benchmarks" key are skipped before this check)')
     for i, b in enumerate(benches):
         where = f"benchmarks[{i}]"
         if not isinstance(b, dict):
@@ -124,9 +128,21 @@ def validate_file(path, data):
 
 
 def load_entries(path):
-    """name -> full benchmark entry for every row in the run."""
+    """name -> full benchmark entry for every row in the run.
+
+    Metric sidecar files — JSON objects with no top-level
+    "benchmarks" key, e.g. a registry-snapshot dump written next to
+    a bench run — carry observability context, not gated rows. They
+    are skipped with a note (schema: gated files MUST have a
+    "benchmarks" list; sidecars MUST NOT) rather than schema-failed,
+    so a bench script can glob BENCH_*.json indiscriminately.
+    """
     with open(path) as f:
         data = json.load(f)
+    if isinstance(data, dict) and "benchmarks" not in data:
+        print(f"note: {path} has no \"benchmarks\" list — treating "
+              f"it as a non-gated metric sidecar and skipping")
+        return {}
     validate_file(path, data)
     out = {}
     for b in data["benchmarks"]:
