@@ -5,8 +5,9 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <thread>
+
+#include "common/thread_safety.hh"
 
 namespace widx::fp {
 
@@ -18,8 +19,9 @@ namespace {
  *  never on a disarmed hot path. */
 struct Registry
 {
-    std::mutex m;
-    std::map<std::string, Point, std::less<>> points;
+    Mutex m;
+    std::map<std::string, Point, std::less<>> points
+        WIDX_GUARDED_BY(m);
 };
 
 Registry &
@@ -35,7 +37,7 @@ Point &
 point(std::string_view name)
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lk(r.m);
+    MutexLock lk(r.m);
     auto it = r.points.find(name);
     if (it == r.points.end())
         it = r.points.try_emplace(std::string(name)).first;
@@ -86,7 +88,7 @@ void
 disarmAll()
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lk(r.m);
+    MutexLock lk(r.m);
     for (auto &[name, p] : r.points) {
         p.armed.store(false, std::memory_order_relaxed);
         p.remaining.store(0, std::memory_order_relaxed);
@@ -97,7 +99,7 @@ u64
 hits(std::string_view name)
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lk(r.m);
+    MutexLock lk(r.m);
     auto it = r.points.find(name);
     return it == r.points.end()
                ? 0
@@ -108,7 +110,7 @@ std::vector<std::string>
 names()
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lk(r.m);
+    MutexLock lk(r.m);
     std::vector<std::string> out;
     out.reserve(r.points.size());
     for (const auto &[name, p] : r.points)

@@ -235,6 +235,7 @@ class LatencyRecorder
     void reset();
 
   private:
+    // widx-lint: padded
     struct alignas(kCacheBlockBytes) Shard
     {
         std::array<std::atomic<u64>, LatencyHistogram::kBuckets>

@@ -1,8 +1,28 @@
 #include "common/logging.hh"
 
 #include <cstdarg>
+#include <cstring>
 
 namespace widx {
+
+namespace {
+
+/** strerror_r dispatch: XSI returns int and fills the buffer, GNU
+ *  returns the string (which may ignore the buffer). Overloading on
+ *  the return type picks the right reading at compile time. */
+inline const char *
+strerrorResult(int rc, const char *buf)
+{
+    return rc == 0 ? buf : "Unknown error";
+}
+
+inline const char *
+strerrorResult(const char *ret, const char *)
+{
+    return ret;
+}
+
+} // namespace
 
 namespace detail {
 
@@ -34,6 +54,13 @@ logPrefix(const char *tag, const char *file, int line)
 }
 
 } // namespace detail
+
+std::string
+errnoText(int err)
+{
+    char buf[128] = "Unknown error";
+    return strerrorResult(::strerror_r(err, buf, sizeof(buf)), buf);
+}
 
 void
 logVprintf(const char *fmt, ...)

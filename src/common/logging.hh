@@ -32,6 +32,10 @@ void logPrefix(const char *tag, const char *file, int line);
 void logVprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/** Thread-safe strerror: the libc one returns a shared static
+ *  buffer (concurrency-mt-unsafe); this wraps strerror_r. */
+std::string errnoText(int err);
+
 } // namespace widx
 
 #define WIDX_LOG_BODY(tag, ...)                                         \

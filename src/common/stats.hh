@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/thread_safety.hh"
 #include "common/types.hh"
 
 namespace widx {
@@ -124,16 +125,26 @@ class Histogram
  * access panics, so a violation fails loudly instead of corrupting
  * the map. reset() releases the claim (it is the "hand this set to
  * another phase" point).
+ *
+ * Under clang the same contract is visible to -Wthread-safety: the
+ * counters are guarded by a zero-cost `ThreadRole` capability that
+ * `assertOwner()` asserts, so any accessor that forgets the owner
+ * check fails the annotated build rather than just the debug run.
  */
 class StatSet
 {
   public:
     StatSet() = default;
     /** A copy is a fresh, unclaimed set with the same counters (the
-     *  debug owner mark does not travel). */
-    StatSet(const StatSet &o) : counters_(o.counters_) {}
+     *  debug owner mark does not travel). Analysis is off here: a
+     *  copy reads the source map without claiming either role — the
+     *  runtime owner check in debug builds still covers it. */
+    StatSet(const StatSet &o) WIDX_NO_THREAD_SAFETY_ANALYSIS
+        : counters_(o.counters_)
+    {
+    }
     StatSet &
-    operator=(const StatSet &o)
+    operator=(const StatSet &o) WIDX_NO_THREAD_SAFETY_ANALYSIS
     {
         counters_ = o.counters_;
         return *this;
@@ -191,7 +202,7 @@ class StatSet
 #ifndef NDEBUG
     /** First accessor claims the set; later accesses must match. */
     void
-    assertOwner() const
+    assertOwner() const WIDX_ASSERT_CAPABILITY(role_)
     {
         const std::thread::id self = std::this_thread::get_id();
         std::thread::id expect{};
@@ -205,18 +216,21 @@ class StatSet
     }
 
     void
-    releaseOwner()
+    releaseOwner() WIDX_RELEASE(role_)
     {
         owner_.store(std::thread::id{}, std::memory_order_relaxed);
+        role_.release();
     }
 
     mutable std::atomic<std::thread::id> owner_{};
 #else
-    void assertOwner() const {}
-    void releaseOwner() {}
+    void assertOwner() const WIDX_ASSERT_CAPABILITY(role_) {}
+    void releaseOwner() WIDX_RELEASE(role_) { role_.release(); }
 #endif
 
-    std::map<std::string, u64> counters_;
+    /** Zero-cost capability standing in for "the owning thread". */
+    mutable ThreadRole role_;
+    std::map<std::string, u64> counters_ WIDX_GUARDED_BY(role_);
 };
 
 } // namespace widx

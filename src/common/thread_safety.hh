@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis capability annotations and annotated
+ * lock wrappers.
+ *
+ * The macros expand to clang's `capability` attribute family when the
+ * compiler supports it (clang with -Wthread-safety) and to nothing
+ * everywhere else, so gcc builds see plain std::mutex semantics with
+ * zero overhead. Conventions for new code:
+ *
+ *  - Every mutex that guards data is a `widx::Mutex`, and every field
+ *    it protects carries `WIDX_GUARDED_BY(mu_)`.
+ *  - Functions that expect the caller to hold the lock are annotated
+ *    `WIDX_REQUIRES(mu_)` instead of documenting it in a comment.
+ *  - Scoped locking uses `widx::MutexLock` (and condition waits go
+ *    through `widx::CondVar`, which takes the Mutex itself so the
+ *    analysis can see the capability is held across the wait).
+ *  - Thread-confined state that has no lock at all is expressed with
+ *    a zero-size `widx::ThreadRole` capability: the owning thread
+ *    "holds" the role, debug assertions are annotated
+ *    `WIDX_ASSERT_CAPABILITY(role_)`, and confined fields carry
+ *    `WIDX_GUARDED_BY(role_)`. This turns the PR 8 thread-confinement
+ *    comments into machine-checked contracts.
+ *
+ * The wrappers are header-only inline forwarding around std::mutex /
+ * std::condition_variable — they must stay zero-cost; hot paths
+ * (walker claim loops, completion reap) run through them.
+ */
+
+#ifndef WIDX_COMMON_THREAD_SAFETY_HH
+#define WIDX_COMMON_THREAD_SAFETY_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define WIDX_TSA(x) __attribute__((x))
+#else
+#define WIDX_TSA(x) // no-op on gcc/msvc: annotations compile away
+#endif
+
+#define WIDX_CAPABILITY(x) WIDX_TSA(capability(x))
+#define WIDX_SCOPED_CAPABILITY WIDX_TSA(scoped_lockable)
+#define WIDX_GUARDED_BY(x) WIDX_TSA(guarded_by(x))
+#define WIDX_PT_GUARDED_BY(x) WIDX_TSA(pt_guarded_by(x))
+#define WIDX_ACQUIRED_BEFORE(...) WIDX_TSA(acquired_before(__VA_ARGS__))
+#define WIDX_ACQUIRED_AFTER(...) WIDX_TSA(acquired_after(__VA_ARGS__))
+#define WIDX_REQUIRES(...) \
+    WIDX_TSA(requires_capability(__VA_ARGS__))
+#define WIDX_REQUIRES_SHARED(...) \
+    WIDX_TSA(requires_shared_capability(__VA_ARGS__))
+#define WIDX_ACQUIRE(...) WIDX_TSA(acquire_capability(__VA_ARGS__))
+#define WIDX_ACQUIRE_SHARED(...) \
+    WIDX_TSA(acquire_shared_capability(__VA_ARGS__))
+#define WIDX_RELEASE(...) WIDX_TSA(release_capability(__VA_ARGS__))
+#define WIDX_RELEASE_SHARED(...) \
+    WIDX_TSA(release_shared_capability(__VA_ARGS__))
+#define WIDX_TRY_ACQUIRE(...) \
+    WIDX_TSA(try_acquire_capability(__VA_ARGS__))
+#define WIDX_EXCLUDES(...) WIDX_TSA(locks_excluded(__VA_ARGS__))
+#define WIDX_ASSERT_CAPABILITY(x) WIDX_TSA(assert_capability(x))
+#define WIDX_RETURN_CAPABILITY(x) WIDX_TSA(lock_returned(x))
+#define WIDX_NO_THREAD_SAFETY_ANALYSIS \
+    WIDX_TSA(no_thread_safety_analysis)
+
+namespace widx {
+
+/**
+ * std::mutex with the `capability` attribute, so `WIDX_GUARDED_BY`
+ * annotations can name it. All methods are inline forwarders — the
+ * generated code is identical to a bare std::mutex.
+ */
+class WIDX_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock() WIDX_ACQUIRE()
+    {
+        m_.lock();
+    }
+
+    void
+    unlock() WIDX_RELEASE()
+    {
+        m_.unlock();
+    }
+
+    bool
+    tryLock() WIDX_TRY_ACQUIRE(true)
+    {
+        return m_.try_lock();
+    }
+
+    /** Escape hatch for CondVar (std::condition_variable needs the
+     *  raw std::mutex). Not for direct locking — that would bypass
+     *  the analysis. */
+    std::mutex &
+    native()
+    {
+        return m_;
+    }
+
+  private:
+    std::mutex m_;
+};
+
+/** RAII lock for widx::Mutex; the scoped capability lets the analysis
+ *  track the region where guarded fields may be touched. */
+class WIDX_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) WIDX_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** Early release (mid-scope `unlock()` in ticket wait paths).
+     *  The destructor then becomes a no-op. */
+    void
+    unlock() WIDX_RELEASE()
+    {
+        mu_.unlock();
+        locked_ = false;
+    }
+
+    ~MutexLock() WIDX_RELEASE()
+    {
+        if (locked_)
+            mu_.unlock();
+    }
+
+  private:
+    Mutex &mu_;
+    bool locked_ = true;
+};
+
+/**
+ * Condition variable that waits on a widx::Mutex. Waits take the
+ * Mutex (not a std::unique_lock), annotated WIDX_REQUIRES, so the
+ * analysis knows the capability is held before and after the wait.
+ * Predicate re-check loops live at the call site for the same reason:
+ * a lambda passed into wait() would be analyzed without the caller's
+ * capability and produce false positives on guarded reads.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    void
+    wait(Mutex &mu) WIDX_REQUIRES(mu)
+    {
+        std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+        cv_.wait(lk);
+        lk.release(); // caller's MutexLock still owns the mutex
+    }
+
+    template <class Rep, class Period>
+    std::cv_status
+    waitFor(Mutex &mu, const std::chrono::duration<Rep, Period> &d)
+        WIDX_REQUIRES(mu)
+    {
+        std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+        const std::cv_status s = cv_.wait_for(lk, d);
+        lk.release();
+        return s;
+    }
+
+    template <class Clock, class Duration>
+    std::cv_status
+    waitUntil(Mutex &mu,
+              const std::chrono::time_point<Clock, Duration> &tp)
+        WIDX_REQUIRES(mu)
+    {
+        std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+        const std::cv_status s = cv_.wait_until(lk, tp);
+        lk.release();
+        return s;
+    }
+
+    void
+    notifyOne()
+    {
+        cv_.notify_one();
+    }
+
+    void
+    notifyAll()
+    {
+        cv_.notify_all();
+    }
+
+  private:
+    std::condition_variable cv_;
+};
+
+/**
+ * Zero-size capability standing for "runs on the owning thread".
+ * There is no lock: acquire()/release() are no-ops that exist only so
+ * the analysis can model thread confinement. The owning thread calls
+ * `role_.acquire()` once at thread start (or an assertion annotated
+ * WIDX_ASSERT_CAPABILITY(role_) on entry); confined fields carry
+ * WIDX_GUARDED_BY(role_), so touching them from an unannotated
+ * context is a compile error under clang -Wthread-safety.
+ */
+class WIDX_CAPABILITY("role") ThreadRole
+{
+  public:
+    void acquire() WIDX_ACQUIRE() {}
+    void release() WIDX_RELEASE() {}
+};
+
+} // namespace widx
+
+#endif // WIDX_COMMON_THREAD_SAFETY_HH

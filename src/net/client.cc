@@ -16,7 +16,7 @@ namespace widx::net {
 TcpIndexClient::TcpIndexClient(const std::string &host, u16 port)
 {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    fatal_if(fd_ < 0, "socket(): %s", std::strerror(errno));
+    fatal_if(fd_ < 0, "socket(): %s", errnoText(errno).c_str());
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -26,7 +26,7 @@ TcpIndexClient::TcpIndexClient(const std::string &host, u16 port)
                        reinterpret_cast<const sockaddr *>(&addr),
                        sizeof(addr)) != 0,
              "connect(%s:%u): %s", host.c_str(), unsigned(port),
-             std::strerror(errno));
+             errnoText(errno).c_str());
     const int one = 1;
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     reader_ = std::thread([this] { readerMain(); });
@@ -65,7 +65,7 @@ TcpIndexClient::submitAsync(sw::RequestKind kind,
              keys.size(), kMaxKeysPerRequest);
     bool sent = false;
     if (ok_.load(std::memory_order_acquire)) {
-        std::lock_guard<std::mutex> lk(writeM_);
+        MutexLock lk(writeM_);
         wbuf_.clear();
         appendRequest(wbuf_, tag, kind, deadlineNs, keys, traceId);
         std::size_t off = 0;
@@ -131,12 +131,12 @@ TcpIndexClient::stats()
 {
     u64 tag;
     {
-        std::lock_guard<std::mutex> lk(statsM_);
+        MutexLock lk(statsM_);
         tag = nextStatsTag_++;
     }
     bool sent = false;
     if (ok_.load(std::memory_order_acquire)) {
-        std::lock_guard<std::mutex> lk(writeM_);
+        MutexLock lk(writeM_);
         wbuf_.clear();
         appendStatsRequest(wbuf_, tag);
         std::size_t off = 0;
@@ -158,11 +158,10 @@ TcpIndexClient::stats()
     }
     if (!sent)
         return {};
-    std::unique_lock<std::mutex> lk(statsM_);
-    statsCv_.wait(lk, [&] {
-        return statsResults_.count(tag) != 0 ||
-               !ok_.load(std::memory_order_acquire);
-    });
+    MutexLock lk(statsM_);
+    while (statsResults_.count(tag) == 0 &&
+           ok_.load(std::memory_order_acquire))
+        statsCv_.wait(statsM_);
     auto it = statsResults_.find(tag);
     if (it == statsResults_.end())
         return {}; // connection died before the response landed
@@ -201,10 +200,10 @@ TcpIndexClient::readerMain()
                     break;
                 }
                 {
-                    std::lock_guard<std::mutex> lk(statsM_);
+                    MutexLock lk(statsM_);
                     statsResults_[reqId] = std::move(text);
                 }
-                statsCv_.notify_all();
+                statsCv_.notifyAll();
                 continue;
             }
             RespHeader h;
@@ -228,7 +227,7 @@ TcpIndexClient::readerMain()
     }
     ok_.store(false, std::memory_order_release);
     cq_->close();
-    statsCv_.notify_all(); // wake scrapes waiting on a dead socket
+    statsCv_.notifyAll(); // wake scrapes waiting on a dead socket
 }
 
 } // namespace widx::net

@@ -28,13 +28,12 @@
 #ifndef WIDX_NET_CLIENT_HH
 #define WIDX_NET_CLIENT_HH
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
+#include "common/thread_safety.hh"
 #include "net/protocol.hh"
 
 namespace widx::net {
@@ -84,17 +83,18 @@ class TcpIndexClient
     std::atomic<bool> ok_{true};
     std::shared_ptr<sw::CompletionQueue> cq_ =
         std::make_shared<sw::CompletionQueue>();
-    std::mutex writeM_; ///< serializes frames onto the socket
-    std::vector<u8> wbuf_;
+    Mutex writeM_; ///< serializes frames onto the socket
+    std::vector<u8> wbuf_ WIDX_GUARDED_BY(writeM_);
     std::thread reader_;
     u64 nextCallTag_ = u64(1) << 63; ///< call()'s private tag space
 
     /// Stats scrapes rendezvous here (reader -> stats()), keyed by
     /// the scrape's wire request id; never touches cq_.
-    std::mutex statsM_;
-    std::condition_variable statsCv_;
-    std::unordered_map<u64, std::string> statsResults_;
-    u64 nextStatsTag_ = 1; ///< guarded by statsM_
+    Mutex statsM_;
+    CondVar statsCv_;
+    std::unordered_map<u64, std::string> statsResults_
+        WIDX_GUARDED_BY(statsM_);
+    u64 nextStatsTag_ WIDX_GUARDED_BY(statsM_) = 1;
 };
 
 } // namespace widx::net

@@ -21,7 +21,7 @@ TcpIndexServer::TcpIndexServer(sw::IndexService &service,
     : service_(service), opt_(opt)
 {
     listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
-    fatal_if(listenFd_ < 0, "socket(): %s", std::strerror(errno));
+    fatal_if(listenFd_ < 0, "socket(): %s", errnoText(errno).c_str());
     const int one = 1;
     ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
                  sizeof(one));
@@ -35,21 +35,21 @@ TcpIndexServer::TcpIndexServer(sw::IndexService &service,
                     reinterpret_cast<const sockaddr *>(&addr),
                     sizeof(addr)) != 0,
              "bind(port %u): %s", unsigned(opt_.port),
-             std::strerror(errno));
+             errnoText(errno).c_str());
     fatal_if(::listen(listenFd_, opt_.backlog) != 0, "listen(): %s",
-             std::strerror(errno));
+             errnoText(errno).c_str());
     socklen_t alen = sizeof(addr);
     fatal_if(::getsockname(listenFd_,
                            reinterpret_cast<sockaddr *>(&addr),
                            &alen) != 0,
-             "getsockname(): %s", std::strerror(errno));
+             "getsockname(): %s", errnoText(errno).c_str());
     port_ = ntohs(addr.sin_port);
 
     epollFd_ = ::epoll_create1(0);
     fatal_if(epollFd_ < 0, "epoll_create1(): %s",
-             std::strerror(errno));
+             errnoText(errno).c_str());
     wakeFd_ = ::eventfd(0, EFD_NONBLOCK);
-    fatal_if(wakeFd_ < 0, "eventfd(): %s", std::strerror(errno));
+    fatal_if(wakeFd_ < 0, "eventfd(): %s", errnoText(errno).c_str());
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = listenFd_;
@@ -95,7 +95,7 @@ TcpIndexServer::stop()
     // exits once the last one lands (the service guarantees every
     // submitted request completes).
     {
-        std::lock_guard<std::mutex> lk(connM_);
+        MutexLock lk(connM_);
         for (auto &[fd, c] : conns_) {
             ::close(fd);
             nClosed_.fetch_add(1, std::memory_order_relaxed);
@@ -120,28 +120,43 @@ TcpIndexServer::updateEpoll(int fd, Conn &c)
     ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, fd, &ev);
 }
 
+// widx-lint: event-loop
+TcpIndexServer::Conn *
+TcpIndexServer::findConn(int fd)
+{
+    // widx-lint: allow(blocking) -- bounded table lookup under an
+    // uncontended lock; never held across I/O.
+    MutexLock lk(connM_);
+    auto it = conns_.find(fd);
+    return it == conns_.end() ? nullptr : &it->second;
+}
+
+// widx-lint: event-loop
 void
 TcpIndexServer::closeConn(int fd)
 {
     ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
     ::close(fd);
     {
-        std::lock_guard<std::mutex> lk(connM_);
+        // widx-lint: allow(blocking) -- O(1) erase under an
+        // uncontended lock; never held across I/O.
+        MutexLock lk(connM_);
         conns_.erase(fd);
     }
     nClosed_.fetch_add(1, std::memory_order_relaxed);
 }
 
+// widx-lint: event-loop
 void
 TcpIndexServer::handleReadable(int fd)
 {
-    // The loop thread is the connection table's only mutator, so
-    // its own lookups need no lock; only Conn::out/outOff (shared
-    // with the reaper) take connM_.
-    auto it = conns_.find(fd);
-    if (it == conns_.end())
+    // The loop thread is the table's only eraser, so the pointer
+    // stays valid after findConn drops the lock; only Conn::out and
+    // outOff (shared with the reaper) are touched under connM_.
+    Conn *cp = findConn(fd);
+    if (!cp)
         return;
-    Conn &c = it->second;
+    Conn &c = *cp;
 
     u8 buf[64 * 1024];
     for (;;) {
@@ -187,7 +202,9 @@ TcpIndexServer::handleReadable(int fd)
             // connection and free the FrameReader mid-parse.
             const std::string text = metrics_->renderPrometheus();
             {
-                std::lock_guard<std::mutex> lk(connM_);
+                // widx-lint: allow(blocking) -- bounded buffer
+                // append shared with the reaper; no I/O under it.
+                MutexLock lk(connM_);
                 appendStatsResponse(c.out, h.reqId, text);
             }
             nStatsScrapes_.fetch_add(1, std::memory_order_relaxed);
@@ -222,12 +239,16 @@ TcpIndexServer::handleReadable(int fd)
     }
 }
 
+// widx-lint: event-loop
 void
 TcpIndexServer::flushConn(int fd, Conn &c)
 {
     bool dead = false;
     {
-        std::lock_guard<std::mutex> lk(connM_);
+        // widx-lint: allow(blocking) -- the sends below run on a
+        // nonblocking fd; the reaper only appends under this lock
+        // and never blocks holding it.
+        MutexLock lk(connM_);
         while (c.outOff < c.out.size()) {
             const ssize_t n =
                 ::send(fd, c.out.data() + c.outOff,
@@ -258,6 +279,7 @@ TcpIndexServer::flushConn(int fd, Conn &c)
     updateEpoll(fd, c);
 }
 
+// widx-lint: event-loop
 void
 TcpIndexServer::loopMain()
 {
@@ -279,7 +301,9 @@ TcpIndexServer::loopMain()
                 // flush everything writable, drop slow consumers.
                 std::vector<int> todo, overflowed;
                 {
-                    std::lock_guard<std::mutex> lk(connM_);
+                    // widx-lint: allow(blocking) -- O(conns) sweep
+                    // of buffer sizes; no I/O under the lock.
+                    MutexLock lk(connM_);
                     for (auto &[cfd, c] : conns_) {
                         if (c.out.size() - c.outOff >
                             opt_.maxOutBytes)
@@ -291,9 +315,8 @@ TcpIndexServer::loopMain()
                 for (int cfd : overflowed)
                     closeConn(cfd);
                 for (int cfd : todo) {
-                    auto it = conns_.find(cfd);
-                    if (it != conns_.end())
-                        flushConn(cfd, it->second);
+                    if (Conn *c = findConn(cfd))
+                        flushConn(cfd, *c);
                 }
                 continue;
             }
@@ -308,7 +331,9 @@ TcpIndexServer::loopMain()
                     ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY,
                                  &one, sizeof(one));
                     {
-                        std::lock_guard<std::mutex> lk(connM_);
+                        // widx-lint: allow(blocking) -- O(1) table
+                        // insert; no I/O under the lock.
+                        MutexLock lk(connM_);
                         conns_[cfd].gen = nextGen_++;
                     }
                     epoll_event ev{};
@@ -322,16 +347,15 @@ TcpIndexServer::loopMain()
             }
             // A connection: an earlier handler this batch may have
             // closed it already.
-            if (conns_.find(fd) == conns_.end())
+            if (!findConn(fd))
                 continue;
             if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
                 closeConn(fd);
                 continue;
             }
             if (evs[i].events & EPOLLOUT) {
-                auto it = conns_.find(fd);
-                if (it != conns_.end())
-                    flushConn(fd, it->second);
+                if (Conn *c = findConn(fd))
+                    flushConn(fd, *c);
             }
             if (evs[i].events & EPOLLIN)
                 handleReadable(fd);
@@ -349,7 +373,7 @@ TcpIndexServer::reaperMain()
         if (!batch.empty()) {
             bool poke = false;
             {
-                std::lock_guard<std::mutex> lk(connM_);
+                MutexLock lk(connM_);
                 for (const sw::Completion &comp : batch) {
                     std::unique_ptr<PendingReq> pr(
                         reinterpret_cast<PendingReq *>(comp.tag));
@@ -447,7 +471,7 @@ TcpIndexServer::collectNetMetrics(obs::Snapshot &out) const
            double(outstanding_.load(std::memory_order_relaxed)));
     std::size_t open;
     {
-        std::lock_guard<std::mutex> lk(connM_);
+        MutexLock lk(connM_);
         open = conns_.size();
     }
     scalar("widx_net_open_connections",

@@ -33,11 +33,11 @@
 #define WIDX_NET_SERVER_HH
 
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_safety.hh"
 #include "net/protocol.hh"
 
 namespace widx::obs {
@@ -128,6 +128,12 @@ class TcpIndexServer
     void flushConn(int fd, Conn &c);
     void closeConn(int fd);
     void updateEpoll(int fd, Conn &c);
+    /** Table lookup under connM_. The returned pointer stays valid
+     *  *without* the lock only on the loop thread: the loop is the
+     *  table's sole eraser, so a pointer it takes cannot go stale
+     *  under it (the reaper only appends to Conn::out under
+     *  connM_). */
+    Conn *findConn(int fd);
     void collectNetMetrics(obs::Snapshot &out) const;
 
     sw::IndexService &service_;
@@ -145,9 +151,14 @@ class TcpIndexServer
     std::atomic<u64> outstanding_{0}; ///< submitted, not yet reaped
     std::atomic<bool> stopping_{false};
 
-    mutable std::mutex connM_; ///< guards conns_ and Conn::out/outOff
-    std::unordered_map<int, Conn> conns_;
-    u64 nextGen_ = 1; ///< loop thread only
+    /** Guards the table plus Conn::out/outOff (the fields the
+     *  reaper shares; the Conn members themselves cannot carry
+     *  GUARDED_BY — a nested struct cannot name the enclosing
+     *  instance's mutex — so their discipline lives in flushConn /
+     *  reaperMain). */
+    mutable Mutex connM_;
+    std::unordered_map<int, Conn> conns_ WIDX_GUARDED_BY(connM_);
+    u64 nextGen_ WIDX_GUARDED_BY(connM_) = 1;
 
     std::atomic<u64> nAccepted_{0};
     std::atomic<u64> nClosed_{0};

@@ -156,7 +156,7 @@ MetricsRegistry::cellFor(std::string_view name, std::string_view help,
              int(name.size()), name.data());
     canonicalize(name, labels);
 
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     auto it = std::find_if(
         families_.begin(), families_.end(),
         [&](const auto &f) { return f.first == name; });
@@ -197,7 +197,7 @@ MetricsRegistry::gauge(std::string_view name, std::string_view help,
 void
 MetricsRegistry::addCollector(std::function<void(Snapshot &)> fn)
 {
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     collectors_.push_back(std::move(fn));
 }
 
@@ -206,7 +206,7 @@ MetricsRegistry::snapshot() const
 {
     Snapshot snap;
     {
-        std::lock_guard lk(m_);
+        MutexLock lk(m_);
         snap.reserve(families_.size());
         for (const auto &[name, fam] : families_) {
             Family out;

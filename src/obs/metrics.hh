@@ -36,13 +36,13 @@
 #include <bit>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/latency.hh"
+#include "common/thread_safety.hh"
 #include "common/types.hh"
 
 namespace widx::obs {
@@ -87,6 +87,7 @@ namespace detail {
 /** One metric's storage; padded so two hot counters never share a
  *  cache line (the same false-sharing discipline as LatencyRecorder
  *  and the walker heartbeats). */
+// widx-lint: padded
 struct alignas(kCacheBlockBytes) Cell
 {
     std::atomic<u64> bits{0}; ///< counter: count; gauge: double bits
@@ -199,9 +200,11 @@ class MetricsRegistry
                           std::string_view help, Labels &&labels,
                           MetricType type);
 
-    mutable std::mutex m_; ///< registration + scrape only; never hot
-    std::vector<std::pair<std::string, FamilyReg>> families_;
-    std::vector<std::function<void(Snapshot &)>> collectors_;
+    mutable Mutex m_; ///< registration + scrape only; never hot
+    std::vector<std::pair<std::string, FamilyReg>> families_
+        WIDX_GUARDED_BY(m_);
+    std::vector<std::function<void(Snapshot &)>> collectors_
+        WIDX_GUARDED_BY(m_);
 };
 
 /** Convert a LatencyHistogram into exposition bucket data over a

@@ -63,6 +63,7 @@ class TraceRing
     explicit TraceRing(std::size_t capacity = 4096);
 
     /** Stamp one span event (wait-free, never blocks). */
+    // widx-lint: seqlock-writer
     void
     record(u64 traceId, SpanPoint point, u64 tsNs, u32 arg = 0)
     {

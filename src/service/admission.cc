@@ -30,10 +30,15 @@ AdmissionController::observe(u64 nowNs)
     // A previous adjuster can still be inside the critical section
     // when a long interval elapses mid-adjustment; skipping is
     // cheaper and no less correct than queueing behind it.
-    std::unique_lock<std::mutex> lk(m_, std::try_to_lock);
-    if (!lk.owns_lock())
+    if (!m_.tryLock())
         return;
+    adjustLocked();
+    m_.unlock();
+}
 
+void
+AdmissionController::adjustLocked()
+{
     // Sample the interval. Below the sample floor the cursor stays
     // put, so a sparse interval folds into the next one instead of
     // steering on a handful of claims.

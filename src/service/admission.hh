@@ -46,9 +46,9 @@
 #define WIDX_SERVICE_ADMISSION_HH
 
 #include <atomic>
-#include <mutex>
 
 #include "common/latency.hh"
+#include "common/thread_safety.hh"
 
 namespace widx::sw {
 
@@ -130,6 +130,11 @@ class AdmissionController
     AdmissionSnapshot snapshot() const;
 
   private:
+    /** The elected adjuster's interval judgement; needs the cursor
+     *  lock (observe() try-locks and skips when a previous adjuster
+     *  is still inside). */
+    void adjustLocked() WIDX_REQUIRES(m_);
+
     const AdmissionConfig cfg_;
     const u32 chunk_;
 
@@ -145,8 +150,8 @@ class AdmissionController
     LatencyRecorder rec_;
     /** Interval cursor; only the elected adjuster (under m_)
      *  advances it. */
-    std::mutex m_;
-    LatencyHistogram cursor_;
+    Mutex m_;
+    LatencyHistogram cursor_ WIDX_GUARDED_BY(m_);
 };
 
 } // namespace widx::sw

@@ -88,16 +88,15 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "common/latency.hh"
+#include "common/thread_safety.hh"
 #include "service/service_config.hh"
 #include "service/sharded_index.hh"
 #include "swwalkers/probers.hh"
@@ -240,10 +239,10 @@ class CompletionQueue
     bool closed() const;
 
   private:
-    mutable std::mutex m_;
-    std::condition_variable cv_;
-    std::vector<Completion> ready_;
-    bool closed_ = false;
+    mutable Mutex m_;
+    CondVar cv_;
+    std::vector<Completion> ready_ WIDX_GUARDED_BY(m_);
+    bool closed_ WIDX_GUARDED_BY(m_) = false;
 };
 
 /** Completion callback for submitAsync. Runs exactly once, on the
@@ -573,13 +572,14 @@ class IndexService
     void retireSegment(const Segment &seg);
     /** Stamp WindowSeal span events for a window's traced requests
      *  (called at every seal site; no-op unless tracing is on). */
-    void noteSeal(const Window &win);
+    void noteSeal(const Window &win) WIDX_REQUIRES(m_);
     /** Scrape-time collector body for registerMetrics. */
     void collectMetrics(obs::Snapshot &out) const;
     /** Complete a request's ticket, counting Ok completions. */
     void finishRequest(detail::ServiceRequest &req);
-    bool claimShared(Window &win);
-    bool claimAffine(unsigned w, Window &win, bool &stolen);
+    bool claimShared(Window &win) WIDX_REQUIRES(m_);
+    bool claimAffine(unsigned w, Window &win, bool &stolen)
+        WIDX_REQUIRES(m_);
     void processWindow(Window &win);
     template <typename Index>
     void drainWindow(const Index &idx, Window &win);
@@ -597,19 +597,19 @@ class IndexService
     bool affine_ = false;
     const Topology *topo_ = nullptr;
 
-    std::mutex m_;
-    std::condition_variable cv_;
+    Mutex m_;
+    CondVar cv_;
     // Shared-mode queues (affine off): one sealed deque, one open
     // coalescing window.
-    std::deque<Window> sealed_;
-    Window open_;
+    std::deque<Window> sealed_ WIDX_GUARDED_BY(m_);
+    Window open_ WIDX_GUARDED_BY(m_);
     // Affine-mode queues: per-shard sealed deques and open windows,
     // plus O(1) occupancy counters for the park predicate.
-    std::vector<std::deque<Window>> shardSealed_;
-    std::vector<Window> shardOpen_;
-    std::size_t sealedCount_ = 0;
-    u64 openKeys_ = 0;
-    bool stop_ = false;
+    std::vector<std::deque<Window>> shardSealed_ WIDX_GUARDED_BY(m_);
+    std::vector<Window> shardOpen_ WIDX_GUARDED_BY(m_);
+    std::size_t sealedCount_ WIDX_GUARDED_BY(m_) = 0;
+    u64 openKeys_ WIDX_GUARDED_BY(m_) = 0;
+    bool stop_ WIDX_GUARDED_BY(m_) = false;
     std::vector<std::thread> threads_;
 
     /** Keys parked in the admission queues (open + sealed, not yet
@@ -624,6 +624,7 @@ class IndexService
      *  claim and every completion; busySinceNs holds the claim time
      *  while a drain is in progress (0 parked). Null when the
      *  watchdog is off, so the hot path pays nothing. */
+    // widx-lint: padded
     struct alignas(kCacheBlockBytes) WalkerBeat
     {
         std::atomic<u64> epoch{0};
@@ -634,6 +635,7 @@ class IndexService
     /** Per-walker observability counters (always allocated — they
      *  are only written on the per-window path and at watchdog
      *  reports, never per key). Cache-line padded like the beats. */
+    // widx-lint: padded
     struct alignas(kCacheBlockBytes) WalkerObs
     {
         std::atomic<u64> windows{0};
@@ -652,6 +654,7 @@ class IndexService
     /** Per-shard window accounting (affine windows carry a shard
      *  id; shared-mode windows span shards and are not counted
      *  here). */
+    // widx-lint: padded
     struct alignas(kCacheBlockBytes) ShardObs
     {
         std::atomic<u64> drained{0};
@@ -664,11 +667,11 @@ class IndexService
     obs::TraceRing *trace_ = nullptr;
 
     std::thread watchdog_;
-    std::mutex wdM_;
-    std::condition_variable wdCv_;
-    bool wdStop_ = false;
+    Mutex wdM_;
+    CondVar wdCv_;
+    bool wdStop_ WIDX_GUARDED_BY(wdM_) = false;
     /** Serializes the join phase of stop() (idempotency). */
-    std::mutex joinM_;
+    Mutex joinM_;
 
     /** Per-walker home shard sets, nodes, and pin targets (affine
      *  routing; fixed after start()). */

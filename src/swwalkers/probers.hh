@@ -339,6 +339,9 @@ amacDrain(const Index &index, Stream &stream, unsigned width,
     using Node = db::HashIndex::Node;
 
     /** One in-flight AMAC probe. */
+    // widx-lint: allow(padded) -- function-local, single-threaded
+    // ring; the W slots are hot in one thread's L1 and *want* to be
+    // dense, unlike the cross-thread slots the check targets.
     struct Slot
     {
         std::size_t i = 0;

@@ -1,0 +1,70 @@
+// widx-lint corpus: atomic-order violations. Expected findings are
+// pinned by line in expected.txt — keep line numbers stable.
+#include <atomic>
+
+struct S
+{
+    std::atomic<unsigned long> n{0};
+    std::atomic<bool> flag{false};
+};
+
+unsigned long
+bad_load(S &s)
+{
+    return s.n.load(); // implicit seq_cst: finding
+}
+
+void
+bad_store(S &s, unsigned long v)
+{
+    s.n.store(v); // implicit seq_cst: finding
+}
+
+void
+bad_rmw(S &s)
+{
+    s.n.fetch_add(1); // implicit seq_cst: finding
+    s.n.exchange(7);  // implicit seq_cst: finding
+}
+
+bool
+bad_cas(S &s, unsigned long &e)
+{
+    return s.n.compare_exchange_weak(e, e + 1); // finding
+}
+
+unsigned long
+good_load(S &s)
+{
+    return s.n.load(std::memory_order_acquire); // explicit: clean
+}
+
+void
+good_multiline(S &s, unsigned long v)
+{
+    // Order named on a later line of the same call: still clean.
+    s.n.store(v,
+              std::memory_order_release);
+}
+
+bool
+suppressed_cas(S &s, unsigned long &e)
+{
+    // widx-lint: allow(atomic-order) -- corpus: seq_cst kept on a
+    // cold path for simplicity; proves suppressions reach here.
+    return s.n.compare_exchange_strong(e, e + 1);
+}
+
+void
+not_an_atomic()
+{
+    // A look-alike method on a non-atomic type. The lexer engine
+    // flags it (it cannot see types); the libclang pass would
+    // filter it. The corpus pins lexer behavior, so: finding —
+    // and the in-tree idiom for such a method is a suppression.
+    struct Store
+    {
+        void store(int) {}
+    } st;
+    st.store(1); // finding (lexer engine)
+}

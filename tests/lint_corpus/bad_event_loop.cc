@@ -1,0 +1,47 @@
+// widx-lint corpus: blocking primitives inside event-loop-tagged
+// functions. Keep line numbers stable; expected.txt pins them.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+struct Ctx
+{
+    std::mutex m;
+    std::condition_variable cv;
+};
+
+// widx-lint: event-loop
+void
+bad_loop(Ctx &c)
+{
+    std::lock_guard<std::mutex> lk(c.m); // finding: lock_guard
+    std::unique_lock<std::mutex> ul(c.m); // finding: unique_lock
+    c.cv.wait(ul);                        // finding: condvar wait
+    c.cv.wait_for(ul, std::chrono::seconds(1)); // finding: wait
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(1)); // finding: sleep
+    c.m.lock();                        // finding: .lock()
+    c.m.unlock();
+}
+
+// Untagged: the same primitives are fine outside the loop.
+void
+ok_outside(Ctx &c)
+{
+    std::lock_guard<std::mutex> lk(c.m);
+}
+
+// widx-lint: event-loop
+void
+suppressed_loop(Ctx &c)
+{
+    // widx-lint: allow(blocking) -- corpus: bounded lookup under an
+    // uncontended lock, mirrors the in-tree findConn justification.
+    std::lock_guard<std::mutex> lk(c.m);
+}
+
+// A tag that dangles at end of file (no function body follows the
+// declaration-only line) is itself reported.
+// widx-lint: event-loop
+void dangling_decl(Ctx &c);

@@ -1,0 +1,51 @@
+// widx-lint corpus: cache-line padding violations. Keep line
+// numbers stable; expected.txt pins them.
+#include <atomic>
+
+// Named *Slot with no alignas: finding.
+struct RingSlot
+{
+    std::atomic<unsigned long> seq{0};
+};
+
+// Named *Slot with the right alignment: clean.
+struct alignas(64) GoodSlot
+{
+    std::atomic<unsigned long> seq{0};
+};
+
+// The named-constant form is equally accepted: clean.
+inline constexpr int kCacheBlockBytes = 64;
+struct alignas(kCacheBlockBytes) OtherSlot
+{
+    std::atomic<unsigned long> seq{0};
+};
+
+// Tagged but unpadded: finding.
+// widx-lint: padded
+struct Heartbeat
+{
+    std::atomic<unsigned long> beat{0};
+};
+
+// Tagged and padded: clean.
+// widx-lint: padded
+struct alignas(64) Cell
+{
+    std::atomic<unsigned long> bits{0};
+};
+
+// Suppressed *Slot: clean (justified dense layout).
+// widx-lint: allow(padded) -- corpus: single-threaded dense ring,
+// mirrors the amacDrain Slot justification.
+struct LocalSlot
+{
+    unsigned long key = 0;
+};
+
+// Forward declarations and friend lines never match.
+struct DeclaredSlot;
+
+// A padded tag that binds to no struct is reported.
+// widx-lint: padded
+inline void not_a_struct() {}

@@ -1,0 +1,38 @@
+// widx-lint corpus: malformed suppressions. Keep line numbers
+// stable; expected.txt pins them.
+#include <atomic>
+
+struct S
+{
+    std::atomic<unsigned long> n{0};
+};
+
+void
+no_justification(S &s)
+{
+    // widx-lint: allow(atomic-order)
+    s.n.store(1); // the bare allow() is rejected, so: finding too
+}
+
+void
+unknown_check(S &s)
+{
+    // widx-lint: allow(made-up-check) -- justified or not, the
+    // check name must exist.
+    s.n.store(2, std::memory_order_relaxed);
+}
+
+void
+trailing_form(S &s)
+{
+    s.n.store(3); // widx-lint: allow(atomic-order) -- corpus: the
+                  // trailing same-line form suppresses this line.
+}
+
+void
+typo_directive(S &s)
+{
+    // widx-lint: alow(atomic-order) -- typo'd directives are
+    // reported, never silently ignored.
+    s.n.store(4, std::memory_order_relaxed);
+}

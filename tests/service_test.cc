@@ -1133,8 +1133,9 @@ TEST(IndexService, StopCancelsQueuedTicketsAndNeverHangs)
         EXPECT_EQ(t.waitFor(0ns), WaitStatus::Ready);
         const ServiceResult r = t.get();
         (r.status == Status::Cancelled ? cancelled : ok)++;
-        if (r.status != Status::Cancelled)
+        if (r.status != Status::Cancelled) {
             EXPECT_EQ(r.status, Status::Ok);
+        }
     }
     const ServiceStats s = service.stats();
     EXPECT_EQ(s.cancelled, cancelled);
