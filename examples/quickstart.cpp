@@ -72,7 +72,7 @@ main()
     // 5. Verify functionally and report.
     u64 expected = 0;
     for (RowId r = 0; r < probe.size(); ++r)
-        expected += index.probe(probe.at(r), nullptr);
+        expected += index.probe(probe.at(r));
     std::printf("matches: widx=%llu reference=%llu %s\n",
                 (unsigned long long)widx.matches,
                 (unsigned long long)expected,

@@ -1,0 +1,15 @@
+#include "common/epoch.hh"
+
+namespace widx {
+
+unsigned
+EpochManager::pinnedReaders() const
+{
+    unsigned n = 0;
+    for (unsigned i = 0; i < kMaxSlots; ++i)
+        if (slots_[i].epoch.load(std::memory_order_acquire) != kIdle)
+            ++n;
+    return n;
+}
+
+} // namespace widx

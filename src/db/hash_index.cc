@@ -16,15 +16,23 @@ namespace widx::db {
 namespace {
 
 /** Scalar fingerprint sweep over hashes [begin, n): the reference
- *  semantics of tagFilterBatch (and the AVX2 kernel's tail loop). */
+ *  semantics of tagFilterBatch (and the AVX2 kernel's tail loop).
+ *  Tag bytes load through relaxed atomic_ref — a plain mov, but
+ *  race-free against a live writer's concurrent tag maintenance
+ *  (this kernel is the only tag sweep a live index runs). */
 u64
-tagFilterScalarKernel(const u8 *tags, u64 mask, const u64 *hashes,
-                      std::size_t begin, std::size_t n, u64 *bits)
+tagFilterScalarKernel(const u8 *tags, u64 mask, unsigned shift,
+                      const u64 *hashes, std::size_t begin,
+                      std::size_t n, u64 *bits)
 {
     u64 survivors = 0;
     for (std::size_t i = begin; i < n; ++i) {
         const u64 h = hashes[i];
-        if (tags[h & mask] & HashIndex::tagOf(h)) {
+        const u8 tag =
+            std::atomic_ref<u8>(
+                const_cast<u8 &>(tags[(h >> shift) & mask]))
+                .load(std::memory_order_relaxed);
+        if (tag & HashIndex::tagOf(h)) {
             bits[i >> 6] |= u64(1) << (i & 63);
             ++survivors;
         }
@@ -45,21 +53,23 @@ tagFilterScalarKernel(const u8 *tags, u64 mask, const u64 *hashes,
  * runtime-dispatch on cpuid.
  */
 __attribute__((target("avx2"))) u64
-tagFilterAvx2Kernel(const u8 *tags, u64 mask, const u64 *hashes,
-                    std::size_t n, u64 *bits)
+tagFilterAvx2Kernel(const u8 *tags, u64 mask, unsigned shift,
+                    const u64 *hashes, std::size_t n, u64 *bits)
 {
     const __m256i vmask = _mm256_set1_epi64x(i64(mask));
     const __m256i vone = _mm256_set1_epi64x(1);
     const __m256i vseven = _mm256_set1_epi64x(7);
     const __m256i vff = _mm256_set1_epi64x(0xFF);
     const __m256i vzero = _mm256_setzero_si256();
+    const __m128i vshift = _mm_cvtsi32_si128(int(shift));
 
     u64 survivors = 0;
     std::size_t i = 0;
     for (; i + 4 <= n; i += 4) {
         const __m256i h = _mm256_loadu_si256(
             reinterpret_cast<const __m256i *>(hashes + i));
-        const __m256i bidx = _mm256_and_si256(h, vmask);
+        const __m256i bidx =
+            _mm256_and_si256(_mm256_srl_epi64(h, vshift), vmask);
         const __m128i gathered = _mm256_i64gather_epi32(
             reinterpret_cast<const int *>(tags), bidx, 1);
         const __m256i tag = _mm256_and_si256(
@@ -81,8 +91,8 @@ tagFilterAvx2Kernel(const u8 *tags, u64 mask, const u64 *hashes,
         bits[i >> 6] |= u64(surv) << (i & 63);
         survivors += unsigned(std::popcount(surv));
     }
-    return survivors +
-           tagFilterScalarKernel(tags, mask, hashes, i, n, bits);
+    return survivors + tagFilterScalarKernel(tags, mask, shift,
+                                             hashes, i, n, bits);
 }
 
 #endif // WIDX_TAG_FILTER_AVX2
@@ -95,6 +105,12 @@ HashIndex::HashIndex(const IndexSpec &spec, Arena &arena)
     fatal_if(spec.buckets == 0, "index needs at least one bucket");
     numBuckets_ = nextPowerOfTwo(spec.buckets);
     bucketShift_ = log2Exact(u64{kBucketStride});
+    hashShift_ = spec_.hashShift;
+    fatal_if(hashShift_ + log2Exact(numBuckets_) > 64,
+             "hashShift %u leaves no hash bits for %llu buckets",
+             hashShift_, (unsigned long long)numBuckets_);
+    fatal_if(spec_.live && spec_.indirectKeys,
+             "live mutation requires the direct key layout");
     // Cache-line-align the bucket array so a 32 B bucket (header
     // node included) never straddles two lines: one header fetch is
     // one memory access, as the paper's layout intends.
@@ -127,7 +143,7 @@ HashIndex::insert(u64 key, u64 payload, Addr key_addr)
              "indirect index requires the key's storage address");
 
     const u64 hash = hashKey(key);
-    const u64 bidx = hash & bucketMask();
+    const u64 bidx = bucketIndexOf(hash);
     tags_[bidx] |= tagOf(hash);
 
     Bucket &b = buckets_[bidx];
@@ -173,8 +189,8 @@ HashIndex::tagFilterBatchScalar(const u64 *hashes, std::size_t n,
                                 u64 *bits) const
 {
     std::memset(bits, 0, ((n + 63) / 64) * sizeof(u64));
-    return tagFilterScalarKernel(tags_, bucketMask(), hashes, 0, n,
-                                 bits);
+    return tagFilterScalarKernel(tags_, bucketMask(), hashShift_,
+                                 hashes, 0, n, bits);
 }
 
 u64
@@ -183,10 +199,13 @@ HashIndex::tagFilterBatch(const u64 *hashes, std::size_t n,
 {
     u64 survivors;
 #ifdef WIDX_TAG_FILTER_AVX2
-    if (tagFilterHasSimd()) {
+    // A live index's tags mutate concurrently; the dword gathers
+    // would race them bytewise, so live sweeps stay on the scalar
+    // atomic kernel.
+    if (!spec_.live && tagFilterHasSimd()) {
         std::memset(bits, 0, ((n + 63) / 64) * sizeof(u64));
-        survivors = tagFilterAvx2Kernel(tags_, bucketMask(), hashes,
-                                        n, bits);
+        survivors = tagFilterAvx2Kernel(tags_, bucketMask(),
+                                        hashShift_, hashes, n, bits);
     } else
 #endif
         survivors = tagFilterBatchScalar(hashes, n, bits);
@@ -198,13 +217,166 @@ u64
 HashIndex::lookup(u64 key) const
 {
     const u64 hash = hashKey(key);
-    const u64 bidx = hash & bucketMask();
-    if (!(tags_[bidx] & tagOf(hash)))
+    const u64 bidx = bucketIndexOf(hash);
+    if (!(tagByte(bidx) & tagOf(hash)))
         return kNotFound;
-    for (const Node *n = &buckets_[bidx].head; n; n = n->next)
+    // widx-lint: epoch-guard -- single-key convenience; a caller
+    // probing a live index pins an epoch around the call.
+    for (const Node *n = &buckets_[bidx].head; n; n = nodeNext(*n))
         if (nodeKey(*n) == key)
-            return n->payload;
+            return nodePayload(*n);
     return kNotFound;
+}
+
+// --- Live mutation (see the class doc: single writer per index,
+// --- lock-free concurrent probes) -----------------------------------
+
+void
+HashIndex::insertLive(u64 key, u64 payload)
+{
+    panic_if(!spec_.live, "insertLive on a non-live index");
+    panic_if(key == kEmptyKey, "the all-ones key is reserved");
+
+    const u64 hash = hashKey(key);
+    const u64 bidx = bucketIndexOf(hash);
+
+    // Tag first: the fingerprint bit must be visible before any
+    // probe can see the key, so the filter never false-negatives a
+    // published entry.
+    std::atomic_ref<u8>(tags_[bidx]).fetch_or(
+        tagOf(hash), std::memory_order_relaxed);
+
+    Bucket &b = buckets_[bidx];
+    const u64 hkey = std::atomic_ref<u64>(b.head.key)
+                         .load(std::memory_order_relaxed);
+    if (hkey == kEmptyKey) {
+        // Empty or tombstoned header: payload first, key last with
+        // release — a probe that matches the key sees the payload.
+        std::atomic_ref<u64>(b.head.payload)
+            .store(payload, std::memory_order_relaxed);
+        std::atomic_ref<u64>(b.head.key).store(
+            key, std::memory_order_release);
+    } else {
+        Node *n;
+        if (!freeNodes_.empty()) {
+            n = freeNodes_.back();
+            freeNodes_.pop_back();
+        } else {
+            n = arena_.make<Node>();
+            ++overflowNodes_;
+        }
+        // Fill privately, then publish with one release store on
+        // the header's next.
+        n->key = key;
+        n->payload = payload;
+        n->next = std::atomic_ref<Node *>(b.head.next)
+                      .load(std::memory_order_relaxed);
+        std::atomic_ref<Node *>(b.head.next)
+            .store(n, std::memory_order_release);
+    }
+    ++b.count;
+    ++entries_;
+}
+
+void
+HashIndex::refreshTag(u64 bidx)
+{
+    Bucket &b = buckets_[bidx];
+    u8 tag = 0;
+    // widx-lint: epoch-guard -- writer-side walk: only this writer
+    // retires nodes, so the chain cannot vanish under it.
+    for (const Node *n = &b.head; n; n = nodeNext(*n)) {
+        const u64 k = std::atomic_ref<u64>(
+                          const_cast<Node *>(n)->key)
+                          .load(std::memory_order_relaxed);
+        if (k != kEmptyKey)
+            tag |= tagOf(hashKey(k));
+    }
+    // A probe racing this store sees the old or new byte; both are
+    // supersets of the surviving keys' fingerprints, so there is
+    // still no false negative.
+    std::atomic_ref<u8>(tags_[bidx]).store(
+        tag, std::memory_order_relaxed);
+}
+
+u64
+HashIndex::eraseLive(u64 key, std::vector<Node *> &retired)
+{
+    panic_if(!spec_.live, "eraseLive on a non-live index");
+    const u64 hash = hashKey(key);
+    const u64 bidx = bucketIndexOf(hash);
+    Bucket &b = buckets_[bidx];
+    u64 erased = 0;
+
+    // Header match: tombstone in place (the header node is part of
+    // the bucket array and can never be unlinked). kEmptyKey never
+    // equals a probed key, so the slot just stops matching.
+    if (std::atomic_ref<u64>(b.head.key).load(
+            std::memory_order_relaxed) == key) {
+        std::atomic_ref<u64>(b.head.key).store(
+            kEmptyKey, std::memory_order_release);
+        ++erased;
+    }
+
+    // Overflow matches: unlink with a release store on the
+    // predecessor's next. The retired node's own next is left
+    // intact so a paused probe holding it still walks to the end.
+    Node *prev = &b.head;
+    Node *n = std::atomic_ref<Node *>(prev->next)
+                  .load(std::memory_order_relaxed);
+    while (n) {
+        Node *next = std::atomic_ref<Node *>(n->next).load(
+            std::memory_order_relaxed);
+        if (n->key == key) {
+            std::atomic_ref<Node *>(prev->next)
+                .store(next, std::memory_order_release);
+            retired.push_back(n);
+            ++erased;
+        } else {
+            prev = n;
+        }
+        n = next;
+    }
+
+    if (erased) {
+        b.count -= erased;
+        entries_ -= erased;
+        refreshTag(bidx);
+    }
+    return erased;
+}
+
+bool
+HashIndex::upsertLive(u64 key, u64 payload)
+{
+    panic_if(!spec_.live, "upsertLive on a non-live index");
+    const u64 hash = hashKey(key);
+    const u64 bidx = bucketIndexOf(hash);
+    for (Node *n = &buckets_[bidx].head; n;
+         n = std::atomic_ref<Node *>(n->next).load(
+             std::memory_order_relaxed)) {
+        if (std::atomic_ref<u64>(n->key).load(
+                std::memory_order_relaxed) == key) {
+            // Single-word overwrite: concurrent probes see the old
+            // or new payload, never a mix.
+            std::atomic_ref<u64>(n->payload).store(
+                payload, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    insertLive(key, payload);
+    return false;
+}
+
+void
+HashIndex::recycleNode(Node *n)
+{
+    // The grace period has passed: no probe can hold this node, so
+    // plain stores are fine until insertLive republishes it.
+    n->key = kEmptyKey;
+    n->payload = 0;
+    n->next = nullptr;
+    freeNodes_.push_back(n);
 }
 
 double

@@ -190,6 +190,19 @@ struct IndexSpec
     HashFn hashFn = HashFn::monetdbRobust();
     /** MonetDB-style nodes holding key pointers instead of keys. */
     bool indirectKeys = false;
+    /** Bucket addressing uses hash bits [hashShift, hashShift +
+     *  log2(buckets)). Zero (the default, and the only value the
+     *  read-only paths ever see) keeps the historical low-bits
+     *  masking. A grown replacement shard inside a ShardedIndex sets
+     *  it past the shard-selector bits: a plain low-bits mask on a
+     *  2x bucket array would swallow the selector bits — constant
+     *  within a shard — and leave half the buckets unreachable. */
+    u32 hashShift = 0;
+    /** Live (mutable) index: probe-path field reads stay the same
+     *  plain-mov instructions, but the tag sweep takes the scalar
+     *  atomic kernel instead of the AVX2 gather so concurrent tag
+     *  maintenance is race-free under TSan. */
+    bool live = false;
 };
 
 class HashIndex
@@ -249,9 +262,6 @@ class HashIndex
         return probe(key, [](u64) {});
     }
 
-    /** Back-compat spelling of the count-only probe. */
-    u64 probe(u64 key, std::nullptr_t) const { return probe(key); }
-
     /**
      * Probe with a precomputed hash (the walker half of the
      * decoupled pipeline; the dispatcher half is hashBatch).
@@ -264,14 +274,17 @@ class HashIndex
     probeHashed(u64 key, u64 hash, Emit &&emit,
                 bool tagged = true) const
     {
-        const u64 bidx = hash & bucketMask();
-        if (tagged && !(tags_[bidx] & tagOf(hash)))
+        // widx-lint: epoch-guard -- callers probing a live index
+        // hold an epoch pin; read-only indexes never retire.
+        const u64 bidx = bucketIndexOf(hash);
+        if (tagged && !(tagByte(bidx) & tagOf(hash)))
             return 0;
         u64 matches = 0;
-        for (const Node *n = &buckets_[bidx].head; n; n = n->next) {
+        for (const Node *n = &buckets_[bidx].head; n;
+             n = nodeNext(*n)) {
             if (nodeKey(*n) == key) {
                 ++matches;
-                emit(n->payload);
+                emit(nodePayload(*n));
             }
         }
         return matches;
@@ -300,10 +313,10 @@ class HashIndex
     {
         if (tagged)
             for (std::size_t i = 0; i < n; ++i)
-                prefetchRead(&tags_[hashes[i] & bucketMask()]);
+                prefetchRead(&tags_[bucketIndexOf(hashes[i])]);
         else
             for (std::size_t i = 0; i < n; ++i)
-                prefetchRead(&buckets_[hashes[i] & bucketMask()]);
+                prefetchRead(&buckets_[bucketIndexOf(hashes[i])]);
     }
 
     /**
@@ -398,7 +411,7 @@ class HashIndex
                 tagFilterBatch(cur, n, bits);
                 for (std::size_t i = 0; i < n; ++i)
                     if (bits[i >> 6] >> (i & 63) & 1)
-                        prefetchRead(&buckets_[cur[i] & bucketMask()]);
+                        prefetchRead(&buckets_[bucketIndexOf(cur[i])]);
                 for (std::size_t i = 0; i < n; ++i) {
                     if (!(bits[i >> 6] >> (i & 63) & 1))
                         continue;
@@ -432,13 +445,86 @@ class HashIndex
     /** Point lookup: payload of the first match or kNotFound. */
     u64 lookup(u64 key) const;
 
+    // --- Live mutation (single writer, concurrent lock-free probes) ----
+    //
+    // Only on an index built with spec.live = true and a direct key
+    // layout. The caller (ShardedIndex's per-shard writer) serializes
+    // writers per index; probes run concurrently with NO locks. Every
+    // store that a probe can observe is an atomic publish:
+    //
+    //   insert:  node filled privately, then linked with a release
+    //            store on the header's next (or, for an empty/
+    //            tombstoned header, payload first, key last with
+    //            release — a probe that sees the key sees the
+    //            payload).
+    //   erase:   overflow nodes are unlinked with a release store on
+    //            the predecessor's next; the retired node keeps its
+    //            own next so paused probes terminate. Header matches
+    //            tombstone the key back to kEmptyKey. Retired nodes
+    //            land in `retired` for the caller to epoch-reclaim —
+    //            they must not be reused until every reader pinned
+    //            before the erase has unpinned (see common/epoch.hh).
+    //   tags:    insert ORs the fingerprint bit in *before* linking
+    //            (no false negatives ever); erase recomputes the
+    //            byte from the surviving chain, so the filter keeps
+    //            earning its keep as keys churn.
+
+    /** Live insert; duplicates allowed (multiset semantics, same as
+     *  build-time insert). */
+    void insertLive(u64 key, u64 payload);
+
+    /** Live erase of every node matching `key`. Unlinked overflow
+     *  nodes are appended to `retired` (epoch-reclaim them); header
+     *  matches are tombstoned in place. Returns nodes erased. */
+    u64 eraseLive(u64 key, std::vector<Node *> &retired);
+
+    /** Live upsert: overwrite the first match's payload, else
+     *  insert. Returns true when an existing node was updated. */
+    bool upsertLive(u64 key, u64 payload);
+
+    /** Return an epoch-reclaimed node to the writer's freelist so
+     *  the arena does not grow without bound under churn. Caller
+     *  guarantees the grace period has elapsed. */
+    void recycleNode(Node *n);
+
+    /** Writer-side sweep of every live entry (rebuild source).
+     *  fn(key, payload); tombstoned headers are skipped. */
+    template <typename Fn>
+    void
+    forEachLiveEntry(Fn &&fn) const
+    {
+        // widx-lint: epoch-guard -- rebuild source sweep runs on
+        // the shard's single writer; no other thread retires.
+        for (u64 b = 0; b < numBuckets_; ++b) {
+            for (const Node *n = &buckets_[b].head; n;
+                 n = nodeNext(*n)) {
+                const u64 k = std::atomic_ref<u64>(
+                                  const_cast<Node *>(n)->key)
+                                  .load(std::memory_order_acquire);
+                if (k != kEmptyKey)
+                    fn(k, nodePayload(*n));
+            }
+        }
+    }
+
     // --- Geometry / layout accessors (used by codegen & trace gen) ---
 
     u64 numBuckets() const { return numBuckets_; }
     unsigned bucketShift() const { return bucketShift_; }
     u64 bucketMask() const { return numBuckets_ - 1; }
+    unsigned hashShift() const { return hashShift_; }
     const HashFn &hashFn() const { return spec_.hashFn; }
     bool indirectKeys() const { return spec_.indirectKeys; }
+    bool live() const { return spec_.live; }
+
+    /** Bucket index for a full hash: the spec's hashShift selects
+     *  which hash bit-field addresses the bucket array (0 = the
+     *  historical low-bits mask). */
+    u64
+    bucketIndexOf(u64 hash) const
+    {
+        return (hash >> hashShift_) & bucketMask();
+    }
 
     Addr
     bucketArrayAddr() const
@@ -453,7 +539,7 @@ class HashIndex
     u64
     bucketIndex(u64 key) const
     {
-        return hashKey(key) & bucketMask();
+        return bucketIndexOf(hashKey(key));
     }
 
     const Bucket &
@@ -462,14 +548,46 @@ class HashIndex
         return buckets_[idx & bucketMask()];
     }
 
-    /** Resolve a node's key: dereferences for indirect layouts. */
+    /** Resolve a node's key: dereferences for indirect layouts.
+     *  The raw field read is an acquire atomic_ref load — a plain
+     *  mov on every target we build for, so read-only probes cost
+     *  nothing — pairing with the live writer's release publish so
+     *  a probe that observes a just-inserted key also observes its
+     *  payload. */
     u64
     nodeKey(const Node &n) const
     {
+        // atomic_ref over const is C++26; the const_cast only feeds
+        // a load.
+        const u64 raw =
+            std::atomic_ref<u64>(const_cast<Node &>(n).key)
+                .load(std::memory_order_acquire);
         if (spec_.indirectKeys)
             return *reinterpret_cast<const u64 *>(
-                std::uintptr_t(n.key));
-        return n.key;
+                std::uintptr_t(raw));
+        return raw;
+    }
+
+    /** Node payload, race-free against a live upsert (single-word
+     *  atomic: a concurrent probe sees the old or new payload,
+     *  never a mix). */
+    u64
+    nodePayload(const Node &n) const
+    {
+        return std::atomic_ref<u64>(const_cast<Node &>(n).payload)
+            .load(std::memory_order_relaxed);
+    }
+
+    /** Next pointer, acquire-paired with the writer's release
+     *  unlink/publish stores. A node retired by eraseLive keeps its
+     *  next pointer, so a paused probe holding it still terminates. */
+    const Node *
+    nodeNext(const Node &n) const
+    {
+        // widx-lint: epoch-guard -- chain walks over a live index
+        // run under the caller's epoch pin.
+        return std::atomic_ref<Node *>(const_cast<Node &>(n).next)
+            .load(std::memory_order_acquire);
     }
 
     // --- Tag (fingerprint) array ---------------------------------------
@@ -491,12 +609,22 @@ class HashIndex
                          7));
     }
 
+    /** One bucket's tag byte (relaxed atomic: live writers maintain
+     *  tags concurrently; a plain mov on x86). */
+    u8
+    tagByte(u64 bidx) const
+    {
+        return std::atomic_ref<u8>(
+                   const_cast<u8 &>(tags_[bidx & bucketMask()]))
+            .load(std::memory_order_relaxed);
+    }
+
     /** May the bucket contain a key with this hash? No false
      *  negatives; an empty bucket (tag 0) rejects everything. */
     bool
     tagMayMatch(u64 bidx, u64 hash) const
     {
-        return tags_[bidx & bucketMask()] & tagOf(hash);
+        return tagByte(bidx) & tagOf(hash);
     }
 
     // --- Probe surface (hash-addressed) --------------------------------
@@ -513,21 +641,24 @@ class HashIndex
     bool
     tagMayMatchHash(u64 hash) const
     {
-        return tags_[hash & bucketMask()] & tagOf(hash);
+        return tagByte(bucketIndexOf(hash)) & tagOf(hash);
     }
 
     /** Address of the hash's tag byte (coroutine tag prefetch). */
     const u8 *
     tagAddrFor(u64 hash) const
     {
-        return &tags_[hash & bucketMask()];
+        return &tags_[bucketIndexOf(hash)];
     }
 
     /** Header node of the hash's bucket. */
     const Node *
     bucketHeadFor(u64 hash) const
     {
-        return &buckets_[hash & bucketMask()].head;
+        // widx-lint: epoch-guard -- the returned header belongs to
+        // this index object; under a ShardedIndex the shard pointer
+        // itself is epoch-protected by the caller's pin.
+        return &buckets_[bucketIndexOf(hash)].head;
     }
 
     const u8 *tagArray() const { return tags_; }
@@ -573,6 +704,10 @@ class HashIndex
     static constexpr u32 kBucketStride = 32;
 
   private:
+    /** Recompute one bucket's tag byte from its surviving chain
+     *  (erase path; writer-side). */
+    void refreshTag(u64 bidx);
+
     IndexSpec spec_;
     Arena &arena_;
     Bucket *buckets_;
@@ -580,11 +715,15 @@ class HashIndex
     u8 *tags_;
     u64 numBuckets_;
     unsigned bucketShift_; ///< log2(kBucketStride)
+    unsigned hashShift_;   ///< spec_.hashShift (bucket addressing)
     u64 entries_ = 0;
     u64 overflowNodes_ = 0;
     TagFilterStats tagStats_;
     /** Sentinel key cell that empty indirect headers point to. */
     u64 *sentinelCell_;
+    /** Writer-side freelist of epoch-reclaimed overflow nodes
+     *  (recycleNode / insertLive; the Arena never frees). */
+    std::vector<Node *> freeNodes_;
 };
 
 } // namespace widx::db

@@ -13,7 +13,8 @@
 
 namespace widx::net {
 
-TcpIndexClient::TcpIndexClient(const std::string &host, u16 port)
+TcpIndexClient::TcpIndexClient(const std::string &host, u16 port,
+                               bool sayHello)
 {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     fatal_if(fd_ < 0, "socket(): %s", errnoText(errno).c_str());
@@ -29,6 +30,29 @@ TcpIndexClient::TcpIndexClient(const std::string &host, u16 port)
              errnoText(errno).c_str());
     const int one = 1;
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (sayHello) {
+        // Fire-and-continue: frames are processed in order on the
+        // server, so anything submitted after this is evaluated on
+        // a v2 connection; the response lands in readerMain and
+        // stamps serverVersion_.
+        MutexLock lk(writeM_);
+        wbuf_.clear();
+        appendHello(wbuf_, /*reqId=*/0);
+        std::size_t off = 0;
+        while (off < wbuf_.size()) {
+            const ssize_t n = ::send(fd_, wbuf_.data() + off,
+                                     wbuf_.size() - off,
+                                     MSG_NOSIGNAL);
+            if (n > 0) {
+                off += std::size_t(n);
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            ok_.store(false, std::memory_order_release);
+            break;
+        }
+    }
     reader_ = std::thread([this] { readerMain(); });
 }
 
@@ -58,7 +82,8 @@ TcpIndexClient::close()
 void
 TcpIndexClient::submitAsync(sw::RequestKind kind,
                             std::span<const u64> keys, u64 deadlineNs,
-                            u64 tag, u64 traceId)
+                            u64 tag, u64 traceId,
+                            std::span<const u64> payloads)
 {
     fatal_if(keys.size() > kMaxKeysPerRequest,
              "request exceeds the wire key cap (%zu > %u)",
@@ -67,7 +92,8 @@ TcpIndexClient::submitAsync(sw::RequestKind kind,
     if (ok_.load(std::memory_order_acquire)) {
         MutexLock lk(writeM_);
         wbuf_.clear();
-        appendRequest(wbuf_, tag, kind, deadlineNs, keys, traceId);
+        appendRequest(wbuf_, tag, kind, deadlineNs, keys, traceId,
+                      payloads);
         std::size_t off = 0;
         sent = true;
         while (off < wbuf_.size()) {
@@ -97,10 +123,10 @@ TcpIndexClient::submitAsync(sw::RequestKind kind,
 
 sw::ServiceResult
 TcpIndexClient::call(sw::RequestKind kind, std::span<const u64> keys,
-                     u64 deadlineNs)
+                     u64 deadlineNs, std::span<const u64> payloads)
 {
     const u64 tag = nextCallTag_++;
-    submitAsync(kind, keys, deadlineNs, tag);
+    submitAsync(kind, keys, deadlineNs, tag, 0, payloads);
     std::vector<sw::Completion> batch;
     for (;;) {
         batch.clear();
@@ -186,6 +212,31 @@ TcpIndexClient::readerMain()
         std::span<const u8> payload;
         bool bad = false;
         while (rd.next(payload, bad)) {
+            // Hello responses route by kind byte, like Stats: they
+            // carry the negotiated version, not a completion.
+            if (payload.size() >= sizeof(RespHeader) &&
+                payload[9] == kWireKindHello) {
+                u64 reqId, ver;
+                sw::Status st;
+                if (!parseHelloResponse(payload.data(),
+                                        payload.size(), reqId, st,
+                                        ver)) {
+                    bad = true;
+                    break;
+                }
+                serverVersion_.store(ver,
+                                     std::memory_order_release);
+                if (st != sw::Status::Ok) {
+                    // The server answers honestly and then closes;
+                    // the imminent EOF tears the connection down
+                    // through the normal path below.
+                    warn("tcp client: server rejected protocol "
+                         "version %llu (speaks %llu)",
+                         (unsigned long long)kWireProtocolVersion,
+                         (unsigned long long)ver);
+                }
+                continue;
+            }
             // Stats responses route by the header's kind byte (wire
             // offset 9) into the scrape rendezvous — they never
             // carry completions, so they must not reach cq_.

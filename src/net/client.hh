@@ -41,8 +41,13 @@ namespace widx::net {
 class TcpIndexClient
 {
   public:
-    /** Connects (blocking) to host:port; fatal()s on failure. */
-    TcpIndexClient(const std::string &host, u16 port);
+    /** Connects (blocking) to host:port; fatal()s on failure. By
+     *  default the connection opens with a v2 Hello handshake,
+     *  unlocking the mutation kinds; `sayHello = false` speaks the
+     *  v1 read-only baseline (useful against old servers, and for
+     *  exercising the server's v1-compat path). */
+    TcpIndexClient(const std::string &host, u16 port,
+                   bool sayHello = true);
     ~TcpIndexClient();
 
     TcpIndexClient(const TcpIndexClient &) = delete;
@@ -52,14 +57,17 @@ class TcpIndexClient
      *  `tag`. `deadlineNs` is relative (0 = none) — the server
      *  re-anchors it to its own clock. A nonzero `traceId` rides
      *  the frame's trailer and tags the request's span events in
-     *  the server's trace ring. */
+     *  the server's trace ring. Insert/Upsert require one payload
+     *  per key; other kinds ignore `payloads`. */
     void submitAsync(sw::RequestKind kind, std::span<const u64> keys,
-                     u64 deadlineNs, u64 tag, u64 traceId = 0);
+                     u64 deadlineNs, u64 tag, u64 traceId = 0,
+                     std::span<const u64> payloads = {});
 
     /** Blocking one-shot convenience (see file comment). */
     sw::ServiceResult call(sw::RequestKind kind,
                            std::span<const u64> keys,
-                           u64 deadlineNs = 0);
+                           u64 deadlineNs = 0,
+                           std::span<const u64> payloads = {});
 
     /** Scrape the server's metrics registry: one Stats frame, one
      *  Prometheus text-exposition payload back. Blocking; returns
@@ -74,6 +82,14 @@ class TcpIndexClient
     /** False once the connection is known broken. */
     bool ok() const { return ok_.load(std::memory_order_acquire); }
 
+    /** The server's protocol version from its Hello response; 0
+     *  until that response arrives (or forever, when constructed
+     *  with `sayHello = false`). */
+    u64 serverVersion() const
+    {
+        return serverVersion_.load(std::memory_order_acquire);
+    }
+
     void close();
 
   private:
@@ -81,6 +97,7 @@ class TcpIndexClient
 
     int fd_ = -1;
     std::atomic<bool> ok_{true};
+    std::atomic<u64> serverVersion_{0};
     std::shared_ptr<sw::CompletionQueue> cq_ =
         std::make_shared<sw::CompletionQueue>();
     Mutex writeM_; ///< serializes frames onto the socket

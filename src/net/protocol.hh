@@ -10,16 +10,28 @@
  *
  * where `length` counts the payload bytes after the length field.
  * A request payload is a 24-byte header followed by an optional
- * trace-id trailer and the key array:
+ * trace-id trailer, the key array, and (mutation kinds only) the
+ * payload array:
  *
  *     u64 reqId     client-chosen correlation id, echoed back
- *     u8  kind      RequestKind (0 Count, 1 Probe, 2 Join) or the
- *                   wire-only kWireKindStats (3): scrape the
- *                   server's metrics registry (nKeys must be 0)
+ *     u8  kind      wire kind: 0 Count, 1 Probe, 2 Join (the
+ *                   RequestKind bytes, unchanged since v1), the
+ *                   wire-only kWireKindStats (3: scrape the server's
+ *                   metrics registry, nKeys must be 0) and
+ *                   kWireKindHello (4: version handshake, see
+ *                   below), or the v2 mutation kinds 5 Insert,
+ *                   6 Delete, 7 Upsert. Mutations deliberately do
+ *                   NOT reuse the RequestKind bytes: Insert's
+ *                   in-process value (3) is Stats on the wire, so
+ *                   the mapping is explicit (wireKindOf /
+ *                   serviceKindOfWire), never a cast.
  *     u8  flags     bit 0 (kReqFlagTraceId): a u64 trace id follows
- *                   the header, before the keys; other bits must be
- *                   0 (they are framing errors, so old peers reject
- *                   rather than misparse frames from newer ones)
+ *                   the header, before the keys; bit 1
+ *                   (kReqFlagPayloads): a u64 payload array follows
+ *                   the keys — required on Insert/Upsert, forbidden
+ *                   elsewhere; other bits must be 0 (they are
+ *                   framing errors, so old peers reject rather than
+ *                   misparse frames from newer ones)
  *     u16 reserved  must be 0
  *     u32 nKeys     number of u64 keys that follow
  *     u64 deadlineNs  *relative* service deadline (0 = none): the
@@ -28,13 +40,29 @@
  *     u64 traceId   only when flags bit 0 is set (opt-in request
  *                   tracing; see obs/trace.hh)
  *     u64 keys[nKeys]
+ *     u64 payloads[nKeys]  only when flags bit 1 is set
+ *
+ * Versioning: the baseline protocol (v1) is the read-only surface —
+ * Count/Probe/Join/Stats. v2 adds the Hello handshake and the
+ * mutation kinds. A v2 client opens with one Hello frame (kind 4,
+ * nKeys = 1, the single "key" carrying kWireProtocolVersion); the
+ * server answers with a Hello response (matches = its own version)
+ * and unlocks the mutation kinds on that connection. A connection
+ * that never said Hello is served as v1: reads work byte-identically
+ * to the pre-versioned protocol, and a mutation frame completes with
+ * a clean Status::UnsupportedVersion response instead of being
+ * served. A Hello announcing a version the server does not speak is
+ * answered with Status::UnsupportedVersion and the connection is
+ * closed after the response flushes. Old servers treat kind 4 as a
+ * framing error and drop the connection — a new client talking to an
+ * old server fails fast rather than silently losing writes.
  *
  * A response payload is a 24-byte header followed by the records:
  *
  *     u64 reqId     echoed from the request
  *     u8  status    Status (0 Ok, 1 Rejected, 2 DeadlineExceeded,
- *                   3 Cancelled)
- *     u8  kind      echoed from the request
+ *                   3 Cancelled, 4 UnsupportedVersion)
+ *     u8  kind      echoed from the request (wire kind byte)
  *     u16 reserved  0
  *     u32 nRecs     number of 24-byte records that follow
  *                   (0 for Count — matches carries the tally)
@@ -89,12 +117,81 @@ inline constexpr u32 kMaxFrameBytes = 64u << 20;
 /** Request flag: a u64 trace id sits between the header and the
  *  keys (opt-in span tracing, SubmitOptions::traceId). */
 inline constexpr u8 kReqFlagTraceId = 0x1;
+/** Request flag: a u64 payload array (one per key) follows the
+ *  keys. Required on the Insert/Upsert wire kinds, a framing error
+ *  on every other kind (Delete carries keys only). */
+inline constexpr u8 kReqFlagPayloads = 0x2;
 
 /** Wire-only request kind: serialize the server's metrics registry
  *  into the response. Never enters sw::RequestKind — it is handled
  *  entirely in the front-end, before service submission. A Stats
  *  request carries no keys, no deadline, no trace id. */
 inline constexpr u8 kWireKindStats = 3;
+
+/** The protocol version this build speaks. v1 is the implicit
+ *  read-only baseline (no Hello); v2 adds Hello + mutations. */
+inline constexpr u64 kWireProtocolVersion = 2;
+
+/** Wire-only request kind: version handshake. nKeys = 1 and the
+ *  single "key" carries the client's protocol version; the response
+ *  echoes the server's version in `matches`. Handled entirely in
+ *  the front-end, like Stats. */
+inline constexpr u8 kWireKindHello = 4;
+
+/** v2 mutation wire kinds. These do not equal the u8 of their
+ *  sw::RequestKind (Insert's in-process byte, 3, is Stats on the
+ *  wire) — always translate through wireKindOf/serviceKindOfWire. */
+inline constexpr u8 kWireKindInsert = 5;
+inline constexpr u8 kWireKindDelete = 6;
+inline constexpr u8 kWireKindUpsert = 7;
+
+constexpr bool
+wireKindIsMutation(u8 w)
+{
+    return w >= kWireKindInsert && w <= kWireKindUpsert;
+}
+
+/** Service kind -> wire kind byte. Count/Probe/Join keep their v1
+ *  bytes; mutation kinds shift past Stats/Hello. */
+constexpr u8
+wireKindOf(sw::RequestKind k)
+{
+    switch (k) {
+      case sw::RequestKind::Insert:
+        return kWireKindInsert;
+      case sw::RequestKind::Delete:
+        return kWireKindDelete;
+      case sw::RequestKind::Upsert:
+        return kWireKindUpsert;
+      default:
+        return u8(k);
+    }
+}
+
+/** Wire kind byte -> service kind; false for the wire-only kinds
+ *  (Stats, Hello) and anything unknown. */
+constexpr bool
+serviceKindOfWire(u8 w, sw::RequestKind &k)
+{
+    switch (w) {
+      case u8(sw::RequestKind::Count):
+      case u8(sw::RequestKind::Probe):
+      case u8(sw::RequestKind::Join):
+        k = sw::RequestKind(w);
+        return true;
+      case kWireKindInsert:
+        k = sw::RequestKind::Insert;
+        return true;
+      case kWireKindDelete:
+        k = sw::RequestKind::Delete;
+        return true;
+      case kWireKindUpsert:
+        k = sw::RequestKind::Upsert;
+        return true;
+      default:
+        return false;
+    }
+}
 
 struct ReqHeader
 {
@@ -148,26 +245,87 @@ appendBytes(std::vector<u8> &out, const void *p, std::size_t n)
 }
 
 /** Serialize one request frame (length prefix included). A nonzero
- *  `traceId` sets kReqFlagTraceId and rides the trailer. */
+ *  `traceId` sets kReqFlagTraceId and rides the trailer. Insert and
+ *  Upsert require one payload per key (the payloads trailer is what
+ *  makes the frame well-formed); other kinds ignore `payloads`. */
 inline void
 appendRequest(std::vector<u8> &out, u64 reqId, sw::RequestKind kind,
               u64 deadlineNs, std::span<const u64> keys,
-              u64 traceId = 0)
+              u64 traceId = 0, std::span<const u64> payloads = {})
 {
+    const bool withPayloads = kind == sw::RequestKind::Insert ||
+                              kind == sw::RequestKind::Upsert;
+    panic_if(withPayloads && payloads.size() != keys.size(),
+             "insert/upsert frames need one payload per key");
     ReqHeader h;
     h.reqId = reqId;
-    h.kind = u8(kind);
+    h.kind = wireKindOf(kind);
     if (traceId)
-        h.flags = kReqFlagTraceId;
+        h.flags |= kReqFlagTraceId;
+    if (withPayloads)
+        h.flags |= kReqFlagPayloads;
     h.nKeys = u32(keys.size());
     h.deadlineNs = deadlineNs;
-    const u32 len = u32(sizeof(h) + (traceId ? 8 : 0) +
-                        keys.size_bytes());
+    const u32 len =
+        u32(sizeof(h) + (traceId ? 8 : 0) + keys.size_bytes() +
+            (withPayloads ? payloads.size_bytes() : 0));
     appendBytes(out, &len, sizeof(len));
     appendBytes(out, &h, sizeof(h));
     if (traceId)
         appendBytes(out, &traceId, sizeof(traceId));
     appendBytes(out, keys.data(), keys.size_bytes());
+    if (withPayloads)
+        appendBytes(out, payloads.data(), payloads.size_bytes());
+}
+
+/** Serialize one Hello frame: the version rides as the single key. */
+inline void
+appendHello(std::vector<u8> &out, u64 reqId,
+            u64 version = kWireProtocolVersion)
+{
+    ReqHeader h;
+    h.reqId = reqId;
+    h.kind = kWireKindHello;
+    h.nKeys = 1;
+    const u32 len = u32(sizeof(h) + 8);
+    appendBytes(out, &len, sizeof(len));
+    appendBytes(out, &h, sizeof(h));
+    appendBytes(out, &version, sizeof(version));
+}
+
+/** Serialize a Hello response: `matches` carries the responder's
+ *  protocol version; status is Ok or UnsupportedVersion. */
+inline void
+appendHelloResponse(std::vector<u8> &out, u64 reqId, sw::Status st)
+{
+    RespHeader h;
+    h.reqId = reqId;
+    h.status = u8(st);
+    h.kind = kWireKindHello;
+    h.matches = kWireProtocolVersion;
+    const u32 len = u32(sizeof(h));
+    appendBytes(out, &len, sizeof(len));
+    appendBytes(out, &h, sizeof(h));
+}
+
+/** Validate and decode a Hello response payload. Route on the
+ *  header's kind byte (payload offset 9 == kWireKindHello), like
+ *  Stats. Returns false on a framing violation. */
+inline bool
+parseHelloResponse(const u8 *p, std::size_t len, u64 &reqId,
+                   sw::Status &st, u64 &serverVersion)
+{
+    if (len != sizeof(RespHeader))
+        return false;
+    RespHeader h;
+    std::memcpy(&h, p, sizeof(h));
+    if (h.kind != kWireKindHello || h.rsv || h.nRecs ||
+        h.status > u8(sw::Status::UnsupportedVersion))
+        return false;
+    reqId = h.reqId;
+    st = sw::Status(h.status);
+    serverVersion = h.matches;
+    return true;
 }
 
 /** Serialize one Stats request frame: header only, kind 3. */
@@ -197,7 +355,7 @@ appendResponse(std::vector<u8> &out, u64 reqId, sw::RequestKind kind,
     RespHeader h;
     h.reqId = reqId;
     h.status = u8(r.status);
-    h.kind = u8(kind);
+    h.kind = wireKindOf(kind);
     h.matches = r.matches;
     std::size_t nRecs = r.recs.size();
     if (nRecs > kMaxRecsPerResponse) {
@@ -216,23 +374,43 @@ appendResponse(std::vector<u8> &out, u64 reqId, sw::RequestKind kind,
 }
 
 /** Validate and decode a request payload (the bytes after the
- *  length prefix). Keys land in `keys` (overwritten). Returns false
- *  on any framing violation — the caller must drop the connection. */
+ *  length prefix). Keys land in `keys` (overwritten); a mutation
+ *  frame's payload trailer lands in `*payloads` (required non-null
+ *  to accept one — a caller that cannot carry payloads rejects
+ *  mutation frames as framing errors). A Hello frame parses with
+ *  the client's version as keys[0]. Returns false on any framing
+ *  violation — the caller must drop the connection. */
 inline bool
 parseRequest(const u8 *p, std::size_t len, ReqHeader &h,
-             std::vector<u64> &keys, u64 *traceId = nullptr)
+             std::vector<u64> &keys, u64 *traceId = nullptr,
+             std::vector<u64> *payloads = nullptr)
 {
     if (traceId)
         *traceId = 0;
+    if (payloads)
+        payloads->clear();
     if (len < sizeof(ReqHeader))
         return false;
     std::memcpy(&h, p, sizeof(h));
     const bool stats = h.kind == kWireKindStats;
-    if ((h.kind > u8(sw::RequestKind::Join) && !stats) ||
-        (h.flags & ~kReqFlagTraceId) || h.rsv1)
+    const bool hello = h.kind == kWireKindHello;
+    const bool mut = wireKindIsMutation(h.kind);
+    if ((h.kind > u8(sw::RequestKind::Join) && !stats && !hello &&
+         !mut) ||
+        (h.flags & ~(kReqFlagTraceId | kReqFlagPayloads)) || h.rsv1)
         return false;
     if (stats && (h.nKeys || h.flags || h.deadlineNs))
         return false; // a Stats request is a bare header
+    if (hello && (h.nKeys != 1 || h.flags || h.deadlineNs))
+        return false; // a Hello is a header plus the version word
+    // Insert/Upsert promise a payload trailer; nothing else may
+    // carry one (Delete is keys-only).
+    const bool wantPayloads = h.kind == kWireKindInsert ||
+                              h.kind == kWireKindUpsert;
+    if (bool(h.flags & kReqFlagPayloads) != wantPayloads)
+        return false;
+    if (wantPayloads && !payloads)
+        return false;
     if (h.nKeys > kMaxKeysPerRequest)
         return false;
     std::size_t off = sizeof(ReqHeader);
@@ -247,10 +425,15 @@ parseRequest(const u8 *p, std::size_t len, ReqHeader &h,
             *traceId = t;
         off += 8;
     }
-    if (len != off + std::size_t(h.nKeys) * 8)
+    const std::size_t keyBytes = std::size_t(h.nKeys) * 8;
+    if (len != off + keyBytes * (wantPayloads ? 2 : 1))
         return false;
     keys.resize(h.nKeys);
-    std::memcpy(keys.data(), p + off, std::size_t(h.nKeys) * 8);
+    std::memcpy(keys.data(), p + off, keyBytes);
+    if (wantPayloads) {
+        payloads->resize(h.nKeys);
+        std::memcpy(payloads->data(), p + off + keyBytes, keyBytes);
+    }
     return true;
 }
 
@@ -263,8 +446,10 @@ parseResponse(const u8 *p, std::size_t len, RespHeader &h,
     if (len < sizeof(RespHeader))
         return false;
     std::memcpy(&h, p, sizeof(h));
-    if (h.status > u8(sw::Status::Cancelled) ||
-        h.kind > u8(sw::RequestKind::Join) || h.rsv)
+    if (h.status > u8(sw::Status::UnsupportedVersion) ||
+        (h.kind > u8(sw::RequestKind::Join) &&
+         !wireKindIsMutation(h.kind)) ||
+        h.rsv)
         return false;
     if (len != sizeof(RespHeader) +
                    std::size_t(h.nRecs) * sizeof(WireRec))

@@ -183,15 +183,40 @@ TcpIndexServer::handleReadable(int fd)
     // to exploit.
     std::span<const u8> payload;
     bool bad = false;
-    bool statsQueued = false;
-    while (c.rd.next(payload, bad)) {
+    bool inlineQueued = false;
+    while (!c.closeOnDrain && c.rd.next(payload, bad)) {
         ReqHeader h;
         u64 traceId = 0;
         auto pr = std::make_unique<PendingReq>();
         if (!parseRequest(payload.data(), payload.size(), h,
-                          pr->keys, &traceId)) {
+                          pr->keys, &traceId, &pr->payloads)) {
             bad = true;
             break;
+        }
+        if (h.kind == kWireKindHello) {
+            // Version handshake, answered in-line like Stats. A
+            // match unlocks the mutation kinds on this connection;
+            // a mismatch is answered honestly and then the
+            // connection closes once the response drains — the
+            // client learns *why* before losing the socket.
+            const bool speak =
+                pr->keys[0] == kWireProtocolVersion;
+            {
+                // widx-lint: allow(blocking) -- bounded buffer
+                // append shared with the reaper; no I/O under it.
+                MutexLock lk(connM_);
+                appendHelloResponse(
+                    c.out, h.reqId,
+                    speak ? sw::Status::Ok
+                          : sw::Status::UnsupportedVersion);
+            }
+            nResponses_.fetch_add(1, std::memory_order_relaxed);
+            inlineQueued = true;
+            if (speak)
+                c.version = kWireProtocolVersion;
+            else
+                c.closeOnDrain = true;
+            continue;
         }
         if (h.kind == kWireKindStats) {
             // Answered in-line from the registry, never submitted:
@@ -209,13 +234,36 @@ TcpIndexServer::handleReadable(int fd)
             }
             nStatsScrapes_.fetch_add(1, std::memory_order_relaxed);
             nResponses_.fetch_add(1, std::memory_order_relaxed);
-            statsQueued = true;
+            inlineQueued = true;
+            continue;
+        }
+        sw::RequestKind kind;
+        if (!serviceKindOfWire(h.kind, kind)) {
+            bad = true; // parseRequest admits only mapped kinds here
+            break;
+        }
+        if (wireKindIsMutation(h.kind) &&
+            c.version < kWireProtocolVersion) {
+            // A well-formed mutation frame on a connection that
+            // never said Hello: refuse it cleanly rather than
+            // dropping the connection — the frame is valid, the
+            // capability just is not negotiated.
+            sw::ServiceResult r;
+            r.status = sw::Status::UnsupportedVersion;
+            {
+                // widx-lint: allow(blocking) -- bounded buffer
+                // append shared with the reaper; no I/O under it.
+                MutexLock lk(connM_);
+                appendResponse(c.out, h.reqId, kind, r);
+            }
+            nResponses_.fetch_add(1, std::memory_order_relaxed);
+            inlineQueued = true;
             continue;
         }
         pr->fd = fd;
         pr->gen = c.gen;
         pr->reqId = h.reqId;
-        pr->kind = sw::RequestKind(h.kind);
+        pr->kind = kind;
         sw::SubmitOptions sub;
         if (h.deadlineNs)
             sub.deadlineNs = monotonicNowNs() + h.deadlineNs;
@@ -223,6 +271,7 @@ TcpIndexServer::handleReadable(int fd)
         nRequests_.fetch_add(1, std::memory_order_relaxed);
         outstanding_.fetch_add(1, std::memory_order_relaxed);
         PendingReq *raw = pr.release(); // reaper reclaims via tag
+        sub.payloads = std::span<const u64>(raw->payloads);
         service_.submitAsync(raw->kind,
                              std::span<const u64>(raw->keys), sub,
                              cq_, reinterpret_cast<u64>(raw));
@@ -232,7 +281,7 @@ TcpIndexServer::handleReadable(int fd)
         closeConn(fd);
         return;
     }
-    if (statsQueued) {
+    if (inlineQueued) {
         const u64 one = 1;
         [[maybe_unused]] ssize_t w =
             ::write(wakeFd_, &one, sizeof(one));
@@ -244,6 +293,7 @@ void
 TcpIndexServer::flushConn(int fd, Conn &c)
 {
     bool dead = false;
+    bool drained = false;
     {
         // widx-lint: allow(blocking) -- the sends below run on a
         // nonblocking fd; the reaper only appends under this lock
@@ -268,11 +318,14 @@ TcpIndexServer::flushConn(int fd, Conn &c)
             c.out.clear();
             c.outOff = 0;
             c.wantWrite = false;
+            drained = true;
         } else {
             c.wantWrite = true;
         }
     }
-    if (dead) {
+    if (dead || (drained && c.closeOnDrain)) {
+        // Version-mismatch connections drop once their
+        // UnsupportedVersion answer has flushed.
         closeConn(fd);
         return;
     }

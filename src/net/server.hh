@@ -108,11 +108,20 @@ class TcpIndexServer
         std::vector<u8> out; ///< serialized, unwritten responses
         std::size_t outOff = 0;
         bool wantWrite = false; ///< EPOLLOUT currently armed
+        /** Negotiated wire protocol version: 1 until the client
+         *  says Hello. Mutation frames on a v1 connection complete
+         *  with Status::UnsupportedVersion instead of being served.
+         *  Loop-thread-only (the reaper never reads it). */
+        u64 version = 1;
+        /** Answer-then-close: set when a Hello announces a version
+         *  we do not speak; the connection drops once the buffered
+         *  UnsupportedVersion response drains. Loop-thread-only. */
+        bool closeOnDrain = false;
     };
 
     /** One parsed request in flight through the service; the
-     *  CompletionQueue tag is its address. Owns the key copy the
-     *  service's span points into. */
+     *  CompletionQueue tag is its address. Owns the key/payload
+     *  copies the service's spans point into. */
     struct PendingReq
     {
         int fd = -1;
@@ -120,6 +129,7 @@ class TcpIndexServer
         u64 reqId = 0;
         sw::RequestKind kind = sw::RequestKind::Count;
         std::vector<u64> keys;
+        std::vector<u64> payloads; ///< Insert/Upsert only
     };
 
     void loopMain();

@@ -30,11 +30,19 @@ struct LatencyBoard
                {LatencyRecorder(shards), LatencyRecorder(shards),
                 LatencyRecorder(shards)},
                {LatencyRecorder(shards), LatencyRecorder(shards),
+                LatencyRecorder(shards)},
+               {LatencyRecorder(shards), LatencyRecorder(shards),
+                LatencyRecorder(shards)},
+               {LatencyRecorder(shards), LatencyRecorder(shards),
+                LatencyRecorder(shards)},
+               {LatencyRecorder(shards), LatencyRecorder(shards),
                 LatencyRecorder(shards)}}}
     {
+        static_assert(kNumRequestKinds == 6,
+                      "grow the row initializer above");
     }
 
-    std::array<std::array<LatencyRecorder, 3>, 3> rec;
+    std::array<std::array<LatencyRecorder, 3>, kNumRequestKinds> rec;
 };
 
 /**
@@ -166,7 +174,9 @@ struct ServiceRequest
     finalize()
     {
         ServiceResult r;
-        if (kind == RequestKind::Count) {
+        if (kind == RequestKind::Count || isMutationKind(kind)) {
+            // Mutations report their applied-key tally through the
+            // same field the count path uses; they never carry recs.
             r.matches = count.load(std::memory_order_relaxed);
         } else {
             std::size_t total = 0;
@@ -233,6 +243,8 @@ statusName(Status s)
         return "DeadlineExceeded";
     case Status::Cancelled:
         return "Cancelled";
+    case Status::UnsupportedVersion:
+        return "UnsupportedVersion";
     }
     return "?";
 }
@@ -343,7 +355,7 @@ IndexService::IndexService(const db::Column &buildKeys,
                            const db::IndexSpec &spec,
                            const ServiceConfig &cfg)
     : index_(buildKeys, spec, cfg.shards, cfg.numa,
-             cfg.pinWalkers, cfg.topology),
+             cfg.pinWalkers, cfg.topology, cfg.mutation),
       cfg_(cfg)
 {
     start();
@@ -560,6 +572,16 @@ IndexService::submitRequest(
         }
     }
 
+    // Writer path: mutations never enter the admission queues.
+    // They apply inline on the submitting thread (the per-shard
+    // writer mutex inside ShardedIndex is the serialization point,
+    // and probes stay lock-free around them) and complete through
+    // the same sink as every read.
+    if (isMutationKind(kind)) {
+        applyMutation(req, kind, keys, opt);
+        return;
+    }
+
     const bool admitted = affine_
                               ? submitAffine(req, kind, keys)
                               : submitShared(req, kind, keys);
@@ -576,6 +598,36 @@ IndexService::submitRequest(
                                std::memory_order_relaxed);
         req->finalize();
     }
+}
+
+void
+IndexService::applyMutation(
+    const std::shared_ptr<detail::ServiceRequest> &req,
+    RequestKind kind, std::span<const u64> keys,
+    const SubmitOptions &opt)
+{
+    // No walker ever claims a mutation, so its queue-wait is zero by
+    // construction; end-to-end latency is the writer-path apply.
+    req->tFirstDrain.store(req->tSubmit, std::memory_order_relaxed);
+
+    // Rejected, not undefined: a view-mode service wraps an index it
+    // does not own, and Insert/Upsert without one payload per key
+    // has no meaning. Nothing was applied in either case.
+    const bool needPayloads = kind != RequestKind::Delete;
+    if (!index_.liveMutable() ||
+        (needPayloads && opt.payloads.size() != keys.size())) {
+        req->trySetStatus(Status::Rejected);
+        nRejected_.fetch_add(1, std::memory_order_relaxed);
+        finishRequest(*req);
+        return;
+    }
+
+    const MutOp op =
+        MutOp(unsigned(kind) - unsigned(RequestKind::Insert));
+    const u64 applied =
+        index_.applyMutations(op, keys, opt.payloads);
+    req->count.store(applied, std::memory_order_relaxed);
+    finishRequest(*req);
 }
 
 ResultTicket
@@ -889,6 +941,16 @@ IndexService::walkerMain(unsigned w)
     std::unique_ptr<obs::PerfGroup> perf;
     if (cfg_.perfSamplePeriod > 0)
         perf = std::make_unique<obs::PerfGroup>();
+    // Live indexes: claim one reader slot for this walker's lifetime
+    // and pin it around every window drain, so a concurrent writer's
+    // reclamation (limbo nodes, replaced shard arrays) waits out any
+    // chain walk in progress. Read-only services skip all of it.
+    EpochManager *epochs = nullptr;
+    unsigned eslot = 0;
+    if (index_.liveMutable()) {
+        epochs = &index_.epochs();
+        eslot = epochs->acquireSlot();
+    }
     u64 drainedWindows = 0;
     for (;;) {
         // Fault injection (compiled out by default): delay a walker
@@ -909,8 +971,12 @@ IndexService::walkerMain(unsigned w)
                 cv_.wait(m_);
             const bool got = affine_ ? claimAffine(w, win, stolen)
                                      : claimShared(win);
-            if (!got)
-                return; // stop_ and every queue drained
+            if (!got) {
+                // stop_ and every queue drained
+                if (epochs)
+                    epochs->releaseSlot(eslot);
+                return;
+            }
         }
         nWindows_.fetch_add(1, std::memory_order_relaxed);
         if (win.segs.size() > 1)
@@ -942,7 +1008,11 @@ IndexService::walkerMain(unsigned w)
         WIDX_FAILPOINT("service.walker_stall");
         if (sampleHw)
             perf->start();
+        if (epochs)
+            epochs->pin(eslot);
         processWindow(win);
+        if (epochs)
+            epochs->unpin(eslot);
         if (sampleHw) {
             perf->stop();
             const obs::PerfGroup::Counts c = perf->read();
@@ -1340,9 +1410,17 @@ IndexService::stats() const
     s.liveRequests = liveGauge_->load(std::memory_order_relaxed);
     if (adm_)
         s.admission = adm_->snapshot();
+    if (index_.liveMutable()) {
+        for (unsigned sh = 0; sh < index_.shards(); ++sh) {
+            for (unsigned op = 0; op < 3; ++op)
+                s.mutations +=
+                    index_.mutationsTotal(sh, MutOp(op));
+            s.rebuilds += index_.rebuildsTotal(sh);
+        }
+    }
     if (board_) {
         using detail::LatencyBoard;
-        for (unsigned k = 0; k < 3; ++k) {
+        for (unsigned k = 0; k < kNumRequestKinds; ++k) {
             KindLatency &kl = s.latency[k];
             kl.endToEnd =
                 board_->rec[k][LatencyBoard::E2E].summarize();
@@ -1590,6 +1668,41 @@ IndexService::collectMetrics(obs::Snapshot &out) const
         }
     }
 
+    // Writer path: per-shard mutation counters, rebuild counts, and
+    // the reader-epoch lag (how far the oldest pinned reader trails
+    // the current epoch; a large stable value means a stuck reader
+    // is holding back reclamation).
+    if (index_.liveMutable()) {
+        static constexpr const char *kOp[3] = {"insert", "delete",
+                                               "upsert"};
+        Family mut, reb;
+        mut.name = "widx_mutations_total";
+        mut.help =
+            "Keys applied by the writer path, by kind and shard";
+        mut.type = MetricType::Counter;
+        reb.name = "widx_rebuilds_total";
+        reb.help = "Incremental shard rebuilds triggered by the "
+                   "load-factor watermark";
+        reb.type = MetricType::Counter;
+        for (unsigned s = 0; s < index_.shards(); ++s) {
+            for (unsigned op = 0; op < 3; ++op)
+                mut.samples.push_back(Sample{
+                    Labels{{"kind", kOp[op]},
+                           {"shard", std::to_string(s)}},
+                    double(index_.mutationsTotal(s, MutOp(op))),
+                    {}});
+            reb.samples.push_back(
+                Sample{Labels{{"shard", std::to_string(s)}},
+                       double(index_.rebuildsTotal(s)), {}});
+        }
+        out.push_back(std::move(mut));
+        out.push_back(std::move(reb));
+        gauge("widx_epoch_lag",
+              "Epochs the oldest pinned reader trails the current "
+              "epoch (0 = nothing holding back reclamation)",
+              double(index_.epochs().lag()));
+    }
+
     // Tag-filter effectiveness (cross-shard aggregate).
     {
         const db::TagFilterStats &t = index_.tagStats();
@@ -1610,8 +1723,9 @@ IndexService::collectMetrics(obs::Snapshot &out) const
     // the native log buckets, tighter than re-bucketed exposition).
     if (board_) {
         using detail::LatencyBoard;
-        static constexpr const char *kKind[3] = {"count", "probe",
-                                                "join"};
+        static constexpr const char *kKind[kNumRequestKinds] = {
+            "count", "probe", "join",
+            "insert", "delete", "upsert"};
         static constexpr const char *kComp[3] = {"e2e", "queue",
                                                  "drain"};
         Family hist, p50, p99;
@@ -1625,7 +1739,7 @@ IndexService::collectMetrics(obs::Snapshot &out) const
         p99.name = "widx_request_latency_p99_ns";
         p99.help = "p99 request latency";
         p99.type = MetricType::Gauge;
-        for (unsigned k = 0; k < 3; ++k) {
+        for (unsigned k = 0; k < kNumRequestKinds; ++k) {
             for (unsigned comp = 0; comp < 3; ++comp) {
                 const LatencyHistogram h =
                     board_->rec[k][comp].snapshot();

@@ -113,11 +113,29 @@ namespace widx::sw {
 /** What a request asks the walkers to do with its keys. */
 enum class RequestKind
 {
-    Count, ///< tally matches; no records materialized
-    Probe, ///< materialize (i, key, payload) records
-    Join,  ///< probe-side of a hash join: identical records, read
-           ///< as (probe row i, key, build row payload)
+    Count,  ///< tally matches; no records materialized
+    Probe,  ///< materialize (i, key, payload) records
+    Join,   ///< probe-side of a hash join: identical records, read
+            ///< as (probe row i, key, build row payload)
+    Insert, ///< writer path: insert (key, payload) pairs; matches
+            ///< counts keys inserted (mutation kinds need a service
+            ///< built with ServiceConfig::mutation.enabled)
+    Delete, ///< writer path: erase every entry of each key; matches
+            ///< counts nodes erased
+    Upsert, ///< writer path: overwrite the first match's payload or
+            ///< insert; matches counts in-place updates
 };
+
+/** Total request kinds (sizing per-kind tables). */
+inline constexpr unsigned kNumRequestKinds = 6;
+
+/** Is this kind a writer-path (mutation) kind? */
+constexpr bool
+isMutationKind(RequestKind k)
+{
+    return k == RequestKind::Insert || k == RequestKind::Delete ||
+           k == RequestKind::Upsert;
+}
 
 /** How a request's ticket completed. Every submitted ticket
  *  completes with exactly one of these — backpressure, deadlines,
@@ -132,6 +150,11 @@ enum class Status : u8
                       ///< claim; any drained portion is partial
     Cancelled,        ///< the service stopped with the request still
                       ///< queued; any drained portion is partial
+    UnsupportedVersion, ///< the peer speaks a wire protocol version
+                        ///< (or request kind) this side does not;
+                        ///< nothing was drained. Produced by the
+                        ///< net front-end, never by the service
+                        ///< walkers themselves.
 };
 
 /** Human-readable status label (stable, for logs and tests). */
@@ -159,7 +182,7 @@ struct ServiceResult
     u64 traceId = 0;
 };
 
-/** Per-submission options (deadline now; room to grow). */
+/** Per-submission options (deadline, tracing, mutation payloads). */
 struct SubmitOptions
 {
     /** Absolute steady-clock deadline (monotonicNowNs scale);
@@ -177,6 +200,11 @@ struct SubmitOptions
      *  and the id is echoed in ServiceResult::traceId. 0 = no
      *  tracing for this request (the hot path pays one branch). */
     u64 traceId = 0;
+    /** Mutation kinds only: one payload per key for Insert/Upsert
+     *  (row id / tuple id to store). Must match the key span's
+     *  length; ignored (may be empty) for every other kind. Same
+     *  lifetime rule as the keys: valid until completion. */
+    std::span<const u64> payloads{};
 };
 
 namespace detail {
@@ -358,11 +386,18 @@ struct ServiceStats
     /** Admission-controller state (zeroed unless
      *  ServiceConfig::admission.adaptive). */
     AdmissionSnapshot admission{};
+    /** Mutation traffic: keys applied by the writer path, summed
+     *  over every Insert/Delete/Upsert request and shard (0 unless
+     *  mutation is enabled). */
+    u64 mutations = 0;
+    /** Incremental shard rebuilds triggered by the load-factor
+     *  watermark. */
+    u64 rebuilds = 0;
     /** Per-kind request latency, indexed by RequestKind (zeroed
      *  when ServiceConfig::recordLatency is off; only Status::Ok
      *  requests are recorded — fast-failed tickets would otherwise
      *  drag the percentiles toward the reject path's microseconds). */
-    std::array<KindLatency, 3> latency{};
+    std::array<KindLatency, kNumRequestKinds> latency{};
 
     const KindLatency &
     latencyFor(RequestKind k) const
@@ -554,6 +589,15 @@ class IndexService
     /** The one submission path every public overload funnels into:
      *  admission, fast-fail completion, walker wakeup. */
     void submitRequest(const std::shared_ptr<detail::ServiceRequest> &req,
+                       RequestKind kind, std::span<const u64> keys,
+                       const SubmitOptions &opt);
+    /** Writer path: apply a mutation request inline on the
+     *  submitting thread (per-shard single-writer mutex inside the
+     *  ShardedIndex; "mutations are just another completion" — the
+     *  result is delivered through the same sink as every read).
+     *  Rejected when the service wraps an index it does not own or
+     *  mutation is not enabled. */
+    void applyMutation(const std::shared_ptr<detail::ServiceRequest> &req,
                        RequestKind kind, std::span<const u64> keys,
                        const SubmitOptions &opt);
     /** Admission paths; false means the request was not enqueued

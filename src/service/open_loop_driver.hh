@@ -170,8 +170,11 @@ runOpenLoopOver(std::shared_ptr<CompletionQueue> cq,
                     break;
                 case Status::Rejected:
                 case Status::Cancelled:
+                case Status::UnsupportedVersion:
                     // Cancelled can only appear if the server goes
-                    // away mid-run; both are server-side refusals.
+                    // away mid-run; all three are server-side
+                    // refusals (UnsupportedVersion = a mutation
+                    // kind on an un-negotiated connection).
                     cRejected.inc();
                     break;
                 }

@@ -47,6 +47,31 @@ enum class NumaPolicy
     NodeBound,
 };
 
+/**
+ * Live-mutation knobs: the writer path that coexists with the
+ * always-on walkers (see src/service/README.md and
+ * db/hash_index.hh's live-mutation contract). Only meaningful for a
+ * service that *builds* its index; a view-mode service wraps an
+ * index it does not own and rejects mutation kinds.
+ */
+struct MutationConfig
+{
+    /** Accept Insert/Delete/Upsert request kinds. Each shard gets a
+     *  single-writer mutex (probes stay lock-free; mutations to
+     *  different shards run concurrently) plus epoch-based
+     *  reclamation for erased nodes and replaced bucket arrays. */
+    bool enabled = false;
+    /** Per-shard load factor (entries / buckets) that triggers an
+     *  incremental rebuild: the shard's bucket array is regrown 2x
+     *  into a fresh arena off the writer's thread of control and
+     *  published with one epoch-protected pointer swap — readers
+     *  see the old or the new array, never a partial rehash. */
+    double rebuildLoadFactor = 0.75;
+    /** Hard cap on one shard's bucket count (0 = no cap): stops
+     *  watermark-triggered regrowth, not mutation itself. */
+    u64 maxShardBuckets = 0;
+};
+
 /** Construction-time description of an IndexService. */
 struct ServiceConfig
 {
@@ -157,6 +182,9 @@ struct ServiceConfig
      * stamps the reap span) and dump paths can read the same ring.
      * Null = tracing off; untraced requests pay one pointer test. */
     std::shared_ptr<obs::TraceRing> trace;
+    /** Live mutation (Insert/Delete/Upsert kinds, per-shard single
+     *  writer, epoch reclamation, incremental rebuilds). */
+    MutationConfig mutation{};
     /** Topology override for tests (synthetic multi-node trees);
      *  null = Topology::host(). Must outlive the service. */
     const Topology *topology = nullptr;

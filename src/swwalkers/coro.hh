@@ -108,7 +108,7 @@ namespace detail {
  *  access, starting with the tag byte when the filter is on. The
  *  Index supplies the hash-addressed probe surface (see amacDrain),
  *  so flat and sharded indexes run the same schedule. */
-template <typename Index, typename Sink>
+template <ProbeSurface Index, typename Sink>
 ProbeTask
 probeOne(const Index &index, std::size_t i, u64 key,
          u64 hash, bool tagged, u64 &matches, Sink &sink)
@@ -118,14 +118,18 @@ probeOne(const Index &index, std::size_t i, u64 key,
         if (!index.tagMayMatchHash(hash))
             co_return;
     }
+    // widx-lint: epoch-guard -- live-index bucket resolve; the
+    // service walker holds its epoch pin across the drain.
     const db::HashIndex::Node *head = index.bucketHeadFor(hash);
     co_await PrefetchAwait{head};
     for (const db::HashIndex::Node *n = head; n;) {
         if (index.nodeKey(*n) == key) {
             ++matches;
-            sink(i, key, n->payload);
+            sink(i, key, index.nodePayload(*n));
         }
-        const db::HashIndex::Node *next = n->next;
+        // widx-lint: epoch-guard -- live-index chain step; the
+        // service walker holds its epoch pin across the drain.
+        const db::HashIndex::Node *next = index.nodeNext(*n);
         if (!next)
             break;
         co_await PrefetchAwait{next};
@@ -141,7 +145,7 @@ probeOne(const Index &index, std::size_t i, u64 key,
  * under the single-threaded prober, a claimed window-ring chunk
  * under WalkerPool threads.
  */
-template <typename Index, typename Stream, typename Sink>
+template <ProbeSurface Index, typename Stream, typename Sink>
 u64
 coroDrain(const Index &index, Stream &stream, unsigned width,
           bool tagged, Sink &&sink)

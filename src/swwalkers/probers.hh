@@ -39,6 +39,7 @@
 #define WIDX_SWWALKERS_PROBERS_HH
 
 #include <array>
+#include <concepts>
 #include <span>
 #include <utility>
 
@@ -47,6 +48,55 @@
 #include "swwalkers/pipeline_config.hh"
 
 namespace widx::sw {
+
+/**
+ * The hash-addressed probe surface the interleaved drains are
+ * templated on — the compile-time contract between the walker state
+ * machines (amacDrain / coroDrain) and anything indexable: a flat
+ * db::HashIndex, one shard of a service index, or the shard-blind
+ * ShardedIndex front (both are static_assert-checked against it).
+ *
+ * The accessor split is deliberate and is what makes live mutation
+ * possible: a drain never dereferences Node fields directly — keys,
+ * payloads, and next pointers are read through nodeKey / nodePayload
+ * / nodeNext, which the live index implements as atomic loads with
+ * the ordering the writer protocol needs (and which compile to the
+ * same plain movs on x86 when the index is read-only). A prober that
+ * touched `n->next` raw would tear against a concurrent unlink.
+ *
+ * On an epoch-protected live index every bucketHeadFor -> nodeNext
+ * chain walk must additionally run under an epoch pin (see
+ * common/epoch.hh); the service's walkers pin around each window
+ * drain. The concept cannot express that — widx_lint.py's
+ * epoch-guard check covers the tagging discipline instead.
+ */
+template <typename I>
+concept ProbeSurface = requires(
+    const I &idx, u64 hash, const db::HashIndex::Node &node,
+    std::span<const u64> keys, std::span<u64> hashes,
+    const u64 *harr, std::size_t n, u64 *bits) {
+    // widx-lint: epoch-guard -- concept exemplar expressions, never
+    // evaluated; real call sites carry their own markers.
+    // Walker stage: tag reject, then the chain walk.
+    { idx.tagMayMatchHash(hash) } -> std::convertible_to<bool>;
+    { idx.tagAddrFor(hash) } -> std::convertible_to<const u8 *>;
+    {
+        idx.bucketHeadFor(hash)
+    } -> std::convertible_to<const db::HashIndex::Node *>;
+    { idx.nodeKey(node) } -> std::convertible_to<u64>;
+    { idx.nodePayload(node) } -> std::convertible_to<u64>;
+    {
+        idx.nodeNext(node)
+    } -> std::convertible_to<const db::HashIndex::Node *>;
+    // Dispatcher stage: vector hash, prefetch sweep, batched
+    // fingerprint filter.
+    { idx.hashBatch(keys, hashes) };
+    { idx.prefetchStage(harr, n, bool{}) };
+    { idx.tagFilterBatch(harr, n, bits) } -> std::convertible_to<u64>;
+};
+
+static_assert(ProbeSurface<db::HashIndex>,
+              "HashIndex must satisfy the drain contract");
 
 /** Software prefetch wrapper (read, high temporal locality). */
 inline void
@@ -139,6 +189,8 @@ tagFilterAndPrefetch(const Index &index, const u64 *hashes,
                      std::size_t n, u64 *bits)
 {
     const u64 survivors = index.tagFilterBatch(hashes, n, bits);
+    // widx-lint: epoch-guard -- prefetch address resolve chases an
+    // epoch-protected shard pointer; the dispatcher is pinned.
     for (std::size_t i = 0; i < n; ++i)
         if (bits[i >> 6] >> (i & 63) & 1)
             prefetchRead(index.bucketHeadFor(hashes[i]));
@@ -268,7 +320,7 @@ class GroupPrefetchProber
             // their bucket header and arm a cursor. (Untagged
             // headers were already prefetched by stage 1.)
             for (std::size_t i = 0; i < g; ++i) {
-                const u64 bidx = hashes[i] & index_.bucketMask();
+                const u64 bidx = index_.bucketIndexOf(hashes[i]);
                 if (cfg_.tagged &&
                     !index_.tagMayMatch(bidx, hashes[i])) {
                     cursor[i] = nullptr;
@@ -294,11 +346,16 @@ class GroupPrefetchProber
                     const u64 key = chunk[i];
                     if (index_.nodeKey(*n) == key) {
                         ++matches;
-                        sink(base + i, key, n->payload);
+                        sink(base + i, key,
+                             index_.nodePayload(*n));
                     }
-                    cursor[i] = n->next;
-                    if (n->next) {
-                        prefetch(n->next);
+                    // widx-lint: epoch-guard -- accessor-routed so
+                    // the step is a clean acquire even when this
+                    // prober is pointed at a live index.
+                    const Node *nx = index_.nodeNext(*n);
+                    cursor[i] = nx;
+                    if (nx) {
+                        prefetch(nx);
                         ++live;
                     }
                 }
@@ -331,7 +388,7 @@ class GroupPrefetchProber
  * flat db::HashIndex, one shard of a sharded service index, and
  * the shard-blind ShardedIndex surface alike.
  */
-template <typename Index, typename Stream, typename Sink>
+template <ProbeSurface Index, typename Stream, typename Sink>
 u64
 amacDrain(const Index &index, Stream &stream, unsigned width,
           bool tagged, Sink &&sink)
@@ -365,6 +422,8 @@ amacDrain(const Index &index, Stream &stream, unsigned width,
         while (stream.next(i, key, hash)) {
             if (tagged && !index.tagMayMatchHash(hash))
                 continue;
+            // widx-lint: epoch-guard -- live-index bucket resolve;
+            // the service walker's pin spans the whole drain.
             const Node *head = index.bucketHeadFor(hash);
             s.i = i;
             s.key = key;
@@ -389,11 +448,13 @@ amacDrain(const Index &index, Stream &stream, unsigned width,
             const Node *n = s.node;
             if (index.nodeKey(*n) == s.key) {
                 ++matches;
-                sink(s.i, s.key, n->payload);
+                sink(s.i, s.key, index.nodePayload(*n));
             }
-            if (n->next) {
-                s.node = n->next;
-                prefetch(n->next);
+            // widx-lint: epoch-guard -- live-index chain step; the
+            // service walker holds its epoch pin across the drain.
+            if (const Node *nx = index.nodeNext(*n)) {
+                s.node = nx;
+                prefetch(nx);
             } else if (!refill(s)) {
                 s.node = nullptr;
                 --live;

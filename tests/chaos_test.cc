@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -295,4 +296,80 @@ TEST_F(ChaosTest, SlowDrainAndDelayedClaimNeverChangeResults)
                            "slow-drain request");
     }
     EXPECT_GT(fp::hits("service.slow_drain"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Rebuild publish frozen mid-swap: probes keep running against the
+// old shard, byte-correct, until the single release store lands
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, FrozenRebuildPublishNeverDisturbsProbes)
+{
+    Dataset d(2000, 2000, 23);
+    ServiceConfig cfg;
+    cfg.shards = 2;
+    cfg.walkers = 2;
+    cfg.mutation.enabled = true;
+    cfg.mutation.rebuildLoadFactor = 0.5; // regrow on first burst
+    IndexService service(*d.build, d.spec, cfg);
+
+    // Stable witness set from the build side; inserted keys live
+    // far outside its keyspace, so the witness tally is invariant
+    // across the whole churn — old shard, new shard, or mid-freeze.
+    const std::span<const u64> witness{d.keys.data(), 256};
+    const u64 wantMatches = refSequence(*d.flat, witness).size();
+
+    // Freeze the writer for 120 ms at the publish point of the
+    // first rebuild: the un-swapped shard must keep serving.
+    const u64 before = fp::hits("sharded.rebuild_publish");
+    fp::arm("sharded.rebuild_publish", 1, 120'000'000);
+
+    std::atomic<bool> writerDone{false};
+    std::thread writer([&] {
+        std::vector<u64> keys(64), pays(64);
+        u64 next = 10'000'000;
+        // Insert until the failpoint has fired (the triggering
+        // batch blocks inside the freeze), then a few more bursts
+        // so probes also race the post-swap view.
+        for (int burst = 0; burst < 400; ++burst) {
+            for (std::size_t i = 0; i < keys.size(); ++i) {
+                keys[i] = next++;
+                pays[i] = keys[i] + 1;
+            }
+            SubmitOptions opt;
+            opt.payloads = pays;
+            const ServiceResult r =
+                service.submit(RequestKind::Insert, keys, opt)
+                    .get();
+            EXPECT_EQ(r.status, Status::Ok); // EXPECT: off-thread
+            if (fp::hits("sharded.rebuild_publish") > before &&
+                burst >= 8)
+                break;
+        }
+        writerDone.store(true, std::memory_order_release);
+    });
+
+    // Probe throughout: while the writer inserts, while it sits
+    // frozen at the swap, and after publication. The witness tally
+    // never wavers.
+    while (!writerDone.load(std::memory_order_acquire)) {
+        const ServiceResult r =
+            service.submit(RequestKind::Count, witness).get();
+        ASSERT_EQ(r.status, Status::Ok);
+        ASSERT_EQ(r.matches, wantMatches)
+            << "probe disturbed by a frozen rebuild publish";
+    }
+    writer.join();
+
+    EXPECT_GT(fp::hits("sharded.rebuild_publish"), before);
+    u64 rebuilds = 0;
+    for (unsigned s = 0; s < cfg.shards; ++s)
+        rebuilds += service.index().rebuildsTotal(s);
+    EXPECT_GE(rebuilds, 1u);
+
+    // Post-thaw: the published view still answers identically.
+    const ServiceResult after =
+        service.submit(RequestKind::Count, witness).get();
+    ASSERT_EQ(after.status, Status::Ok);
+    EXPECT_EQ(after.matches, wantMatches);
 }

@@ -218,7 +218,7 @@ TEST(Engine, DoubleKeysMatchReference)
 
     u64 ref = 0;
     for (RowId i = 0; i < probe.size(); ++i)
-        ref += index.probe(probe.at(i), nullptr);
+        ref += index.probe(probe.at(i));
     EXPECT_EQ(r.matches, ref);
 }
 

@@ -1,0 +1,88 @@
+// widx-lint corpus: epoch-guard violations. Keep line numbers
+// stable; expected.txt pins them.
+
+struct Node
+{
+    unsigned long key = 0;
+    Node *next = nullptr;
+};
+
+struct Index
+{
+    Node head;
+
+    // An accessor definition (name at the start of the line, house
+    // style) is exempt; the marker inside its body documents the
+    // load semantics and is claimed by the definition: clean.
+    const Node *
+    nodeNext(const Node &n) const
+    {
+        // widx-lint: epoch-guard -- acquire load synchronizing with
+        // the writer's publication store.
+        return n.next;
+    }
+
+    const Node *
+    bucketHeadFor(unsigned long) const
+    {
+        return &head;
+    }
+};
+
+// Chain step with no marker in scope: finding.
+inline unsigned long
+walk_unguarded(const Index &idx, unsigned long key)
+{
+    unsigned long hits = 0;
+    for (const Node *n = idx.bucketHeadFor(key); n;
+         n = idx.nodeNext(*n))
+        if (n->key == key)
+            ++hits;
+    return hits;
+}
+
+// Marker with a justification covering the walk: clean.
+inline unsigned long
+walk_guarded(const Index &idx, unsigned long key)
+{
+    unsigned long hits = 0;
+    // widx-lint: epoch-guard -- corpus: caller pins an epoch
+    // across the walk.
+    for (const Node *n = idx.bucketHeadFor(key); n;
+         n = idx.nodeNext(*n))
+        if (n->key == key)
+            ++hits;
+    return hits;
+}
+
+// Marker without a justification: finding on the marker (the walk
+// itself is still covered — one finding, not three).
+inline unsigned long
+walk_unjustified(const Index &idx, unsigned long key)
+{
+    unsigned long hits = 0;
+    // widx-lint: epoch-guard
+    for (const Node *n = idx.bucketHeadFor(key); n;
+         n = idx.nodeNext(*n))
+        if (n->key == key)
+            ++hits;
+    return hits;
+}
+
+// Marker whose scope contains no chain step is stale: finding.
+inline void
+no_step_here()
+{
+    // widx-lint: epoch-guard -- corpus: nothing to guard below.
+    int x = 0;
+    (void)x;
+}
+
+// Suppressed chain step: clean (single-threaded tool context).
+inline const Node *
+step_suppressed(const Index &idx)
+{
+    // widx-lint: allow(epoch-guard) -- corpus: offline tool, no
+    // concurrent writer exists.
+    return idx.nodeNext(idx.head);
+}

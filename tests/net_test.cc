@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -116,7 +117,157 @@ TEST(TcpFrontEnd, BlockingCallsMatchTheLocalReference)
     client.close();
     server.stop();
     EXPECT_EQ(server.stats().requests, 3u);
-    EXPECT_EQ(server.stats().responses, 3u);
+    // The connect-time Hello is answered in-line (it never reaches
+    // the service), so the handshake adds one response frame on top
+    // of the three calls.
+    EXPECT_EQ(server.stats().responses, 4u);
+    EXPECT_EQ(server.stats().protocolErrors, 0u);
+}
+
+TEST(TcpFrontEnd, MutationsRoundTripOnAV2Connection)
+{
+    Dataset d(2000, 256, 31);
+    ServiceConfig cfg;
+    cfg.walkers = 1;
+    cfg.mutation.enabled = true;
+    IndexService service(*d.build, d.spec, cfg);
+    TcpIndexServer server(service);
+    TcpIndexClient client("127.0.0.1", server.port());
+
+    // Fresh keys far outside the build keyspace.
+    const std::vector<u64> keys{1'000'001, 1'000'002, 1'000'003};
+    const std::vector<u64> pay{11, 12, 13};
+    const ServiceResult ins =
+        client.call(RequestKind::Insert, keys, 0, pay);
+    ASSERT_EQ(ins.status, Status::Ok);
+    EXPECT_EQ(ins.matches, keys.size());
+    EXPECT_TRUE(ins.recs.empty());
+    // The Hello response precedes the first completion on the
+    // stream, so the negotiated version is visible by now.
+    EXPECT_EQ(client.serverVersion(),
+              widx::net::kWireProtocolVersion);
+
+    const ServiceResult seen =
+        client.call(RequestKind::Probe, keys);
+    ASSERT_EQ(seen.status, Status::Ok);
+    ASSERT_EQ(seen.recs.size(), keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_EQ(seen.recs[i].payload, pay[i]);
+
+    const std::vector<u64> pay2{21, 22, 23};
+    const ServiceResult ups =
+        client.call(RequestKind::Upsert, keys, 0, pay2);
+    ASSERT_EQ(ups.status, Status::Ok);
+    EXPECT_EQ(ups.matches, keys.size()); // all in-place updates
+    const ServiceResult seen2 =
+        client.call(RequestKind::Probe, keys);
+    ASSERT_EQ(seen2.recs.size(), keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_EQ(seen2.recs[i].payload, pay2[i]);
+
+    const ServiceResult del =
+        client.call(RequestKind::Delete, keys);
+    ASSERT_EQ(del.status, Status::Ok);
+    EXPECT_EQ(del.matches, keys.size());
+    const ServiceResult gone =
+        client.call(RequestKind::Count, keys);
+    ASSERT_EQ(gone.status, Status::Ok);
+    EXPECT_EQ(gone.matches, 0u);
+}
+
+TEST(TcpFrontEnd, V1ConnectionGetsUnsupportedVersionForMutations)
+{
+    Dataset d(2000, 256, 37);
+    ServiceConfig cfg;
+    cfg.walkers = 1;
+    cfg.mutation.enabled = true;
+    IndexService service(*d.build, d.spec, cfg);
+    TcpIndexServer server(service);
+    // Never says Hello: served as v1.
+    TcpIndexClient client("127.0.0.1", server.port(),
+                          /*sayHello=*/false);
+
+    const std::vector<u64> keys{1'000'001};
+    const std::vector<u64> pay{7};
+    const ServiceResult ins =
+        client.call(RequestKind::Insert, keys, 0, pay);
+    EXPECT_EQ(ins.status, Status::UnsupportedVersion);
+    EXPECT_EQ(ins.matches, 0u);
+
+    // The refusal is an answer, not a framing error: the same
+    // connection keeps serving reads, and nothing was applied.
+    const ServiceResult cnt =
+        client.call(RequestKind::Count, keys);
+    ASSERT_EQ(cnt.status, Status::Ok);
+    EXPECT_EQ(cnt.matches, 0u);
+    const ServiceResult ok = client.call(
+        RequestKind::Count, {d.keys.data(), 64});
+    EXPECT_EQ(ok.status, Status::Ok);
+    EXPECT_EQ(client.serverVersion(), 0u);
+    EXPECT_EQ(server.stats().protocolErrors, 0u);
+}
+
+TEST(TcpFrontEnd, UnsupportedHelloIsAnsweredThenClosed)
+{
+    Dataset d(2000, 256, 41);
+    ServiceConfig cfg;
+    cfg.walkers = 1;
+    IndexService service(*d.flat, cfg);
+    TcpIndexServer server(service);
+
+    // A Hello naming a version the server does not speak, from a
+    // raw socket: the answer must arrive before the close, so the
+    // client learns *why* it lost the connection.
+    std::vector<u8> frame;
+    const u32 len = 24 + 8;
+    widx::net::ReqHeader h;
+    h.reqId = 5;
+    h.kind = widx::net::kWireKindHello;
+    h.nKeys = 1;
+    const u64 version = 99;
+    frame.insert(frame.end(),
+                 reinterpret_cast<const u8 *>(&len),
+                 reinterpret_cast<const u8 *>(&len) + 4);
+    frame.insert(frame.end(), reinterpret_cast<const u8 *>(&h),
+                 reinterpret_cast<const u8 *>(&h) + sizeof(h));
+    frame.insert(frame.end(),
+                 reinterpret_cast<const u8 *>(&version),
+                 reinterpret_cast<const u8 *>(&version) + 8);
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd,
+                        reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+              ssize_t(frame.size()));
+
+    u8 buf[4 + sizeof(widx::net::RespHeader)];
+    std::size_t got = 0;
+    while (got < sizeof(buf)) {
+        const ssize_t n =
+            ::recv(fd, buf + got, sizeof(buf) - got, 0);
+        ASSERT_GT(n, 0) << "connection closed before the answer";
+        got += std::size_t(n);
+    }
+    u32 rlen;
+    std::memcpy(&rlen, buf, 4);
+    ASSERT_EQ(rlen, sizeof(widx::net::RespHeader));
+    u64 reqId, serverVersion;
+    Status st;
+    ASSERT_TRUE(widx::net::parseHelloResponse(
+        buf + 4, rlen, reqId, st, serverVersion));
+    EXPECT_EQ(reqId, 5u);
+    EXPECT_EQ(st, Status::UnsupportedVersion);
+    EXPECT_EQ(serverVersion, widx::net::kWireProtocolVersion);
+    // ... and only then EOF.
+    const ssize_t eof = ::recv(fd, buf, sizeof(buf), 0);
+    EXPECT_LE(eof, 0);
+    ::close(fd);
     EXPECT_EQ(server.stats().protocolErrors, 0u);
 }
 

@@ -101,7 +101,7 @@ TEST(JoinKernel, EveryProbeMatchesExactlyOnce)
     // them, so each probe finds exactly one node.
     u64 matches = 0;
     for (RowId r = 0; r < data.probeKeys->size(); ++r)
-        matches += data.index->probe(data.probeKeys->at(r), nullptr);
+        matches += data.index->probe(data.probeKeys->at(r));
     EXPECT_EQ(matches, 5000u);
     // Bucket depth stays at the kernel's "up to two nodes".
     EXPECT_LE(data.index->maxBucketDepth(), 2u);

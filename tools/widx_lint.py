@@ -24,11 +24,26 @@ Checks (names usable in suppressions):
                  alignas(kCacheBlockBytes) so two hot slots never
                  share a cache line.
 
-Tags mark the construct on the next code line:
+  epoch-guard    Chain steps — calls to `nodeNext(...)` or
+                 `bucketHeadFor(...)`, the two accessors that follow
+                 a pointer another thread may be retiring — must sit
+                 inside the scope of a `// widx-lint: epoch-guard`
+                 marker stating who holds the epoch pin. The marker
+                 covers from its target line to the end of the
+                 enclosing brace scope. A marker needs a
+                 justification (`-- <who holds the pin>`), and a
+                 marker whose scope contains no chain step is stale
+                 and reported. Accessor *definitions* (the name at
+                 the start of a line, per house style) are exempt —
+                 the obligation is the caller's.
+
+Tags mark the construct on the next code line, and may carry a
+`-- reason` suffix (mandatory for epoch-guard):
 
   // widx-lint: event-loop        (before a function definition)
   // widx-lint: seqlock-writer    (before a function definition)
   // widx-lint: padded            (before a struct definition)
+  // widx-lint: epoch-guard -- why  (before a chain-step scope)
 
 Suppressions carry a mandatory justification after ` -- `:
 
@@ -62,10 +77,14 @@ import os
 import re
 import sys
 
-CHECKS = ("atomic-order", "blocking", "seqlock", "padded")
+CHECKS = ("atomic-order", "blocking", "seqlock", "padded",
+          "epoch-guard")
 SOURCE_EXTS = (".cc", ".hh", ".cpp", ".hpp", ".h")
 
 TAG_RE = re.compile(r"widx-lint:\s*(.*)$")
+TAG_BODY_RE = re.compile(
+    r"^(event-loop|seqlock-writer|padded|epoch-guard)"
+    r"(?:\s*--\s*(\S.*))?$", re.S)
 ALLOW_RE = re.compile(
     r"allow\(([a-z-]+)\)\s*(?:--\s*(\S.*))?$"
 )
@@ -98,6 +117,8 @@ STORE_RE = re.compile(r"([A-Za-z_]\w*(?:\s*\.\s*[A-Za-z_]\w*)*)"
                       r"\s*\.\s*store\s*\(")
 
 PADDED_ALIGNMENTS = ("64", "kCacheBlockBytes")
+
+CHAIN_STEP_RE = re.compile(r"\b(nodeNext|bucketHeadFor)\s*\(")
 
 
 class Finding:
@@ -245,7 +266,7 @@ class FileLint:
         self.starts = line_starts(self.masked)
         self.findings = []
         self.suppressions = {}  # line -> set(check)
-        self.tags = []  # (line, kind) for event-loop/seqlock/padded
+        self.tags = []  # (line, kind, reason) for the marker tags
         self._parse_tags()
 
     def _code_lines(self):
@@ -253,16 +274,26 @@ class FileLint:
         lines = self.masked.split("\n")
         return {i + 1 for i, l in enumerate(lines) if l.strip()}
 
+    def _next_code_line(self, com, code):
+        """First code line after a standalone comment; intervening
+        comment-only lines do not consume it."""
+        last = len(self.starts)
+        target = com.line + 1 + com.text.count("\n")
+        while target <= last and target not in code:
+            target += 1
+        return target
+
     def _parse_tags(self):
         code = self._code_lines()
-        last = len(self.starts)
         for com in self.comments:
             m = TAG_RE.search(com.text)
             if not m:
                 continue
             body = m.group(1).strip()
-            if body in ("event-loop", "seqlock-writer", "padded"):
-                self.tags.append((com.line, body))
+            tm = TAG_BODY_RE.match(body)
+            if tm:
+                self.tags.append((com.line, tm.group(1),
+                                  tm.group(2)))
                 continue
             am = ALLOW_RE.match(body)
             if am:
@@ -279,11 +310,7 @@ class FileLint:
                         "(`-- <reason>` is mandatory)" % check))
                     continue
                 if com.standalone:
-                    # Applies to the next code line; intervening
-                    # comment-only lines don't consume it.
-                    target = com.line + 1 + com.text.count("\n")
-                    while target <= last and target not in code:
-                        target += 1
+                    target = self._next_code_line(com, code)
                 else:
                     target = com.line
                 self.suppressions.setdefault(
@@ -333,7 +360,7 @@ class FileLint:
                 if f.check == "atomic-order"}
 
     def check_blocking(self):
-        for tag_line, kind in self.tags:
+        for tag_line, kind, _why in self.tags:
             if kind != "event-loop":
                 continue
             region = self._function_region(tag_line)
@@ -352,7 +379,7 @@ class FileLint:
                               % what)
 
     def check_seqlock(self):
-        for tag_line, kind in self.tags:
+        for tag_line, kind, _why in self.tags:
             if kind != "seqlock-writer":
                 continue
             region = self._function_region(tag_line)
@@ -439,11 +466,87 @@ class FileLint:
                       "padded tag with no struct definition "
                       "following it")
 
+    def _line_depths(self):
+        """Brace depth at the start of each 1-based line."""
+        depths = [0] * (len(self.starts) + 2)
+        d = 0
+        line = 1
+        for c in self.masked:
+            if c == "\n":
+                line += 1
+                depths[line] = d
+            elif c == "{":
+                d += 1
+            elif c == "}":
+                d -= 1
+        return depths
+
+    def check_epoch_guard(self):
+        code = self._code_lines()
+        last = len(self.starts)
+        depths = self._line_depths()
+        guards = []  # (tag_line, cover_from, cover_to)
+        for tag_line, kind, why in self.tags:
+            if kind != "epoch-guard":
+                continue
+            if not why:
+                self._add(tag_line, "epoch-guard",
+                          "epoch-guard marker without a "
+                          "justification (`-- <who holds the pin>` "
+                          "is mandatory)")
+            target = tag_line + 1
+            while target <= last and target not in code:
+                target += 1
+            if target > last:
+                self._add(tag_line, "epoch-guard",
+                          "epoch-guard marker with no code "
+                          "following it")
+                continue
+            # Cover from the target to the end of its brace scope.
+            d = depths[target]
+            end = target
+            while end + 1 <= last and depths[end + 1] >= d:
+                end += 1
+            guards.append((tag_line, tag_line, end))
+        used = set()
+        for m in CHAIN_STEP_RE.finditer(self.masked):
+            line = line_of(self.starts, m.start())
+            # The accessor's own definition (name at the start of
+            # the line, per house style) is not a chain step — but
+            # a marker inside its body documents the accessor's
+            # load semantics, so the body claims covering guards.
+            if not self.masked[self.starts[line - 1]:
+                               m.start()].strip():
+                brace = self.masked.find("{", m.end())
+                if brace >= 0:
+                    body_end = line_of(
+                        self.starts,
+                        match_brace(self.masked, brace) - 1)
+                    for g in guards:
+                        if line <= g[0] <= body_end:
+                            used.add(g[0])
+                continue
+            hit = False
+            for g in guards:
+                if g[1] <= line <= g[2]:
+                    used.add(g[0])
+                    hit = True
+            if not hit:
+                self._add(line, "epoch-guard",
+                          "%s() chain step outside any epoch-guard "
+                          "marker's scope" % m.group(1))
+        for g in guards:
+            if g[0] not in used:
+                self._add(g[0], "epoch-guard",
+                          "epoch-guard marker whose scope contains "
+                          "no chain step (stale?)")
+
     def run(self):
         self.check_atomic_order()
         self.check_blocking()
         self.check_seqlock()
         self.check_padded()
+        self.check_epoch_guard()
         return self.findings
 
 
